@@ -1,0 +1,103 @@
+// Package aheft is a Go implementation of AHEFT — the adaptive
+// rescheduling strategy for grid workflow applications of Yu & Shi (IPDPS
+// 2007) — together with everything needed to study it: the classic static
+// HEFT scheduler it extends, a dynamic just-in-time Min-Min baseline, a
+// deterministic discrete-event grid executor with a collaborating
+// event-driven planner, workload generators for parametric random DAGs and
+// the BLAST/WIEN2K application shapes, and an experiment harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	sc := aheft.SampleScenario() // the paper's Fig. 4 worked example
+//	res, err := aheft.Run(sc.Graph, sc.Estimator(), sc.Pool,
+//	    aheft.Adaptive, aheft.RunOptions{TieWindow: 0.05})
+//	// res.Makespan == 76; the static plan (aheft.Static) gives 80.
+//
+// The facade re-exports the most commonly used types from the internal
+// packages; import the internal packages directly for the full API
+// surface (internal/dag for graph construction, internal/workload for
+// generators, internal/experiment for the evaluation harness, …).
+package aheft
+
+import (
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/heft"
+	"aheft/internal/minmin"
+	"aheft/internal/planner"
+	"aheft/internal/schedule"
+	"aheft/internal/workload"
+)
+
+// Core model types.
+type (
+	// Graph is a workflow DAG (jobs + weighted data-dependence edges).
+	Graph = dag.Graph
+	// JobID identifies a job within one Graph.
+	JobID = dag.JobID
+	// Resource is one computation unit of the grid.
+	Resource = grid.Resource
+	// Pool is the time-varying resource set.
+	Pool = grid.Pool
+	// Estimator supplies the performance estimation matrix P.
+	Estimator = cost.Estimator
+	// CostTable is the ground-truth jobs × resources cost matrix.
+	CostTable = cost.Table
+	// Schedule maps jobs to (resource, start, finish) assignments.
+	Schedule = schedule.Schedule
+	// Assignment is one job's placement.
+	Assignment = schedule.Assignment
+	// Scenario bundles a workflow, its cost table and its dynamic pool.
+	Scenario = workload.Scenario
+	// RunOptions tunes the planner (see planner.RunOptions).
+	RunOptions = planner.RunOptions
+	// Result is a completed execution.
+	Result = planner.Result
+	// Decision records one rescheduling evaluation.
+	Decision = planner.Decision
+	// Strategy selects static HEFT or adaptive AHEFT planning.
+	Strategy = planner.Strategy
+)
+
+// Strategies.
+const (
+	// Static is traditional one-shot HEFT planning.
+	Static = planner.StrategyStatic
+	// Adaptive is the paper's AHEFT adaptive rescheduling.
+	Adaptive = planner.StrategyAdaptive
+)
+
+// NewGraph returns an empty workflow graph.
+func NewGraph(name string) *Graph { return dag.New(name) }
+
+// StaticPool returns n resources all available from time 0.
+func StaticPool(n int) *Pool { return grid.StaticPool(n) }
+
+// Exact adapts a ground-truth cost table into the Estimator the planner
+// consumes (the paper's accurate-estimation assumption).
+func Exact(t *CostTable) Estimator { return cost.Exact(t) }
+
+// Run executes a workflow on the dynamic pool under the chosen strategy
+// with accurate estimates and returns the completed execution. This is the
+// paper's experiment path; for the full event-driven Planner/Executor
+// architecture use planner.NewService.
+func Run(g *Graph, est Estimator, pool *Pool, strat Strategy, opts RunOptions) (*Result, error) {
+	return planner.Run(g, est, pool, strat, opts)
+}
+
+// HEFT computes a one-shot static HEFT schedule over a fixed resource set.
+func HEFT(g *Graph, est Estimator, rs []Resource) (*Schedule, error) {
+	return heft.Schedule(g, est, rs, heft.Options{})
+}
+
+// MinMin runs the dynamic just-in-time Min-Min baseline and returns its
+// makespan and realised schedule.
+func MinMin(g *Graph, est Estimator, pool *Pool) (*minmin.Result, error) {
+	return minmin.Run(g, est, pool, minmin.MinMin)
+}
+
+// SampleScenario returns the paper's Fig. 4 worked example: the ten-job
+// sample DAG, its cost matrix, and a pool in which r4 joins at t = 15.
+func SampleScenario() *Scenario { return workload.SampleScenario() }

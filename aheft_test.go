@@ -1,0 +1,57 @@
+package aheft_test
+
+import (
+	"testing"
+
+	"aheft"
+)
+
+// TestFacadeQuickstart exercises the doc-comment example end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	sc := aheft.SampleScenario()
+	static, err := aheft.Run(sc.Graph, sc.Estimator(), sc.Pool, aheft.Static, aheft.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Makespan != 80 {
+		t.Fatalf("static makespan = %g, want 80", static.Makespan)
+	}
+	adaptive, err := aheft.Run(sc.Graph, sc.Estimator(), sc.Pool, aheft.Adaptive, aheft.RunOptions{TieWindow: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Makespan != 76 {
+		t.Fatalf("adaptive makespan = %g, want 76", adaptive.Makespan)
+	}
+}
+
+func TestFacadeHEFTAndMinMin(t *testing.T) {
+	sc := aheft.SampleScenario()
+	s, err := aheft.HEFT(sc.Graph, sc.Estimator(), sc.Pool.Initial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 80 {
+		t.Fatalf("HEFT makespan = %g", s.Makespan())
+	}
+	dyn, err := aheft.MinMin(sc.Graph, sc.Estimator(), sc.Pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Makespan <= 0 {
+		t.Fatal("Min-Min produced no makespan")
+	}
+}
+
+func TestFacadeGraphConstruction(t *testing.T) {
+	g := aheft.NewGraph("mini")
+	a := g.AddJob("a", "op")
+	b := g.AddJob("b", "op")
+	g.MustEdge(a, b, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if aheft.StaticPool(2).Size() != 2 {
+		t.Fatal("StaticPool wrong")
+	}
+}

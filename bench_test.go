@@ -1,0 +1,257 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure (run the cmd/experiments binary for the full printed tables;
+// these benches time a reduced sweep of the same code and report the key
+// headline metric via ReportMetric), plus ablation benches for the design
+// choices called out in DESIGN.md and micro-benchmarks of the scheduling
+// kernels.
+//
+//	go test -bench=. -benchmem
+package aheft_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aheft/internal/core"
+	"aheft/internal/experiment"
+	"aheft/internal/heft"
+	"aheft/internal/minmin"
+	"aheft/internal/planner"
+	"aheft/internal/rng"
+	"aheft/internal/workload"
+)
+
+// benchCfg is the reduced configuration all table/figure benches share.
+func benchCfg() experiment.Config {
+	return experiment.Config{Samples: 2, Seed: 1, AppJobCap: 200, WithMinMin: true}
+}
+
+// runExperiment drives one registry entry b.N times and reports the first
+// row's headline number so regressions in *results* (not just speed) are
+// visible in benchmark diffs.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchCfg()
+	runner := experiment.Registry[id]
+	if runner == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *experiment.Table
+	for i := 0; i < b.N; i++ {
+		t, err := runner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if last != nil && len(last.Rows) > 0 {
+		if v, err := strconv.ParseFloat(strings.TrimSuffix(last.Rows[0][1], "%"), 64); err == nil {
+			b.ReportMetric(v, "row0")
+		}
+	}
+}
+
+// --- One benchmark per table and figure of the evaluation (§4). ---
+
+// BenchmarkFig5_SampleDAG regenerates the Fig. 4/5 worked example
+// (HEFT 80, AHEFT 76).
+func BenchmarkFig5_SampleDAG(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkHeadline_RandomDAGs regenerates the §4.2 summary (HEFT vs AHEFT
+// vs dynamic Min-Min average makespans).
+func BenchmarkHeadline_RandomDAGs(b *testing.B) { runExperiment(b, "headline") }
+
+// BenchmarkTable3_CCR regenerates Table 3 (random DAGs, improvement vs
+// CCR).
+func BenchmarkTable3_CCR(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4_Jobs regenerates Table 4 (random DAGs, improvement vs
+// job count).
+func BenchmarkTable4_Jobs(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable6_Apps regenerates Table 6 (BLAST/WIEN2K average makespans
+// and improvement).
+func BenchmarkTable6_Apps(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkTable7_AppJobs regenerates Table 7 (applications, improvement
+// vs job count).
+func BenchmarkTable7_AppJobs(b *testing.B) { runExperiment(b, "table7") }
+
+// BenchmarkTable8_AppCCR regenerates Table 8 (applications, improvement vs
+// CCR).
+func BenchmarkTable8_AppCCR(b *testing.B) { runExperiment(b, "table8") }
+
+// BenchmarkFig8a_CCR regenerates Fig. 8(a): makespan vs CCR.
+func BenchmarkFig8a_CCR(b *testing.B) { runExperiment(b, "fig8a") }
+
+// BenchmarkFig8b_Beta regenerates Fig. 8(b): makespan vs β.
+func BenchmarkFig8b_Beta(b *testing.B) { runExperiment(b, "fig8b") }
+
+// BenchmarkFig8c_Jobs regenerates Fig. 8(c): makespan vs job count.
+func BenchmarkFig8c_Jobs(b *testing.B) { runExperiment(b, "fig8c") }
+
+// BenchmarkFig8d_Pool regenerates Fig. 8(d): makespan vs initial pool.
+func BenchmarkFig8d_Pool(b *testing.B) { runExperiment(b, "fig8d") }
+
+// BenchmarkFig8e_Interval regenerates Fig. 8(e): makespan vs change
+// interval Δ.
+func BenchmarkFig8e_Interval(b *testing.B) { runExperiment(b, "fig8e") }
+
+// BenchmarkFig8f_Pct regenerates Fig. 8(f): makespan vs change percentage
+// δ.
+func BenchmarkFig8f_Pct(b *testing.B) { runExperiment(b, "fig8f") }
+
+// --- Ablation benches for the design choices DESIGN.md calls out. ---
+
+func benchScenario(b *testing.B, jobs int) *workload.Scenario {
+	b.Helper()
+	r := rng.New(0xBE)
+	sc, err := workload.RandomScenario(workload.RandomParams{
+		Jobs: jobs, CCR: 5, OutDegree: 0.3, Beta: 0.5, Alpha: 2,
+	}, workload.GridParams{
+		InitialResources: 8, ChangeInterval: 300, ChangePct: 0.25, MaxEvents: 6,
+	}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+func benchAdaptive(b *testing.B, opts planner.RunOptions) {
+	b.Helper()
+	sc := benchScenario(b, 80)
+	var mk float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := planner.Run(sc.Graph, sc.Estimator(), sc.Pool, planner.StrategyAdaptive, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mk = res.Makespan
+	}
+	b.ReportMetric(mk, "makespan")
+}
+
+// BenchmarkAblation_Insertion: classic insertion-based slot policy.
+func BenchmarkAblation_Insertion(b *testing.B) { benchAdaptive(b, planner.RunOptions{}) }
+
+// BenchmarkAblation_NoInsertion: append-only placement.
+func BenchmarkAblation_NoInsertion(b *testing.B) {
+	benchAdaptive(b, planner.RunOptions{NoInsertion: true})
+}
+
+// BenchmarkAblation_PinRunning: paper-faithful pinning of running jobs.
+func BenchmarkAblation_PinRunning(b *testing.B) { benchAdaptive(b, planner.RunOptions{}) }
+
+// BenchmarkAblation_RestartRunning: restart semantics for running jobs.
+func BenchmarkAblation_RestartRunning(b *testing.B) {
+	benchAdaptive(b, planner.RunOptions{RestartRunning: true})
+}
+
+// BenchmarkAblation_TieWindow: near-tie rank-order exploration.
+func BenchmarkAblation_TieWindow(b *testing.B) {
+	benchAdaptive(b, planner.RunOptions{TieWindow: 0.05})
+}
+
+// --- Micro-benchmarks of the scheduling kernels. ---
+
+// BenchmarkHEFTSchedule times one full static HEFT schedule at several
+// workflow sizes.
+func BenchmarkHEFTSchedule(b *testing.B) {
+	for _, jobs := range []int{50, 200, 1000} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("v=%d", jobs), func(b *testing.B) {
+			sc := benchScenario(b, jobs)
+			rs := sc.Pool.Initial()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := heft.Schedule(sc.Graph, sc.Estimator(), rs, heft.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAHEFTReschedule times one mid-execution reschedule (snapshot +
+// placement) — the operation the Planner performs per grid event.
+func BenchmarkAHEFTReschedule(b *testing.B) {
+	for _, jobs := range []int{50, 200, 1000} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("v=%d", jobs), func(b *testing.B) {
+			sc := benchScenario(b, jobs)
+			est := sc.Estimator()
+			s0, err := heft.Schedule(sc.Graph, est, sc.Pool.Initial(), heft.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clock := s0.Makespan() / 3
+			rs := sc.Pool.AvailableAt(clock)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := core.Snapshot(sc.Graph, est, s0, clock, core.SnapshotOptions{})
+				if _, err := core.Reschedule(sc.Graph, est, rs, st, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMinMinRun times the dynamic baseline end to end.
+func BenchmarkMinMinRun(b *testing.B) {
+	for _, jobs := range []int{50, 200} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("v=%d", jobs), func(b *testing.B) {
+			sc := benchScenario(b, jobs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := minmin.Run(sc.Graph, sc.Estimator(), sc.Pool, minmin.MinMin); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdaptiveRun times the full adaptive execution (initial plan +
+// every event reschedule) — the experiment harness's unit of work.
+func BenchmarkAdaptiveRun(b *testing.B) {
+	for _, jobs := range []int{50, 200} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("v=%d", jobs), func(b *testing.B) {
+			sc := benchScenario(b, jobs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := planner.Run(sc.Graph, sc.Estimator(), sc.Pool, planner.StrategyAdaptive, planner.RunOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration times scenario construction (DAG + costs +
+// pool), which dominates sweep startup.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	r := rng.New(0xFACE)
+	b.Run("random-100", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.RandomScenario(workload.RandomParams{
+				Jobs: 100, CCR: 1, OutDegree: 0.3, Beta: 0.5,
+			}, workload.GridParams{InitialResources: 20, ChangeInterval: 400, ChangePct: 0.2}, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("blast-500", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.BlastScenario(workload.AppParams{Parallelism: 249, CCR: 1, Beta: 0.5},
+				workload.GridParams{InitialResources: 40, ChangeInterval: 400, ChangePct: 0.2}, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

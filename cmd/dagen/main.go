@@ -1,0 +1,87 @@
+// Command dagen generates workflow DAGs — parametric random graphs or the
+// BLAST / WIEN2K / Montage application shapes — and writes them as JSON
+// (the library's native interchange format) or Graphviz DOT.
+//
+// Usage examples:
+//
+//	dagen -kind blast -jobs 22 -format dot | dot -Tpng > blast.png
+//	dagen -kind random -jobs 60 -ccr 5 -outdegree 0.2 > wf.json
+//	dagen -kind sample -format dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aheft/internal/dag"
+	"aheft/internal/rng"
+	"aheft/internal/workload"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "random", "DAG kind: sample, random, blast, wien2k, montage")
+		jobs   = flag.Int("jobs", 20, "total job count υ")
+		ccr    = flag.Float64("ccr", 1.0, "communication-to-computation ratio")
+		outdeg = flag.Float64("outdegree", 0.3, "max out-degree as fraction of υ (random)")
+		alpha  = flag.Float64("alpha", 1.0, "shape α: width ≈ α·sqrt(υ) (random)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		format = flag.String("format", "json", "output format: json or dot")
+		stats  = flag.Bool("stats", false, "print shape statistics to stderr")
+	)
+	flag.Parse()
+
+	g, err := build(*kind, *jobs, *ccr, *outdeg, *alpha, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dagen:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%s: %d jobs, %d edges, width %d, %d levels, parallelism %.2f, total data %.1f\n",
+			g.Name(), g.Len(), g.NumEdges(), g.Width(), len(g.Levels()), g.Parallelism(), g.TotalData())
+	}
+	switch *format {
+	case "json":
+		data, err := g.MarshalJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dagen:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	case "dot":
+		fmt.Print(g.DOT())
+	default:
+		fmt.Fprintf(os.Stderr, "dagen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}
+
+func build(kind string, jobs int, ccr, outdeg, alpha float64, seed uint64) (*dag.Graph, error) {
+	r := rng.New(seed)
+	switch kind {
+	case "sample":
+		return workload.SampleDAG(), nil
+	case "random":
+		return workload.RandomDAG(workload.RandomParams{
+			Jobs: jobs, CCR: ccr, OutDegree: outdeg, Alpha: alpha,
+		}, r)
+	case "blast":
+		return workload.BLAST(workload.AppParams{
+			Parallelism: workload.BlastParallelism(jobs), CCR: ccr,
+		}, r)
+	case "wien2k":
+		return workload.WIEN2K(workload.AppParams{
+			Parallelism: workload.Wien2kParallelism(jobs), CCR: ccr,
+		}, r)
+	case "montage":
+		p := jobs / 3
+		if p < 1 {
+			p = 1
+		}
+		return workload.Montage(workload.AppParams{Parallelism: p, CCR: ccr}, r)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Yu & Shi, "An Adaptive Rescheduling Strategy for Grid Workflow
+// Applications").
+//
+// Usage:
+//
+//	experiments [-exp fig5,table3,...] [-samples N] [-seed S] [-tie W]
+//	            [-appcap JOBS] [-full]
+//
+// Without -exp, every experiment runs in the paper's presentation order.
+// -samples scales the number of simulated cases per parameter point; the
+// paper's own sweep is 500,000 cases, so full-fidelity runs take a while —
+// -full selects a heavyweight preset (64 samples per point).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aheft/internal/experiment"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		samples = flag.Int("samples", 8, "simulated cases per parameter point")
+		seed    = flag.Uint64("seed", 1, "root seed for all pseudo-random streams")
+		tie     = flag.Float64("tie", 0, "AHEFT near-tie rank exploration window (0 = paper-faithful greedy)")
+		appcap  = flag.Int("appcap", 0, "cap application DAG sizes at this many jobs (0 = full Table 5 sizes)")
+		full    = flag.Bool("full", false, "heavyweight preset: 64 samples per point")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		format  = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiment.Config{
+		Samples:    *samples,
+		Seed:       *seed,
+		TieWindow:  *tie,
+		WithMinMin: true,
+		AppJobCap:  *appcap,
+	}
+	if *full {
+		cfg.Samples = 64
+	}
+
+	ids := experiment.Order
+	if *exps != "" {
+		ids = strings.Split(*exps, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run, ok := experiment.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+		default:
+			fmt.Println(table.Render())
+			fmt.Printf("(%s in %v, samples/point=%d, seed=%d)\n\n", id, time.Since(start).Round(time.Millisecond), cfg.Samples, cfg.Seed)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Command gridsim runs a single grid-workflow simulation and prints the
+// outcome: makespan per strategy, the rescheduling decisions the adaptive
+// planner made, and (optionally) a text Gantt chart of the final schedule.
+//
+// Usage examples:
+//
+//	gridsim -workload sample                          # the paper's Fig. 4/5 example
+//	gridsim -workload blast -jobs 400 -ccr 5 -pool 20 -interval 400 -pct 0.2
+//	gridsim -workload random -jobs 60 -ccr 1 -beta 0.5 -gantt
+//	gridsim -workload wien2k -jobs 200 -strategies heft,aheft,minmin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/minmin"
+	"aheft/internal/planner"
+	"aheft/internal/rng"
+	"aheft/internal/trace"
+	"aheft/internal/workload"
+)
+
+func main() {
+	var (
+		kind       = flag.String("workload", "sample", "workload: sample, random, blast, wien2k, montage")
+		jobs       = flag.Int("jobs", 100, "total job count υ (random/blast/wien2k/montage)")
+		ccr        = flag.Float64("ccr", 1.0, "communication-to-computation ratio")
+		beta       = flag.Float64("beta", 0.5, "resource heterogeneity factor β")
+		outdeg     = flag.Float64("outdegree", 0.3, "max out-degree as fraction of υ (random)")
+		alpha      = flag.Float64("alpha", 1.0, "DAG shape α: width ≈ α·sqrt(υ) (random)")
+		pool       = flag.Int("pool", 10, "initial resource pool size R")
+		interval   = flag.Float64("interval", 400, "resource change interval Δ (0 = static grid)")
+		pct        = flag.Float64("pct", 0.2, "resource change percentage δ")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		tie        = flag.Float64("tie", 0, "AHEFT near-tie exploration window")
+		strategies = flag.String("strategies", "heft,aheft,minmin", "comma-separated: heft, aheft, minmin")
+		gantt      = flag.Bool("gantt", false, "print a Gantt chart of each final schedule")
+		decisions  = flag.Bool("decisions", true, "print the adaptive planner's decisions")
+		traceFile  = flag.String("trace", "", "write a JSONL execution trace of the adaptive run to this file (runs through the event-driven executor)")
+	)
+	flag.Parse()
+
+	sc, err := buildScenario(*kind, *jobs, *ccr, *beta, *outdeg, *alpha, *pool, *interval, *pct, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridsim:", err)
+		os.Exit(1)
+	}
+	g := sc.Graph
+	fmt.Printf("workflow %s: %d jobs, %d edges, width %d, %d levels\n",
+		g.Name(), g.Len(), g.NumEdges(), g.Width(), len(g.Levels()))
+	fmt.Printf("grid: %d initial resources, %d arrivals at %v\n\n",
+		len(sc.Pool.Initial()), sc.Pool.Size()-len(sc.Pool.Initial()), sc.Pool.ChangeTimes())
+
+	nameOf := func(j dag.JobID) string { return g.Job(j).Name }
+	resName := func(r grid.ID) string {
+		if res, ok := sc.Pool.Resource(r); ok {
+			return res.Name
+		}
+		return fmt.Sprintf("r%d", r+1)
+	}
+
+	for _, strat := range strings.Split(*strategies, ",") {
+		switch strings.TrimSpace(strat) {
+		case "heft":
+			res, err := planner.Run(g, sc.Estimator(), sc.Pool, planner.StrategyStatic, planner.RunOptions{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gridsim: heft:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("HEFT   (static):   makespan %10.2f\n", res.Makespan)
+			if *gantt {
+				fmt.Println(res.Schedule.Gantt(96, nameOf, resName))
+			}
+		case "aheft":
+			var res *planner.Result
+			var err error
+			if *traceFile != "" {
+				// Run through the event-driven executor so the trace
+				// captures the real event stream (identical results to
+				// the analytic runner; see the integration tests).
+				col := trace.NewCollector(g, nil)
+				svc, serr := planner.NewService(g, sc.Estimator(), sc.Pool, planner.ServiceOptions{
+					RunOptions: planner.RunOptions{TieWindow: *tie},
+					Trace:      col,
+				})
+				if serr != nil {
+					fmt.Fprintln(os.Stderr, "gridsim: aheft:", serr)
+					os.Exit(1)
+				}
+				res, err = svc.Execute()
+				if err == nil {
+					f, ferr := os.Create(*traceFile)
+					if ferr != nil {
+						fmt.Fprintln(os.Stderr, "gridsim:", ferr)
+						os.Exit(1)
+					}
+					if werr := col.WriteJSONL(f); werr != nil {
+						fmt.Fprintln(os.Stderr, "gridsim:", werr)
+						os.Exit(1)
+					}
+					if cerr := f.Close(); cerr != nil {
+						fmt.Fprintln(os.Stderr, "gridsim:", cerr)
+						os.Exit(1)
+					}
+					fmt.Printf("trace (%d events) written to %s\n", col.Len(), *traceFile)
+				}
+			} else {
+				res, err = planner.Run(g, sc.Estimator(), sc.Pool, planner.StrategyAdaptive, planner.RunOptions{TieWindow: *tie})
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gridsim: aheft:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("AHEFT  (adaptive): makespan %10.2f  (%.1f%% vs initial plan, %d/%d reschedules adopted)\n",
+				res.Makespan, 100*res.Improvement(), res.Adoptions(), len(res.Decisions))
+			if *decisions {
+				for _, d := range res.Decisions {
+					verdict := "kept current"
+					if d.Adopted {
+						verdict = "adopted"
+					}
+					fmt.Printf("  t=%8.1f pool=%3d finished=%4d  %10.2f -> %10.2f  %s\n",
+						d.Clock, d.PoolSize, d.JobsFinished, d.OldMakespan, d.NewMakespan, verdict)
+				}
+			}
+			if *gantt {
+				fmt.Println(res.Schedule.Gantt(96, nameOf, resName))
+			}
+		case "minmin":
+			res, err := minmin.Run(g, sc.Estimator(), sc.Pool, minmin.MinMin)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gridsim: minmin:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("MinMin (dynamic):  makespan %10.2f\n", res.Makespan)
+			if *gantt {
+				fmt.Println(res.Schedule.Gantt(96, nameOf, resName))
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "gridsim: unknown strategy %q\n", strat)
+			os.Exit(2)
+		}
+	}
+}
+
+func buildScenario(kind string, jobs int, ccr, beta, outdeg, alpha float64, pool int, interval, pct float64, seed uint64) (*workload.Scenario, error) {
+	r := rng.New(seed)
+	gp := workload.GridParams{InitialResources: pool, ChangeInterval: interval, ChangePct: pct}
+	switch kind {
+	case "sample":
+		return workload.SampleScenario(), nil
+	case "random":
+		return workload.RandomScenario(workload.RandomParams{
+			Jobs: jobs, CCR: ccr, OutDegree: outdeg, Beta: beta, Alpha: alpha,
+		}, gp, r)
+	case "blast":
+		return workload.BlastScenario(workload.AppParams{
+			Parallelism: workload.BlastParallelism(jobs), CCR: ccr, Beta: beta,
+		}, gp, r)
+	case "wien2k":
+		return workload.Wien2kScenario(workload.AppParams{
+			Parallelism: workload.Wien2kParallelism(jobs), CCR: ccr, Beta: beta,
+		}, gp, r)
+	case "montage":
+		return workload.MontageScenario(workload.AppParams{
+			Parallelism: jobs / 3, CCR: ccr, Beta: beta,
+		}, gp, r)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+}

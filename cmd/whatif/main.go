@@ -1,0 +1,165 @@
+// Command whatif answers the paper's §3.3 "What...if..." capacity-planning
+// queries: given a workflow mid-execution, what would the expected
+// makespan become if resources were added to (or removed from) the grid at
+// a chosen moment?
+//
+// The tool builds a scenario, executes its schedule up to the query clock,
+// then evaluates the hypothetical pool change with the same snapshot +
+// reschedule machinery the live planner uses — without submitting
+// anything.
+//
+// Usage examples:
+//
+//	whatif -workload blast -jobs 200 -pool 20 -clock 300 -add 4
+//	whatif -workload random -jobs 60 -clock 0.25rel -remove r3,r7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aheft/internal/grid"
+	"aheft/internal/heft"
+	"aheft/internal/planner"
+	"aheft/internal/rng"
+	"aheft/internal/workload"
+)
+
+func main() {
+	var (
+		kind   = flag.String("workload", "blast", "workload: sample, random, blast, wien2k")
+		jobs   = flag.Int("jobs", 200, "total job count υ")
+		ccr    = flag.Float64("ccr", 1.0, "communication-to-computation ratio")
+		beta   = flag.Float64("beta", 0.5, "heterogeneity factor β")
+		pool   = flag.Int("pool", 10, "initial pool size R")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		clockS = flag.String("clock", "0.25rel", "query time: absolute (e.g. 300) or fraction of the makespan with 'rel' suffix (e.g. 0.25rel)")
+		add    = flag.Int("add", 1, "hypothetical resources to add")
+		remove = flag.String("remove", "", "comma-separated resource names to remove (e.g. r3,r7)")
+		tie    = flag.Float64("tie", 0, "near-tie exploration window")
+	)
+	flag.Parse()
+
+	r := rng.New(*seed)
+	sc, err := buildScenario(*kind, *jobs, *ccr, *beta, *pool, r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whatif:", err)
+		os.Exit(1)
+	}
+	est := sc.Estimator()
+	s0, err := heft.Schedule(sc.Graph, est, sc.Pool.Initial(), heft.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whatif:", err)
+		os.Exit(1)
+	}
+
+	clock, err := parseClock(*clockS, s0.Makespan())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whatif:", err)
+		os.Exit(1)
+	}
+
+	available := sc.Pool.AvailableAt(clock)
+	q := planner.WhatIfQuery{Clock: clock}
+	// Hypothetical additions take fresh IDs beyond the scenario's pool;
+	// their costs must exist in the table, so we reuse the cost columns of
+	// the scenario's not-yet-arrived resources (the β-sampled future
+	// arrivals), which is exactly what "a resource like the ones this grid
+	// attracts" means.
+	future := futureResources(sc, clock)
+	if *add > len(future) {
+		fmt.Fprintf(os.Stderr, "whatif: scenario has cost data for at most %d hypothetical additions (asked for %d);\n"+
+			"         increase -pool churn by regenerating, or lower -add\n", len(future), *add)
+		os.Exit(1)
+	}
+	q.Add = future[:*add]
+	if *remove != "" {
+		for _, name := range strings.Split(*remove, ",") {
+			id := findResource(available, strings.TrimSpace(name))
+			if id == grid.NoResource {
+				fmt.Fprintf(os.Stderr, "whatif: resource %q not in the pool at t=%g\n", name, clock)
+				os.Exit(1)
+			}
+			q.Remove = append(q.Remove, id)
+		}
+	}
+
+	ans, err := planner.WhatIf(sc.Graph, est, s0, available, q, planner.RunOptions{TieWindow: *tie})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whatif:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workflow %s (%d jobs), pool %d at t=%.1f\n", sc.Graph.Name(), sc.Graph.Len(), len(available), clock)
+	fmt.Printf("query: add %d, remove %d resource(s) at t=%.1f\n\n", len(q.Add), len(q.Remove), clock)
+	fmt.Printf("current plan makespan:      %10.2f\n", ans.CurrentMakespan)
+	fmt.Printf("hypothetical makespan:      %10.2f\n", ans.NewMakespan)
+	fmt.Printf("delta:                      %+10.2f (%+.1f%%)\n",
+		ans.Delta(), 100*ans.Delta()/ans.CurrentMakespan)
+	if ans.WouldAdopt {
+		fmt.Println("verdict: the adaptive planner WOULD adopt the new schedule")
+	} else {
+		fmt.Println("verdict: the adaptive planner would KEEP the current schedule")
+	}
+}
+
+func parseClock(s string, makespan float64) (float64, error) {
+	if frac, ok := strings.CutSuffix(s, "rel"); ok {
+		f, err := strconv.ParseFloat(frac, 64)
+		if err != nil || f < 0 || f > 1 {
+			return 0, fmt.Errorf("bad relative clock %q (want e.g. 0.25rel)", s)
+		}
+		return f * makespan, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad clock %q", s)
+	}
+	return v, nil
+}
+
+func futureResources(sc *workload.Scenario, clock float64) []grid.Resource {
+	var out []grid.Resource
+	for _, a := range sc.Pool.Arrivals() {
+		if a.Time > clock {
+			out = append(out, a.Resource)
+		}
+	}
+	return out
+}
+
+func findResource(rs []grid.Resource, name string) grid.ID {
+	for _, r := range rs {
+		if r.Name == name {
+			return r.ID
+		}
+	}
+	return grid.NoResource
+}
+
+func buildScenario(kind string, jobs int, ccr, beta float64, pool int, r *rng.Source) (*workload.Scenario, error) {
+	// Generate generous future arrivals so hypothetical additions have
+	// sampled cost columns to draw on.
+	gp := workload.GridParams{InitialResources: pool, ChangeInterval: 1e9, ChangePct: 1.0, MaxEvents: 1}
+	switch kind {
+	case "sample":
+		return workload.SampleScenario(), nil
+	case "random":
+		return workload.RandomScenario(workload.RandomParams{
+			Jobs: jobs, CCR: ccr, OutDegree: 0.3, Beta: beta,
+		}, gp, r)
+	case "blast":
+		return workload.BlastScenario(workload.AppParams{
+			Parallelism: workload.BlastParallelism(jobs), CCR: ccr, Beta: beta,
+		}, gp, r)
+	case "wien2k":
+		return workload.Wien2kScenario(workload.AppParams{
+			Parallelism: workload.Wien2kParallelism(jobs), CCR: ccr, Beta: beta,
+		}, gp, r)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"aheft/internal/dag"
+	"aheft/internal/heft"
+	"aheft/internal/schedule"
+	"aheft/internal/workload"
+)
+
+// TestFig5ExhaustiveOptimal verifies the FEA/EST/EFT model against the
+// paper's published worked example by brute force: over all 4^8 forced
+// resource assignments for the eight reschedulable jobs at clock 15, the
+// best reachable makespan is exactly the paper's 76. This pins down the
+// semantics of the snapshot (pinned running job, producer-level output
+// availability, clock-floored fresh transfers) independently of the greedy
+// placement heuristic.
+func TestFig5ExhaustiveOptimal(t *testing.T) {
+	sc := workload.SampleScenario()
+	g, est := sc.Graph, sc.Estimator()
+	s0, err := heft.Schedule(g, est, sc.Pool.Initial(), heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Snapshot(g, est, s0, 15, SnapshotOptions{})
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rs := sc.Pool.AvailableAt(15)
+	ranks, err := heft.RankU(g, est, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []dag.JobID
+	for _, j := range heft.Order(ranks) {
+		if _, done := st.Finished[j]; done {
+			continue
+		}
+		if _, pin := st.Pinned[j]; pin {
+			continue
+		}
+		order = append(order, j)
+	}
+	if len(order) != 8 {
+		t.Fatalf("reschedulable jobs = %d, want 8 (all but finished n1 and running n3)", len(order))
+	}
+
+	total := 1
+	for range order {
+		total *= len(rs)
+	}
+	best := 1e18
+	for mask := 0; mask < total; mask++ {
+		s1 := schedule.New()
+		for j, f := range st.Finished {
+			s1.Assign(schedule.Assignment{Job: j, Resource: f.Resource, Start: f.AST, Finish: f.AFT})
+		}
+		for _, a := range st.Pinned {
+			s1.Assign(a)
+		}
+		m := mask
+		for _, job := range order {
+			r := rs[m%len(rs)]
+			m /= len(rs)
+			ready := st.Clock
+			for _, e := range g.Preds(job) {
+				if v := FEA(g, est, st, s1, e, r.ID); v > ready {
+					ready = v
+				}
+			}
+			w := est.Comp(job, r.ID)
+			start := s1.EarliestStart(r.ID, ready, w, true)
+			s1.Assign(schedule.Assignment{Job: job, Resource: r.ID, Start: start, Finish: start + w})
+		}
+		if mk := s1.Makespan(); mk < best {
+			best = mk
+		}
+	}
+	if best != 76 {
+		t.Fatalf("best reachable reschedule makespan = %g, want the paper's 76", best)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/heft"
+	"aheft/internal/rng"
+	"aheft/internal/schedule"
+	"aheft/internal/workload"
+)
+
+// quickScenario derives a small scenario deterministically from a quick
+// seed.
+func quickScenario(seed uint64) (*workload.Scenario, error) {
+	r := rng.New(seed)
+	return workload.RandomScenario(workload.RandomParams{
+		Jobs:      8 + r.IntN(25),
+		CCR:       []float64{0.3, 1, 4}[r.IntN(3)],
+		OutDegree: 0.3,
+		Beta:      []float64{0, 0.5, 1}[r.IntN(3)],
+		Alpha:     []float64{0.5, 1, 2}[r.IntN(3)],
+	}, workload.GridParams{
+		InitialResources: 2 + r.IntN(5),
+		ChangeInterval:   150 + 100*float64(r.IntN(4)),
+		ChangePct:        0.3,
+		MaxEvents:        3,
+	}, r)
+}
+
+// TestQuickRescheduleInvariants: for arbitrary scenarios and snapshot
+// clocks, a reschedule (a) covers every job, (b) never overlaps work on a
+// resource, (c) never moves finished or pinned jobs, (d) never starts a
+// rescheduled job before the clock or before its inputs can be there, and
+// (e) yields a snapshot that passes its own validator.
+func TestQuickRescheduleInvariants(t *testing.T) {
+	f := func(seed uint64, clockFrac float64) bool {
+		clockFrac = math.Abs(clockFrac)
+		if math.IsNaN(clockFrac) || math.IsInf(clockFrac, 0) {
+			clockFrac = 0.5
+		}
+		clockFrac = math.Mod(clockFrac, 1)
+		sc, err := quickScenario(seed)
+		if err != nil {
+			return false
+		}
+		est := sc.Estimator()
+		s0, err := heft.Schedule(sc.Graph, est, sc.Pool.Initial(), heft.Options{})
+		if err != nil {
+			return false
+		}
+		clock := clockFrac * s0.Makespan()
+		st := Snapshot(sc.Graph, est, s0, clock, SnapshotOptions{})
+		if st.Validate() != nil {
+			return false
+		}
+		s1, err := Reschedule(sc.Graph, est, sc.Pool.AvailableAt(clock), st, Options{})
+		if err != nil {
+			return false
+		}
+		if s1.Validate(sc.Graph, schedule.ValidateOptions{Pool: sc.Pool}) != nil {
+			return false
+		}
+		for _, j := range sc.Graph.Jobs() {
+			a := s1.MustGet(j.ID)
+			if fj, done := st.Finished[j.ID]; done {
+				if a.Resource != fj.Resource || a.Start != fj.AST || a.Finish != fj.AFT {
+					return false
+				}
+				continue
+			}
+			if p, pinned := st.Pinned[j.ID]; pinned {
+				if a != p {
+					return false
+				}
+				continue
+			}
+			if a.Start < clock-1e-9 {
+				return false
+			}
+			// Input feasibility per FEA.
+			for _, e := range sc.Graph.Preds(j.ID) {
+				if a.Start+1e-9 < FEA(sc.Graph, est, st, s1, e, a.Resource) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRescheduleDurationExact: every rescheduled job occupies exactly
+// its estimated duration — no silent stretching or shrinking.
+func TestQuickRescheduleDurationExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		sc, err := quickScenario(seed)
+		if err != nil {
+			return false
+		}
+		est := sc.Estimator()
+		s0, err := heft.Schedule(sc.Graph, est, sc.Pool.Initial(), heft.Options{})
+		if err != nil {
+			return false
+		}
+		clock := s0.Makespan() / 2
+		st := Snapshot(sc.Graph, est, s0, clock, SnapshotOptions{})
+		s1, err := Reschedule(sc.Graph, est, sc.Pool.AvailableAt(clock), st, Options{})
+		if err != nil {
+			return false
+		}
+		for _, j := range sc.Graph.Jobs() {
+			a := s1.MustGet(j.ID)
+			want := est.Comp(j.ID, a.Resource)
+			if diff := a.Duration() - want; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFEANeverBeforeProducer: FEA can never report a file available
+// before its producer finishes, for any resource.
+func TestQuickFEANeverBeforeProducer(t *testing.T) {
+	f := func(seed uint64) bool {
+		sc, err := quickScenario(seed)
+		if err != nil {
+			return false
+		}
+		est := sc.Estimator()
+		s0, err := heft.Schedule(sc.Graph, est, sc.Pool.Initial(), heft.Options{})
+		if err != nil {
+			return false
+		}
+		clock := s0.Makespan() / 3
+		st := Snapshot(sc.Graph, est, s0, clock, SnapshotOptions{})
+		s1, err := Reschedule(sc.Graph, est, sc.Pool.AvailableAt(clock), st, Options{})
+		if err != nil {
+			return false
+		}
+		for _, j := range sc.Graph.Jobs() {
+			for _, e := range sc.Graph.Preds(j.ID) {
+				var producerFinish float64
+				if fj, done := st.Finished[e.From]; done {
+					producerFinish = fj.AFT
+				} else {
+					producerFinish = s1.MustGet(e.From).Finish
+				}
+				for _, r := range sc.Pool.AvailableAt(clock) {
+					if FEA(sc.Graph, est, st, s1, e, r.ID) < producerFinish-1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Keep the imports honest for quick setups that did not need them all.
+var (
+	_ = dag.NoJob
+	_ = grid.NoResource
+	_ cost.Estimator
+)

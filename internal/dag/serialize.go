@@ -1,0 +1,103 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// graphJSON is the on-disk representation of a workflow. Jobs are stored in
+// ID order so that round-tripping preserves IDs.
+type graphJSON struct {
+	Name  string     `json:"name"`
+	Jobs  []jobJSON  `json:"jobs"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+type jobJSON struct {
+	Name string `json:"name"`
+	Op   string `json:"op,omitempty"`
+}
+
+type edgeJSON struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Data float64 `json:"data"`
+}
+
+// MarshalJSON encodes the graph as a portable JSON document keyed by job
+// names (not numeric IDs), so edited files remain stable under reordering.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	doc := graphJSON{Name: g.name}
+	for _, j := range g.jobs {
+		doc.Jobs = append(doc.Jobs, jobJSON{Name: j.Name, Op: j.Op})
+	}
+	for i := range g.succ {
+		for _, e := range g.succ[i] {
+			doc.Edges = append(doc.Edges, edgeJSON{
+				From: g.jobs[e.From].Name,
+				To:   g.jobs[e.To].Name,
+				Data: e.Data,
+			})
+		}
+	}
+	sort.Slice(doc.Edges, func(a, b int) bool {
+		if doc.Edges[a].From != doc.Edges[b].From {
+			return doc.Edges[a].From < doc.Edges[b].From
+		}
+		return doc.Edges[a].To < doc.Edges[b].To
+	})
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// FromJSON decodes a graph previously produced by MarshalJSON. The result
+// is validated before being returned.
+func FromJSON(data []byte) (*Graph, error) {
+	var doc graphJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("dag: decode: %w", err)
+	}
+	g := New(doc.Name)
+	for _, j := range doc.Jobs {
+		if g.JobByName(j.Name) != NoJob {
+			return nil, fmt.Errorf("dag: decode: duplicate job %q", j.Name)
+		}
+		g.AddJob(j.Name, j.Op)
+	}
+	for _, e := range doc.Edges {
+		from, to := g.JobByName(e.From), g.JobByName(e.To)
+		if from == NoJob || to == NoJob {
+			return nil, fmt.Errorf("dag: decode: edge (%s,%s) references unknown job", e.From, e.To)
+		}
+		if err := g.AddEdge(from, to, e.Data); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DOT renders the graph in Graphviz dot syntax, with edge labels carrying
+// the communication weight. Useful for eyeballing generated workloads.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+	for _, j := range g.jobs {
+		if j.Op != "" && j.Op != j.Name {
+			fmt.Fprintf(&b, "  %q [label=\"%s\\n(%s)\"];\n", j.Name, j.Name, j.Op)
+		} else {
+			fmt.Fprintf(&b, "  %q;\n", j.Name)
+		}
+	}
+	for i := range g.succ {
+		for _, e := range g.succ[i] {
+			fmt.Fprintf(&b, "  %q -> %q [label=\"%g\"];\n", g.jobs[e.From].Name, g.jobs[e.To].Name, e.Data)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package executor
+
+import (
+	"aheft/internal/core"
+	"aheft/internal/schedule"
+)
+
+// ExecState captures the engine's current execution status as the snapshot
+// the AHEFT rescheduler consumes: finished jobs with their actual times,
+// per-edge file availability as the Execution Manager has staged it
+// (including transfers still in flight), and running jobs pinned to their
+// in-progress assignments.
+//
+// This is the executor-side equivalent of core.Snapshot — that function
+// *derives* the state a faithful execution would be in at a clock value,
+// while this method *reports* the state the event-driven execution is
+// actually in. The integration tests assert the two agree under accurate
+// estimates.
+func (e *Engine) ExecState() *core.ExecState {
+	st := core.NewExecState()
+	st.Clock = e.simr.Now()
+	for j, rec := range e.finished {
+		st.Finished[j] = core.FinishedJob{Resource: rec.Resource, AST: rec.Start, AFT: rec.Finish}
+	}
+	for key, row := range e.fileAt {
+		if _, done := e.finished[key.From]; !done {
+			continue
+		}
+		for r, t := range row {
+			st.SetTransfer(key.From, key.To, r, t)
+		}
+	}
+	for j, startAt := range e.started {
+		if _, done := e.finished[j]; done {
+			continue
+		}
+		a, ok := e.sched.Get(j)
+		if !ok {
+			continue
+		}
+		dur := e.rt.Comp(j, a.Resource)
+		st.Pinned[j] = schedule.Assignment{
+			Job:      j,
+			Resource: a.Resource,
+			Start:    startAt,
+			Finish:   startAt + dur,
+		}
+	}
+	return st
+}

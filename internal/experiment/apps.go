@@ -1,0 +1,252 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+
+	"aheft/internal/rng"
+	"aheft/internal/workload"
+)
+
+// App identifies one of the paper's real-application workloads.
+type App int
+
+const (
+	// Blast is the GNARE BLAST workflow (Fig. 6 shape).
+	Blast App = iota
+	// Wien2k is the ASKALON WIEN2K workflow (Fig. 7 shape).
+	Wien2k
+)
+
+// String returns the workload's name.
+func (a App) String() string {
+	if a == Blast {
+		return "BLAST"
+	}
+	return "WIEN2K"
+}
+
+// appFix pins one dimension of an application case; the rest are sampled
+// from the Table 5 value sets.
+type appFix func(p *workload.AppParams, gp *workload.GridParams)
+
+// appCase draws one BLAST/WIEN2K case from the Table 5 parameter space.
+func appCase(app App, cfg Config, r *rng.Source, fix appFix) (*workload.Scenario, error) {
+	jobs := choiceInt(r, cfg.appJobs())
+	p := workload.AppParams{
+		CCR:  choiceF64(r, CCRs),
+		Beta: choiceF64(r, Betas),
+	}
+	if app == Blast {
+		p.Parallelism = workload.BlastParallelism(jobs)
+	} else {
+		p.Parallelism = workload.Wien2kParallelism(jobs)
+	}
+	gp := workload.GridParams{
+		InitialResources: choiceInt(r, AppPools),
+		ChangeInterval:   choiceF64(r, Intervals),
+		ChangePct:        choiceF64(r, ChangePcts),
+	}
+	if fix != nil {
+		fix(&p, &gp)
+	}
+	if app == Blast {
+		return workload.BlastScenario(p, gp, r)
+	}
+	return workload.Wien2kScenario(p, gp, r)
+}
+
+// appPoint aggregates one (app, point) sweep cell.
+func appPoint(cfg Config, expID, point string, app App, fix appFix) (*pointAgg, error) {
+	return runPoint(cfg, expID, fmt.Sprintf("%s/%s", app, point), false,
+		func(r *rng.Source) (*workload.Scenario, error) { return appCase(app, cfg, r, fix) })
+}
+
+// Table6 reproduces "Average makespan and improvement rate by AHEFT"
+// (paper: BLAST 4939.3 → 3933.1, 20.4%; WIEN2K 3451.6 → 3233.8, 6.3%).
+func Table6(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "table6",
+		Title:  "applications: average makespan and AHEFT improvement (paper: BLAST 20.4%, WIEN2K 6.3%)",
+		Header: []string{"application", "HEFT", "AHEFT", "improvement", "n"},
+	}
+	for _, app := range []App{Blast, Wien2k} {
+		agg, err := appPoint(cfg, "table6", "all", app, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			app.String(), f2(agg.HEFT.Mean()), f2(agg.AHEFT.Mean()),
+			pct(agg.Improvement.Mean()), strconv.Itoa(agg.HEFT.N()),
+		})
+	}
+	return t, nil
+}
+
+// Table7 reproduces "Improvement rate with various total number of jobs"
+// for the applications (paper: BLAST 15.9→23.6% rising; WIEN2K 2.2→9.4%
+// rising).
+func Table7(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "table7",
+		Title:  "applications: improvement rate vs job count (paper: BLAST 15.9→23.6%, WIEN2K 2.2→9.4%)",
+		Header: []string{"jobs", "BLAST", "WIEN2K", "n/app"},
+	}
+	for _, jobs := range cfg.appJobs() {
+		jobs := jobs
+		row := []string{strconv.Itoa(jobs)}
+		var n int
+		for _, app := range []App{Blast, Wien2k} {
+			app := app
+			agg, err := appPoint(cfg, "table7", fmt.Sprintf("v=%d", jobs), app,
+				func(p *workload.AppParams, gp *workload.GridParams) {
+					if app == Blast {
+						p.Parallelism = workload.BlastParallelism(jobs)
+					} else {
+						p.Parallelism = workload.Wien2kParallelism(jobs)
+					}
+				})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(agg.Improvement.Mean()))
+			n = agg.HEFT.N()
+		}
+		row = append(row, strconv.Itoa(n))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table8 reproduces "Improvement rate with various CCRs" for the
+// applications (paper: BLAST 16.1/15.5/14.3/19.1/26.1%; WIEN2K ≈5–7%
+// flat).
+func Table8(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "table8",
+		Title:  "applications: improvement rate vs CCR (paper: BLAST 16.1→26.1% U-shape, WIEN2K flat ≈5–7%)",
+		Header: []string{"CCR", "BLAST", "WIEN2K", "n/app"},
+	}
+	for _, ccr := range CCRs {
+		ccr := ccr
+		row := []string{fmt.Sprintf("%g", ccr)}
+		var n int
+		for _, app := range []App{Blast, Wien2k} {
+			agg, err := appPoint(cfg, "table8", fmt.Sprintf("ccr=%g", ccr), app,
+				func(p *workload.AppParams, gp *workload.GridParams) { p.CCR = ccr })
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(agg.Improvement.Mean()))
+			n = agg.HEFT.N()
+		}
+		row = append(row, strconv.Itoa(n))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// fig8 builds one panel of Fig. 8: average makespan vs one swept
+// parameter, with the four series HEFT1/AHEFT1 (BLAST) and HEFT2/AHEFT2
+// (WIEN2K).
+func fig8(cfg Config, id, title string, points []string, fixFor func(point string, app App) appFix) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"x", "HEFT1(BLAST)", "AHEFT1(BLAST)", "HEFT2(WIEN2K)", "AHEFT2(WIEN2K)"},
+	}
+	for _, pt := range points {
+		row := []string{pt}
+		for _, app := range []App{Blast, Wien2k} {
+			agg, err := appPoint(cfg, id, pt, app, fixFor(pt, app))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(agg.HEFT.Mean()), f2(agg.AHEFT.Mean()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func fmtF(vs []float64) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = fmt.Sprintf("%g", v)
+	}
+	return out
+}
+
+func fmtI(vs []int) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = strconv.Itoa(v)
+	}
+	return out
+}
+
+// Fig8a reproduces panel (a): makespan vs CCR.
+func Fig8a(cfg Config) (*Table, error) {
+	return fig8(cfg, "fig8a", "Fig 8(a): average makespan vs CCR", fmtF(CCRs),
+		func(pt string, app App) appFix {
+			var ccr float64
+			fmt.Sscanf(pt, "%g", &ccr)
+			return func(p *workload.AppParams, gp *workload.GridParams) { p.CCR = ccr }
+		})
+}
+
+// Fig8b reproduces panel (b): makespan vs β.
+func Fig8b(cfg Config) (*Table, error) {
+	return fig8(cfg, "fig8b", "Fig 8(b): average makespan vs beta", fmtF(Betas),
+		func(pt string, app App) appFix {
+			var beta float64
+			fmt.Sscanf(pt, "%g", &beta)
+			return func(p *workload.AppParams, gp *workload.GridParams) { p.Beta = beta }
+		})
+}
+
+// Fig8c reproduces panel (c): makespan vs total number of jobs.
+func Fig8c(cfg Config) (*Table, error) {
+	return fig8(cfg, "fig8c", "Fig 8(c): average makespan vs total number of jobs", fmtI(cfg.appJobs()),
+		func(pt string, app App) appFix {
+			var jobs int
+			fmt.Sscanf(pt, "%d", &jobs)
+			return func(p *workload.AppParams, gp *workload.GridParams) {
+				if app == Blast {
+					p.Parallelism = workload.BlastParallelism(jobs)
+				} else {
+					p.Parallelism = workload.Wien2kParallelism(jobs)
+				}
+			}
+		})
+}
+
+// Fig8d reproduces panel (d): makespan vs initial resource pool size.
+func Fig8d(cfg Config) (*Table, error) {
+	return fig8(cfg, "fig8d", "Fig 8(d): average makespan vs initial resource pool size", fmtI(AppPools),
+		func(pt string, app App) appFix {
+			var pool int
+			fmt.Sscanf(pt, "%d", &pool)
+			return func(p *workload.AppParams, gp *workload.GridParams) { gp.InitialResources = pool }
+		})
+}
+
+// Fig8e reproduces panel (e): makespan vs resource change interval Δ.
+func Fig8e(cfg Config) (*Table, error) {
+	return fig8(cfg, "fig8e", "Fig 8(e): average makespan vs resource change interval", fmtF(Intervals),
+		func(pt string, app App) appFix {
+			var dlt float64
+			fmt.Sscanf(pt, "%g", &dlt)
+			return func(p *workload.AppParams, gp *workload.GridParams) { gp.ChangeInterval = dlt }
+		})
+}
+
+// Fig8f reproduces panel (f): makespan vs resource change percentage δ.
+func Fig8f(cfg Config) (*Table, error) {
+	return fig8(cfg, "fig8f", "Fig 8(f): average makespan vs resource change percentage", fmtF(ChangePcts),
+		func(pt string, app App) appFix {
+			var pctv float64
+			fmt.Sscanf(pt, "%g", &pctv)
+			return func(p *workload.AppParams, gp *workload.GridParams) { gp.ChangePct = pctv }
+		})
+}

@@ -1,0 +1,309 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps experiment tests fast.
+func tinyCfg() Config {
+	return Config{Samples: 2, Seed: 7, AppJobCap: 60, WithMinMin: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order lists %d experiments, Registry has %d", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if Registry[id] == nil {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestFig5Exact(t *testing.T) {
+	tbl, err := Fig5(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][1] != "80.0" {
+		t.Fatalf("HEFT row = %v, want makespan 80.0", tbl.Rows[0])
+	}
+	if tbl.Rows[2][1] != "76.0" {
+		t.Fatalf("AHEFT tie-window row = %v, want 76.0", tbl.Rows[2])
+	}
+}
+
+func TestHeadlineOrdering(t *testing.T) {
+	cfg := Config{Samples: 12, Seed: 3, WithMinMin: true}
+	tbl, err := Headline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[1])
+		}
+		return v
+	}
+	heft, aheft, minmin := parse(tbl.Rows[0]), parse(tbl.Rows[1]), parse(tbl.Rows[2])
+	// The paper's ordering: AHEFT ≤ HEFT << Min-Min.
+	if aheft > heft+1e-9 {
+		t.Fatalf("AHEFT %g worse than HEFT %g", aheft, heft)
+	}
+	if minmin <= heft {
+		t.Fatalf("dynamic Min-Min %g should be clearly worse than HEFT %g", minmin, heft)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tbl, err := Table3(Config{Samples: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(CCRs) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(CCRs))
+	}
+	// Random DAGs benefit only mildly from adaptive rescheduling (the
+	// paper reports 0.4–7.7%; see EXPERIMENTS.md on the weaker CCR trend
+	// in this reproduction). The invariants: improvement is never
+	// negative (the adoption rule guarantees AHEFT ≤ HEFT) and stays in a
+	// plausible band.
+	for _, row := range tbl.Rows {
+		imp := parsePct(t, row[1])
+		if imp < -1e-6 || imp > 40 {
+			t.Fatalf("implausible improvement %g%% in row %v", imp, row)
+		}
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad pct %q", s)
+	}
+	return v
+}
+
+func TestTable4Runs(t *testing.T) {
+	tbl, err := Table4(Config{Samples: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(RandomJobs) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if imp := parsePct(t, row[1]); imp < -1 || imp > 100 {
+			t.Fatalf("implausible improvement %g%%", imp)
+		}
+	}
+}
+
+func TestTable6AppsOrdering(t *testing.T) {
+	cfg := Config{Samples: 16, Seed: 11}
+	tbl, err := Table6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	blast := parsePct(t, tbl.Rows[0][3])
+	wien := parsePct(t, tbl.Rows[1][3])
+	// The paper's key qualitative claim: the wide, compute-heavy BLAST
+	// benefits more than the serial-spine-limited WIEN2K, and both gain
+	// something.
+	if blast <= wien {
+		t.Fatalf("BLAST improvement %g%% should exceed WIEN2K %g%%", blast, wien)
+	}
+	if blast <= 0 || wien < 0 {
+		t.Fatalf("improvements should be positive: BLAST %g%%, WIEN2K %g%%", blast, wien)
+	}
+}
+
+func TestFig8PanelShapes(t *testing.T) {
+	cfg := tinyCfg()
+	type panel struct {
+		run  Runner
+		rows int
+	}
+	panels := map[string]panel{
+		"fig8a": {Fig8a, len(CCRs)},
+		"fig8b": {Fig8b, len(Betas)},
+		"fig8d": {Fig8d, len(AppPools)},
+		"fig8e": {Fig8e, len(Intervals)},
+		"fig8f": {Fig8f, len(ChangePcts)},
+	}
+	for id, p := range panels {
+		tbl, err := p.run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tbl.Rows) != p.rows {
+			t.Fatalf("%s: rows = %d, want %d", id, len(tbl.Rows), p.rows)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != 5 {
+				t.Fatalf("%s: row width %d, want 5 (x + 4 series)", id, len(row))
+			}
+			for _, cell := range row[1:] {
+				if _, err := strconv.ParseFloat(cell, 64); err != nil {
+					t.Fatalf("%s: non-numeric cell %q", id, cell)
+				}
+			}
+		}
+	}
+}
+
+func TestAHEFTNeverWorseInAnyCell(t *testing.T) {
+	cfg := tinyCfg()
+	tbl, err := Fig8a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		h1, _ := strconv.ParseFloat(row[1], 64)
+		a1, _ := strconv.ParseFloat(row[2], 64)
+		h2, _ := strconv.ParseFloat(row[3], 64)
+		a2, _ := strconv.ParseFloat(row[4], 64)
+		if a1 > h1+1e-6 || a2 > h2+1e-6 {
+			t.Fatalf("AHEFT worse than HEFT in a Fig8a cell: %v", row)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	cfg := Config{Samples: 3, Seed: 42, AppJobCap: 60}
+	a, err := Table8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("same seed produced different tables:\n%s\nvs\n%s", a.Render(), b.Render())
+	}
+	// Different seed should (almost surely) differ.
+	cfg.Seed = 43
+	c, err := Table8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() == c.Render() {
+		t.Fatal("different seeds produced identical tables")
+	}
+}
+
+func TestWorkerCapRespected(t *testing.T) {
+	cfg := Config{Samples: 4, Seed: 9, Workers: 1, AppJobCap: 60}
+	if _, err := Table7(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	tbl := &Table{
+		ID: "x", Title: "t",
+		Header: []string{"col", "value"},
+		Rows:   [][]string{{"a", "1"}, {"longer", "2"}},
+		Notes:  []string{"note text"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"== x — t ==", "longer", "note: note text"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCaseOutImprovement(t *testing.T) {
+	c := CaseOut{HEFT: 100, AHEFT: 90}
+	if c.Improvement() != 0.1 {
+		t.Fatalf("Improvement = %g", c.Improvement())
+	}
+}
+
+func TestAppJobsCap(t *testing.T) {
+	cfg := Config{AppJobCap: 250}
+	got := cfg.appJobs()
+	if len(got) != 1 || got[0] != 200 {
+		t.Fatalf("appJobs = %v, want [200]", got)
+	}
+	cfg = Config{AppJobCap: 50}
+	got = cfg.appJobs()
+	if len(got) != 1 || got[0] != 50 {
+		t.Fatalf("appJobs fallback = %v, want [50]", got)
+	}
+	if n := len((Config{}).appJobs()); n != len(AppJobs) {
+		t.Fatalf("uncapped appJobs = %d entries", n)
+	}
+}
+
+func TestAblationsTable(t *testing.T) {
+	tbl, err := Ablations(Config{Samples: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(ablationVariants) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(ablationVariants))
+	}
+	base := parsePct(t, tbl.Rows[0][2])
+	restart := parsePct(t, tbl.Rows[2][2])
+	if restart > base+1e-9 {
+		t.Fatalf("restart semantics (%g%%) should not beat pinning (%g%%)", restart, base)
+	}
+	tie := parsePct(t, tbl.Rows[3][2])
+	if tie < base-1e-9 {
+		t.Fatalf("tie-window (%g%%) should not lose to greedy (%g%%)", tie, base)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	tbl := &Table{
+		ID: "x", Title: "t",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", `quo"te`}, {"with,comma", "3"}},
+	}
+	out := tbl.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"quo""te"`) {
+		t.Fatalf("quote escaping wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `"with,comma"`) {
+		t.Fatalf("comma escaping wrong: %q", lines[2])
+	}
+}
+
+func TestMontageExtension(t *testing.T) {
+	tbl, err := MontageExt(Config{Samples: 3, Seed: 2, AppJobCap: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 applications", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		imp := parsePct(t, row[3])
+		if imp < -1e-6 || imp > 80 {
+			t.Fatalf("implausible improvement in %v", row)
+		}
+	}
+	if tbl.Rows[1][0] != "Montage" {
+		t.Fatalf("row order: %v", tbl.Rows)
+	}
+}

@@ -1,0 +1,158 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStaticPool(t *testing.T) {
+	p := StaticPool(3)
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", p.Size())
+	}
+	if got := len(p.Initial()); got != 3 {
+		t.Fatalf("Initial = %d resources, want 3", got)
+	}
+	if ct := p.ChangeTimes(); len(ct) != 0 {
+		t.Fatalf("static pool has change times %v", ct)
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		arr  []Arrival
+	}{
+		{"empty", nil},
+		{"negative time", []Arrival{{Time: -1, Resource: Resource{ID: 0}}}},
+		{"sparse ids", []Arrival{{Time: 0, Resource: Resource{ID: 5}}}},
+		{"duplicate ids", []Arrival{
+			{Time: 0, Resource: Resource{ID: 0}},
+			{Time: 1, Resource: Resource{ID: 0}},
+		}},
+		{"nothing at time zero", []Arrival{{Time: 5, Resource: Resource{ID: 0}}}},
+	}
+	for _, c := range cases {
+		if _, err := NewPool(c.arr); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestAvailableAt(t *testing.T) {
+	p := MustPool([]Arrival{
+		{Time: 0, Resource: Resource{ID: 0, Name: "r1"}},
+		{Time: 0, Resource: Resource{ID: 1, Name: "r2"}},
+		{Time: 10, Resource: Resource{ID: 2, Name: "r3"}},
+		{Time: 20, Resource: Resource{ID: 3, Name: "r4"}},
+	})
+	if got := len(p.AvailableAt(0)); got != 2 {
+		t.Fatalf("AvailableAt(0) = %d, want 2", got)
+	}
+	if got := len(p.AvailableAt(10)); got != 3 {
+		t.Fatalf("AvailableAt(10) = %d, want 3 (inclusive)", got)
+	}
+	if got := len(p.AvailableAt(15)); got != 3 {
+		t.Fatalf("AvailableAt(15) = %d, want 3", got)
+	}
+	if got := len(p.AvailableAt(1e9)); got != 4 {
+		t.Fatalf("AvailableAt(inf) = %d, want 4", got)
+	}
+	// Results are ID-ordered.
+	rs := p.AvailableAt(20)
+	for i := 1; i < len(rs); i++ {
+		if rs[i].ID <= rs[i-1].ID {
+			t.Fatal("AvailableAt not ID-ordered")
+		}
+	}
+}
+
+func TestChangeTimesDeduplicated(t *testing.T) {
+	p := MustPool([]Arrival{
+		{Time: 0, Resource: Resource{ID: 0}},
+		{Time: 10, Resource: Resource{ID: 1}},
+		{Time: 10, Resource: Resource{ID: 2}},
+		{Time: 30, Resource: Resource{ID: 3}},
+	})
+	ct := p.ChangeTimes()
+	if len(ct) != 2 || ct[0] != 10 || ct[1] != 30 {
+		t.Fatalf("ChangeTimes = %v, want [10 30]", ct)
+	}
+	if got := len(p.ArrivalsAt(10)); got != 2 {
+		t.Fatalf("ArrivalsAt(10) = %d, want 2", got)
+	}
+}
+
+func TestArrivalTime(t *testing.T) {
+	p := MustPool([]Arrival{
+		{Time: 0, Resource: Resource{ID: 0}},
+		{Time: 7, Resource: Resource{ID: 1}},
+	})
+	if at := p.ArrivalTime(1); at != 7 {
+		t.Fatalf("ArrivalTime(1) = %g, want 7", at)
+	}
+	if at := p.ArrivalTime(99); !math.IsInf(at, 1) {
+		t.Fatalf("ArrivalTime(unknown) = %g, want +Inf", at)
+	}
+	if _, ok := p.Resource(1); !ok {
+		t.Fatal("Resource(1) not found")
+	}
+	if _, ok := p.Resource(99); ok {
+		t.Fatal("Resource(99) should not exist")
+	}
+}
+
+func TestDynamicModelPerEvent(t *testing.T) {
+	cases := []struct {
+		m    DynamicModel
+		want int
+	}{
+		{DynamicModel{Initial: 10, Interval: 400, ChangePct: 0.10, MaxEvents: 4}, 1},
+		{DynamicModel{Initial: 10, Interval: 400, ChangePct: 0.25, MaxEvents: 4}, 3}, // round(2.5)=3 (banker-free)
+		{DynamicModel{Initial: 100, Interval: 400, ChangePct: 0.10, MaxEvents: 4}, 10},
+		{DynamicModel{Initial: 10, Interval: 0, ChangePct: 0.10, MaxEvents: 4}, 0},
+		{DynamicModel{Initial: 10, Interval: 400, ChangePct: 0, MaxEvents: 4}, 0},
+		{DynamicModel{Initial: 3, Interval: 400, ChangePct: 0.05, MaxEvents: 4}, 1}, // floor at 1
+	}
+	for i, c := range cases {
+		if got := c.m.PerEvent(); got != c.want {
+			t.Errorf("case %d: PerEvent = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestDynamicModelBuild(t *testing.T) {
+	m := DynamicModel{Initial: 4, Interval: 100, ChangePct: 0.25, MaxEvents: 3}
+	p, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != m.TotalResources() {
+		t.Fatalf("Size = %d, want %d", p.Size(), m.TotalResources())
+	}
+	if got := len(p.Initial()); got != 4 {
+		t.Fatalf("initial = %d, want 4", got)
+	}
+	ct := p.ChangeTimes()
+	if len(ct) != 3 || ct[0] != 100 || ct[1] != 200 || ct[2] != 300 {
+		t.Fatalf("ChangeTimes = %v, want [100 200 300]", ct)
+	}
+	if got := len(p.ArrivalsAt(200)); got != 1 {
+		t.Fatalf("arrivals at 200 = %d, want 1 (round(0.25·4))", got)
+	}
+}
+
+func TestDynamicModelBuildRejectsEmpty(t *testing.T) {
+	if _, err := (DynamicModel{}).Build(); err == nil {
+		t.Fatal("expected error for zero initial pool")
+	}
+}
+
+func TestMustPoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustPool(nil)
+}

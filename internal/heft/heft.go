@@ -1,0 +1,135 @@
+// Package heft implements the classic static HEFT heuristic (Heterogeneous
+// Earliest Finish Time; Topcuoglu, Hariri & Wu, IEEE TPDS 2002), which the
+// paper adopts both as its baseline static strategy and as the heuristic H
+// inside the adaptive rescheduling loop.
+//
+// HEFT has two phases:
+//
+//  1. Rank: compute the upward rank of every job — its average computation
+//     cost plus the largest (average-communication + rank) over its
+//     successors — and order jobs by nonincreasing rank. The rank of a job
+//     is the length of the critical path from the job to the exit, so the
+//     ordering processes jobs in order of how strongly they constrain the
+//     final makespan.
+//
+//  2. Place: for each job in rank order, compute its earliest finish time
+//     on every available resource (honouring input-data arrival from its
+//     already-placed predecessors and, with the insertion policy, idle gaps
+//     in each resource's timeline) and bind it to the resource that
+//     minimises EFT.
+package heft
+
+import (
+	"fmt"
+	"sort"
+
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/schedule"
+)
+
+// Options configures HEFT.
+type Options struct {
+	// NoInsertion disables the insertion-based policy: jobs may then only
+	// be appended after the last assignment on a resource. Classic HEFT
+	// uses insertion; the zero value preserves that default.
+	NoInsertion bool
+}
+
+// RankU returns the upward rank of every job, indexed by JobID, computed
+// with average computation costs over the resource set rs and the edge data
+// weights as average communication costs (eqs. 5–6 of the paper).
+func RankU(g *dag.Graph, est cost.Estimator, rs []grid.Resource) ([]float64, error) {
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("heft: empty resource set")
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]float64, g.Len())
+	for i := len(order) - 1; i >= 0; i-- {
+		j := order[i]
+		w := cost.MeanComp(est, j, rs)
+		best := 0.0
+		for _, e := range g.Succs(j) {
+			if v := cost.MeanComm(e) + ranks[e.To]; v > best {
+				best = v
+			}
+		}
+		ranks[j] = w + best
+	}
+	return ranks, nil
+}
+
+// Order returns the jobs sorted by nonincreasing upward rank. Ties break on
+// ascending JobID, which keeps the schedule deterministic; because ranks
+// strictly decrease along every edge (all costs are positive), any rank
+// order is automatically a valid topological order.
+func Order(ranks []float64) []dag.JobID {
+	out := make([]dag.JobID, len(ranks))
+	for i := range out {
+		out[i] = dag.JobID(i)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ra, rb := ranks[out[a]], ranks[out[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// Schedule computes a full static HEFT schedule of g over the resource set
+// rs. All resources are assumed available from time 0 — the static planner
+// has no notion of future arrivals, which is exactly the limitation AHEFT
+// removes.
+func Schedule(g *dag.Graph, est cost.Estimator, rs []grid.Resource, opts Options) (*schedule.Schedule, error) {
+	ranks, err := RankU(g, est, rs)
+	if err != nil {
+		return nil, err
+	}
+	s := schedule.New()
+	for _, job := range Order(ranks) {
+		a, err := PlaceJob(g, est, rs, s, job, 0, !opts.NoInsertion)
+		if err != nil {
+			return nil, err
+		}
+		s.Assign(a)
+	}
+	return s, nil
+}
+
+// PlaceJob computes the EFT-minimising assignment for one job given the
+// partial schedule s, in which every predecessor of the job must already be
+// assigned. floor is a lower bound on the start time (0 for static
+// scheduling; the rescheduling clock for AHEFT's pinned evaluations). It is
+// exported for reuse by the adaptive scheduler's identical inner loop.
+func PlaceJob(g *dag.Graph, est cost.Estimator, rs []grid.Resource, s *schedule.Schedule, job dag.JobID, floor float64, insertion bool) (schedule.Assignment, error) {
+	best := schedule.Assignment{Job: job, Resource: grid.NoResource}
+	for _, r := range rs {
+		ready := floor
+		for _, e := range g.Preds(job) {
+			pa, ok := s.Get(e.From)
+			if !ok {
+				return best, fmt.Errorf("heft: predecessor %d of job %d not yet scheduled", e.From, job)
+			}
+			arrive := pa.Finish + est.Comm(e, pa.Resource, r.ID)
+			if arrive > ready {
+				ready = arrive
+			}
+		}
+		w := est.Comp(job, r.ID)
+		start := s.EarliestStart(r.ID, ready, w, insertion)
+		finish := start + w
+		if best.Resource == grid.NoResource || finish < best.Finish {
+			best = schedule.Assignment{Job: job, Resource: r.ID, Start: start, Finish: finish}
+		}
+	}
+	if best.Resource == grid.NoResource {
+		return best, fmt.Errorf("heft: no resource available for job %d", job)
+	}
+	return best, nil
+}

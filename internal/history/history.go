@@ -1,0 +1,157 @@
+// Package history implements the Performance History Repository of the
+// paper's Fig. 1: the Planner-side store of measured job runtimes that the
+// Predictor mines to estimate future performance.
+//
+// Records are keyed by (operation, resource) rather than by job: the paper
+// observes that a scientific workflow contains hundreds of jobs but only a
+// handful of unique operations, so every execution of an operation on a
+// resource sharpens the estimate for all other jobs running the same
+// program there. The repository keeps streaming statistics (count, mean,
+// EWMA, min/max) per key — enough for the history-based predictors without
+// unbounded memory growth.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aheft/internal/grid"
+)
+
+// Key identifies one (operation, resource) statistics cell.
+type Key struct {
+	Op       string
+	Resource grid.ID
+}
+
+// Stats summarises the executions recorded under one key.
+type Stats struct {
+	Count int
+	Mean  float64
+	// EWMA is an exponentially weighted moving average (α = 0.3 by
+	// default) emphasising recent behaviour — the signal the Performance
+	// Monitor's variance events are judged against.
+	EWMA float64
+	Min  float64
+	Max  float64
+	// Last is the most recent observation.
+	Last float64
+}
+
+// DefaultAlpha is the EWMA smoothing factor.
+const DefaultAlpha = 0.3
+
+// Repository is a thread-safe performance history store. The zero value
+// is not usable; call New.
+type Repository struct {
+	mu    sync.RWMutex
+	alpha float64
+	cells map[Key]*Stats
+}
+
+// New returns an empty repository with the given EWMA smoothing factor;
+// alpha <= 0 selects DefaultAlpha.
+func New(alpha float64) *Repository {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	return &Repository{alpha: alpha, cells: make(map[Key]*Stats)}
+}
+
+// Record stores one measured execution: operation op ran on resource r for
+// duration d. Non-positive durations are rejected.
+func (h *Repository) Record(op string, r grid.ID, d float64) error {
+	if d <= 0 {
+		return fmt.Errorf("history: non-positive duration %g for op %q on r%d", d, op, r)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	k := Key{Op: op, Resource: r}
+	s, ok := h.cells[k]
+	if !ok {
+		h.cells[k] = &Stats{Count: 1, Mean: d, EWMA: d, Min: d, Max: d, Last: d}
+		return nil
+	}
+	s.Count++
+	s.Mean += (d - s.Mean) / float64(s.Count)
+	s.EWMA = h.alpha*d + (1-h.alpha)*s.EWMA
+	if d < s.Min {
+		s.Min = d
+	}
+	if d > s.Max {
+		s.Max = d
+	}
+	s.Last = d
+	return nil
+}
+
+// Lookup returns the statistics for (op, r), if any executions were
+// recorded.
+func (h *Repository) Lookup(op string, r grid.ID) (Stats, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if s, ok := h.cells[Key{Op: op, Resource: r}]; ok {
+		return *s, true
+	}
+	return Stats{}, false
+}
+
+// LookupOp returns the aggregate mean duration of op over every resource
+// it ran on — the fallback estimate for a resource with no local history
+// (e.g. one that just joined the grid).
+func (h *Repository) LookupOp(op string) (mean float64, count int) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	sum := 0.0
+	for k, s := range h.cells {
+		if k.Op == op {
+			sum += s.Mean * float64(s.Count)
+			count += s.Count
+		}
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return sum / float64(count), count
+}
+
+// Variance reports the relative deviation of a new observation from the
+// recorded EWMA for (op, r): |d − EWMA| / EWMA. The Performance Monitor
+// fires a significant-variance event when this exceeds its threshold. The
+// second result is false when no history exists yet.
+func (h *Repository) Variance(op string, r grid.ID, d float64) (float64, bool) {
+	s, ok := h.Lookup(op, r)
+	if !ok || s.EWMA <= 0 {
+		return 0, false
+	}
+	rel := (d - s.EWMA) / s.EWMA
+	if rel < 0 {
+		rel = -rel
+	}
+	return rel, true
+}
+
+// Len returns the number of (op, resource) cells.
+func (h *Repository) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.cells)
+}
+
+// Keys returns all cells in deterministic order (op, then resource).
+func (h *Repository) Keys() []Key {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]Key, 0, len(h.cells))
+	for k := range h.cells {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Resource < out[j].Resource
+	})
+	return out
+}

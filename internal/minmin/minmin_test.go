@@ -1,0 +1,242 @@
+package minmin
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/rng"
+	"aheft/internal/schedule"
+	"aheft/internal/workload"
+)
+
+func chain(t *testing.T, n int) *dag.Graph {
+	t.Helper()
+	g := dag.New("chain")
+	var prev dag.JobID = dag.NoJob
+	for i := 0; i < n; i++ {
+		j := g.AddJob(fmt.Sprintf("c%d", i), "")
+		if prev != dag.NoJob {
+			g.MustEdge(prev, j, 5)
+		}
+		prev = j
+	}
+	return g.MustValidate()
+}
+
+func uniformTable(jobs, res int, w float64) *cost.Table {
+	comp := make([][]float64, jobs)
+	for i := range comp {
+		row := make([]float64, res)
+		for j := range row {
+			row[j] = w
+		}
+		comp[i] = row
+	}
+	return cost.MustTable(comp)
+}
+
+// TestChainOnOneResource: a serial chain on a single resource finishes in
+// the serial sum with no transfers.
+func TestChainOnOneResource(t *testing.T) {
+	g := chain(t, 5)
+	tb := uniformTable(5, 1, 10)
+	res, err := Run(g, cost.Exact(tb), grid.StaticPool(1), MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 50 {
+		t.Fatalf("makespan = %g, want 50", res.Makespan)
+	}
+	if res.Decisions != 5 {
+		t.Fatalf("decisions = %d, want 5", res.Decisions)
+	}
+}
+
+// TestChainStaysPut: with equal speeds, the dynamic mapper keeps a chain
+// on the resource that holds its files (moving would add transfer time),
+// so the makespan is again the serial sum.
+func TestChainStaysPut(t *testing.T) {
+	g := chain(t, 5)
+	tb := uniformTable(5, 3, 10)
+	res, err := Run(g, cost.Exact(tb), grid.StaticPool(3), MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 50 {
+		t.Fatalf("makespan = %g, want 50 (no pointless migration)\n%s", res.Makespan, res.Schedule)
+	}
+}
+
+// fanout builds one source feeding n independent sinks.
+func fanout(t *testing.T, n int, data float64) *dag.Graph {
+	t.Helper()
+	g := dag.New("fanout")
+	src := g.AddJob("src", "")
+	for i := 0; i < n; i++ {
+		s := g.AddJob(fmt.Sprintf("s%d", i), "")
+		g.MustEdge(src, s, data)
+	}
+	return g.MustValidate()
+}
+
+// TestFanoutUsesParallelism: independent sinks spread over resources.
+func TestFanoutUsesParallelism(t *testing.T) {
+	g := fanout(t, 4, 0) // free transfers isolate the parallelism question
+	tb := uniformTable(5, 4, 10)
+	res, err := Run(g, cost.Exact(tb), grid.StaticPool(4), MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src 10, then 4 sinks in parallel on 4 resources: 20 total.
+	if res.Makespan != 20 {
+		t.Fatalf("makespan = %g, want 20\n%s", res.Makespan, res.Schedule)
+	}
+}
+
+// TestTransferStallsResource: with the just-in-time policy, a cross-
+// resource consumer pays its transfer after binding — the executor cannot
+// overlap it with upstream computation.
+func TestTransferStallsResource(t *testing.T) {
+	g := fanout(t, 2, 30)
+	// src cost 10 everywhere; sinks cost 10.
+	tb := uniformTable(3, 2, 10)
+	res, err := Run(g, cost.Exact(tb), grid.StaticPool(2), MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src on r0 finishes at 10. Both sinks are ready at 10: Min-Min first
+	// binds the co-located one (completion 20 beats 50), then — being a
+	// just-in-time mapper that drains the ready set onto idle machines —
+	// binds the second sink to the idle r1, which stalls 30 time units on
+	// the input transfer and computes 40→50. A full-ahead plan would have
+	// overlapped that transfer with the first sink's computation (or
+	// queued the job locally, finishing at 30); the dynamic executor can
+	// do neither, and that gap is the paper's §4.2 story.
+	if res.Makespan != 50 {
+		t.Fatalf("makespan = %g, want 50\n%s", res.Makespan, res.Schedule)
+	}
+	second := res.Schedule.MustGet(g.JobByName("s1"))
+	if second.Resource == 0 {
+		second = res.Schedule.MustGet(g.JobByName("s0"))
+	}
+	if second.Start != 40 || second.Finish != 50 {
+		t.Fatalf("stalled sink = %+v, want compute [40,50)", second)
+	}
+}
+
+// TestResourceArrivalUsed: jobs becoming ready after an arrival can use
+// the new resource.
+func TestResourceArrivalUsed(t *testing.T) {
+	g := fanout(t, 3, 0)
+	tb := uniformTable(4, 2, 10)
+	pool := grid.MustPool([]grid.Arrival{
+		{Time: 0, Resource: grid.Resource{ID: 0}},
+		{Time: 12, Resource: grid.Resource{ID: 1}},
+	})
+	res, err := Run(g, cost.Exact(tb), pool, MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src 0→10 on r0; sinks ready at 10: s0 on r0 10→20; r1 arrives at 12:
+	// s1 12→22 on r1; s2 on r0 20→30. Makespan 30 (vs 40 on one resource).
+	if res.Makespan != 30 {
+		t.Fatalf("makespan = %g, want 30\n%s", res.Makespan, res.Schedule)
+	}
+	used := res.Schedule.Resources()
+	if len(used) != 2 {
+		t.Fatalf("arrival not used:\n%s", res.Schedule)
+	}
+}
+
+// TestScheduleStructurallySound: property test over random workloads for
+// all three heuristics — complete coverage, no resource overlaps, and
+// precedence (with the dynamic, decision-time transfer model) respected.
+func TestScheduleStructurallySound(t *testing.T) {
+	root := rng.New(0x5EED)
+	for i := 0; i < 20; i++ {
+		r := root.Split(fmt.Sprintf("case-%d", i))
+		sc, err := workload.RandomScenario(workload.RandomParams{
+			Jobs: 10 + r.IntN(40), CCR: []float64{0.5, 5}[r.IntN(2)], OutDegree: 0.3, Beta: 0.5,
+		}, workload.GridParams{
+			InitialResources: 2 + r.IntN(5), ChangeInterval: 300, ChangePct: 0.3, MaxEvents: 3,
+		}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []Heuristic{MinMin, MaxMin, Sufferage} {
+			res, err := Run(sc.Graph, sc.Estimator(), sc.Pool, h)
+			if err != nil {
+				t.Fatalf("case %d %s: %v", i, h, err)
+			}
+			if err := res.Schedule.Validate(sc.Graph, schedule.ValidateOptions{Pool: sc.Pool}); err != nil {
+				t.Fatalf("case %d %s: %v", i, h, err)
+			}
+			// Precedence: a consumer's compute start is never before its
+			// producer's finish.
+			for _, j := range sc.Graph.Jobs() {
+				aj := res.Schedule.MustGet(j.ID)
+				for _, e := range sc.Graph.Preds(j.ID) {
+					ap := res.Schedule.MustGet(e.From)
+					if aj.Start+1e-9 < ap.Finish {
+						t.Fatalf("case %d %s: %s starts %g before producer ends %g",
+							i, h, j.Name, aj.Start, ap.Finish)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHeuristicsWithinFewPercent reproduces the observation (cited by the
+// paper from the scheduling test bench study) that the batch heuristics
+// behave very similarly on average.
+func TestHeuristicsWithinFewPercent(t *testing.T) {
+	root := rng.New(0xAB)
+	sums := map[Heuristic]float64{}
+	for i := 0; i < 30; i++ {
+		r := root.Split(fmt.Sprintf("case-%d", i))
+		sc, err := workload.RandomScenario(workload.RandomParams{
+			Jobs: 30, CCR: 1, OutDegree: 0.3, Beta: 0.5,
+		}, workload.GridParams{InitialResources: 8}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []Heuristic{MinMin, MaxMin, Sufferage} {
+			res, err := Run(sc.Graph, sc.Estimator(), sc.Pool, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums[h] += res.Makespan
+		}
+	}
+	base := sums[MinMin]
+	for h, s := range sums {
+		if rel := math.Abs(s-base) / base; rel > 0.25 {
+			t.Fatalf("%s deviates %.0f%% from Min-Min (sum %g vs %g)", h, 100*rel, s, base)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := chain(t, 2)
+	tb := uniformTable(2, 1, 10)
+	if _, err := Run(nil, cost.Exact(tb), grid.StaticPool(1), MinMin); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Run(g, cost.Exact(tb), nil, MinMin); err == nil {
+		t.Fatal("nil pool accepted")
+	}
+}
+
+func TestHeuristicString(t *testing.T) {
+	if MinMin.String() != "Min-Min" || MaxMin.String() != "Max-Min" || Sufferage.String() != "Sufferage" {
+		t.Fatal("names wrong")
+	}
+	if Heuristic(99).String() == "" {
+		t.Fatal("unknown heuristic must still print")
+	}
+}

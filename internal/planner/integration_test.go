@@ -1,0 +1,132 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"aheft/internal/rng"
+	"aheft/internal/workload"
+)
+
+// scenarios yields a diverse, seeded set of test cases spanning random
+// DAGs and both application shapes under various grid dynamics.
+func testScenarios(t *testing.T, n int) []*workload.Scenario {
+	t.Helper()
+	root := rng.New(0xA11CE)
+	var out []*workload.Scenario
+	for i := 0; i < n; i++ {
+		r := root.Split(fmt.Sprintf("case-%d", i))
+		gp := workload.GridParams{
+			InitialResources: 3 + r.IntN(8),
+			ChangeInterval:   []float64{150, 300, 600}[r.IntN(3)],
+			ChangePct:        []float64{0.1, 0.2, 0.3}[r.IntN(3)],
+		}
+		var (
+			sc  *workload.Scenario
+			err error
+		)
+		switch i % 3 {
+		case 0:
+			sc, err = workload.RandomScenario(workload.RandomParams{
+				Jobs:      10 + r.IntN(40),
+				CCR:       []float64{0.2, 1, 5}[r.IntN(3)],
+				OutDegree: 0.2,
+				Beta:      []float64{0.1, 0.5, 1}[r.IntN(3)],
+			}, gp, r)
+		case 1:
+			sc, err = workload.BlastScenario(workload.AppParams{
+				Parallelism: 3 + r.IntN(12),
+				CCR:         []float64{0.2, 1, 5}[r.IntN(3)],
+				Beta:        0.5,
+			}, gp, r)
+		default:
+			sc, err = workload.Wien2kScenario(workload.AppParams{
+				Parallelism: 3 + r.IntN(12),
+				CCR:         []float64{0.2, 1, 5}[r.IntN(3)],
+				Beta:        0.5,
+			}, gp, r)
+		}
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// TestStaticEnactmentMatchesSchedule checks that the event-driven executor
+// reproduces a static HEFT schedule exactly: under accurate estimates,
+// actual start/finish times equal the planned ones job for job.
+func TestStaticEnactmentMatchesSchedule(t *testing.T) {
+	for i, sc := range testScenarios(t, 24) {
+		analytic, err := Run(sc.Graph, sc.Estimator(), sc.Pool, StrategyStatic, RunOptions{})
+		if err != nil {
+			t.Fatalf("case %d: analytic: %v", i, err)
+		}
+		svc, err := NewService(sc.Graph, sc.Estimator(), sc.Pool, ServiceOptions{Static: true})
+		if err != nil {
+			t.Fatalf("case %d: service: %v", i, err)
+		}
+		res, err := svc.Execute()
+		if err != nil {
+			t.Fatalf("case %d (%s): execute: %v", i, sc.Graph.Name(), err)
+		}
+		if math.Abs(res.Makespan-analytic.Makespan) > 1e-6 {
+			t.Errorf("case %d (%s): DES makespan %.6f != planned %.6f",
+				i, sc.Graph.Name(), res.Makespan, analytic.Makespan)
+		}
+		for _, j := range sc.Graph.Jobs() {
+			want := analytic.Schedule.MustGet(j.ID)
+			got := res.Schedule.MustGet(j.ID)
+			if got != want {
+				t.Fatalf("case %d (%s): job %s enacted %+v, planned %+v",
+					i, sc.Graph.Name(), j.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestAdaptiveServiceMatchesAnalyticRunner checks the central equivalence:
+// the event-driven Planner/Executor collaboration (DES, Fig. 1
+// architecture) and the analytic adaptive runner make identical decisions
+// and produce identical makespans under accurate estimates.
+func TestAdaptiveServiceMatchesAnalyticRunner(t *testing.T) {
+	for _, tie := range []float64{0, 0.05} {
+		tie := tie
+		t.Run(fmt.Sprintf("tie=%g", tie), func(t *testing.T) {
+			for i, sc := range testScenarios(t, 24) {
+				opts := RunOptions{TieWindow: tie}
+				analytic, err := Run(sc.Graph, sc.Estimator(), sc.Pool, StrategyAdaptive, opts)
+				if err != nil {
+					t.Fatalf("case %d: analytic: %v", i, err)
+				}
+				svc, err := NewService(sc.Graph, sc.Estimator(), sc.Pool, ServiceOptions{RunOptions: opts})
+				if err != nil {
+					t.Fatalf("case %d: service: %v", i, err)
+				}
+				res, err := svc.Execute()
+				if err != nil {
+					t.Fatalf("case %d (%s): execute: %v", i, sc.Graph.Name(), err)
+				}
+				if math.Abs(res.Makespan-analytic.Makespan) > 1e-6 {
+					t.Errorf("case %d (%s): DES makespan %.6f != analytic %.6f",
+						i, sc.Graph.Name(), res.Makespan, analytic.Makespan)
+				}
+				if len(res.Decisions) != len(analytic.Decisions) {
+					t.Fatalf("case %d (%s): DES made %d decisions, analytic %d\nDES: %+v\nanalytic: %+v",
+						i, sc.Graph.Name(), len(res.Decisions), len(analytic.Decisions),
+						res.Decisions, analytic.Decisions)
+				}
+				for k := range res.Decisions {
+					dg, dw := res.Decisions[k], analytic.Decisions[k]
+					if dg.Clock != dw.Clock || dg.Adopted != dw.Adopted ||
+						math.Abs(dg.NewMakespan-dw.NewMakespan) > 1e-6 {
+						t.Errorf("case %d (%s): decision %d differs: DES %+v, analytic %+v",
+							i, sc.Graph.Name(), k, dg, dw)
+					}
+				}
+			}
+		})
+	}
+}

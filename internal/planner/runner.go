@@ -1,0 +1,257 @@
+// Package planner implements the Planner side of the paper's Fig. 1
+// architecture: per-workflow Scheduler instances that make an initial
+// static plan, listen for run-time events, evaluate each event by
+// tentative rescheduling, and adopt the new schedule only when it improves
+// the predicted makespan (the generic adaptive rescheduling algorithm of
+// Fig. 2).
+//
+// Two drivers are provided. The analytic runner in this file replays the
+// paper's experiment setting directly — accurate estimates, so execution
+// follows the schedule exactly and only resource-arrival events can change
+// anything; it is what the experiment harness and benchmarks use, since it
+// is fast and provably equivalent to the event-driven execution (an
+// integration test in package executor checks the equivalence). The
+// event-driven Planner in service.go subscribes to an executor's event
+// stream and is used by the architecture examples and the what-if API.
+package planner
+
+import (
+	"fmt"
+
+	"aheft/internal/core"
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/heft"
+	"aheft/internal/schedule"
+)
+
+// Strategy selects the planning behaviour under comparison in §4.
+type Strategy int
+
+const (
+	// StrategyStatic is traditional one-shot HEFT: plan on the initial
+	// pool, never look back.
+	StrategyStatic Strategy = iota
+	// StrategyAdaptive is AHEFT: reschedule the unfinished jobs at every
+	// resource-arrival event, adopting improvements.
+	StrategyAdaptive
+)
+
+// String returns the strategy's name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyStatic:
+		return "HEFT"
+	case StrategyAdaptive:
+		return "AHEFT"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// RunOptions tunes the adaptive runner. The zero value reproduces the
+// paper's configuration: insertion-based HEFT, restart semantics for
+// running jobs, adoption on any strict improvement.
+type RunOptions struct {
+	// NoInsertion disables HEFT's insertion-based slot policy (ablation).
+	NoInsertion bool
+	// RestartRunning reschedules mid-execution jobs, discarding their
+	// partial work (ablation). The default pins running jobs in place.
+	RestartRunning bool
+	// TieWindow enables near-tie rank-order exploration in the
+	// rescheduler (see core.Options.TieWindow). Zero is paper-faithful
+	// greedy; ≈0.05 recovers the paper's Fig. 5(b) worked example.
+	TieWindow float64
+	// Eps is the minimum makespan improvement required to adopt a new
+	// schedule. Zero means the 1e-9 float tolerance.
+	Eps float64
+}
+
+// Decision records one rescheduling evaluation: the Fig. 2 loop body at a
+// single event.
+type Decision struct {
+	Clock        float64 // event time
+	PoolSize     int     // resources available after the event
+	OldMakespan  float64 // S0's predicted makespan
+	NewMakespan  float64 // S1's predicted makespan
+	Adopted      bool    // whether S1 replaced S0
+	JobsFinished int     // jobs already completed at the event
+}
+
+// Result is the outcome of running one workflow to completion under one
+// strategy.
+type Result struct {
+	Strategy Strategy
+	// Schedule is the final (possibly rescheduled) schedule; with accurate
+	// estimates its assignment times are the actual execution times.
+	Schedule *schedule.Schedule
+	// Makespan is the workflow's completion time.
+	Makespan float64
+	// InitialMakespan is the makespan of the initial static schedule —
+	// identical between HEFT and AHEFT by construction.
+	InitialMakespan float64
+	// Decisions lists every rescheduling evaluation (empty for
+	// StrategyStatic).
+	Decisions []Decision
+}
+
+// Improvement returns the fractional makespan improvement of the final
+// schedule over the initial static schedule.
+func (r *Result) Improvement() float64 {
+	if r.InitialMakespan <= 0 {
+		return 0
+	}
+	return (r.InitialMakespan - r.Makespan) / r.InitialMakespan
+}
+
+// Adoptions counts adopted reschedules.
+func (r *Result) Adoptions() int {
+	n := 0
+	for _, d := range r.Decisions {
+		if d.Adopted {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes workflow g on the dynamic pool under the chosen strategy
+// with accurate cost estimates, returning the completed execution.
+//
+// For StrategyStatic the initial HEFT schedule on the time-0 pool is the
+// final schedule: a static planner cannot use resources it does not know
+// about, which is precisely the deficiency the paper addresses.
+//
+// For StrategyAdaptive the runner walks the pool's change events in time
+// order. At each event time t before the workflow completes it takes the
+// execution snapshot of the current schedule at clock t, reschedules the
+// unfinished jobs over the enlarged resource set (core.Reschedule), and
+// adopts the result if it strictly improves the makespan.
+func Run(g *dag.Graph, est cost.Estimator, pool *grid.Pool, strat Strategy, opts RunOptions) (*Result, error) {
+	if err := validateInputs(g, pool); err != nil {
+		return nil, err
+	}
+	initial, err := heft.Schedule(g, est, pool.Initial(), heft.Options{NoInsertion: opts.NoInsertion})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Strategy:        strat,
+		Schedule:        initial,
+		Makespan:        initial.Makespan(),
+		InitialMakespan: initial.Makespan(),
+	}
+	if strat == StrategyStatic {
+		return res, nil
+	}
+
+	// The analytic runner mirrors the event-driven Execution Manager
+	// exactly (an integration test holds the two to bit-equality), which
+	// requires carrying the file-transfer ledger *across* rescheduling
+	// decisions: a transfer initiated under an earlier schedule generation
+	// — at a producer's finish toward its consumer's then-current
+	// resource, or as a fresh Case-2 transfer at an earlier adoption —
+	// keeps its ETA even after the consumer moves again. Rebuilding the
+	// ledger from the current schedule alone would forget those copies and
+	// mis-time rescheduled starts.
+	s0 := initial
+	st := core.NewExecState()
+	prev := 0.0
+	for _, t := range pool.ChangeTimes() {
+		if t >= s0.Makespan() {
+			break // the workflow finished before this event
+		}
+		rs := pool.AvailableAt(t)
+		// Ship the outputs of every job that finished in (prev, t] under
+		// the schedule that was current during that window.
+		shipWindow(g, est, s0, st, prev, t)
+		// Classify jobs at clock t.
+		st.Clock = t
+		st.Pinned = make(map[dag.JobID]schedule.Assignment)
+		for _, j := range g.Jobs() {
+			a := s0.MustGet(j.ID)
+			switch {
+			case a.Finish <= t:
+				st.Finished[j.ID] = core.FinishedJob{Resource: a.Resource, AST: a.Start, AFT: a.Finish}
+			case a.Start < t && !opts.RestartRunning:
+				st.Pinned[j.ID] = a
+			}
+		}
+		s1, err := core.Reschedule(g, est, rs, st, core.Options{NoInsertion: opts.NoInsertion, TieWindow: opts.TieWindow})
+		if err != nil {
+			return nil, err
+		}
+		d := Decision{
+			Clock:        t,
+			PoolSize:     len(rs),
+			OldMakespan:  s0.Makespan(),
+			NewMakespan:  s1.Makespan(),
+			JobsFinished: len(st.Finished),
+		}
+		if core.Better(s0.Makespan(), s1.Makespan(), opts.Eps) {
+			d.Adopted = true
+			s0 = s1
+			// Mirror the Execution Manager's input staging on resubmit:
+			// fresh transfers start now for every rescheduled job whose
+			// finished predecessor's file is not already at (or moving to)
+			// its new resource (Eq. 1 Case 2 made physical).
+			for _, j := range g.Jobs() {
+				if _, done := st.Finished[j.ID]; done {
+					continue
+				}
+				if _, pinned := st.Pinned[j.ID]; pinned {
+					continue
+				}
+				a1 := s1.MustGet(j.ID)
+				for _, e := range g.Preds(j.ID) {
+					pf, done := st.Finished[e.From]
+					if !done {
+						continue
+					}
+					if _, have := st.TransferAt[core.EdgeKey{From: e.From, To: j.ID}][a1.Resource]; have {
+						continue
+					}
+					st.SetTransfer(e.From, j.ID, a1.Resource, t+est.Comm(e, pf.Resource, a1.Resource))
+				}
+			}
+		}
+		res.Decisions = append(res.Decisions, d)
+		prev = t
+	}
+	res.Schedule = s0
+	res.Makespan = s0.Makespan()
+	return res, nil
+}
+
+// shipWindow records, in the ledger st, the static ship-on-finish
+// transfers of every job whose finish time under s0 falls in (prev, t]:
+// each output file becomes available on the producer's own resource at its
+// finish and on the consumer's currently scheduled resource one transfer
+// later.
+func shipWindow(g *dag.Graph, est cost.Estimator, s0 *schedule.Schedule, st *core.ExecState, prev, t float64) {
+	for _, j := range g.Jobs() {
+		a := s0.MustGet(j.ID)
+		if a.Finish <= prev || a.Finish > t {
+			continue
+		}
+		for _, e := range g.Succs(j.ID) {
+			st.SetTransfer(j.ID, e.To, a.Resource, a.Finish)
+			sa := s0.MustGet(e.To)
+			st.SetTransfer(j.ID, e.To, sa.Resource, a.Finish+est.Comm(e, a.Resource, sa.Resource))
+		}
+	}
+}
+
+func validateInputs(g *dag.Graph, pool *grid.Pool) error {
+	if g == nil || g.Len() == 0 {
+		return fmt.Errorf("planner: empty workflow")
+	}
+	if pool == nil || pool.Size() == 0 {
+		return fmt.Errorf("planner: empty pool")
+	}
+	if len(pool.Initial()) == 0 {
+		return fmt.Errorf("planner: no resources at time 0")
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package planner
+
+import (
+	"fmt"
+
+	"aheft/internal/core"
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/executor"
+	"aheft/internal/grid"
+	"aheft/internal/heft"
+	"aheft/internal/history"
+	"aheft/internal/sim"
+	"aheft/internal/trace"
+)
+
+// ServiceOptions configures an event-driven Scheduler instance.
+type ServiceOptions struct {
+	RunOptions
+	// Runtime supplies actual durations for the executor; nil uses the
+	// estimator itself (accurate estimation).
+	Runtime executor.Runtime
+	// History, when non-nil, is updated with every measured job runtime —
+	// the Fig. 1 feedback loop into the Performance History Repository.
+	History *history.Repository
+	// VarianceThreshold, when positive, makes the Planner also evaluate a
+	// reschedule when a job's measured runtime deviates from the history
+	// EWMA by more than this relative amount — the paper's "significant
+	// variance of job performance" event.
+	VarianceThreshold float64
+	// Static disables event reactions entirely (one-shot HEFT enacted by
+	// the executor); used to compare strategies on the same engine.
+	Static bool
+	// Trace, when non-nil, records every run-time event and every
+	// rescheduling decision into the collector.
+	Trace *trace.Collector
+}
+
+// Service is one Scheduler instance of the paper's Fig. 1 Planner: it owns
+// a single workflow, makes the initial plan, subscribes to the Executor's
+// run-time events, and reschedules adaptively.
+type Service struct {
+	g    *dag.Graph
+	est  cost.Estimator
+	pool *grid.Pool
+	opts ServiceOptions
+
+	engine    *executor.Engine
+	decisions []Decision
+	initial   float64
+}
+
+// NewService plans the workflow and prepares an executor engine wired to
+// this service's event handler.
+func NewService(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts ServiceOptions) (*Service, error) {
+	if err := validateInputs(g, pool); err != nil {
+		return nil, err
+	}
+	s := &Service{g: g, est: est, pool: pool, opts: opts}
+	initial, err := heft.Schedule(g, est, pool.Initial(), heft.Options{NoInsertion: opts.NoInsertion})
+	if err != nil {
+		return nil, err
+	}
+	s.initial = initial.Makespan()
+	rt := opts.Runtime
+	if rt == nil {
+		rt = est
+	}
+	var handler executor.EventHandler = s
+	if opts.Trace != nil {
+		// The collector sees every event first, then forwards it to the
+		// Scheduler, so decisions appear after the event that caused them.
+		opts.Trace.Chain(s)
+		handler = opts.Trace
+	}
+	engine, err := executor.New(sim.New(), g, rt, pool, initial, handler)
+	if err != nil {
+		return nil, err
+	}
+	s.engine = engine
+	return s, nil
+}
+
+// Execute runs the workflow to completion through the event-driven
+// executor and reports the outcome.
+func (s *Service) Execute() (*Result, error) {
+	if _, err := s.engine.Run(); err != nil {
+		return nil, err
+	}
+	strat := StrategyAdaptive
+	if s.opts.Static {
+		strat = StrategyStatic
+	}
+	return &Result{
+		Strategy:        strat,
+		Schedule:        s.engine.Schedule(),
+		Makespan:        s.engine.Makespan(),
+		InitialMakespan: s.initial,
+		Decisions:       s.decisions,
+	}, nil
+}
+
+// Engine exposes the underlying executor (for inspection in tests and
+// tools).
+func (s *Service) Engine() *executor.Engine { return s.engine }
+
+// HandleEvent implements executor.EventHandler: the Fig. 2 loop body. A
+// resource-arrival event (and, optionally, a significant performance
+// variance) triggers evaluation by rescheduling; the new schedule is
+// submitted only when it improves the predicted makespan.
+func (s *Service) HandleEvent(ev executor.Event) {
+	if s.opts.Static {
+		return
+	}
+	if ev.Finished != dag.NoJob {
+		s.onFinish(ev)
+		return
+	}
+	if len(ev.Arrived) > 0 {
+		s.evaluate(ev.Time, len(ev.Arrived))
+	}
+}
+
+func (s *Service) onFinish(ev executor.Event) {
+	if s.opts.History == nil {
+		return
+	}
+	op := s.g.Job(ev.Finished).Op
+	variance, hasHistory := s.opts.History.Variance(op, ev.OnResource, ev.ActualDuration)
+	// Record after measuring variance so the event is judged against the
+	// history excluding this very observation.
+	_ = s.opts.History.Record(op, ev.OnResource, ev.ActualDuration)
+	if s.opts.VarianceThreshold > 0 && hasHistory && variance > s.opts.VarianceThreshold {
+		s.evaluate(ev.Time, 0)
+	}
+}
+
+// evaluate performs one rescheduling evaluation at the current clock.
+func (s *Service) evaluate(clock float64, arrived int) {
+	st := s.engine.ExecState()
+	rs := s.pool.AvailableAt(clock)
+	s1, err := core.Reschedule(s.g, s.est, rs, st, core.Options{
+		NoInsertion: s.opts.NoInsertion,
+		TieWindow:   s.opts.TieWindow,
+	})
+	if err != nil {
+		// An evaluation failure must not kill the running workflow; keep
+		// the current schedule (the paper's "otherwise the Planner does
+		// not take any action").
+		return
+	}
+	cur := s.engine.Schedule().Makespan()
+	d := Decision{
+		Clock:        clock,
+		PoolSize:     len(rs),
+		OldMakespan:  cur,
+		NewMakespan:  s1.Makespan(),
+		JobsFinished: len(st.Finished),
+	}
+	if core.Better(cur, s1.Makespan(), s.opts.Eps) {
+		if err := s.engine.Resubmit(s1); err == nil {
+			d.Adopted = true
+		}
+	}
+	s.decisions = append(s.decisions, d)
+	if s.opts.Trace != nil {
+		s.opts.Trace.Reschedule(clock, d.OldMakespan, d.NewMakespan, d.Adopted)
+	}
+	_ = arrived
+}
+
+// String describes the service.
+func (s *Service) String() string {
+	mode := "adaptive"
+	if s.opts.Static {
+		mode = "static"
+	}
+	return fmt.Sprintf("planner.Service(%s, %s, %d jobs)", s.g.Name(), mode, s.g.Len())
+}

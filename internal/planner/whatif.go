@@ -1,0 +1,97 @@
+package planner
+
+import (
+	"fmt"
+
+	"aheft/internal/core"
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/schedule"
+)
+
+// WhatIfQuery is the paper's §3.3 "What...if..." capacity-planning
+// question: what would the workflow's expected makespan become if the
+// resource pool changed right now?
+type WhatIfQuery struct {
+	// Clock is the hypothetical evaluation time within the current
+	// schedule's execution.
+	Clock float64
+	// Add lists hypothetical new resources (their computation costs must
+	// be covered by the estimator).
+	Add []grid.Resource
+	// Remove lists resources hypothetically leaving the pool. Files
+	// already produced remain accessible (storage outlives the compute
+	// slot); running jobs on removed resources are restarted elsewhere.
+	Remove []grid.ID
+}
+
+// WhatIfAnswer reports the evaluation's outcome.
+type WhatIfAnswer struct {
+	// CurrentMakespan is the makespan if nothing changes.
+	CurrentMakespan float64
+	// NewMakespan is the predicted makespan after rescheduling under the
+	// hypothetical pool.
+	NewMakespan float64
+	// WouldAdopt reports whether the adaptive planner would switch
+	// schedules (strict improvement).
+	WouldAdopt bool
+	// Schedule is the hypothetical schedule.
+	Schedule *schedule.Schedule
+}
+
+// Delta returns NewMakespan − CurrentMakespan (negative is an
+// improvement).
+func (a *WhatIfAnswer) Delta() float64 { return a.NewMakespan - a.CurrentMakespan }
+
+// WhatIf evaluates a hypothetical pool change against the currently
+// executing schedule s0 at q.Clock, using the same snapshot + reschedule
+// machinery as the live planner, without submitting anything. available
+// is the real resource set at q.Clock.
+func WhatIf(g *dag.Graph, est cost.Estimator, s0 *schedule.Schedule, available []grid.Resource, q WhatIfQuery, opts RunOptions) (*WhatIfAnswer, error) {
+	if s0 == nil || s0.Len() != g.Len() {
+		return nil, fmt.Errorf("planner: WhatIf needs a complete current schedule")
+	}
+	removed := make(map[grid.ID]bool, len(q.Remove))
+	for _, r := range q.Remove {
+		removed[r] = true
+	}
+	rs := make([]grid.Resource, 0, len(available)+len(q.Add))
+	for _, r := range available {
+		if !removed[r.ID] {
+			rs = append(rs, r)
+		}
+	}
+	for _, r := range q.Add {
+		if removed[r.ID] {
+			continue
+		}
+		rs = append(rs, r)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("planner: WhatIf leaves an empty pool")
+	}
+
+	snap := core.Snapshot(g, est, s0, q.Clock, core.SnapshotOptions{RestartRunning: opts.RestartRunning})
+	// Jobs running on a removed resource cannot finish there: restart
+	// them under the hypothesis.
+	for j, a := range snap.Pinned {
+		if removed[a.Resource] {
+			delete(snap.Pinned, j)
+		}
+	}
+	s1, err := core.Reschedule(g, est, rs, snap, core.Options{
+		NoInsertion: opts.NoInsertion,
+		TieWindow:   opts.TieWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cur := s0.Makespan()
+	return &WhatIfAnswer{
+		CurrentMakespan: cur,
+		NewMakespan:     s1.Makespan(),
+		WouldAdopt:      core.Better(cur, s1.Makespan(), opts.Eps),
+		Schedule:        s1,
+	}, nil
+}

@@ -1,0 +1,108 @@
+// Package predict implements the Predictor of the paper's Fig. 1: the
+// component the Scheduler calls to build the performance estimation matrix
+// P = estimate(T, R) before every (re)scheduling round.
+//
+// Three predictors are provided:
+//
+//   - the exact predictor (the cost table itself, via cost.Exact) realises
+//     the paper's experiment assumption of accurate estimation;
+//   - HistoryBased consults the Performance History Repository, falling
+//     back to the per-operation mean and finally to a supplied prior for
+//     resources without history — this is the predictor a deployed system
+//     would run, and the one the variance-event pipeline sharpens over
+//     time;
+//   - Noisy perturbs an underlying estimator multiplicatively, for the
+//     robustness ablation of scheduling under inaccurate estimates.
+package predict
+
+import (
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/history"
+	"aheft/internal/rng"
+)
+
+// HistoryBased estimates computation costs from the Performance History
+// Repository. Communication estimates delegate to the Prior estimator
+// (transfer costs are derived from data sizes, which the Planner knows).
+type HistoryBased struct {
+	// Graph supplies the Op of each job.
+	Graph *dag.Graph
+	// Repo is the performance history to mine.
+	Repo *history.Repository
+	// Prior answers estimates when no history exists (e.g. the first
+	// round, or a fresh resource). A deployed system would use an
+	// analytical model; the simulation uses the ground-truth table, so
+	// prediction error comes only from resource variance.
+	Prior cost.Estimator
+	// UseEWMA selects the recency-weighted average instead of the overall
+	// mean.
+	UseEWMA bool
+}
+
+var _ cost.Estimator = (*HistoryBased)(nil)
+
+// Comp estimates the job's runtime on r: per-(op, resource) history first,
+// then the operation's cross-resource mean, then the prior.
+func (p *HistoryBased) Comp(job dag.JobID, r grid.ID) float64 {
+	op := p.Graph.Job(job).Op
+	if s, ok := p.Repo.Lookup(op, r); ok {
+		if p.UseEWMA {
+			return s.EWMA
+		}
+		return s.Mean
+	}
+	if mean, n := p.Repo.LookupOp(op); n > 0 {
+		return mean
+	}
+	return p.Prior.Comp(job, r)
+}
+
+// Comm estimates the transfer cost of edge e between the two placements.
+func (p *HistoryBased) Comm(e dag.Edge, rFrom, rTo grid.ID) float64 {
+	return p.Prior.Comm(e, rFrom, rTo)
+}
+
+// Noisy wraps an estimator with multiplicative error: every Comp estimate
+// is scaled by a factor drawn once per (job, resource) from
+// [1−Error, 1+Error]. Draws are memoised so repeated queries are
+// consistent within a planning round, as a real (deterministic) predictor
+// would be.
+type Noisy struct {
+	Base  cost.Estimator
+	Error float64 // e.g. 0.2 for ±20%
+	Rng   *rng.Source
+
+	memo map[noisyKey]float64
+}
+
+type noisyKey struct {
+	job dag.JobID
+	res grid.ID
+}
+
+var _ cost.Estimator = (*Noisy)(nil)
+
+// Comp returns the perturbed computation estimate.
+func (n *Noisy) Comp(job dag.JobID, r grid.ID) float64 {
+	if n.memo == nil {
+		n.memo = make(map[noisyKey]float64)
+	}
+	k := noisyKey{job: job, res: r}
+	f, ok := n.memo[k]
+	if !ok {
+		f = n.Rng.Uniform(1-n.Error, 1+n.Error)
+		if f <= 0.01 {
+			f = 0.01
+		}
+		n.memo[k] = f
+	}
+	return f * n.Base.Comp(job, r)
+}
+
+// Comm returns the unperturbed communication estimate (data sizes are
+// known to the planner).
+func (n *Noisy) Comm(e dag.Edge, rFrom, rTo grid.ID) float64 {
+	return n.Base.Comm(e, rFrom, rTo)
+}

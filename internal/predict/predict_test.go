@@ -1,0 +1,102 @@
+package predict
+
+import (
+	"testing"
+
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/history"
+	"aheft/internal/rng"
+	"aheft/internal/workload"
+)
+
+func setup(t *testing.T) (*dag.Graph, *cost.Table, *history.Repository) {
+	t.Helper()
+	g := workload.SampleDAG()
+	tb := workload.SampleTable()
+	return g, tb, history.New(0)
+}
+
+func TestHistoryBasedFallsBackToPrior(t *testing.T) {
+	g, tb, repo := setup(t)
+	p := &HistoryBased{Graph: g, Repo: repo, Prior: cost.Exact(tb)}
+	n1 := g.JobByName("n1")
+	if got := p.Comp(n1, 0); got != tb.Comp(n1, 0) {
+		t.Fatalf("no history: Comp = %g, want prior %g", got, tb.Comp(n1, 0))
+	}
+}
+
+func TestHistoryBasedUsesLocalHistory(t *testing.T) {
+	g, tb, repo := setup(t)
+	n1 := g.JobByName("n1")
+	op := g.Job(n1).Op
+	_ = repo.Record(op, 0, 99)
+	p := &HistoryBased{Graph: g, Repo: repo, Prior: cost.Exact(tb)}
+	if got := p.Comp(n1, 0); got != 99 {
+		t.Fatalf("Comp = %g, want recorded 99", got)
+	}
+	// Another resource without history falls back to the op mean.
+	if got := p.Comp(n1, 1); got != 99 {
+		t.Fatalf("cross-resource fallback = %g, want op mean 99", got)
+	}
+}
+
+func TestHistoryBasedEWMA(t *testing.T) {
+	g, tb, repo := setup(t)
+	n1 := g.JobByName("n1")
+	op := g.Job(n1).Op
+	_ = repo.Record(op, 0, 10)
+	_ = repo.Record(op, 0, 20)
+	mean := &HistoryBased{Graph: g, Repo: repo, Prior: cost.Exact(tb)}
+	recent := &HistoryBased{Graph: g, Repo: repo, Prior: cost.Exact(tb), UseEWMA: true}
+	if mean.Comp(n1, 0) != 15 {
+		t.Fatalf("mean = %g, want 15", mean.Comp(n1, 0))
+	}
+	want := history.DefaultAlpha*20 + (1-history.DefaultAlpha)*10
+	if recent.Comp(n1, 0) != want {
+		t.Fatalf("EWMA = %g, want %g", recent.Comp(n1, 0), want)
+	}
+}
+
+func TestHistoryBasedCommDelegates(t *testing.T) {
+	g, tb, repo := setup(t)
+	p := &HistoryBased{Graph: g, Repo: repo, Prior: cost.Exact(tb)}
+	e := dag.Edge{From: 0, To: 1, Data: 18}
+	if p.Comm(e, 0, 0) != 0 || p.Comm(e, 0, 1) != 18 {
+		t.Fatal("Comm should delegate to the prior")
+	}
+}
+
+func TestNoisyBoundedAndMemoised(t *testing.T) {
+	_, tb, _ := setup(t)
+	n := &Noisy{Base: cost.Exact(tb), Error: 0.3, Rng: rng.New(4)}
+	first := n.Comp(0, 0)
+	base := tb.Comp(0, 0)
+	if first < 0.7*base-1e-9 || first > 1.3*base+1e-9 {
+		t.Fatalf("noisy estimate %g outside ±30%% of %g", first, base)
+	}
+	for i := 0; i < 5; i++ {
+		if n.Comp(0, 0) != first {
+			t.Fatal("noisy estimate not memoised within a round")
+		}
+	}
+	// Comm stays exact.
+	e := dag.Edge{From: 0, To: 1, Data: 18}
+	if n.Comm(e, 0, 1) != 18 {
+		t.Fatal("noisy Comm should be exact")
+	}
+}
+
+func TestNoisyPerturbsSomething(t *testing.T) {
+	_, tb, _ := setup(t)
+	n := &Noisy{Base: cost.Exact(tb), Error: 0.5, Rng: rng.New(4)}
+	differs := 0
+	for j := dag.JobID(0); j < 10; j++ {
+		if n.Comp(j, 0) != tb.Comp(j, 0) {
+			differs++
+		}
+	}
+	if differs < 8 {
+		t.Fatalf("only %d/10 estimates perturbed", differs)
+	}
+}

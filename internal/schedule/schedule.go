@@ -1,0 +1,357 @@
+// Package schedule represents workflow schedules: the mapping from jobs to
+// (resource, start time, finish time) triples that the Planner produces and
+// the Executor enacts.
+//
+// A Schedule keeps two synchronised views — by job, for dependence lookups,
+// and by resource as a start-sorted timeline, for slot search. The timeline
+// view supports HEFT's insertion-based policy: a job may be placed in an
+// idle gap between two already-scheduled jobs when the gap is long enough.
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+)
+
+// Assignment places one job on one resource for the half-open interval
+// [Start, Finish).
+type Assignment struct {
+	Job      dag.JobID
+	Resource grid.ID
+	Start    float64
+	Finish   float64
+}
+
+// Duration returns the assignment's length.
+func (a Assignment) Duration() float64 { return a.Finish - a.Start }
+
+// Schedule is a mutable mapping from jobs to assignments. The zero value is
+// not usable; call New.
+type Schedule struct {
+	byJob map[dag.JobID]Assignment
+	byRes map[grid.ID][]Assignment // each slice sorted by Start
+}
+
+// New returns an empty schedule.
+func New() *Schedule {
+	return &Schedule{
+		byJob: make(map[dag.JobID]Assignment),
+		byRes: make(map[grid.ID][]Assignment),
+	}
+}
+
+// Len returns the number of assigned jobs.
+func (s *Schedule) Len() int { return len(s.byJob) }
+
+// Assign adds or replaces the assignment for a job, keeping the resource
+// timeline sorted. It panics on a negative-duration interval.
+func (s *Schedule) Assign(a Assignment) {
+	if a.Finish < a.Start || math.IsNaN(a.Start) || math.IsNaN(a.Finish) {
+		panic(fmt.Sprintf("schedule: invalid interval [%g,%g) for job %d", a.Start, a.Finish, a.Job))
+	}
+	if old, ok := s.byJob[a.Job]; ok {
+		s.removeFromTimeline(old)
+	}
+	s.byJob[a.Job] = a
+	tl := s.byRes[a.Resource]
+	i := sort.Search(len(tl), func(k int) bool {
+		if tl[k].Start != a.Start {
+			return tl[k].Start > a.Start
+		}
+		return tl[k].Job > a.Job
+	})
+	tl = append(tl, Assignment{})
+	copy(tl[i+1:], tl[i:])
+	tl[i] = a
+	s.byRes[a.Resource] = tl
+}
+
+// Remove deletes the assignment for a job, if present.
+func (s *Schedule) Remove(job dag.JobID) {
+	if a, ok := s.byJob[job]; ok {
+		s.removeFromTimeline(a)
+		delete(s.byJob, job)
+	}
+}
+
+func (s *Schedule) removeFromTimeline(a Assignment) {
+	tl := s.byRes[a.Resource]
+	for i := range tl {
+		if tl[i].Job == a.Job {
+			s.byRes[a.Resource] = append(tl[:i:i], tl[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get returns the assignment for a job, if any.
+func (s *Schedule) Get(job dag.JobID) (Assignment, bool) {
+	a, ok := s.byJob[job]
+	return a, ok
+}
+
+// MustGet returns the assignment for a job and panics if it is missing —
+// used on paths where the scheduler has already guaranteed coverage.
+func (s *Schedule) MustGet(job dag.JobID) Assignment {
+	a, ok := s.byJob[job]
+	if !ok {
+		panic(fmt.Sprintf("schedule: job %d not assigned", job))
+	}
+	return a
+}
+
+// OnResource returns the start-sorted timeline for one resource. Shared
+// slice; callers must not mutate.
+func (s *Schedule) OnResource(r grid.ID) []Assignment { return s.byRes[r] }
+
+// Resources returns the IDs of resources with at least one assignment, in
+// ascending order.
+func (s *Schedule) Resources() []grid.ID {
+	out := make([]grid.ID, 0, len(s.byRes))
+	for r, tl := range s.byRes {
+		if len(tl) > 0 {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Jobs returns the assigned jobs in ascending JobID order.
+func (s *Schedule) Jobs() []dag.JobID {
+	out := make([]dag.JobID, 0, len(s.byJob))
+	for j := range s.byJob {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Assignments returns all assignments ordered by (Start, Job).
+func (s *Schedule) Assignments() []Assignment {
+	out := make([]Assignment, 0, len(s.byJob))
+	for _, a := range s.byJob {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Job < out[j].Job
+	})
+	return out
+}
+
+// Makespan returns the maximum finish time over all assignments — the
+// paper's makespan = max{SFT(n_exit)} when the schedule covers a whole DAG
+// (exit jobs necessarily finish last).
+func (s *Schedule) Makespan() float64 {
+	m := 0.0
+	for _, a := range s.byJob {
+		if a.Finish > m {
+			m = a.Finish
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (s *Schedule) Clone() *Schedule {
+	c := New()
+	for j, a := range s.byJob {
+		c.byJob[j] = a
+	}
+	for r, tl := range s.byRes {
+		c.byRes[r] = append([]Assignment(nil), tl...)
+	}
+	return c
+}
+
+// EarliestStart finds the earliest start time >= ready at which a task of
+// the given duration fits on resource r.
+//
+// With insertion enabled this implements HEFT's insertion-based policy:
+// idle gaps between consecutive assignments are considered, so a short job
+// can slot in front of longer ones without delaying them. With insertion
+// disabled the job can only go after the last assignment (the simpler
+// "non-insertion" policy the ablation benchmarks compare against).
+func (s *Schedule) EarliestStart(r grid.ID, ready, duration float64, insertion bool) float64 {
+	tl := s.byRes[r]
+	if len(tl) == 0 {
+		return ready
+	}
+	if !insertion {
+		last := tl[len(tl)-1].Finish
+		if last > ready {
+			return last
+		}
+		return ready
+	}
+	// Gap before the first assignment.
+	if first := tl[0].Start; ready+duration <= first {
+		return ready
+	}
+	for i := 0; i < len(tl)-1; i++ {
+		gapStart := tl[i].Finish
+		gapEnd := tl[i+1].Start
+		start := math.Max(gapStart, ready)
+		if start+duration <= gapEnd {
+			return start
+		}
+	}
+	return math.Max(tl[len(tl)-1].Finish, ready)
+}
+
+// CompCoster reports the expected duration of a job on a resource; it is a
+// narrow view of cost.Estimator that keeps this package free of an import
+// cycle while still allowing duration checks in Validate.
+type CompCoster interface {
+	Comp(job dag.JobID, res grid.ID) float64
+}
+
+// CommCoster reports the expected transfer time of an edge between two
+// placements.
+type CommCoster interface {
+	Comm(e dag.Edge, rFrom, rTo grid.ID) float64
+}
+
+// ValidateOptions tunes Validate for the two kinds of schedules the system
+// produces: pristine initial schedules (strict) and mid-execution
+// reschedules whose early assignments reflect history rather than plans.
+type ValidateOptions struct {
+	// CheckDurations verifies Finish-Start == Comp(job, resource) when a
+	// CompCoster is supplied.
+	Comp CompCoster
+	// Comm, when non-nil, verifies precedence including transfer delays:
+	// start(j) >= finish(i) + Comm(edge, r_i, r_j).
+	Comm CommCoster
+	// Pool, when non-nil, verifies no assignment starts before its
+	// resource joined the grid.
+	Pool *grid.Pool
+}
+
+// Validate checks structural soundness of a complete schedule for g:
+// every job assigned, no overlapping assignments on any resource, and —
+// according to opts — duration, precedence and resource-availability
+// consistency. It returns the first violation found.
+func (s *Schedule) Validate(g *dag.Graph, opts ValidateOptions) error {
+	for _, j := range g.Jobs() {
+		if _, ok := s.byJob[j.ID]; !ok {
+			return fmt.Errorf("schedule: job %s unassigned", j.Name)
+		}
+	}
+	if len(s.byJob) != g.Len() {
+		return fmt.Errorf("schedule: %d assignments for %d jobs", len(s.byJob), g.Len())
+	}
+	for r, tl := range s.byRes {
+		for i := 1; i < len(tl); i++ {
+			// 1e-9 slack: start times are computed as (ready+w)−w by some
+			// schedulers, which rounds a few ulps below the finish time of
+			// the predecessor slot.
+			if tl[i].Start < tl[i-1].Finish-1e-9 {
+				return fmt.Errorf("schedule: overlap on r%d: job %d [%g,%g) vs job %d [%g,%g)",
+					r, tl[i-1].Job, tl[i-1].Start, tl[i-1].Finish, tl[i].Job, tl[i].Start, tl[i].Finish)
+			}
+		}
+	}
+	if opts.Pool != nil {
+		for _, a := range s.byJob {
+			if at := opts.Pool.ArrivalTime(a.Resource); a.Start < at {
+				return fmt.Errorf("schedule: job %d starts at %g on r%d which only joins at %g",
+					a.Job, a.Start, a.Resource, at)
+			}
+		}
+	}
+	if opts.Comp != nil {
+		for _, a := range s.byJob {
+			want := opts.Comp.Comp(a.Job, a.Resource)
+			if diff := math.Abs(a.Duration() - want); diff > 1e-9 {
+				return fmt.Errorf("schedule: job %d duration %g != cost %g on r%d", a.Job, a.Duration(), want, a.Resource)
+			}
+		}
+	}
+	if opts.Comm != nil {
+		for _, j := range g.Jobs() {
+			aj := s.byJob[j.ID]
+			for _, e := range g.Preds(j.ID) {
+				ap := s.byJob[e.From]
+				ready := ap.Finish + opts.Comm.Comm(e, ap.Resource, aj.Resource)
+				if aj.Start+1e-9 < ready {
+					return fmt.Errorf("schedule: job %s starts at %g before input from %s ready at %g",
+						g.Job(j.ID).Name, aj.Start, g.Job(e.From).Name, ready)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Gantt renders the schedule as a text Gantt chart, one row per resource,
+// with columns scaled to width characters. nameOf maps job IDs to labels;
+// resName maps resource IDs to labels (pass nil for defaults).
+func (s *Schedule) Gantt(width int, nameOf func(dag.JobID) string, resName func(grid.ID) string) string {
+	if width <= 0 {
+		width = 80
+	}
+	if nameOf == nil {
+		nameOf = func(j dag.JobID) string { return fmt.Sprintf("n%d", j+1) }
+	}
+	if resName == nil {
+		resName = func(r grid.ID) string { return fmt.Sprintf("r%d", r+1) }
+	}
+	mk := s.Makespan()
+	if mk == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / mk
+	var b strings.Builder
+	for _, r := range s.Resources() {
+		fmt.Fprintf(&b, "%-6s|", resName(r))
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, a := range s.byRes[r] {
+			lo := int(a.Start * scale)
+			hi := int(a.Finish * scale)
+			if hi > width {
+				hi = width
+			}
+			if hi <= lo {
+				hi = lo + 1
+				if hi > width {
+					lo, hi = width-1, width
+				}
+			}
+			label := nameOf(a.Job)
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = '#'
+			}
+			for i, c := range []byte(label) {
+				if lo+i < hi && lo+i < width {
+					row[lo+i] = c
+				}
+			}
+		}
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%-6s0%*s%.4g\n", "", width-1, "t=", mk)
+	return b.String()
+}
+
+// String summarises the schedule for debugging: one line per assignment in
+// start order.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for _, a := range s.Assignments() {
+		fmt.Fprintf(&b, "job %-4d r%-3d [%8.3f, %8.3f)\n", a.Job, a.Resource, a.Start, a.Finish)
+	}
+	fmt.Fprintf(&b, "makespan %.3f\n", s.Makespan())
+	return b.String()
+}

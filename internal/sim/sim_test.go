@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, tt := range []float64{5, 1, 3, 2, 4} {
+		tt := tt
+		s.At(tt, PriDefault, func() { got = append(got, tt) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %g, want 5", s.Now())
+	}
+}
+
+func TestPriorityBreaksTimeTies(t *testing.T) {
+	s := New()
+	var got []string
+	s.At(10, PriDispatch, func() { got = append(got, "dispatch") })
+	s.At(10, PriJobFinish, func() { got = append(got, "finish") })
+	s.At(10, PriResourceChange, func() { got = append(got, "arrival") })
+	s.At(10, PriTransferDone, func() { got = append(got, "transfer") })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"finish", "transfer", "arrival", "dispatch"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSequenceBreaksFullTies(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1, PriDefault, func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("insertion order not preserved: %v", got)
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			s.After(1, PriDefault, chain)
+		}
+	}
+	s.At(0, PriDefault, chain)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 || s.Now() != 4 {
+		t.Fatalf("count=%d now=%g, want 5 and 4", count, s.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New()
+	s.At(5, PriDefault, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling into the past")
+			}
+		}()
+		s.At(1, PriDefault, func() {})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonFiniteTimePanics(t *testing.T) {
+	s := New()
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for t=%v", bad)
+				}
+			}()
+			s.At(bad, PriDefault, func() {})
+		}()
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	s.After(-1, PriDefault, func() {})
+}
+
+func TestStopHaltsLoop(t *testing.T) {
+	s := New()
+	ran := 0
+	s.At(1, PriDefault, func() { ran++; s.Stop() })
+	s.At(2, PriDefault, func() { ran++ })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d events, want 1 (stopped)", ran)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	// Run again resumes with pending events.
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("resume: ran = %d, want 2", ran)
+	}
+}
+
+func TestStopSkipsSameTimestampEvents(t *testing.T) {
+	s := New()
+	var got []string
+	s.At(1, PriJobFinish, func() { got = append(got, "finish"); s.Stop() })
+	s.At(1, PriResourceChange, func() { got = append(got, "arrival") })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "finish" {
+		t.Fatalf("got %v, want just the finish before Stop", got)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New()
+	ran := 0
+	s.At(1, PriDefault, func() { ran++ })
+	s.At(10, PriDefault, func() { ran++ })
+	if err := s.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	s := New()
+	s.MaxSteps = 10
+	var loop func()
+	loop = func() { s.After(1, PriDefault, loop) }
+	s.At(0, PriDefault, loop)
+	if err := s.Run(); err == nil {
+		t.Fatal("expected MaxSteps error for runaway loop")
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.At(float64(i), PriDefault, func() {})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps() != 7 {
+		t.Fatalf("Steps = %d, want 7", s.Steps())
+	}
+}
+
+func BenchmarkEventLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		var next func()
+		n := 0
+		next = func() {
+			n++
+			if n < 1000 {
+				s.After(1, PriDefault, next)
+			}
+		}
+		s.At(0, PriDefault, next)
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

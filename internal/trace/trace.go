@@ -1,0 +1,218 @@
+// Package trace records executions as structured event logs. A Collector
+// plugs into the executor's event stream (it is an executor.EventHandler)
+// and can chain to another handler — typically the Planner's service — so
+// tracing composes with the adaptive rescheduling loop. Traces serialise
+// to JSON Lines for offline analysis and render compact human-readable
+// summaries.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"aheft/internal/dag"
+	"aheft/internal/executor"
+	"aheft/internal/grid"
+)
+
+// Kind classifies trace events.
+type Kind string
+
+// Event kinds.
+const (
+	KindJobFinish  Kind = "job_finish"
+	KindArrival    Kind = "resource_arrival"
+	KindReschedule Kind = "reschedule"
+	KindNote       Kind = "note"
+)
+
+// Event is one record of a trace.
+type Event struct {
+	Time float64 `json:"t"`
+	Kind Kind    `json:"kind"`
+	// Job fields (job_finish).
+	Job      dag.JobID `json:"job,omitempty"`
+	JobName  string    `json:"job_name,omitempty"`
+	Resource grid.ID   `json:"resource,omitempty"`
+	Duration float64   `json:"duration,omitempty"`
+	// Arrival fields (resource_arrival).
+	Arrived []string `json:"arrived,omitempty"`
+	// Reschedule fields (reschedule) and free-form notes.
+	Old     float64 `json:"old_makespan,omitempty"`
+	New     float64 `json:"new_makespan,omitempty"`
+	Adopted bool    `json:"adopted,omitempty"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// Collector accumulates events. It is safe for concurrent use and
+// implements executor.EventHandler.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+	g      *dag.Graph
+	next   executor.EventHandler
+}
+
+var _ executor.EventHandler = (*Collector)(nil)
+
+// NewCollector returns a collector. g (optional) resolves job names; next
+// (optional) receives every executor event after it is recorded, so a
+// collector can wrap the Planner's handler transparently.
+func NewCollector(g *dag.Graph, next executor.EventHandler) *Collector {
+	return &Collector{g: g, next: next}
+}
+
+// Chain sets (or replaces) the downstream handler events are forwarded to
+// — used when the downstream component is constructed after the collector,
+// as with planner.ServiceOptions.Trace.
+func (c *Collector) Chain(next executor.EventHandler) {
+	c.mu.Lock()
+	c.next = next
+	c.mu.Unlock()
+}
+
+// HandleEvent records an executor event and forwards it to the chained
+// handler.
+func (c *Collector) HandleEvent(ev executor.Event) {
+	switch {
+	case ev.Finished != dag.NoJob:
+		e := Event{
+			Time:     ev.Time,
+			Kind:     KindJobFinish,
+			Job:      ev.Finished,
+			Resource: ev.OnResource,
+			Duration: ev.ActualDuration,
+		}
+		if c.g != nil {
+			e.JobName = c.g.Job(ev.Finished).Name
+		}
+		c.append(e)
+	case len(ev.Arrived) > 0:
+		names := make([]string, len(ev.Arrived))
+		for i, r := range ev.Arrived {
+			names[i] = r.Name
+		}
+		c.append(Event{Time: ev.Time, Kind: KindArrival, Arrived: names})
+	}
+	c.mu.Lock()
+	next := c.next
+	c.mu.Unlock()
+	if next != nil {
+		next.HandleEvent(ev)
+	}
+}
+
+// Reschedule records a planner decision.
+func (c *Collector) Reschedule(t, old, new float64, adopted bool) {
+	c.append(Event{Time: t, Kind: KindReschedule, Old: old, New: new, Adopted: adopted})
+}
+
+// Note records a free-form annotation.
+func (c *Collector) Note(t float64, format string, args ...any) {
+	c.append(Event{Time: t, Kind: KindNote, Note: fmt.Sprintf(format, args...)})
+}
+
+func (c *Collector) append(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Events returns a copy of the recorded events in record order (the DES
+// delivers them in simulated-time order).
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// WriteJSONL streams the trace as JSON Lines.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range c.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: encode: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a trace previously written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Summary renders a one-line-per-event digest.
+func (c *Collector) Summary() string {
+	var b strings.Builder
+	for _, e := range c.Events() {
+		switch e.Kind {
+		case KindJobFinish:
+			name := e.JobName
+			if name == "" {
+				name = fmt.Sprintf("job%d", e.Job)
+			}
+			fmt.Fprintf(&b, "%10.2f  finish   %-16s on r%-3d (ran %.2f)\n", e.Time, name, e.Resource+1, e.Duration)
+		case KindArrival:
+			fmt.Fprintf(&b, "%10.2f  arrival  %s\n", e.Time, strings.Join(e.Arrived, ","))
+		case KindReschedule:
+			verdict := "kept"
+			if e.Adopted {
+				verdict = "ADOPTED"
+			}
+			fmt.Fprintf(&b, "%10.2f  resched  %.2f -> %.2f  %s\n", e.Time, e.Old, e.New, verdict)
+		case KindNote:
+			fmt.Fprintf(&b, "%10.2f  note     %s\n", e.Time, e.Note)
+		}
+	}
+	return b.String()
+}
+
+// Stats aggregates a trace: counts per kind and the busy time per
+// resource.
+type Stats struct {
+	Finishes    int
+	Arrivals    int
+	Reschedules int
+	Adopted     int
+	BusyTime    map[grid.ID]float64
+}
+
+// Aggregate computes trace statistics.
+func (c *Collector) Aggregate() Stats {
+	st := Stats{BusyTime: make(map[grid.ID]float64)}
+	for _, e := range c.Events() {
+		switch e.Kind {
+		case KindJobFinish:
+			st.Finishes++
+			st.BusyTime[e.Resource] += e.Duration
+		case KindArrival:
+			st.Arrivals++
+		case KindReschedule:
+			st.Reschedules++
+			if e.Adopted {
+				st.Adopted++
+			}
+		}
+	}
+	return st
+}

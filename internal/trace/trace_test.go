@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aheft/internal/dag"
+	"aheft/internal/executor"
+	"aheft/internal/grid"
+	"aheft/internal/heft"
+	"aheft/internal/sim"
+	"aheft/internal/workload"
+)
+
+// runTraced executes the sample scenario with a collector attached.
+func runTraced(t *testing.T) (*Collector, *dag.Graph) {
+	t.Helper()
+	sc := workload.SampleScenario()
+	est := sc.Estimator()
+	s0, err := heft.Schedule(sc.Graph, est, sc.Pool.Initial(), heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(sc.Graph, nil)
+	e, err := executor.New(sim.New(), sc.Graph, est, sc.Pool, s0, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return col, sc.Graph
+}
+
+func TestCollectorRecordsExecution(t *testing.T) {
+	col, g := runTraced(t)
+	st := col.Aggregate()
+	if st.Finishes != g.Len() {
+		t.Fatalf("finishes = %d, want %d", st.Finishes, g.Len())
+	}
+	if st.Arrivals != 1 {
+		t.Fatalf("arrivals = %d, want 1 (r4 at t=15)", st.Arrivals)
+	}
+	// Busy time accounting: total equals the sum of actual durations.
+	total := 0.0
+	for _, v := range st.BusyTime {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+	// Events are time-ordered.
+	evs := col.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestCollectorChainsHandlers(t *testing.T) {
+	var forwarded int
+	next := executor.EventHandlerFunc(func(ev executor.Event) { forwarded++ })
+	sc := workload.SampleScenario()
+	est := sc.Estimator()
+	s0, err := heft.Schedule(sc.Graph, est, sc.Pool.Initial(), heft.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(sc.Graph, next)
+	e, err := executor.New(sim.New(), sc.Graph, est, sc.Pool, s0, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if forwarded != col.Len() {
+		t.Fatalf("forwarded %d of %d events", forwarded, col.Len())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	col, _ := runTraced(t)
+	col.Reschedule(15, 80, 76, true)
+	col.Note(20, "checkpoint %d", 1)
+	var buf bytes.Buffer
+	if err := col.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != col.Len() {
+		t.Fatalf("round trip %d of %d events", len(back), col.Len())
+	}
+	last := back[len(back)-1]
+	if last.Kind != KindNote || last.Note != "checkpoint 1" {
+		t.Fatalf("note lost: %+v", last)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	col, _ := runTraced(t)
+	col.Reschedule(15, 80, 76, true)
+	s := col.Summary()
+	for _, want := range []string{"finish", "arrival", "ADOPTED", "n1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAggregateReschedules(t *testing.T) {
+	col := NewCollector(nil, nil)
+	col.Reschedule(1, 100, 90, true)
+	col.Reschedule(2, 90, 95, false)
+	st := col.Aggregate()
+	if st.Reschedules != 2 || st.Adopted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCollectorWithoutGraphNamesJobs(t *testing.T) {
+	col := NewCollector(nil, nil)
+	col.HandleEvent(executor.Event{Time: 1, Finished: 3, OnResource: grid.ID(0), ActualDuration: 5})
+	if !strings.Contains(col.Summary(), "job3") {
+		t.Fatalf("fallback name missing:\n%s", col.Summary())
+	}
+}

@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"fmt"
+
+	"aheft/internal/dag"
+	"aheft/internal/rng"
+)
+
+// AppParams configures a real-application DAG scenario (paper Table 5).
+type AppParams struct {
+	// Parallelism is the fan-out factor: the number of parallel chains in
+	// BLAST, or the number of k-points per LAPW section in WIEN2K. The
+	// paper's υ (total jobs) is 2·Parallelism+2 for BLAST and
+	// 2·Parallelism+8 for WIEN2K.
+	Parallelism int
+	// CCR, Beta, AvgComp as in RandomParams.
+	CCR     float64
+	Beta    float64
+	AvgComp float64
+}
+
+// DefaultAppAvgComp is the ω_DAG used for application DAGs when
+// AppParams.AvgComp is zero. The paper's BLAST/WIEN2K makespans (≈4900 and
+// ≈3450 under Table 5's pools) imply a larger per-job scale than the
+// random sweep; 200 lands the reproduced averages in the paper's range
+// and, importantly, makes workflows live through several Δ-spaced arrival
+// events, as the paper's improvement rates require.
+const DefaultAppAvgComp = 200
+
+func (p AppParams) avgComp() float64 {
+	if p.AvgComp > 0 {
+		return p.AvgComp
+	}
+	return DefaultAppAvgComp
+}
+
+func (p AppParams) validate() error {
+	if p.Parallelism < 1 {
+		return fmt.Errorf("workload: Parallelism must be >= 1, got %d", p.Parallelism)
+	}
+	if p.CCR < 0 || p.Beta < 0 || p.Beta > 2 {
+		return fmt.Errorf("workload: invalid AppParams %+v", p)
+	}
+	return nil
+}
+
+// BlastJobs returns the total job count of a BLAST DAG with the given
+// parallelism (the paper's six-step example is parallelism 2 → 6 jobs).
+func BlastJobs(parallelism int) int { return 2*parallelism + 2 }
+
+// BlastParallelism inverts BlastJobs, rounding down, so sweeps can be
+// phrased in the paper's υ terms.
+func BlastParallelism(jobs int) int {
+	p := (jobs - 2) / 2
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// BLAST generates the paper's Fig. 6 workflow shape from the GNARE
+// genome-analysis system: a FileBreaker splits the input into k blocks;
+// each block flows through a blastall search and a parser; a final merger
+// collects the parsed outputs. Four operation kinds, 2k+2 jobs, maximal
+// width k — the high-parallelism, well-balanced shape the paper found
+// benefits most from adaptive rescheduling.
+func BLAST(p AppParams, r *rng.Source) (*dag.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	k := p.Parallelism
+	g := dag.New(fmt.Sprintf("blast-x%d", k))
+	// The paper's application DAGs are full-balanced: the k parallel
+	// chains are symmetric, so one data size is drawn per edge *class*
+	// (split→blast, blast→parse, parse→merge) and shared by every chain.
+	// Sampling per edge instead would let one random outlier transfer
+	// dominate the makespan, which is not how an input split into equal
+	// blocks behaves.
+	commScale := 2 * p.CCR * p.avgComp()
+	w := func() float64 { return r.Uniform(0, commScale) }
+	wSplit, wBlast, wParse := w(), w(), w()
+
+	split := g.AddJob("FileBreaker", "FileBreaker")
+	merge := g.AddJob("Merger", "Merger")
+	for i := 1; i <= k; i++ {
+		blast := g.AddJob(fmt.Sprintf("Blast_%d", i), "blastall")
+		parse := g.AddJob(fmt.Sprintf("Parse_%d", i), "parser")
+		g.MustEdge(split, blast, wSplit)
+		g.MustEdge(blast, parse, wBlast)
+		g.MustEdge(parse, merge, wParse)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Wien2kJobs returns the total job count of a WIEN2K DAG with the given
+// parallelism.
+func Wien2kJobs(parallelism int) int { return 2*parallelism + 8 }
+
+// Wien2kParallelism inverts Wien2kJobs, rounding down.
+func Wien2kParallelism(jobs int) int {
+	p := (jobs - 8) / 2
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// WIEN2K generates the paper's Fig. 7 full-balanced workflow from the
+// ASKALON-hosted quantum-chemistry application: StageIn → LAPW0 → k
+// parallel LAPW1 tasks → the single LAPW2_FERMI synchronisation job → k
+// parallel LAPW2 tasks → a serial tail (SumPara → LCore → Mixer →
+// Converged → StageOut). The lone LAPW2_FERMI between the two parallel
+// sections halves the effective parallelism — the structural reason the
+// paper finds WIEN2K benefits far less from new resources than BLAST.
+func WIEN2K(p AppParams, r *rng.Source) (*dag.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	k := p.Parallelism
+	g := dag.New(fmt.Sprintf("wien2k-x%d", k))
+	// Full-balanced (Fig. 7): one data size per edge class, shared by the
+	// k parallel chains of each LAPW section.
+	commScale := 2 * p.CCR * p.avgComp()
+	w := func() float64 { return r.Uniform(0, commScale) }
+	wFan1, wJoin1, wFan2, wJoin2 := w(), w(), w(), w()
+
+	stageIn := g.AddJob("StageIn", "StageIn")
+	lapw0 := g.AddJob("LAPW0", "LAPW0")
+	g.MustEdge(stageIn, lapw0, w())
+	fermi := g.AddJob("LAPW2_FERMI", "LAPW2_FERMI")
+	sum := g.AddJob("SumPara", "SumPara")
+	for i := 1; i <= k; i++ {
+		l1 := g.AddJob(fmt.Sprintf("LAPW1_K%d", i), "LAPW1")
+		g.MustEdge(lapw0, l1, wFan1)
+		g.MustEdge(l1, fermi, wJoin1)
+		l2 := g.AddJob(fmt.Sprintf("LAPW2_K%d", i), "LAPW2")
+		g.MustEdge(fermi, l2, wFan2)
+		g.MustEdge(l2, sum, wJoin2)
+	}
+	lcore := g.AddJob("LCore", "LCore")
+	mixer := g.AddJob("Mixer", "Mixer")
+	conv := g.AddJob("Converged", "Converged")
+	out := g.AddJob("StageOut", "StageOut")
+	g.MustEdge(sum, lcore, w())
+	g.MustEdge(lcore, mixer, w())
+	g.MustEdge(mixer, conv, w())
+	g.MustEdge(conv, out, w())
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Montage generates a Montage-like mosaicking workflow (the third
+// well-balanced scientific workflow the paper cites; included as an
+// extension): k parallel mProject jobs, pairwise mDiffFit jobs, a serial
+// mConcatFit → mBgModel pair, k parallel mBackground jobs and a final
+// mAdd.
+func Montage(p AppParams, r *rng.Source) (*dag.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	k := p.Parallelism
+	g := dag.New(fmt.Sprintf("montage-x%d", k))
+	// One data size per edge class, as for the other full-balanced apps.
+	commScale := 2 * p.CCR * p.avgComp()
+	w := func() float64 { return r.Uniform(0, commScale) }
+	wProj, wDiff, wFit, wModel, wBg, wImg, wAdd := w(), w(), w(), w(), w(), w(), w()
+
+	stage := g.AddJob("mStage", "mStage")
+	proj := make([]dag.JobID, k)
+	for i := range proj {
+		proj[i] = g.AddJob(fmt.Sprintf("mProject_%d", i+1), "mProject")
+		g.MustEdge(stage, proj[i], wProj)
+	}
+	concat := g.AddJob("mConcatFit", "mConcatFit")
+	if k == 1 {
+		d := g.AddJob("mDiffFit_1", "mDiffFit")
+		g.MustEdge(proj[0], d, wDiff)
+		g.MustEdge(d, concat, wFit)
+	} else {
+		for i := 0; i+1 < k; i++ {
+			d := g.AddJob(fmt.Sprintf("mDiffFit_%d", i+1), "mDiffFit")
+			g.MustEdge(proj[i], d, wDiff)
+			g.MustEdge(proj[i+1], d, wDiff)
+			g.MustEdge(d, concat, wFit)
+		}
+	}
+	bg := g.AddJob("mBgModel", "mBgModel")
+	g.MustEdge(concat, bg, wModel)
+	add := g.AddJob("mAdd", "mAdd")
+	for i := range proj {
+		b := g.AddJob(fmt.Sprintf("mBackground_%d", i+1), "mBackground")
+		g.MustEdge(bg, b, wBg)
+		g.MustEdge(proj[i], b, wImg)
+		g.MustEdge(b, add, wAdd)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BlastOpScales weighs BLAST's operations: the blastall genome search
+// dominates (it is the reason the workflow is gridified), the parser is
+// mid-weight, and the file staging steps are bookkeeping. The heavyweight
+// operations are exactly the parallelisable ones, which is why BLAST
+// profits so strongly from new resources.
+var BlastOpScales = map[string]float64{
+	"FileBreaker": 0.2,
+	"blastall":    2.0,
+	"parser":      0.5,
+	"Merger":      0.2,
+}
+
+// Wien2kOpScales weighs WIEN2K's operations: the parallel LAPW1/LAPW2
+// k-point tasks are moderate, while a meaningful fraction of the
+// workflow's time sits in the serial spine (LAPW0, LAPW2_FERMI, the
+// SumPara→StageOut tail) that no amount of extra resources can
+// accelerate — the structural reason the paper finds WIEN2K benefits far
+// less than BLAST.
+var Wien2kOpScales = map[string]float64{
+	"StageIn":     0.1,
+	"LAPW0":       1.0,
+	"LAPW1":       1.0,
+	"LAPW2_FERMI": 1.0,
+	"LAPW2":       0.5,
+	"SumPara":     0.3,
+	"LCore":       1.0,
+	"Mixer":       0.3,
+	"Converged":   0.1,
+	"StageOut":    0.1,
+}
+
+// MontageOpScales weighs the Montage-like operations (projection and
+// background correction dominate).
+var MontageOpScales = map[string]float64{
+	"mStage":      0.1,
+	"mProject":    1.5,
+	"mDiffFit":    0.5,
+	"mConcatFit":  0.3,
+	"mBgModel":    0.5,
+	"mBackground": 1.0,
+	"mAdd":        0.3,
+}
+
+// BlastScenario builds a full BLAST simulation case.
+func BlastScenario(p AppParams, gp GridParams, r *rng.Source) (*Scenario, error) {
+	g, err := BLAST(p, r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildScenarioScaled(g, gp, p.Beta, p.avgComp(), p.CCR, PerOp, BlastOpScales, r)
+}
+
+// Wien2kScenario builds a full WIEN2K simulation case.
+func Wien2kScenario(p AppParams, gp GridParams, r *rng.Source) (*Scenario, error) {
+	g, err := WIEN2K(p, r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildScenarioScaled(g, gp, p.Beta, p.avgComp(), p.CCR, PerOp, Wien2kOpScales, r)
+}
+
+// MontageScenario builds a full Montage-like simulation case.
+func MontageScenario(p AppParams, gp GridParams, r *rng.Source) (*Scenario, error) {
+	g, err := Montage(p, r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildScenarioScaled(g, gp, p.Beta, p.avgComp(), p.CCR, PerOp, MontageOpScales, r)
+}

@@ -1,0 +1,105 @@
+// Package workload generates the workflow applications and grid scenarios
+// the paper evaluates on: the Fig. 4 worked sample, parametric random DAGs
+// (Topcuoglu's method, §4.2), and the two real-application DAG shapes,
+// BLAST (Fig. 6) and WIEN2K (Fig. 7). A Montage-like generator is included
+// as an extension (the paper cites Montage as a third well-balanced
+// scientific workflow).
+package workload
+
+import (
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+)
+
+// Scenario bundles everything one simulation case needs: the workflow, the
+// ground-truth cost table covering every resource that will ever join, and
+// the dynamic resource pool.
+type Scenario struct {
+	Graph *dag.Graph
+	Table *cost.Table
+	Pool  *grid.Pool
+}
+
+// Estimator returns the accurate estimator over the scenario's cost table
+// (the paper's experiment assumption 1).
+func (s *Scenario) Estimator() cost.Estimator { return cost.Exact(s.Table) }
+
+// SampleDAG returns the paper's Fig. 4 worked example: the classic ten-job
+// DAG from the HEFT paper with its edge communication weights.
+func SampleDAG() *dag.Graph {
+	g := dag.New("fig4-sample")
+	ids := make([]dag.JobID, 11) // 1-based for readability
+	for i := 1; i <= 10; i++ {
+		ids[i] = g.AddJob("n"+itoa(i), "op"+itoa(i))
+	}
+	edges := []struct {
+		from, to int
+		data     float64
+	}{
+		{1, 2, 18}, {1, 3, 12}, {1, 4, 9}, {1, 5, 11}, {1, 6, 14},
+		{2, 8, 19}, {2, 9, 16},
+		{3, 7, 23},
+		{4, 8, 27}, {4, 9, 23},
+		{5, 9, 13},
+		{6, 8, 15},
+		{7, 10, 17}, {8, 10, 11}, {9, 10, 13},
+	}
+	for _, e := range edges {
+		g.MustEdge(ids[e.from], ids[e.to], e.data)
+	}
+	return g.MustValidate()
+}
+
+// SampleTable returns the Fig. 4 computation-cost matrix: ten jobs on the
+// three initial resources r1–r3 plus the late-arriving r4.
+func SampleTable() *cost.Table {
+	return cost.MustTable([][]float64{
+		// r1, r2, r3, r4
+		{14, 16, 9, 14},  // n1
+		{13, 19, 18, 17}, // n2
+		{11, 13, 19, 14}, // n3
+		{13, 8, 17, 15},  // n4
+		{12, 13, 10, 14}, // n5
+		{13, 16, 9, 16},  // n6
+		{7, 15, 11, 15},  // n7
+		{5, 11, 14, 20},  // n8
+		{18, 12, 20, 13}, // n9
+		{21, 7, 16, 15},  // n10
+	})
+}
+
+// SampleScenario returns the full Fig. 4/5 scenario: the sample DAG, its
+// cost table, and a pool where r1–r3 are available from the start and r4
+// joins at t = 15.
+func SampleScenario() *Scenario {
+	pool := grid.MustPool([]grid.Arrival{
+		{Time: 0, Resource: grid.Resource{ID: 0, Name: "r1"}},
+		{Time: 0, Resource: grid.Resource{ID: 1, Name: "r2"}},
+		{Time: 0, Resource: grid.Resource{ID: 2, Name: "r3"}},
+		{Time: 15, Resource: grid.Resource{ID: 3, Name: "r4"}},
+	})
+	return &Scenario{Graph: SampleDAG(), Table: SampleTable(), Pool: pool}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
