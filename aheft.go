@@ -7,27 +7,49 @@
 // the BLAST/WIEN2K application shapes, and an experiment harness that
 // regenerates every table and figure of the paper's evaluation.
 //
-// # Quick start
+// # The v2 API
+//
+// Scheduling strategies are pluggable policies behind one engine: every
+// registered policy ("heft", "aheft", "minmin", "maxmin", "sufferage" —
+// see Policies) runs through the same adaptive-rescheduling loop, selected
+// by name with functional options. Run is context-aware and a Session
+// executes many workflows concurrently over one pool with an
+// event-subscription channel.
 //
 //	sc := aheft.SampleScenario() // the paper's Fig. 4 worked example
-//	res, err := aheft.Run(sc.Graph, sc.Estimator(), sc.Pool,
-//	    aheft.Adaptive, aheft.RunOptions{TieWindow: 0.05})
-//	// res.Makespan == 76; the static plan (aheft.Static) gives 80.
+//	res, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+//	    aheft.WithPolicy("aheft"), aheft.WithTieWindow(0.05))
+//	// res.Makespan == 76; WithPolicy("heft") gives the static 80.
+//
+// For many workflows at once:
+//
+//	s := aheft.NewSession(ctx, pool, aheft.WithPolicy("aheft"))
+//	events := s.Events()            // subscribe before submitting
+//	s.Submit("wf-1", g1, est1)
+//	s.Submit("wf-2", g2, est2)
+//	results, err := s.Wait()        // errgroup-style: first error cancels
 //
 // The facade re-exports the most commonly used types from the internal
 // packages; import the internal packages directly for the full API
 // surface (internal/dag for graph construction, internal/workload for
-// generators, internal/experiment for the evaluation harness, …).
+// generators, internal/policy to register custom policies,
+// internal/experiment for the evaluation harness, …).
 package aheft
 
 import (
+	"context"
+	"fmt"
+
 	"aheft/internal/cost"
 	"aheft/internal/dag"
+	"aheft/internal/executor"
 	"aheft/internal/grid"
 	"aheft/internal/heft"
-	"aheft/internal/minmin"
+	"aheft/internal/history"
 	"aheft/internal/planner"
+	"aheft/internal/policy"
 	"aheft/internal/schedule"
+	"aheft/internal/trace"
 	"aheft/internal/workload"
 )
 
@@ -51,22 +73,20 @@ type (
 	Assignment = schedule.Assignment
 	// Scenario bundles a workflow, its cost table and its dynamic pool.
 	Scenario = workload.Scenario
-	// RunOptions tunes the planner (see planner.RunOptions).
-	RunOptions = planner.RunOptions
 	// Result is a completed execution.
 	Result = planner.Result
 	// Decision records one rescheduling evaluation.
 	Decision = planner.Decision
-	// Strategy selects static HEFT or adaptive AHEFT planning.
-	Strategy = planner.Strategy
-)
-
-// Strategies.
-const (
-	// Static is traditional one-shot HEFT planning.
-	Static = planner.StrategyStatic
-	// Adaptive is the paper's AHEFT adaptive rescheduling.
-	Adaptive = planner.StrategyAdaptive
+	// Policy is a pluggable scheduling strategy (see internal/policy).
+	Policy = policy.Policy
+	// History is the performance-history repository of the Fig. 1
+	// feedback loop.
+	History = history.Repository
+	// Trace collects structured execution event logs.
+	Trace = trace.Collector
+	// Runtime supplies actual job durations to the event-driven executor
+	// when they deviate from the estimates.
+	Runtime = executor.Runtime
 )
 
 // NewGraph returns an empty workflow graph.
@@ -79,12 +99,166 @@ func StaticPool(n int) *Pool { return grid.StaticPool(n) }
 // consumes (the paper's accurate-estimation assumption).
 func Exact(t *CostTable) Estimator { return cost.Exact(t) }
 
-// Run executes a workflow on the dynamic pool under the chosen strategy
-// with accurate estimates and returns the completed execution. This is the
-// paper's experiment path; for the full event-driven Planner/Executor
-// architecture use planner.NewService.
-func Run(g *Graph, est Estimator, pool *Pool, strat Strategy, opts RunOptions) (*Result, error) {
-	return planner.Run(g, est, pool, strat, opts)
+// SampleScenario returns the paper's Fig. 4 worked example: the ten-job
+// sample DAG, its cost matrix, and a pool in which r4 joins at t = 15.
+func SampleScenario() *Scenario { return workload.SampleScenario() }
+
+// NewHistory returns an empty performance-history repository (default
+// EWMA smoothing).
+func NewHistory() *History { return history.New(0) }
+
+// NewTrace returns a collector recording the execution of workflows over
+// g (g may be nil; it only resolves job names).
+func NewTrace(g *Graph) *Trace { return trace.NewCollector(g, nil) }
+
+// Policies lists the registered scheduling-policy names.
+func Policies() []string { return policy.Names() }
+
+// config is the resolved option set of one Run or Session.
+type config struct {
+	policyName string
+	popts      policy.Options
+
+	// Event-driven extras; any of these switches Run onto the
+	// discrete-event executor path.
+	runtime     Runtime
+	hist        *History
+	trace       *Trace
+	varianceThr float64
+	eventDriven bool
+}
+
+func newConfig(opts []Option) config {
+	cfg := config{policyName: "aheft"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+func (c config) wantsEngine() bool {
+	return c.eventDriven || c.runtime != nil || c.hist != nil || c.trace != nil || c.varianceThr > 0
+}
+
+// Option configures Run, NewSession, and Session.Submit via functional
+// options.
+type Option func(*config)
+
+// WithPolicy selects the scheduling policy by registry name ("heft",
+// "aheft", "minmin", "maxmin", "sufferage", or any custom registration).
+// The default is "aheft".
+func WithPolicy(name string) Option { return func(c *config) { c.policyName = name } }
+
+// WithTieWindow enables near-tie rank-order exploration in the
+// rescheduler; ≈0.05 recovers the paper's Fig. 5(b) worked example, zero
+// (the default) is paper-faithful greedy.
+func WithTieWindow(w float64) Option { return func(c *config) { c.popts.TieWindow = w } }
+
+// WithNoInsertion disables HEFT's insertion-based slot policy (ablation).
+func WithNoInsertion() Option { return func(c *config) { c.popts.NoInsertion = true } }
+
+// WithRestartRunning reschedules mid-execution jobs, discarding their
+// partial work (ablation); the default pins running jobs in place. The
+// ablation exists only on the analytic engine — the event-driven
+// executor cannot revoke a started job — so combining it with an
+// event-driven option is an error.
+func WithRestartRunning() Option { return func(c *config) { c.popts.RestartRunning = true } }
+
+// WithEps sets the minimum makespan improvement required to adopt a new
+// schedule (zero means the 1e-9 float tolerance).
+func WithEps(eps float64) Option { return func(c *config) { c.popts.Eps = eps } }
+
+// WithHistory feeds every measured job runtime into the repository — the
+// Fig. 1 feedback loop. Implies the event-driven executor path.
+func WithHistory(h *History) Option { return func(c *config) { c.hist = h } }
+
+// WithTrace records run-time events and rescheduling decisions into the
+// collector. Implies the event-driven executor path.
+func WithTrace(t *Trace) Option { return func(c *config) { c.trace = t } }
+
+// WithRuntime supplies actual job durations that may deviate from the
+// estimates (inaccurate-prediction studies). Implies the event-driven
+// executor path.
+func WithRuntime(rt Runtime) Option { return func(c *config) { c.runtime = rt } }
+
+// WithVarianceThreshold makes the planner also evaluate a reschedule when
+// a measured runtime deviates from the history EWMA by more than this
+// relative amount — the paper's "significant variance" event. Implies the
+// event-driven executor path and requires WithHistory (deviations are
+// judged against the repository); combine with WithRuntime for runtimes
+// that actually deviate.
+func WithVarianceThreshold(v float64) Option { return func(c *config) { c.varianceThr = v } }
+
+// WithEventDriven forces the discrete-event Planner/Executor path even
+// when no event-driven extra is configured (the analytic engine is the
+// default because it is faster and provably equivalent under accurate
+// estimates).
+func WithEventDriven() Option { return func(c *config) { c.eventDriven = true } }
+
+// Run executes one workflow on the dynamic pool under the configured
+// policy (default "aheft") with accurate estimates and returns the
+// completed execution. It honours ctx: cancellation aborts the run with
+// the context's error.
+//
+// By default the fast analytic engine replays the paper's experiment
+// setting; options that need the run-time architecture (WithRuntime,
+// WithHistory, WithTrace, WithVarianceThreshold, WithEventDriven) switch
+// to the event-driven Planner/Executor collaboration, which integration
+// tests hold to the same results under accurate estimates for the
+// plan-ahead policies. Just-in-time policies ("minmin", "maxmin",
+// "sufferage") and WithRestartRunning are analytic-only and return an
+// error when combined with those options.
+func Run(ctx context.Context, g *Graph, est Estimator, pool *Pool, opts ...Option) (*Result, error) {
+	return run(ctx, g, est, pool, newConfig(opts), nil)
+}
+
+func run(ctx context.Context, g *Graph, est Estimator, pool *Pool, cfg config, observe func(Decision)) (*Result, error) {
+	pol, err := policy.Get(cfg.policyName)
+	if err != nil {
+		return nil, fmt.Errorf("aheft: %w", err)
+	}
+	if !cfg.wantsEngine() {
+		return planner.RunPolicyObserved(ctx, g, est, pool, pol, cfg.popts, observe)
+	}
+	// The event-driven executor enacts schedules with ship-on-finish
+	// transfers; re-enacting a just-in-time dispatch simulation that way
+	// would start transfers earlier than its model allows and silently
+	// improve the baseline, so refuse rather than mis-measure.
+	if policy.IsJustInTime(pol) {
+		return nil, fmt.Errorf("aheft: policy %q is a just-in-time dispatch simulation and does not support the event-driven options (WithRuntime/WithHistory/WithTrace/WithVarianceThreshold/WithEventDriven)", pol.Name())
+	}
+	// Restart-running is an analytic-only ablation: the executor cannot
+	// revoke a started job, so honouring it here would quietly degrade to
+	// pin-running semantics.
+	if cfg.popts.RestartRunning {
+		return nil, fmt.Errorf("aheft: WithRestartRunning is an analytic-engine ablation and cannot be combined with the event-driven options")
+	}
+	// Variance triggers are judged against the performance history; without
+	// one the threshold would be silently inert.
+	if cfg.varianceThr > 0 && cfg.hist == nil {
+		return nil, fmt.Errorf("aheft: WithVarianceThreshold needs WithHistory to judge deviations against")
+	}
+	svc, err := planner.NewService(g, est, pool, planner.ServiceOptions{
+		RunOptions:        cfg.popts,
+		Policy:            pol,
+		Runtime:           cfg.runtime,
+		History:           cfg.hist,
+		VarianceThreshold: cfg.varianceThr,
+		Trace:             cfg.trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := svc.ExecuteContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if observe != nil {
+		for _, d := range res.Decisions {
+			observe(d)
+		}
+	}
+	return res, nil
 }
 
 // HEFT computes a one-shot static HEFT schedule over a fixed resource set.
@@ -92,12 +266,8 @@ func HEFT(g *Graph, est Estimator, rs []Resource) (*Schedule, error) {
 	return heft.Schedule(g, est, rs, heft.Options{})
 }
 
-// MinMin runs the dynamic just-in-time Min-Min baseline and returns its
-// makespan and realised schedule.
-func MinMin(g *Graph, est Estimator, pool *Pool) (*minmin.Result, error) {
-	return minmin.Run(g, est, pool, minmin.MinMin)
+// MinMin runs the dynamic just-in-time Min-Min baseline and returns the
+// completed execution — shorthand for Run with WithPolicy("minmin").
+func MinMin(ctx context.Context, g *Graph, est Estimator, pool *Pool) (*Result, error) {
+	return Run(ctx, g, est, pool, WithPolicy("minmin"))
 }
-
-// SampleScenario returns the paper's Fig. 4 worked example: the ten-job
-// sample DAG, its cost matrix, and a pool in which r4 joins at t = 15.
-func SampleScenario() *Scenario { return workload.SampleScenario() }

@@ -1,6 +1,7 @@
 package aheft_test
 
 import (
+	"context"
 	"testing"
 
 	"aheft"
@@ -8,20 +9,37 @@ import (
 
 // TestFacadeQuickstart exercises the doc-comment example end to end.
 func TestFacadeQuickstart(t *testing.T) {
+	ctx := context.Background()
 	sc := aheft.SampleScenario()
-	static, err := aheft.Run(sc.Graph, sc.Estimator(), sc.Pool, aheft.Static, aheft.RunOptions{})
+	static, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool, aheft.WithPolicy("heft"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if static.Makespan != 80 {
 		t.Fatalf("static makespan = %g, want 80", static.Makespan)
 	}
-	adaptive, err := aheft.Run(sc.Graph, sc.Estimator(), sc.Pool, aheft.Adaptive, aheft.RunOptions{TieWindow: 0.05})
+	adaptive, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+		aheft.WithPolicy("aheft"), aheft.WithTieWindow(0.05))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if adaptive.Makespan != 76 {
 		t.Fatalf("adaptive makespan = %g, want 76", adaptive.Makespan)
+	}
+	if adaptive.Policy != "aheft" || static.Policy != "heft" {
+		t.Fatalf("policies = %q, %q", adaptive.Policy, static.Policy)
+	}
+}
+
+// TestFacadeDefaultPolicy: Run without WithPolicy is AHEFT.
+func TestFacadeDefaultPolicy(t *testing.T) {
+	sc := aheft.SampleScenario()
+	res, err := aheft.Run(context.Background(), sc.Graph, sc.Estimator(), sc.Pool, aheft.WithTieWindow(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "aheft" || res.Makespan != 76 {
+		t.Fatalf("default policy = %q, makespan %g; want aheft, 76", res.Policy, res.Makespan)
 	}
 }
 
@@ -34,12 +52,147 @@ func TestFacadeHEFTAndMinMin(t *testing.T) {
 	if s.Makespan() != 80 {
 		t.Fatalf("HEFT makespan = %g", s.Makespan())
 	}
-	dyn, err := aheft.MinMin(sc.Graph, sc.Estimator(), sc.Pool)
+	dyn, err := aheft.MinMin(context.Background(), sc.Graph, sc.Estimator(), sc.Pool)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dyn.Makespan <= 0 {
 		t.Fatal("Min-Min produced no makespan")
+	}
+	if dyn.Policy != "minmin" {
+		t.Fatalf("policy = %q, want minmin", dyn.Policy)
+	}
+}
+
+// TestFacadeUnknownPolicy: a bad name fails with the registered names in
+// the error.
+func TestFacadeUnknownPolicy(t *testing.T) {
+	sc := aheft.SampleScenario()
+	_, err := aheft.Run(context.Background(), sc.Graph, sc.Estimator(), sc.Pool, aheft.WithPolicy("nope"))
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestFacadePolicies: the registry lists the built-ins.
+func TestFacadePolicies(t *testing.T) {
+	have := make(map[string]bool)
+	for _, name := range aheft.Policies() {
+		have[name] = true
+	}
+	for _, want := range []string{"heft", "aheft", "minmin", "maxmin", "sufferage"} {
+		if !have[want] {
+			t.Fatalf("registry %v missing %q", aheft.Policies(), want)
+		}
+	}
+}
+
+// TestFacadeContextCancellation: a cancelled context aborts Run.
+func TestFacadeContextCancellation(t *testing.T) {
+	sc := aheft.SampleScenario()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The event-driven path honours cancellation too.
+	if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool, aheft.WithEventDriven()); err != context.Canceled {
+		t.Fatalf("event-driven err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFacadeEventDrivenMatchesAnalytic: WithEventDriven switches engines
+// but not results (the integration tests hold this across many scenarios;
+// here the facade wiring itself is checked).
+func TestFacadeEventDrivenMatchesAnalytic(t *testing.T) {
+	ctx := context.Background()
+	sc := aheft.SampleScenario()
+	for _, pol := range []string{"heft", "aheft"} {
+		analytic, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+			aheft.WithPolicy(pol), aheft.WithTieWindow(0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		des, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+			aheft.WithPolicy(pol), aheft.WithTieWindow(0.05), aheft.WithEventDriven())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if analytic.Makespan != des.Makespan {
+			t.Fatalf("%s: event-driven makespan %g != analytic %g", pol, des.Makespan, analytic.Makespan)
+		}
+	}
+}
+
+// TestFacadeHistoryAndTrace: the event-driven extras populate their
+// collectors through the options.
+func TestFacadeHistoryAndTrace(t *testing.T) {
+	sc := aheft.SampleScenario()
+	hist := aheft.NewHistory()
+	tr := aheft.NewTrace(sc.Graph)
+	res, err := aheft.Run(context.Background(), sc.Graph, sc.Estimator(), sc.Pool,
+		aheft.WithTieWindow(0.05), aheft.WithHistory(hist), aheft.WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 76 {
+		t.Fatalf("makespan = %g, want 76", res.Makespan)
+	}
+	if hist.Len() == 0 {
+		t.Fatal("history not recorded")
+	}
+	if tr.Len() == 0 {
+		t.Fatal("trace not recorded")
+	}
+	// The Performance Monitor measures regardless of policy: a static HEFT
+	// run with a history still populates it.
+	staticHist := aheft.NewHistory()
+	if _, err := aheft.Run(context.Background(), sc.Graph, sc.Estimator(), sc.Pool,
+		aheft.WithPolicy("heft"), aheft.WithHistory(staticHist)); err != nil {
+		t.Fatal(err)
+	}
+	if staticHist.Len() == 0 {
+		t.Fatal("static run recorded no history")
+	}
+}
+
+// TestFacadeRejectsUnenactableCombos: just-in-time policies and the
+// restart-running ablation are analytic-only; combining them with
+// event-driven options must fail loudly instead of silently changing
+// semantics (the executor's ship-on-finish enactment would, e.g., turn
+// the sample Min-Min makespan of 100 into 85).
+func TestFacadeRejectsUnenactableCombos(t *testing.T) {
+	ctx := context.Background()
+	sc := aheft.SampleScenario()
+	for _, pol := range []string{"minmin", "maxmin", "sufferage"} {
+		if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+			aheft.WithPolicy(pol), aheft.WithEventDriven()); err == nil {
+			t.Fatalf("%s + WithEventDriven accepted", pol)
+		}
+		if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+			aheft.WithPolicy(pol), aheft.WithTrace(aheft.NewTrace(sc.Graph))); err == nil {
+			t.Fatalf("%s + WithTrace accepted", pol)
+		}
+		// The analytic path keeps working.
+		if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool, aheft.WithPolicy(pol)); err != nil {
+			t.Fatalf("%s analytic: %v", pol, err)
+		}
+	}
+	if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+		aheft.WithRestartRunning(), aheft.WithEventDriven()); err == nil {
+		t.Fatal("WithRestartRunning + WithEventDriven accepted")
+	}
+	if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool, aheft.WithRestartRunning()); err != nil {
+		t.Fatalf("analytic restart ablation: %v", err)
+	}
+	// Variance triggers need a history to judge against.
+	if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+		aheft.WithVarianceThreshold(0.2)); err == nil {
+		t.Fatal("WithVarianceThreshold without WithHistory accepted")
+	}
+	if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+		aheft.WithVarianceThreshold(0.2), aheft.WithHistory(aheft.NewHistory())); err != nil {
+		t.Fatalf("variance with history: %v", err)
 	}
 }
 

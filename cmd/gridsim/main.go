@@ -11,17 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"aheft"
 	"aheft/internal/dag"
 	"aheft/internal/grid"
-	"aheft/internal/minmin"
-	"aheft/internal/planner"
+	"aheft/internal/policy"
 	"aheft/internal/rng"
-	"aheft/internal/trace"
 	"aheft/internal/workload"
 )
 
@@ -38,10 +38,11 @@ func main() {
 		pct        = flag.Float64("pct", 0.2, "resource change percentage δ")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		tie        = flag.Float64("tie", 0, "AHEFT near-tie exploration window")
-		strategies = flag.String("strategies", "heft,aheft,minmin", "comma-separated: heft, aheft, minmin")
-		gantt      = flag.Bool("gantt", false, "print a Gantt chart of each final schedule")
-		decisions  = flag.Bool("decisions", true, "print the adaptive planner's decisions")
-		traceFile  = flag.String("trace", "", "write a JSONL execution trace of the adaptive run to this file (runs through the event-driven executor)")
+		strategies = flag.String("strategies", "heft,aheft,minmin",
+			"comma-separated policy names (registered: "+strings.Join(policy.Names(), ", ")+")")
+		gantt     = flag.Bool("gantt", false, "print a Gantt chart of each final schedule")
+		decisions = flag.Bool("decisions", true, "print the adaptive planner's decisions")
+		traceFile = flag.String("trace", "", "write a JSONL execution trace of the adaptive run to this file (runs through the event-driven executor)")
 	)
 	flag.Parse()
 
@@ -64,88 +65,74 @@ func main() {
 		return fmt.Sprintf("r%d", r+1)
 	}
 
-	for _, strat := range strings.Split(*strategies, ",") {
-		switch strings.TrimSpace(strat) {
-		case "heft":
-			res, err := planner.Run(g, sc.Estimator(), sc.Pool, planner.StrategyStatic, planner.RunOptions{})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "gridsim: heft:", err)
+	ctx := context.Background()
+	traced := false
+	for _, name := range strings.Split(*strategies, ",") {
+		name = policy.Canon(name)
+		pol, err := policy.Get(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(2)
+		}
+		opts := []aheft.Option{aheft.WithPolicy(name), aheft.WithTieWindow(*tie)}
+		var col *aheft.Trace
+		if *traceFile != "" && pol.Adaptive() {
+			// Run through the event-driven executor so the trace captures
+			// the real event stream (identical results to the analytic
+			// engine; see the integration tests).
+			col = aheft.NewTrace(g)
+			opts = append(opts, aheft.WithTrace(col))
+		}
+		res, err := aheft.Run(ctx, g, sc.Estimator(), sc.Pool, opts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if col != nil {
+			if err := writeTrace(*traceFile, col); err != nil {
+				fmt.Fprintln(os.Stderr, "gridsim:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("HEFT   (static):   makespan %10.2f\n", res.Makespan)
-			if *gantt {
-				fmt.Println(res.Schedule.Gantt(96, nameOf, resName))
-			}
-		case "aheft":
-			var res *planner.Result
-			var err error
-			if *traceFile != "" {
-				// Run through the event-driven executor so the trace
-				// captures the real event stream (identical results to
-				// the analytic runner; see the integration tests).
-				col := trace.NewCollector(g, nil)
-				svc, serr := planner.NewService(g, sc.Estimator(), sc.Pool, planner.ServiceOptions{
-					RunOptions: planner.RunOptions{TieWindow: *tie},
-					Trace:      col,
-				})
-				if serr != nil {
-					fmt.Fprintln(os.Stderr, "gridsim: aheft:", serr)
-					os.Exit(1)
-				}
-				res, err = svc.Execute()
-				if err == nil {
-					f, ferr := os.Create(*traceFile)
-					if ferr != nil {
-						fmt.Fprintln(os.Stderr, "gridsim:", ferr)
-						os.Exit(1)
-					}
-					if werr := col.WriteJSONL(f); werr != nil {
-						fmt.Fprintln(os.Stderr, "gridsim:", werr)
-						os.Exit(1)
-					}
-					if cerr := f.Close(); cerr != nil {
-						fmt.Fprintln(os.Stderr, "gridsim:", cerr)
-						os.Exit(1)
-					}
-					fmt.Printf("trace (%d events) written to %s\n", col.Len(), *traceFile)
-				}
-			} else {
-				res, err = planner.Run(g, sc.Estimator(), sc.Pool, planner.StrategyAdaptive, planner.RunOptions{TieWindow: *tie})
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "gridsim: aheft:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("AHEFT  (adaptive): makespan %10.2f  (%.1f%% vs initial plan, %d/%d reschedules adopted)\n",
-				res.Makespan, 100*res.Improvement(), res.Adoptions(), len(res.Decisions))
+			fmt.Printf("trace (%d events) written to %s\n", col.Len(), *traceFile)
+			traced = true
+		}
+		if pol.Adaptive() {
+			fmt.Printf("%-9s (adaptive): makespan %10.2f  (%.1f%% vs initial plan, %d/%d reschedules adopted)\n",
+				name, res.Makespan, 100*res.Improvement(), res.Adoptions(), len(res.Decisions))
 			if *decisions {
 				for _, d := range res.Decisions {
 					verdict := "kept current"
 					if d.Adopted {
 						verdict = "adopted"
 					}
-					fmt.Printf("  t=%8.1f pool=%3d finished=%4d  %10.2f -> %10.2f  %s\n",
-						d.Clock, d.PoolSize, d.JobsFinished, d.OldMakespan, d.NewMakespan, verdict)
+					fmt.Printf("  t=%8.1f %s(+%d) pool=%3d finished=%4d  %10.2f -> %10.2f  %s\n",
+						d.Clock, d.Trigger, d.ArrivedCount, d.PoolSize, d.JobsFinished,
+						d.OldMakespan, d.NewMakespan, verdict)
 				}
 			}
-			if *gantt {
-				fmt.Println(res.Schedule.Gantt(96, nameOf, resName))
-			}
-		case "minmin":
-			res, err := minmin.Run(g, sc.Estimator(), sc.Pool, minmin.MinMin)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "gridsim: minmin:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("MinMin (dynamic):  makespan %10.2f\n", res.Makespan)
-			if *gantt {
-				fmt.Println(res.Schedule.Gantt(96, nameOf, resName))
-			}
-		default:
-			fmt.Fprintf(os.Stderr, "gridsim: unknown strategy %q\n", strat)
-			os.Exit(2)
+		} else {
+			fmt.Printf("%-9s (one-shot): makespan %10.2f\n", name, res.Makespan)
+		}
+		if *gantt {
+			fmt.Println(res.Schedule.Gantt(96, nameOf, resName))
 		}
 	}
+	if *traceFile != "" && !traced {
+		fmt.Fprintf(os.Stderr, "gridsim: warning: -trace applies only to adaptive policies; none in %q, no trace written\n", *strategies)
+	}
+}
+
+// writeTrace dumps the collected execution trace as JSON Lines.
+func writeTrace(path string, col *aheft.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := col.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildScenario(kind string, jobs int, ccr, beta, outdeg, alpha float64, pool int, interval, pct float64, seed uint64) (*workload.Scenario, error) {

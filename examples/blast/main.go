@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -51,11 +52,12 @@ func main() {
 	fmt.Printf("grid: R=%d initially, +%d resources every Δ=%g\n\n",
 		*pool, len(sc.Pool.ArrivalsAt(sc.Pool.ChangeTimes()[0])), *interval)
 
-	static, err := aheft.Run(g, sc.Estimator(), sc.Pool, aheft.Static, aheft.RunOptions{})
+	ctx := context.Background()
+	static, err := aheft.Run(ctx, g, sc.Estimator(), sc.Pool, aheft.WithPolicy("heft"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	adaptive, err := aheft.Run(g, sc.Estimator(), sc.Pool, aheft.Adaptive, aheft.RunOptions{})
+	adaptive, err := aheft.Run(ctx, g, sc.Estimator(), sc.Pool, aheft.WithPolicy("aheft"))
 	if err != nil {
 		log.Fatal(err)
 	}

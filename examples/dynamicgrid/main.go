@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -54,19 +55,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// One session per case: the three policies race concurrently over
+		// the same pool, each workflow in its own goroutine.
 		est := sc.Estimator()
-		static, err := aheft.Run(sc.Graph, est, sc.Pool, aheft.Static, aheft.RunOptions{})
+		session := aheft.NewSession(context.Background(), sc.Pool)
+		for _, pol := range []string{"heft", "aheft", "minmin"} {
+			if err := session.Submit(pol, sc.Graph, est, aheft.WithPolicy(pol)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		results, err := session.Wait()
 		if err != nil {
 			log.Fatal(err)
 		}
-		adaptive, err := aheft.Run(sc.Graph, est, sc.Pool, aheft.Adaptive, aheft.RunOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		dyn, err := aheft.MinMin(sc.Graph, est, sc.Pool)
-		if err != nil {
-			log.Fatal(err)
-		}
+		static, adaptive, dyn := results["heft"], results["aheft"], results["minmin"]
 		hs.Add(static.Makespan)
 		as.Add(adaptive.Makespan)
 		ms.Add(dyn.Makespan)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,8 +32,10 @@ func main() {
 		return res.Name
 	}
 
+	ctx := context.Background()
+
 	// 1. Traditional static HEFT: plan once on the initial pool.
-	static, err := aheft.Run(g, est, pool, aheft.Static, aheft.RunOptions{})
+	static, err := aheft.Run(ctx, g, est, pool, aheft.WithPolicy("heft"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +47,7 @@ func main() {
 	// and reach the paper's published 76 (strict Fig. 3 greedy finds an
 	// 80 reschedule and keeps the current plan instead — see
 	// EXPERIMENTS.md).
-	adaptive, err := aheft.Run(g, est, pool, aheft.Adaptive, aheft.RunOptions{TieWindow: 0.05})
+	adaptive, err := aheft.Run(ctx, g, est, pool, aheft.WithPolicy("aheft"), aheft.WithTieWindow(0.05))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +59,7 @@ func main() {
 	fmt.Println(adaptive.Schedule.Gantt(80, nameOf, resName))
 
 	// 3. The dynamic just-in-time baseline for contrast.
-	dyn, err := aheft.MinMin(g, est, pool)
+	dyn, err := aheft.MinMin(ctx, g, est, pool)
 	if err != nil {
 		log.Fatal(err)
 	}

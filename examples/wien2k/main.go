@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -77,7 +78,7 @@ func main() {
 // improvement runs static HEFT and AHEFT on the scenario and returns the
 // fractional makespan gain.
 func improvement(sc *workload.Scenario) float64 {
-	adaptive, err := aheft.Run(sc.Graph, sc.Estimator(), sc.Pool, aheft.Adaptive, aheft.RunOptions{})
+	adaptive, err := aheft.Run(context.Background(), sc.Graph, sc.Estimator(), sc.Pool, aheft.WithPolicy("aheft"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func improvement(sc *workload.Scenario) float64 {
 // makespan during which a width-1 job (an entry/exit stage, LAPW2_FERMI,
 // or the serial tail) is the only runnable work.
 func serialFraction(sc *workload.Scenario) float64 {
-	static, err := aheft.Run(sc.Graph, sc.Estimator(), sc.Pool, aheft.Static, aheft.RunOptions{})
+	static, err := aheft.Run(context.Background(), sc.Graph, sc.Estimator(), sc.Pool, aheft.WithPolicy("heft"))
 	if err != nil {
 		log.Fatal(err)
 	}

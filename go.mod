@@ -1,0 +1,3 @@
+module aheft
+
+go 1.24

@@ -205,6 +205,16 @@ func (e *Engine) Resubmit(s1 *schedule.Schedule) error {
 // Schedule returns the schedule currently being enacted.
 func (e *Engine) Schedule() *schedule.Schedule { return e.sched }
 
+// Cancel aborts the execution: the event loop halts at the current
+// simulated time and Run returns err. Safe to call from an event handler;
+// the root facade uses it to honour context cancellation.
+func (e *Engine) Cancel(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.simr.Stop()
+}
+
 func (e *Engine) onArrival(t float64) {
 	arrived := e.pool.ArrivalsAt(t)
 	for _, r := range arrived {

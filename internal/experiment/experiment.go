@@ -15,13 +15,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 
-	"aheft/internal/minmin"
 	"aheft/internal/planner"
+	"aheft/internal/policy"
 	"aheft/internal/rng"
 	"aheft/internal/stats"
 	"aheft/internal/workload"
@@ -103,16 +104,18 @@ type CaseOut struct {
 func (c CaseOut) Improvement() float64 { return stats.Improvement(c.HEFT, c.AHEFT) }
 
 // RunCase simulates one scenario under static HEFT and AHEFT (and
-// optionally dynamic Min-Min) and returns the makespans.
+// optionally dynamic Min-Min) and returns the makespans. All three
+// strategies run through the shared policy engine.
 func RunCase(sc *workload.Scenario, cfg Config, withMinMin bool) (CaseOut, error) {
 	var out CaseOut
+	ctx := context.Background()
 	est := sc.Estimator()
-	static, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyStatic, planner.RunOptions{})
+	static, err := planner.RunPolicy(ctx, sc.Graph, est, sc.Pool, policy.MustGet("heft"), policy.Options{})
 	if err != nil {
 		return out, err
 	}
-	adaptive, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyAdaptive,
-		planner.RunOptions{TieWindow: cfg.TieWindow})
+	adaptive, err := planner.RunPolicy(ctx, sc.Graph, est, sc.Pool, policy.MustGet("aheft"),
+		policy.Options{TieWindow: cfg.TieWindow})
 	if err != nil {
 		return out, err
 	}
@@ -120,7 +123,7 @@ func RunCase(sc *workload.Scenario, cfg Config, withMinMin bool) (CaseOut, error
 	out.AHEFT = adaptive.Makespan
 	out.Adoptions = adaptive.Adoptions()
 	if withMinMin {
-		dyn, err := minmin.Run(sc.Graph, est, sc.Pool, minmin.MinMin)
+		dyn, err := planner.RunPolicy(ctx, sc.Graph, est, sc.Pool, policy.MustGet("minmin"), policy.Options{})
 		if err != nil {
 			return out, err
 		}

@@ -1,62 +1,38 @@
-// Package minmin implements the dynamic (just-in-time) scheduling baseline
-// of the paper's §4.2: the Min-Min heuristic driven by the event
-// simulation, in the style of DAGMan-like executors the paper classifies
-// as "local just-in-time decision" systems. Max-Min and Sufferage variants
-// are included as extensions; the comprehensive evaluation the paper cites
-// found these batch heuristics differ by only a few percent, which the
-// benchmarks reproduce.
+// Package minmin is the legacy entry point for the dynamic (just-in-time)
+// scheduling baseline of the paper's §4.2: the Min-Min heuristic and its
+// Max-Min / Sufferage variants.
 //
-// Dynamic semantics per the paper's experiment design (§4.1 assumption 2):
-// a job is considered for mapping only once it is ready (all predecessors
-// finished), and its input files are transferred only after the executor
-// has decided which resource it runs on. Decisions are just-in-time: a job
-// is bound only to a currently idle resource, which then stalls while the
-// job's inputs stream in. The two structural penalties relative to a
-// full-ahead static plan — no communication/computation overlap, and no
-// critical-path awareness — are what make the dynamic strategy lose by a
-// large factor on data-intensive workflows, reproducing the paper's
-// Min-Min ≈ 3× HEFT headline.
+// Deprecated: the dispatch engine formerly implemented here has moved into
+// the shared policy layer — the heuristics are registered scheduling
+// policies ("minmin", "maxmin", "sufferage" in internal/policy) and run
+// through the same generic engine as HEFT and AHEFT (planner.RunPolicy, or
+// the root aheft.Run facade with aheft.WithPolicy("minmin")). This package
+// remains as a thin shim so existing callers keep their Result shape.
 package minmin
 
 import (
-	"fmt"
-	"sort"
-
 	"aheft/internal/cost"
 	"aheft/internal/dag"
 	"aheft/internal/grid"
+	"aheft/internal/policy"
 	"aheft/internal/schedule"
-	"aheft/internal/sim"
 )
 
-// Heuristic selects the mapping rule used at each decision point.
-type Heuristic int
+// Heuristic selects the mapping rule used at each decision point. It is an
+// alias of policy.Heuristic.
+type Heuristic = policy.Heuristic
 
 const (
 	// MinMin maps first the job whose best completion time is smallest —
 	// favouring short jobs, the paper's dynamic baseline.
-	MinMin Heuristic = iota
+	MinMin = policy.MinMin
 	// MaxMin maps first the job whose best completion time is largest —
 	// favouring long jobs.
-	MaxMin
+	MaxMin = policy.MaxMin
 	// Sufferage maps first the job that would suffer most from losing its
 	// best resource (largest second-best minus best completion time).
-	Sufferage
+	Sufferage = policy.Sufferage
 )
-
-// String returns the heuristic's name.
-func (h Heuristic) String() string {
-	switch h {
-	case MinMin:
-		return "Min-Min"
-	case MaxMin:
-		return "Max-Min"
-	case Sufferage:
-		return "Sufferage"
-	default:
-		return fmt.Sprintf("Heuristic(%d)", int(h))
-	}
-}
 
 // Result is the outcome of one dynamic run.
 type Result struct {
@@ -70,182 +46,24 @@ type Result struct {
 	Decisions int
 }
 
-type state struct {
-	g    *dag.Graph
-	est  cost.Estimator
-	h    Heuristic
-	simr *sim.Simulator
-
-	idle     map[grid.ID]bool
-	finished map[dag.JobID]bool
-	assigned map[dag.JobID]bool
-	resOf    map[dag.JobID]grid.ID
-	doneAt   map[dag.JobID]float64
-	pending  map[dag.JobID]int // unfinished predecessor count
-	sched    *schedule.Schedule
-	rounds   int
-}
-
 // Run executes workflow g dynamically on the pool under the heuristic.
+//
+// Deprecated: use planner.RunPolicy with the corresponding registered
+// policy (or aheft.Run with aheft.WithPolicy); Run remains for existing
+// callers and parity tests.
 func Run(g *dag.Graph, est cost.Estimator, pool *grid.Pool, h Heuristic) (*Result, error) {
-	if g == nil || g.Len() == 0 {
-		return nil, fmt.Errorf("minmin: empty workflow")
-	}
-	if pool == nil || len(pool.Initial()) == 0 {
-		return nil, fmt.Errorf("minmin: no resources at time 0")
-	}
-	st := &state{
-		g:        g,
-		est:      est,
-		h:        h,
-		simr:     sim.New(),
-		idle:     make(map[grid.ID]bool),
-		finished: make(map[dag.JobID]bool),
-		assigned: make(map[dag.JobID]bool),
-		resOf:    make(map[dag.JobID]grid.ID),
-		doneAt:   make(map[dag.JobID]float64),
-		pending:  make(map[dag.JobID]int),
-		sched:    schedule.New(),
-	}
-	for _, j := range g.Jobs() {
-		st.pending[j.ID] = len(g.Preds(j.ID))
-	}
-	for _, r := range pool.Initial() {
-		st.idle[r.ID] = true
-	}
-	for _, t := range pool.ChangeTimes() {
-		t := t
-		st.simr.At(t, sim.PriResourceChange, func() {
-			for _, r := range pool.ArrivalsAt(t) {
-				st.idle[r.ID] = true
-			}
-			st.dispatch()
-		})
-	}
-	st.simr.At(0, sim.PriDispatch, st.dispatch)
-	if err := st.simr.Run(); err != nil {
+	pol, err := policy.Get(h.RegistryName())
+	if err != nil {
 		return nil, err
 	}
-	if len(st.finished) != g.Len() {
-		return nil, fmt.Errorf("minmin: deadlock — %d of %d jobs finished", len(st.finished), g.Len())
+	s, err := pol.Plan(g, est, pool, policy.Options{})
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		Heuristic: h,
-		Makespan:  st.sched.Makespan(),
-		Schedule:  st.sched,
-		Decisions: st.rounds,
+		Makespan:  s.Makespan(),
+		Schedule:  s,
+		Decisions: s.Len(),
 	}, nil
-}
-
-// readySet returns unmapped jobs whose predecessors have all finished, in
-// JobID order for determinism.
-func (st *state) readySet() []dag.JobID {
-	var ready []dag.JobID
-	for _, j := range st.g.Jobs() {
-		if !st.assigned[j.ID] && st.pending[j.ID] == 0 {
-			ready = append(ready, j.ID)
-		}
-	}
-	return ready
-}
-
-// idleResources returns the currently idle resources in ID order.
-func (st *state) idleResources() []grid.ID {
-	out := make([]grid.ID, 0, len(st.idle))
-	for r, ok := range st.idle {
-		if ok {
-			out = append(out, r)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
-}
-
-// completion returns when job j would finish if bound to idle resource r
-// now: input files produced elsewhere start transferring at the decision
-// (dynamic file-transfer policy), the resource stalls until they arrive,
-// then computes.
-func (st *state) completion(j dag.JobID, r grid.ID, now float64) float64 {
-	inputReady := now
-	for _, e := range st.g.Preds(j) {
-		if st.resOf[e.From] == r {
-			continue // produced here; predecessor finished before now
-		}
-		if arrive := now + st.est.Comm(e, st.resOf[e.From], r); arrive > inputReady {
-			inputReady = arrive
-		}
-	}
-	return inputReady + st.est.Comp(j, r)
-}
-
-// dispatch binds ready jobs to idle resources, one (job, resource) pair at
-// a time per the heuristic, until either set drains.
-func (st *state) dispatch() {
-	now := st.simr.Now()
-	for {
-		ready := st.readySet()
-		idle := st.idleResources()
-		if len(ready) == 0 || len(idle) == 0 {
-			return
-		}
-		type bestOf struct {
-			res    grid.ID
-			done   float64
-			second float64
-		}
-		bests := make([]bestOf, len(ready))
-		for i, j := range ready {
-			b := bestOf{res: grid.NoResource}
-			for _, r := range idle {
-				d := st.completion(j, r, now)
-				switch {
-				case b.res == grid.NoResource:
-					b.res, b.done, b.second = r, d, d
-				case d < b.done:
-					b.second = b.done
-					b.res, b.done = r, d
-				case d < b.second:
-					b.second = d
-				}
-			}
-			bests[i] = b
-		}
-		pick := 0
-		for i := 1; i < len(ready); i++ {
-			switch st.h {
-			case MinMin:
-				if bests[i].done < bests[pick].done {
-					pick = i
-				}
-			case MaxMin:
-				if bests[i].done > bests[pick].done {
-					pick = i
-				}
-			case Sufferage:
-				if bests[i].second-bests[i].done > bests[pick].second-bests[pick].done {
-					pick = i
-				}
-			}
-		}
-		st.assign(ready[pick], bests[pick].res, bests[pick].done)
-	}
-}
-
-// assign binds job j to resource r until done.
-func (st *state) assign(j dag.JobID, r grid.ID, done float64) {
-	st.rounds++
-	st.assigned[j] = true
-	st.resOf[j] = r
-	st.doneAt[j] = done
-	st.idle[r] = false
-	w := st.est.Comp(j, r)
-	st.sched.Assign(schedule.Assignment{Job: j, Resource: r, Start: done - w, Finish: done})
-	st.simr.At(done, sim.PriJobFinish, func() {
-		st.finished[j] = true
-		st.idle[r] = true
-		for _, e := range st.g.Succs(j) {
-			st.pending[e.To]--
-		}
-		st.dispatch()
-	})
 }

@@ -1,32 +1,40 @@
 // Package planner implements the Planner side of the paper's Fig. 1
 // architecture: per-workflow Scheduler instances that make an initial
-// static plan, listen for run-time events, evaluate each event by
-// tentative rescheduling, and adopt the new schedule only when it improves
-// the predicted makespan (the generic adaptive rescheduling algorithm of
+// plan, listen for run-time events, evaluate each event by tentative
+// rescheduling, and adopt the new schedule only when it improves the
+// predicted makespan (the generic adaptive rescheduling algorithm of
 // Fig. 2).
 //
-// Two drivers are provided. The analytic runner in this file replays the
-// paper's experiment setting directly — accurate estimates, so execution
-// follows the schedule exactly and only resource-arrival events can change
-// anything; it is what the experiment harness and benchmarks use, since it
-// is fast and provably equivalent to the event-driven execution (an
-// integration test in package executor checks the equivalence). The
-// event-driven Planner in service.go subscribes to an executor's event
+// The loop is generic over the scheduling policy (the paper's heuristic H):
+// both drivers execute any policy.Policy from the registry — classic
+// static HEFT, the paper's AHEFT, or the just-in-time Min-Min family —
+// through the same engine path. The analytic runner in this file replays
+// the paper's experiment setting directly — accurate estimates, so
+// execution follows the schedule exactly and only resource-arrival events
+// can change anything; it is what the experiment harness and benchmarks
+// use, since it is fast and provably equivalent to the event-driven
+// execution (an integration test in this package checks the equivalence).
+// The event-driven Service in service.go subscribes to an executor's event
 // stream and is used by the architecture examples and the what-if API.
 package planner
 
 import (
+	"context"
 	"fmt"
 
 	"aheft/internal/core"
 	"aheft/internal/cost"
 	"aheft/internal/dag"
 	"aheft/internal/grid"
-	"aheft/internal/heft"
+	"aheft/internal/policy"
 	"aheft/internal/schedule"
 )
 
 // Strategy selects the planning behaviour under comparison in §4.
+//
+// Deprecated: strategies are subsumed by named entries in the policy
+// registry ("heft", "aheft", "minmin", …); use RunPolicy or the root
+// aheft.Run facade. The type remains so existing callers keep working.
 type Strategy int
 
 const (
@@ -50,22 +58,41 @@ func (s Strategy) String() string {
 	}
 }
 
-// RunOptions tunes the adaptive runner. The zero value reproduces the
-// paper's configuration: insertion-based HEFT, restart semantics for
-// running jobs, adoption on any strict improvement.
-type RunOptions struct {
-	// NoInsertion disables HEFT's insertion-based slot policy (ablation).
-	NoInsertion bool
-	// RestartRunning reschedules mid-execution jobs, discarding their
-	// partial work (ablation). The default pins running jobs in place.
-	RestartRunning bool
-	// TieWindow enables near-tie rank-order exploration in the
-	// rescheduler (see core.Options.TieWindow). Zero is paper-faithful
-	// greedy; ≈0.05 recovers the paper's Fig. 5(b) worked example.
-	TieWindow float64
-	// Eps is the minimum makespan improvement required to adopt a new
-	// schedule. Zero means the 1e-9 float tolerance.
-	Eps float64
+// policyName maps the legacy strategy to its policy registry key.
+func (s Strategy) policyName() string {
+	if s == StrategyAdaptive {
+		return "aheft"
+	}
+	return "heft"
+}
+
+// RunOptions tunes the planner. It is an alias of policy.Options so the
+// legacy Strategy path and the policy engine share one configuration
+// type; the zero value reproduces the paper's configuration.
+type RunOptions = policy.Options
+
+// Trigger classifies what caused a rescheduling evaluation.
+type Trigger int
+
+const (
+	// TriggerArrival is a resource-pool change event (the paper's primary
+	// trigger).
+	TriggerArrival Trigger = iota
+	// TriggerVariance is a significant deviation of a measured job runtime
+	// from the performance history (ServiceOptions.VarianceThreshold).
+	TriggerVariance
+)
+
+// String returns the trigger's name.
+func (t Trigger) String() string {
+	switch t {
+	case TriggerArrival:
+		return "arrival"
+	case TriggerVariance:
+		return "variance"
+	default:
+		return fmt.Sprintf("Trigger(%d)", int(t))
+	}
 }
 
 // Decision records one rescheduling evaluation: the Fig. 2 loop body at a
@@ -77,22 +104,30 @@ type Decision struct {
 	NewMakespan  float64 // S1's predicted makespan
 	Adopted      bool    // whether S1 replaced S0
 	JobsFinished int     // jobs already completed at the event
+	Trigger      Trigger // what caused this evaluation
+	ArrivedCount int     // resources that joined at the event (arrival trigger)
 }
 
 // Result is the outcome of running one workflow to completion under one
-// strategy.
+// policy.
 type Result struct {
+	// Policy is the registry name of the policy that produced the result.
+	Policy string
+	// Strategy is the legacy strategy classification: StrategyAdaptive for
+	// adaptive policies, StrategyStatic otherwise.
+	//
+	// Deprecated: use Policy.
 	Strategy Strategy
 	// Schedule is the final (possibly rescheduled) schedule; with accurate
 	// estimates its assignment times are the actual execution times.
 	Schedule *schedule.Schedule
 	// Makespan is the workflow's completion time.
 	Makespan float64
-	// InitialMakespan is the makespan of the initial static schedule —
-	// identical between HEFT and AHEFT by construction.
+	// InitialMakespan is the makespan of the initial schedule — identical
+	// between HEFT and AHEFT by construction.
 	InitialMakespan float64
 	// Decisions lists every rescheduling evaluation (empty for
-	// StrategyStatic).
+	// non-adaptive policies).
 	Decisions []Decision
 }
 
@@ -116,37 +151,75 @@ func (r *Result) Adoptions() int {
 	return n
 }
 
-// Run executes workflow g on the dynamic pool under the chosen strategy
-// with accurate cost estimates, returning the completed execution.
+// Run executes workflow g on the dynamic pool under the chosen legacy
+// strategy with accurate cost estimates, returning the completed
+// execution.
 //
-// For StrategyStatic the initial HEFT schedule on the time-0 pool is the
-// final schedule: a static planner cannot use resources it does not know
-// about, which is precisely the deficiency the paper addresses.
-//
-// For StrategyAdaptive the runner walks the pool's change events in time
-// order. At each event time t before the workflow completes it takes the
-// execution snapshot of the current schedule at clock t, reschedules the
-// unfinished jobs over the enlarged resource set (core.Reschedule), and
-// adopts the result if it strictly improves the makespan.
+// Deprecated: Run is a thin shim over the policy engine — StrategyStatic
+// resolves to the "heft" policy and StrategyAdaptive to "aheft". New code
+// should call RunPolicy (or the root aheft.Run facade) directly, which
+// also accepts a context and any registered policy.
 func Run(g *dag.Graph, est cost.Estimator, pool *grid.Pool, strat Strategy, opts RunOptions) (*Result, error) {
+	pol, err := policy.Get(strat.policyName())
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunPolicy(context.Background(), g, est, pool, pol, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = strat
+	return res, nil
+}
+
+// RunPolicy executes workflow g on the dynamic pool under any scheduling
+// policy with accurate cost estimates, returning the completed execution.
+// It honours ctx: cancellation between planning steps aborts the run with
+// the context's error.
+//
+// The engine asks the policy for the initial plan, then — for adaptive
+// policies — walks the pool's change events in time order. At each event
+// time t before the workflow completes it takes the execution snapshot of
+// the current schedule at clock t, asks the policy to replan over the
+// enlarged resource set, and adopts the result if it strictly improves
+// the makespan (Fig. 2, lines 7–9).
+func RunPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid.Pool, pol policy.Policy, opts policy.Options) (*Result, error) {
+	return runPolicy(ctx, g, est, pool, pol, opts, nil)
+}
+
+// RunPolicyObserved is RunPolicy with a live decision observer: observe is
+// invoked synchronously for every rescheduling evaluation as it is made.
+// The root facade's Session uses it to stream events to subscribers.
+func RunPolicyObserved(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid.Pool, pol policy.Policy, opts policy.Options, observe func(Decision)) (*Result, error) {
+	return runPolicy(ctx, g, est, pool, pol, opts, observe)
+}
+
+func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid.Pool, pol policy.Policy, opts policy.Options, observe func(Decision)) (*Result, error) {
+	if pol == nil {
+		return nil, fmt.Errorf("planner: nil policy")
+	}
 	if err := validateInputs(g, pool); err != nil {
 		return nil, err
 	}
-	initial, err := heft.Schedule(g, est, pool.Initial(), heft.Options{NoInsertion: opts.NoInsertion})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	initial, err := pol.Plan(g, est, pool, opts)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
-		Strategy:        strat,
+		Policy:          pol.Name(),
 		Schedule:        initial,
 		Makespan:        initial.Makespan(),
 		InitialMakespan: initial.Makespan(),
 	}
-	if strat == StrategyStatic {
+	if !pol.Adaptive() {
 		return res, nil
 	}
+	res.Strategy = StrategyAdaptive
 
-	// The analytic runner mirrors the event-driven Execution Manager
+	// The analytic engine mirrors the event-driven Execution Manager
 	// exactly (an integration test holds the two to bit-equality), which
 	// requires carrying the file-transfer ledger *across* rescheduling
 	// decisions: a transfer initiated under an earlier schedule generation
@@ -159,6 +232,9 @@ func Run(g *dag.Graph, est cost.Estimator, pool *grid.Pool, strat Strategy, opts
 	st := core.NewExecState()
 	prev := 0.0
 	for _, t := range pool.ChangeTimes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if t >= s0.Makespan() {
 			break // the workflow finished before this event
 		}
@@ -178,9 +254,13 @@ func Run(g *dag.Graph, est cost.Estimator, pool *grid.Pool, strat Strategy, opts
 				st.Pinned[j.ID] = a
 			}
 		}
-		s1, err := core.Reschedule(g, est, rs, st, core.Options{NoInsertion: opts.NoInsertion, TieWindow: opts.TieWindow})
+		s1, err := pol.Replan(g, est, rs, st, opts)
 		if err != nil {
 			return nil, err
+		}
+		if s1 == nil {
+			prev = t
+			continue // the policy proposes nothing for this event
 		}
 		d := Decision{
 			Clock:        t,
@@ -188,6 +268,8 @@ func Run(g *dag.Graph, est cost.Estimator, pool *grid.Pool, strat Strategy, opts
 			OldMakespan:  s0.Makespan(),
 			NewMakespan:  s1.Makespan(),
 			JobsFinished: len(st.Finished),
+			Trigger:      TriggerArrival,
+			ArrivedCount: len(pool.ArrivalsAt(t)),
 		}
 		if core.Better(s0.Makespan(), s1.Makespan(), opts.Eps) {
 			d.Adopted = true
@@ -217,6 +299,9 @@ func Run(g *dag.Graph, est cost.Estimator, pool *grid.Pool, strat Strategy, opts
 			}
 		}
 		res.Decisions = append(res.Decisions, d)
+		if observe != nil {
+			observe(d)
+		}
 		prev = t
 	}
 	res.Schedule = s0

@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 
 	"aheft/internal/core"
@@ -8,8 +9,8 @@ import (
 	"aheft/internal/dag"
 	"aheft/internal/executor"
 	"aheft/internal/grid"
-	"aheft/internal/heft"
 	"aheft/internal/history"
+	"aheft/internal/policy"
 	"aheft/internal/sim"
 	"aheft/internal/trace"
 )
@@ -17,6 +18,9 @@ import (
 // ServiceOptions configures an event-driven Scheduler instance.
 type ServiceOptions struct {
 	RunOptions
+	// Policy selects the scheduling policy the service drives; nil means
+	// the registry's "aheft" policy (or "heft" when Static is set).
+	Policy policy.Policy
 	// Runtime supplies actual durations for the executor; nil uses the
 	// estimator itself (accurate estimation).
 	Runtime executor.Runtime
@@ -30,34 +34,56 @@ type ServiceOptions struct {
 	VarianceThreshold float64
 	// Static disables event reactions entirely (one-shot HEFT enacted by
 	// the executor); used to compare strategies on the same engine.
+	//
+	// Deprecated: prefer Policy with a non-adaptive policy ("heft"); the
+	// flag remains as a shorthand for exactly that.
 	Static bool
 	// Trace, when non-nil, records every run-time event and every
 	// rescheduling decision into the collector.
 	Trace *trace.Collector
 }
 
+// policyOrDefault resolves the configured policy.
+func (o ServiceOptions) policyOrDefault() (policy.Policy, error) {
+	if o.Policy != nil {
+		return o.Policy, nil
+	}
+	name := "aheft"
+	if o.Static {
+		name = "heft"
+	}
+	return policy.Get(name)
+}
+
 // Service is one Scheduler instance of the paper's Fig. 1 Planner: it owns
-// a single workflow, makes the initial plan, subscribes to the Executor's
-// run-time events, and reschedules adaptively.
+// a single workflow, makes the initial plan under its policy, subscribes
+// to the Executor's run-time events, and replans adaptively when the
+// policy is adaptive.
 type Service struct {
 	g    *dag.Graph
 	est  cost.Estimator
 	pool *grid.Pool
+	pol  policy.Policy
 	opts ServiceOptions
 
 	engine    *executor.Engine
 	decisions []Decision
 	initial   float64
+	ctx       context.Context // non-nil only during ExecuteContext
 }
 
-// NewService plans the workflow and prepares an executor engine wired to
-// this service's event handler.
+// NewService plans the workflow under the configured policy and prepares
+// an executor engine wired to this service's event handler.
 func NewService(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts ServiceOptions) (*Service, error) {
 	if err := validateInputs(g, pool); err != nil {
 		return nil, err
 	}
-	s := &Service{g: g, est: est, pool: pool, opts: opts}
-	initial, err := heft.Schedule(g, est, pool.Initial(), heft.Options{NoInsertion: opts.NoInsertion})
+	pol, err := opts.policyOrDefault()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{g: g, est: est, pool: pool, pol: pol, opts: opts}
+	initial, err := pol.Plan(g, est, pool, opts.RunOptions)
 	if err != nil {
 		return nil, err
 	}
@@ -84,14 +110,26 @@ func NewService(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts ServiceO
 // Execute runs the workflow to completion through the event-driven
 // executor and reports the outcome.
 func (s *Service) Execute() (*Result, error) {
+	return s.ExecuteContext(context.Background())
+}
+
+// ExecuteContext is Execute honouring ctx: cancellation aborts the
+// discrete-event execution at the next run-time event.
+func (s *Service) ExecuteContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.ctx = ctx
+	defer func() { s.ctx = nil }()
 	if _, err := s.engine.Run(); err != nil {
 		return nil, err
 	}
-	strat := StrategyAdaptive
-	if s.opts.Static {
-		strat = StrategyStatic
+	strat := StrategyStatic
+	if s.pol.Adaptive() {
+		strat = StrategyAdaptive
 	}
 	return &Result{
+		Policy:          s.pol.Name(),
 		Strategy:        strat,
 		Schedule:        s.engine.Schedule(),
 		Makespan:        s.engine.Makespan(),
@@ -104,23 +142,34 @@ func (s *Service) Execute() (*Result, error) {
 // tools).
 func (s *Service) Engine() *executor.Engine { return s.engine }
 
+// Policy returns the scheduling policy the service drives.
+func (s *Service) Policy() policy.Policy { return s.pol }
+
 // HandleEvent implements executor.EventHandler: the Fig. 2 loop body. A
 // resource-arrival event (and, optionally, a significant performance
-// variance) triggers evaluation by rescheduling; the new schedule is
+// variance) triggers evaluation by replanning; the new schedule is
 // submitted only when it improves the predicted makespan.
 func (s *Service) HandleEvent(ev executor.Event) {
-	if s.opts.Static {
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.engine.Cancel(s.ctx.Err())
 		return
 	}
 	if ev.Finished != dag.NoJob {
 		s.onFinish(ev)
 		return
 	}
+	if !s.pol.Adaptive() {
+		return
+	}
 	if len(ev.Arrived) > 0 {
-		s.evaluate(ev.Time, len(ev.Arrived))
+		s.evaluate(ev.Time, TriggerArrival, len(ev.Arrived))
 	}
 }
 
+// onFinish is the Performance Monitor feeding the history repository; it
+// measures for every policy (the Fig. 1 loop exists regardless of what
+// the Planner does with it), while the variance *reaction* is the
+// adaptive policies' business.
 func (s *Service) onFinish(ev executor.Event) {
 	if s.opts.History == nil {
 		return
@@ -130,24 +179,25 @@ func (s *Service) onFinish(ev executor.Event) {
 	// Record after measuring variance so the event is judged against the
 	// history excluding this very observation.
 	_ = s.opts.History.Record(op, ev.OnResource, ev.ActualDuration)
-	if s.opts.VarianceThreshold > 0 && hasHistory && variance > s.opts.VarianceThreshold {
-		s.evaluate(ev.Time, 0)
+	if s.pol.Adaptive() && s.opts.VarianceThreshold > 0 && hasHistory && variance > s.opts.VarianceThreshold {
+		s.evaluate(ev.Time, TriggerVariance, 0)
 	}
 }
 
-// evaluate performs one rescheduling evaluation at the current clock.
-func (s *Service) evaluate(clock float64, arrived int) {
+// evaluate performs one rescheduling evaluation at the current clock,
+// recording what triggered it and how many resources arrived.
+func (s *Service) evaluate(clock float64, trigger Trigger, arrived int) {
 	st := s.engine.ExecState()
 	rs := s.pool.AvailableAt(clock)
-	s1, err := core.Reschedule(s.g, s.est, rs, st, core.Options{
-		NoInsertion: s.opts.NoInsertion,
-		TieWindow:   s.opts.TieWindow,
-	})
+	s1, err := s.pol.Replan(s.g, s.est, rs, st, s.opts.RunOptions)
 	if err != nil {
 		// An evaluation failure must not kill the running workflow; keep
 		// the current schedule (the paper's "otherwise the Planner does
 		// not take any action").
 		return
+	}
+	if s1 == nil {
+		return // the policy proposes nothing for this event
 	}
 	cur := s.engine.Schedule().Makespan()
 	d := Decision{
@@ -156,6 +206,8 @@ func (s *Service) evaluate(clock float64, arrived int) {
 		OldMakespan:  cur,
 		NewMakespan:  s1.Makespan(),
 		JobsFinished: len(st.Finished),
+		Trigger:      trigger,
+		ArrivedCount: arrived,
 	}
 	if core.Better(cur, s1.Makespan(), s.opts.Eps) {
 		if err := s.engine.Resubmit(s1); err == nil {
@@ -164,16 +216,11 @@ func (s *Service) evaluate(clock float64, arrived int) {
 	}
 	s.decisions = append(s.decisions, d)
 	if s.opts.Trace != nil {
-		s.opts.Trace.Reschedule(clock, d.OldMakespan, d.NewMakespan, d.Adopted)
+		s.opts.Trace.Reschedule(clock, d.OldMakespan, d.NewMakespan, d.Adopted, trigger.String(), arrived)
 	}
-	_ = arrived
 }
 
 // String describes the service.
 func (s *Service) String() string {
-	mode := "adaptive"
-	if s.opts.Static {
-		mode = "static"
-	}
-	return fmt.Sprintf("planner.Service(%s, %s, %d jobs)", s.g.Name(), mode, s.g.Len())
+	return fmt.Sprintf("planner.Service(%s, %s, %d jobs)", s.g.Name(), s.pol.Name(), s.g.Len())
 }

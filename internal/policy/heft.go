@@ -1,0 +1,43 @@
+package policy
+
+import (
+	"aheft/internal/core"
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/heft"
+	"aheft/internal/schedule"
+)
+
+// heftPolicy is traditional one-shot HEFT: plan on the time-0 pool, never
+// look back. A static planner cannot use resources it does not know about,
+// which is precisely the deficiency AHEFT addresses.
+type heftPolicy struct{}
+
+func (heftPolicy) Name() string   { return "heft" }
+func (heftPolicy) Adaptive() bool { return false }
+
+func (heftPolicy) Plan(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts Options) (*schedule.Schedule, error) {
+	return heft.Schedule(g, est, pool.Initial(), heft.Options{NoInsertion: opts.NoInsertion})
+}
+
+func (heftPolicy) Replan(*dag.Graph, cost.Estimator, []grid.Resource, *core.ExecState, Options) (*schedule.Schedule, error) {
+	return nil, nil // static: never proposes a replacement
+}
+
+// aheftPolicy is the paper's adaptive rescheduling strategy: the initial
+// plan is classic HEFT, and every run-time event is evaluated by
+// rescheduling the unfinished jobs over the enlarged resource set
+// (procedure schedule(S0, P, H) of Fig. 3, with H = HEFT).
+type aheftPolicy struct{}
+
+func (aheftPolicy) Name() string   { return "aheft" }
+func (aheftPolicy) Adaptive() bool { return true }
+
+func (aheftPolicy) Plan(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts Options) (*schedule.Schedule, error) {
+	return heft.Schedule(g, est, pool.Initial(), heft.Options{NoInsertion: opts.NoInsertion})
+}
+
+func (aheftPolicy) Replan(g *dag.Graph, est cost.Estimator, rs []grid.Resource, st *core.ExecState, opts Options) (*schedule.Schedule, error) {
+	return core.Reschedule(g, est, rs, st, opts.Core())
+}

@@ -1,0 +1,180 @@
+// Package policy defines the pluggable scheduling-policy abstraction the
+// paper's Fig. 2 loop is generic over. The paper presents AHEFT as one
+// instance of a general adaptive rescheduling architecture — "the heuristic
+// H" inside procedure schedule(S0, P, H) is a parameter — and this package
+// makes that parameterisation concrete: a Policy produces the initial plan
+// for a workflow and, if it is adaptive, candidate replacement schedules
+// from execution snapshots. One generic engine (the analytic runner and
+// the event-driven Service in internal/planner) then drives any registered
+// policy: classic static HEFT, the paper's AHEFT, and the dynamic
+// just-in-time Min-Min family all run through the same path.
+//
+// Policies are registered by name in a process-wide thread-safe registry
+// so drivers and the root facade can select them with
+// aheft.WithPolicy("aheft") without linking engine internals.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"aheft/internal/core"
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/schedule"
+)
+
+// Options tunes a policy. The zero value reproduces the paper's
+// configuration: insertion-based HEFT, pin-running-jobs semantics,
+// adoption on any strict improvement.
+type Options struct {
+	// NoInsertion disables HEFT's insertion-based slot policy (ablation).
+	NoInsertion bool
+	// RestartRunning reschedules mid-execution jobs, discarding their
+	// partial work (ablation). The default pins running jobs in place.
+	RestartRunning bool
+	// TieWindow enables near-tie rank-order exploration in the
+	// rescheduler (see core.Options.TieWindow). Zero is paper-faithful
+	// greedy; ≈0.05 recovers the paper's Fig. 5(b) worked example.
+	TieWindow float64
+	// Eps is the minimum makespan improvement required to adopt a new
+	// schedule. Zero means the 1e-9 float tolerance.
+	Eps float64
+}
+
+// Core converts the options into the rescheduling-kernel options.
+func (o Options) Core() core.Options {
+	return core.Options{NoInsertion: o.NoInsertion, TieWindow: o.TieWindow}
+}
+
+// Policy is one scheduling strategy the generic engine can drive.
+//
+// Plan produces the initial schedule for the workflow. It receives the
+// full dynamic pool: a look-ahead policy (HEFT, AHEFT) plans on the
+// resources available at time 0, while a just-in-time policy (Min-Min)
+// simulates its dispatch decisions across the pool's whole arrival
+// timeline and returns the realised schedule.
+//
+// Replan produces a candidate replacement schedule from the execution
+// snapshot st over the resources rs available at st.Clock. Returning
+// (nil, nil) means the policy proposes nothing for this event; the engine
+// records no decision. Replan is only called when Adaptive reports true.
+//
+// Implementations must be safe for concurrent use: one Policy value may
+// serve many workflows at once (the root facade's Session runs one
+// goroutine per workflow against shared registry entries).
+type Policy interface {
+	// Name returns the registry key, lower-case ("heft", "aheft", …).
+	Name() string
+	// Adaptive reports whether the policy reacts to run-time events.
+	Adaptive() bool
+	// Plan produces the initial schedule.
+	Plan(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts Options) (*schedule.Schedule, error)
+	// Replan produces a candidate replacement schedule, or (nil, nil) to
+	// keep the current one.
+	Replan(g *dag.Graph, est cost.Estimator, rs []grid.Resource, st *core.ExecState, opts Options) (*schedule.Schedule, error)
+}
+
+// JustInTime is an optional interface a Policy implements to declare that
+// its Plan is a dispatch *simulation* — decision-time file transfers, no
+// communication/computation overlap — whose realised schedule must not be
+// re-enacted by the discrete-event executor: ship-on-finish enactment
+// would start transfers earlier than the model allows and silently erase
+// the baseline's structural penalty. Engines that enact schedules reject
+// such policies instead of producing subtly different makespans.
+type JustInTime interface {
+	JustInTime() bool
+}
+
+// IsJustInTime reports whether p declares just-in-time Plan semantics.
+func IsJustInTime(p Policy) bool {
+	j, ok := p.(JustInTime)
+	return ok && j.JustInTime()
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Policy)
+)
+
+// Canon returns the canonical registry form of a policy name.
+func Canon(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// Register adds a policy under Canon(p.Name()). Registering a duplicate
+// name is an error so two packages cannot silently shadow each other.
+func Register(p Policy) error {
+	if p == nil {
+		return fmt.Errorf("policy: Register(nil)")
+	}
+	name := Canon(p.Name())
+	if name == "" {
+		return fmt.Errorf("policy: empty policy name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("policy: %q already registered", name)
+	}
+	registry[name] = p
+	return nil
+}
+
+// MustRegister is Register that panics on error; for init-time use.
+func MustRegister(p Policy) {
+	if err := Register(p); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the policy registered under Canon(name).
+func Lookup(name string) (Policy, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[Canon(name)]
+	return p, ok
+}
+
+// Get returns the policy registered under name, or an error naming the
+// available policies.
+func Get(name string) (Policy, error) {
+	if p, ok := Lookup(name); ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// MustGet is Get that panics on error; for built-in names in tests and
+// drivers.
+func MustGet(name string) Policy {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names lists the registered policy names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	MustRegister(heftPolicy{})
+	MustRegister(aheftPolicy{})
+	MustRegister(jitPolicy{h: MinMin})
+	MustRegister(jitPolicy{h: MaxMin})
+	MustRegister(jitPolicy{h: Sufferage})
+}

@@ -44,7 +44,12 @@ type Event struct {
 	Old     float64 `json:"old_makespan,omitempty"`
 	New     float64 `json:"new_makespan,omitempty"`
 	Adopted bool    `json:"adopted,omitempty"`
-	Note    string  `json:"note,omitempty"`
+	// Trigger distinguishes arrival-triggered from variance-triggered
+	// evaluations; ArrivedCount is the number of resources that joined at
+	// an arrival-triggered one.
+	Trigger      string `json:"trigger,omitempty"`
+	ArrivedCount int    `json:"arrived_count,omitempty"`
+	Note         string `json:"note,omitempty"`
 }
 
 // Collector accumulates events. It is safe for concurrent use and
@@ -105,9 +110,12 @@ func (c *Collector) HandleEvent(ev executor.Event) {
 	}
 }
 
-// Reschedule records a planner decision.
-func (c *Collector) Reschedule(t, old, new float64, adopted bool) {
-	c.append(Event{Time: t, Kind: KindReschedule, Old: old, New: new, Adopted: adopted})
+// Reschedule records a planner decision: the makespan comparison, its
+// verdict, what triggered the evaluation ("arrival" or "variance"), and
+// how many resources arrived (0 for variance triggers).
+func (c *Collector) Reschedule(t, old, new float64, adopted bool, trigger string, arrived int) {
+	c.append(Event{Time: t, Kind: KindReschedule, Old: old, New: new, Adopted: adopted,
+		Trigger: trigger, ArrivedCount: arrived})
 }
 
 // Note records a free-form annotation.
@@ -179,7 +187,11 @@ func (c *Collector) Summary() string {
 			if e.Adopted {
 				verdict = "ADOPTED"
 			}
-			fmt.Fprintf(&b, "%10.2f  resched  %.2f -> %.2f  %s\n", e.Time, e.Old, e.New, verdict)
+			cause := e.Trigger
+			if cause == "" {
+				cause = "event"
+			}
+			fmt.Fprintf(&b, "%10.2f  resched  %.2f -> %.2f  %s (%s)\n", e.Time, e.Old, e.New, verdict, cause)
 		case KindNote:
 			fmt.Fprintf(&b, "%10.2f  note     %s\n", e.Time, e.Note)
 		}

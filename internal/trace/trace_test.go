@@ -83,7 +83,7 @@ func TestCollectorChainsHandlers(t *testing.T) {
 
 func TestJSONLRoundTrip(t *testing.T) {
 	col, _ := runTraced(t)
-	col.Reschedule(15, 80, 76, true)
+	col.Reschedule(15, 80, 76, true, "arrival", 1)
 	col.Note(20, "checkpoint %d", 1)
 	var buf bytes.Buffer
 	if err := col.WriteJSONL(&buf); err != nil {
@@ -110,7 +110,7 @@ func TestReadJSONLRejectsGarbage(t *testing.T) {
 
 func TestSummary(t *testing.T) {
 	col, _ := runTraced(t)
-	col.Reschedule(15, 80, 76, true)
+	col.Reschedule(15, 80, 76, true, "arrival", 1)
 	s := col.Summary()
 	for _, want := range []string{"finish", "arrival", "ADOPTED", "n1"} {
 		if !strings.Contains(s, want) {
@@ -121,8 +121,8 @@ func TestSummary(t *testing.T) {
 
 func TestAggregateReschedules(t *testing.T) {
 	col := NewCollector(nil, nil)
-	col.Reschedule(1, 100, 90, true)
-	col.Reschedule(2, 90, 95, false)
+	col.Reschedule(1, 100, 90, true, "arrival", 1)
+	col.Reschedule(2, 90, 95, false, "variance", 0)
 	st := col.Aggregate()
 	if st.Reschedules != 2 || st.Adopted != 1 {
 		t.Fatalf("stats = %+v", st)

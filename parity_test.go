@@ -1,0 +1,188 @@
+package aheft_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"aheft"
+	"aheft/internal/minmin"
+	"aheft/internal/planner"
+	"aheft/internal/rng"
+	"aheft/internal/workload"
+)
+
+// parityScenarios yields the scenario families the acceptance criteria
+// name: the paper's Fig. 4 worked example, parametric random DAGs, and
+// the BLAST/WIEN2K application shapes, each under pool churn.
+func parityScenarios(t *testing.T) map[string]*workload.Scenario {
+	t.Helper()
+	out := map[string]*workload.Scenario{"fig4-sample": workload.SampleScenario()}
+	root := rng.New(0xBEEF)
+	gp := workload.GridParams{InitialResources: 6, ChangeInterval: 200, ChangePct: 0.25, MaxEvents: 4}
+	for i := 0; i < 3; i++ {
+		r := root.Split(fmt.Sprintf("rand-%d", i))
+		sc, err := workload.RandomScenario(workload.RandomParams{
+			Jobs: 20 + 15*i, CCR: []float64{0.5, 1, 5}[i], OutDegree: 0.3, Beta: 0.5,
+		}, gp, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[fmt.Sprintf("random-%d", i)] = sc
+	}
+	blast, err := workload.BlastScenario(workload.AppParams{Parallelism: 12, CCR: 1, Beta: 0.5},
+		gp, root.Split("blast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["blast"] = blast
+	wien, err := workload.Wien2kScenario(workload.AppParams{Parallelism: 10, CCR: 1, Beta: 0.5},
+		gp, root.Split("wien2k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["wien2k"] = wien
+	return out
+}
+
+// legacyMakespan runs a scenario through the legacy v1 entry point the
+// policy replaced: planner.Run for HEFT/AHEFT, minmin.Run for the
+// just-in-time family.
+func legacyMakespan(t *testing.T, sc *workload.Scenario, pol string, tie float64) float64 {
+	t.Helper()
+	est := sc.Estimator()
+	switch pol {
+	case "heft":
+		res, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyStatic, planner.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	case "aheft":
+		res, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyAdaptive, planner.RunOptions{TieWindow: tie})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	case "minmin", "maxmin", "sufferage":
+		h := map[string]minmin.Heuristic{
+			"minmin": minmin.MinMin, "maxmin": minmin.MaxMin, "sufferage": minmin.Sufferage,
+		}[pol]
+		res, err := minmin.Run(sc.Graph, est, sc.Pool, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	default:
+		t.Fatalf("no legacy entry point for policy %q", pol)
+		return 0
+	}
+}
+
+// TestV2ParityWithLegacy checks that the deprecated v1 entry points
+// (planner.Run, minmin.Run) and the v2 facade agree for every registered
+// policy and scenario family — guarding the shim wiring and option
+// plumbing. The legacy shims now share the policy engine, so this alone
+// cannot catch a transcription bug in the engine port itself; that is
+// pinned independently by TestSeedGoldenMakespans below (values recorded
+// from the pre-refactor seed implementation) and by the behavioural
+// suites in internal/minmin and internal/planner that survived the move
+// unchanged.
+func TestV2ParityWithLegacy(t *testing.T) {
+	ctx := context.Background()
+	scenarios := parityScenarios(t)
+	// The five legacy-backed policies, fixed: future registrations have no
+	// v1 entry point to compare against and must not break this test.
+	legacyBacked := []string{"heft", "aheft", "minmin", "maxmin", "sufferage"}
+	for _, tie := range []float64{0, 0.05} {
+		for _, pol := range legacyBacked {
+			for name, sc := range scenarios {
+				t.Run(fmt.Sprintf("%s/%s/tie=%g", pol, name, tie), func(t *testing.T) {
+					want := legacyMakespan(t, sc, pol, tie)
+					got, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+						aheft.WithPolicy(pol), aheft.WithTieWindow(tie))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Makespan != want {
+						t.Fatalf("v2 makespan %v != legacy %v", got.Makespan, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSeedGoldenMakespans pins every policy's makespan on the Fig. 4
+// sample scenario to the values produced by the seed (pre-refactor)
+// implementations — minmin/maxmin/sufferage were measured by running the
+// original internal/minmin engine at the seed commit, heft/aheft are the
+// paper's published 80/76. Unlike the shim-parity test above, both sides
+// of this comparison cannot drift together.
+func TestSeedGoldenMakespans(t *testing.T) {
+	ctx := context.Background()
+	sc := workload.SampleScenario()
+	golden := map[string]float64{
+		"heft":      80,  // paper Fig. 5(a)
+		"aheft":     76,  // paper Fig. 5(b), tie window 0.05
+		"minmin":    100, // seed internal/minmin at commit 8c03586
+		"maxmin":    101, // seed internal/minmin at commit 8c03586
+		"sufferage": 96,  // seed internal/minmin at commit 8c03586
+	}
+	for pol, want := range golden {
+		res, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+			aheft.WithPolicy(pol), aheft.WithTieWindow(0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan != want {
+			t.Fatalf("%s: makespan %g, want seed golden %g", pol, res.Makespan, want)
+		}
+	}
+}
+
+// TestV2SampleHeadline pins the paper's worked-example numbers through
+// the v2 facade for the three headline policies.
+func TestV2SampleHeadline(t *testing.T) {
+	ctx := context.Background()
+	sc := workload.SampleScenario()
+	for _, tc := range []struct {
+		pol  string
+		tie  float64
+		want float64
+	}{
+		{"heft", 0, 80},
+		{"aheft", 0.05, 76},
+		{"aheft", 0, 80}, // strict Fig. 3 greedy misses the 76 reschedule
+	} {
+		res, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+			aheft.WithPolicy(tc.pol), aheft.WithTieWindow(tc.tie))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan != tc.want {
+			t.Fatalf("%s tie=%g: makespan %g, want %g", tc.pol, tc.tie, res.Makespan, tc.want)
+		}
+	}
+}
+
+// TestV2DecisionTriggers: analytic adaptive runs label every decision as
+// arrival-triggered with the arrival count of the event.
+func TestV2DecisionTriggers(t *testing.T) {
+	sc := workload.SampleScenario()
+	res, err := aheft.Run(context.Background(), sc.Graph, sc.Estimator(), sc.Pool, aheft.WithTieWindow(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) == 0 {
+		t.Fatal("no decisions")
+	}
+	for _, d := range res.Decisions {
+		if d.Trigger != planner.TriggerArrival {
+			t.Fatalf("decision trigger = %v, want arrival", d.Trigger)
+		}
+		if d.ArrivedCount != 1 {
+			t.Fatalf("arrived count = %d, want 1 (r4)", d.ArrivedCount)
+		}
+	}
+}

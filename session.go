@@ -1,0 +1,221 @@
+package aheft
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// EventKind classifies session events.
+type EventKind string
+
+// Session event kinds.
+const (
+	// EventSubmitted: a workflow entered the session.
+	EventSubmitted EventKind = "submitted"
+	// EventDecision: the planner evaluated a reschedule for a workflow
+	// (Event.Decision holds the evaluation).
+	EventDecision EventKind = "decision"
+	// EventDone: a workflow completed (Event.Result holds the outcome).
+	EventDone EventKind = "done"
+	// EventFailed: a workflow aborted (Event.Err holds the cause).
+	EventFailed EventKind = "failed"
+)
+
+// Event is one occurrence in a session's execution, delivered through
+// Session.Events. It replaces the callback-only executor.EventHandler
+// wiring of the v1 API with a subscription the caller ranges over.
+type Event struct {
+	// Workflow is the name the workflow was submitted under.
+	Workflow string
+	// Kind classifies the event.
+	Kind EventKind
+	// Policy is the registry name of the policy driving the workflow.
+	Policy string
+	// Time is the simulated clock of the event: the rescheduling clock
+	// for EventDecision, the makespan for EventDone, 0 otherwise.
+	Time float64
+	// Decision is set for EventDecision.
+	Decision *Decision
+	// Result is set for EventDone.
+	Result *Result
+	// Err is set for EventFailed.
+	Err error
+}
+
+// Session executes many workflows concurrently over one dynamic pool.
+// Each submitted workflow runs in its own goroutine under the session's
+// context with errgroup-style semantics: the first failure cancels every
+// other workflow, and Wait reports it.
+//
+// A Session is safe for concurrent use. Subscribe with Events before the
+// first Submit to observe the full stream; Wait closes the channel.
+type Session struct {
+	pool *Pool
+	base []Option
+	ctx  context.Context
+	stop context.CancelCauseFunc
+
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	events   chan Event
+	names    map[string]bool
+	results  map[string]*Result
+	firstErr error
+	waited   bool // Wait has begun: no further Submits
+	closed   bool // Wait has finished: events channel closed
+}
+
+// NewSession prepares a session over the pool. The options become the
+// default for every submitted workflow (Submit can extend them per
+// workflow); ctx bounds the whole session — cancelling it aborts every
+// running workflow.
+func NewSession(ctx context.Context, pool *Pool, opts ...Option) *Session {
+	sctx, stop := context.WithCancelCause(ctx)
+	return &Session{
+		pool:    pool,
+		base:    opts,
+		ctx:     sctx,
+		stop:    stop,
+		names:   make(map[string]bool),
+		results: make(map[string]*Result),
+	}
+}
+
+// Events returns the session's event stream. The channel is created on
+// first call — subscribe before submitting to see every event — and is
+// closed by Wait. Events are dropped (never blocking the schedulers) when
+// the subscriber stops draining and the buffer fills.
+func (s *Session) Events() <-chan Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed && s.events == nil {
+		// Subscribed after Wait already shut the session down: hand back a
+		// closed channel so a range over it terminates instead of hanging.
+		ch := make(chan Event)
+		close(ch)
+		return ch
+	}
+	if s.events == nil {
+		s.events = make(chan Event, 256)
+	}
+	return s.events
+}
+
+// emit delivers ev to the subscriber, if any. Emission never blocks the
+// scheduling goroutines indefinitely: a full buffer drops the event when
+// the session is cancelled, or drops the oldest buffered event otherwise.
+func (s *Session) emit(ev Event) {
+	s.mu.Lock()
+	ch := s.events
+	s.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case ch <- ev:
+			return
+		case <-s.ctx.Done():
+			// Cancelled with a stalled subscriber: drop rather than leak
+			// the goroutine.
+			select {
+			case ch <- ev:
+			default:
+			}
+			return
+		default:
+			// Buffer full: evict the oldest event and retry.
+			select {
+			case <-ch:
+			default:
+			}
+		}
+	}
+}
+
+// Submit schedules workflow g (with its estimator) for execution under
+// name and returns immediately; the workflow runs in its own goroutine.
+// Extra options extend the session defaults for this workflow only (e.g.
+// a different policy per workflow). Submitting after Wait, or reusing a
+// name, is an error.
+func (s *Session) Submit(name string, g *Graph, est Estimator, opts ...Option) error {
+	cfg := newConfig(append(append([]Option(nil), s.base...), opts...))
+	s.mu.Lock()
+	switch {
+	case s.waited:
+		s.mu.Unlock()
+		return fmt.Errorf("aheft: Submit(%q) after Wait", name)
+	case s.names[name]:
+		s.mu.Unlock()
+		return fmt.Errorf("aheft: duplicate workflow name %q", name)
+	}
+	s.names[name] = true
+	// Add under the lock: Wait marks `waited` under the same lock before
+	// it calls wg.Wait, so the counter can never go 0→1 concurrently with
+	// a Wait in progress (and a late workflow can never outlive the close
+	// of the events channel).
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.emit(Event{Workflow: name, Kind: EventSubmitted, Policy: cfg.policyName})
+	go func() {
+		defer s.wg.Done()
+		res, err := run(s.ctx, g, est, s.pool, cfg, func(d Decision) {
+			dc := d
+			s.emit(Event{Workflow: name, Kind: EventDecision, Policy: cfg.policyName, Time: d.Clock, Decision: &dc})
+		})
+		if err != nil {
+			s.mu.Lock()
+			if s.firstErr == nil {
+				s.firstErr = fmt.Errorf("aheft: workflow %q: %w", name, err)
+			}
+			s.mu.Unlock()
+			// errgroup-style: the first failure cancels the siblings.
+			s.stop(err)
+			s.emit(Event{Workflow: name, Kind: EventFailed, Policy: cfg.policyName, Err: err})
+			return
+		}
+		s.mu.Lock()
+		s.results[name] = res
+		s.mu.Unlock()
+		s.emit(Event{Workflow: name, Kind: EventDone, Policy: cfg.policyName, Time: res.Makespan, Result: res})
+	}()
+	return nil
+}
+
+// Wait blocks until every submitted workflow has finished (or the session
+// is cancelled), closes the event stream, and returns the results by
+// workflow name together with the first error, if any. Workflows that
+// completed before a failure keep their results.
+func (s *Session) Wait() (map[string]*Result, error) {
+	// Refuse further Submits before waiting, under the same lock Submit
+	// uses for wg.Add: this orders every Add strictly before wg.Wait.
+	s.mu.Lock()
+	s.waited = true
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Capture the error before the session's own shutdown cancels the
+	// context: a cancellation observed here happened while workflows were
+	// in flight, not as part of a clean Wait.
+	err := s.firstErr
+	if err == nil && !s.closed && s.ctx.Err() != nil && len(s.results) < len(s.names) {
+		err = context.Cause(s.ctx)
+	}
+	if !s.closed {
+		s.closed = true
+		if s.events != nil {
+			close(s.events)
+		}
+		s.stop(nil)
+	}
+	out := make(map[string]*Result, len(s.results))
+	for k, v := range s.results {
+		out[k] = v
+	}
+	return out, err
+}

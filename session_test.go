@@ -1,0 +1,206 @@
+package aheft_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aheft"
+	"aheft/internal/rng"
+	"aheft/internal/workload"
+)
+
+// sessionScenario builds one random workflow over a churning pool.
+func sessionScenario(t *testing.T, seed string) *workload.Scenario {
+	t.Helper()
+	sc, err := workload.RandomScenario(workload.RandomParams{
+		Jobs: 25, CCR: 1, OutDegree: 0.3, Beta: 0.5,
+	}, workload.GridParams{
+		InitialResources: 5, ChangeInterval: 150, ChangePct: 0.3, MaxEvents: 3,
+	}, rng.New(7).Split(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestSessionConcurrentWorkflows executes many workflows concurrently over
+// one pool and checks each result equals its standalone run (run with
+// -race to exercise the concurrency claims).
+func TestSessionConcurrentWorkflows(t *testing.T) {
+	ctx := context.Background()
+	sc := sessionScenario(t, "shared-pool")
+	const n = 8
+	session := aheft.NewSession(ctx, sc.Pool, aheft.WithTieWindow(0.05))
+
+	events := session.Events()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	counts := make(map[aheft.EventKind]int)
+	go func() {
+		defer wg.Done()
+		for ev := range events {
+			counts[ev.Kind]++
+		}
+	}()
+
+	// A mix of policies over the same pool, one goroutine each.
+	pols := []string{"heft", "aheft", "minmin", "maxmin", "sufferage", "aheft", "heft", "minmin"}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("wf-%d", i)
+		if err := session.Submit(name, sc.Graph, sc.Estimator(), aheft.WithPolicy(pols[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := session.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(results) != n {
+		t.Fatalf("results = %d, want %d", len(results), n)
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("wf-%d", i)
+		solo, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+			aheft.WithPolicy(pols[i]), aheft.WithTieWindow(0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[name].Makespan != solo.Makespan {
+			t.Fatalf("%s (%s): session makespan %g != solo %g",
+				name, pols[i], results[name].Makespan, solo.Makespan)
+		}
+	}
+	if counts[aheft.EventSubmitted] != n {
+		t.Fatalf("submitted events = %d, want %d", counts[aheft.EventSubmitted], n)
+	}
+	if counts[aheft.EventDone] != n {
+		t.Fatalf("done events = %d, want %d", counts[aheft.EventDone], n)
+	}
+	if counts[aheft.EventFailed] != 0 {
+		t.Fatalf("failed events = %d, want 0", counts[aheft.EventFailed])
+	}
+}
+
+// TestSessionDecisionEvents: adaptive workflows stream their rescheduling
+// decisions through the subscription.
+func TestSessionDecisionEvents(t *testing.T) {
+	sc := aheft.SampleScenario()
+	session := aheft.NewSession(context.Background(), sc.Pool, aheft.WithTieWindow(0.05))
+	events := session.Events()
+	if err := session.Submit("sample", sc.Graph, sc.Estimator()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []aheft.Event)
+	go func() {
+		var got []aheft.Event
+		for ev := range events {
+			got = append(got, ev)
+		}
+		done <- got
+	}()
+	results, err := session.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results["sample"].Makespan != 76 {
+		t.Fatalf("makespan = %g, want 76", results["sample"].Makespan)
+	}
+	var decisions int
+	for _, ev := range <-done {
+		if ev.Kind == aheft.EventDecision {
+			decisions++
+			if ev.Decision == nil || ev.Workflow != "sample" {
+				t.Fatalf("malformed decision event %+v", ev)
+			}
+		}
+	}
+	if decisions != len(results["sample"].Decisions) {
+		t.Fatalf("streamed %d decisions, result has %d", decisions, len(results["sample"].Decisions))
+	}
+}
+
+// TestSessionErrgroupCancellation: the first failing workflow cancels its
+// siblings and Wait reports the failure.
+func TestSessionErrgroupCancellation(t *testing.T) {
+	sc := sessionScenario(t, "cancel")
+	session := aheft.NewSession(context.Background(), sc.Pool)
+	// An unknown policy fails immediately...
+	if err := session.Submit("bad", sc.Graph, sc.Estimator(), aheft.WithPolicy("no-such-policy")); err != nil {
+		t.Fatal(err)
+	}
+	// ...while healthy siblings keep the session busy.
+	for i := 0; i < 4; i++ {
+		if err := session.Submit(fmt.Sprintf("ok-%d", i), sc.Graph, sc.Estimator()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := session.Wait()
+	if err == nil {
+		t.Fatal("Wait did not report the failure")
+	}
+}
+
+// TestSessionSubmitValidation: duplicate names and post-Wait submissions
+// are rejected.
+func TestSessionSubmitValidation(t *testing.T) {
+	sc := aheft.SampleScenario()
+	session := aheft.NewSession(context.Background(), sc.Pool)
+	if err := session.Submit("a", sc.Graph, sc.Estimator()); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.Submit("a", sc.Graph, sc.Estimator()); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := session.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.Submit("b", sc.Graph, sc.Estimator()); err == nil {
+		t.Fatal("Submit after Wait accepted")
+	}
+	// Subscribing after Wait yields a closed channel, not a hang.
+	if _, open := <-session.Events(); open {
+		t.Fatal("Events after Wait delivered a value on an open channel")
+	}
+}
+
+// TestSessionSubmitWaitRace hammers concurrent Submit and Wait; run with
+// -race. Every Submit either errors (Wait won) or its workflow completes
+// before the events channel closes — never a send on a closed channel.
+func TestSessionSubmitWaitRace(t *testing.T) {
+	sc := aheft.SampleScenario()
+	for i := 0; i < 50; i++ {
+		session := aheft.NewSession(context.Background(), sc.Pool)
+		_ = session.Events()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; j < 4; j++ {
+				_ = session.Submit(fmt.Sprintf("wf-%d", j), sc.Graph, sc.Estimator())
+			}
+		}()
+		if _, err := session.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	}
+}
+
+// TestSessionParentCancellation: cancelling the session context aborts
+// in-flight workflows and Wait reports the cancellation.
+func TestSessionParentCancellation(t *testing.T) {
+	sc := sessionScenario(t, "parent-cancel")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before anything runs: every workflow must abort
+	session := aheft.NewSession(ctx, sc.Pool)
+	for i := 0; i < 3; i++ {
+		if err := session.Submit(fmt.Sprintf("wf-%d", i), sc.Graph, sc.Estimator()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := session.Wait(); err == nil {
+		t.Fatal("Wait ignored the cancelled context")
+	}
+}
