@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check check bench clean
+.PHONY: all build test race vet fmt fmt-check check bench bench-all clean
 
 all: check
 
@@ -26,7 +26,21 @@ fmt-check:
 
 check: fmt-check vet build race
 
+# bench runs the scheduling-kernel benches (placement + reschedule hot
+# paths on layered 1k–20k-job stress DAGs, plus the end-to-end adaptive
+# run) and snapshots ns/op, B/op and allocs/op into BENCH_kernel.json.
+# Compare against BENCH_baseline.json, the pre-kernel numbers recorded at
+# the refactor boundary.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchmem . > bench-kernel.txt || { cat bench-kernel.txt; rm -f bench-kernel.txt; exit 1; }
+	cat bench-kernel.txt
+	$(GO) run ./cmd/benchjson < bench-kernel.txt > BENCH_kernel.json
+	@rm -f bench-kernel.txt
+	@echo "wrote BENCH_kernel.json"
+
+# bench-all runs the full benchmark suite, including the paper-scale
+# experiment regeneration benches.
+bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 clean:

@@ -3,22 +3,24 @@
 // these benches time a reduced sweep of the same code and report the key
 // headline metric via ReportMetric), plus ablation benches for the design
 // choices called out in DESIGN.md and micro-benchmarks of the scheduling
-// kernels.
+// kernel. The BenchmarkKernel* family is what `make bench` records into
+// BENCH_kernel.json.
 //
 //	go test -bench=. -benchmem
 package aheft_test
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 	"testing"
 
+	"aheft"
 	"aheft/internal/core"
 	"aheft/internal/experiment"
 	"aheft/internal/heft"
-	"aheft/internal/minmin"
-	"aheft/internal/planner"
+	"aheft/internal/kernel"
 	"aheft/internal/rng"
 	"aheft/internal/workload"
 )
@@ -119,13 +121,14 @@ func benchScenario(b *testing.B, jobs int) *workload.Scenario {
 	return sc
 }
 
-func benchAdaptive(b *testing.B, opts planner.RunOptions) {
+func benchAdaptive(b *testing.B, opts ...aheft.Option) {
 	b.Helper()
 	sc := benchScenario(b, 80)
+	ctx := context.Background()
 	var mk float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := planner.Run(sc.Graph, sc.Estimator(), sc.Pool, planner.StrategyAdaptive, opts)
+		res, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,39 +138,63 @@ func benchAdaptive(b *testing.B, opts planner.RunOptions) {
 }
 
 // BenchmarkAblation_Insertion: classic insertion-based slot policy.
-func BenchmarkAblation_Insertion(b *testing.B) { benchAdaptive(b, planner.RunOptions{}) }
+func BenchmarkAblation_Insertion(b *testing.B) { benchAdaptive(b) }
 
 // BenchmarkAblation_NoInsertion: append-only placement.
 func BenchmarkAblation_NoInsertion(b *testing.B) {
-	benchAdaptive(b, planner.RunOptions{NoInsertion: true})
+	benchAdaptive(b, aheft.WithNoInsertion())
 }
 
 // BenchmarkAblation_PinRunning: paper-faithful pinning of running jobs.
-func BenchmarkAblation_PinRunning(b *testing.B) { benchAdaptive(b, planner.RunOptions{}) }
+func BenchmarkAblation_PinRunning(b *testing.B) { benchAdaptive(b) }
 
 // BenchmarkAblation_RestartRunning: restart semantics for running jobs.
 func BenchmarkAblation_RestartRunning(b *testing.B) {
-	benchAdaptive(b, planner.RunOptions{RestartRunning: true})
+	benchAdaptive(b, aheft.WithRestartRunning())
 }
 
 // BenchmarkAblation_TieWindow: near-tie rank-order exploration.
 func BenchmarkAblation_TieWindow(b *testing.B) {
-	benchAdaptive(b, planner.RunOptions{TieWindow: 0.05})
+	benchAdaptive(b, aheft.WithTieWindow(0.05))
 }
 
-// --- Micro-benchmarks of the scheduling kernels. ---
+// --- Micro-benchmarks of the scheduling kernel. ---
+//
+// The BenchmarkKernel* family is the contract `make bench` snapshots into
+// BENCH_kernel.json: ns/op and allocs/op of the placement and reschedule
+// hot paths on layered stress DAGs (5k–20k jobs), plus the end-to-end
+// adaptive run. BENCH_baseline.json pins the pre-kernel numbers recorded
+// at the refactor boundary.
 
-// BenchmarkHEFTSchedule times one full static HEFT schedule at several
-// workflow sizes.
-func BenchmarkHEFTSchedule(b *testing.B) {
-	for _, jobs := range []int{50, 200, 1000} {
+// kernelScenario builds a layered stress case: jobs/50-wide layers, fan-in
+// 3, a 16-resource pool growing 25% every 500 time units.
+func kernelScenario(b *testing.B, jobs int) *workload.Scenario {
+	b.Helper()
+	r := rng.New(0x5EED)
+	sc, err := workload.LayeredScenario(workload.LayeredParams{
+		Jobs: jobs, Width: jobs / 50, FanIn: 3, CCR: 1, Beta: 0.5,
+	}, workload.GridParams{
+		InitialResources: 16, ChangeInterval: 500, ChangePct: 0.25, MaxEvents: 4,
+	}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// BenchmarkKernelPlacement times one full static placement pass (ranks +
+// EFT loop) at stress sizes.
+func BenchmarkKernelPlacement(b *testing.B) {
+	for _, jobs := range []int{1000, 5000, 20000} {
 		jobs := jobs
 		b.Run(fmt.Sprintf("v=%d", jobs), func(b *testing.B) {
-			sc := benchScenario(b, jobs)
+			sc := kernelScenario(b, jobs)
+			k := kernel.New(sc.Graph, sc.Estimator())
 			rs := sc.Pool.Initial()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := heft.Schedule(sc.Graph, sc.Estimator(), rs, heft.Options{}); err != nil {
+				if _, err := k.Static(rs, kernel.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -175,8 +202,64 @@ func BenchmarkHEFTSchedule(b *testing.B) {
 	}
 }
 
-// BenchmarkAHEFTReschedule times one mid-execution reschedule (snapshot +
-// placement) — the operation the Planner performs per grid event.
+// BenchmarkKernelReschedule times one mid-execution reschedule (snapshot +
+// rank + placement over the enlarged pool) — the operation the Planner
+// performs per grid event, at stress sizes, exactly as the engine drives
+// it: one kernel per run, its dense state snapshotted and rescheduled per
+// event. This is the acceptance bench: v=5000 must show ≥2x fewer
+// allocs/op than the pre-kernel BENCH_baseline.json (which recorded the
+// same per-event operation through the then-current core.Snapshot +
+// core.Reschedule path).
+func BenchmarkKernelReschedule(b *testing.B) {
+	for _, jobs := range []int{1000, 5000, 20000} {
+		jobs := jobs
+		b.Run(fmt.Sprintf("v=%d", jobs), func(b *testing.B) {
+			sc := kernelScenario(b, jobs)
+			est := sc.Estimator()
+			k := kernel.New(sc.Graph, est)
+			s0, err := k.Static(sc.Pool.Initial(), kernel.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clock := s0.Makespan() / 3
+			rs := sc.Pool.AvailableAt(clock)
+			st := k.NewState(sc.Pool.Size())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A real pool event changes the resource set, so every
+				// production reschedule recomputes the upward ranks;
+				// invalidate the cache so each op pays the same work.
+				k.InvalidateRanks()
+				st.Snapshot(s0, clock, kernel.SnapshotOptions{})
+				if _, err := k.Reschedule(rs, st, kernel.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelAdaptiveRun times the full adaptive execution on the 5k
+// stress case: initial plan plus one reschedule per pool event, through
+// the same engine path production callers use.
+func BenchmarkKernelAdaptiveRun(b *testing.B) {
+	sc := kernelScenario(b, 5000)
+	ctx := context.Background()
+	est := sc.Estimator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aheft.Run(ctx, sc.Graph, est, sc.Pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Smaller end-to-end benches retained from the paper-scale suite. ---
+
+// BenchmarkAHEFTReschedule times one mid-execution reschedule at the
+// paper's workflow sizes.
 func BenchmarkAHEFTReschedule(b *testing.B) {
 	for _, jobs := range []int{50, 200, 1000} {
 		jobs := jobs
@@ -200,15 +283,17 @@ func BenchmarkAHEFTReschedule(b *testing.B) {
 	}
 }
 
-// BenchmarkMinMinRun times the dynamic baseline end to end.
+// BenchmarkMinMinRun times the dynamic baseline end to end through the v2
+// facade.
 func BenchmarkMinMinRun(b *testing.B) {
+	ctx := context.Background()
 	for _, jobs := range []int{50, 200} {
 		jobs := jobs
 		b.Run(fmt.Sprintf("v=%d", jobs), func(b *testing.B) {
 			sc := benchScenario(b, jobs)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := minmin.Run(sc.Graph, sc.Estimator(), sc.Pool, minmin.MinMin); err != nil {
+				if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool, aheft.WithPolicy("minmin")); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -219,13 +304,14 @@ func BenchmarkMinMinRun(b *testing.B) {
 // BenchmarkAdaptiveRun times the full adaptive execution (initial plan +
 // every event reschedule) — the experiment harness's unit of work.
 func BenchmarkAdaptiveRun(b *testing.B) {
+	ctx := context.Background()
 	for _, jobs := range []int{50, 200} {
 		jobs := jobs
 		b.Run(fmt.Sprintf("v=%d", jobs), func(b *testing.B) {
 			sc := benchScenario(b, jobs)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := planner.Run(sc.Graph, sc.Estimator(), sc.Pool, planner.StrategyAdaptive, planner.RunOptions{}); err != nil {
+				if _, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -250,6 +336,15 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := workload.BlastScenario(workload.AppParams{Parallelism: 249, CCR: 1, Beta: 0.5},
 				workload.GridParams{InitialResources: 40, ChangeInterval: 400, ChangePct: 0.2}, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("layered-5000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.LayeredScenario(workload.LayeredParams{
+				Jobs: 5000, Width: 100, FanIn: 3, CCR: 1, Beta: 0.5,
+			}, workload.GridParams{InitialResources: 16, ChangeInterval: 500, ChangePct: 0.25, MaxEvents: 4}, r); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,166 @@
+// Command benchcmp compares two benchjson documents (see cmd/benchjson)
+// and prints per-benchmark speedup and allocation ratios:
+//
+//	benchcmp BENCH_baseline.json BENCH_kernel.json
+//
+// With --require, it enforces minimum improvement ratios and exits
+// non-zero when they are not met — CI uses this to pin the kernel's
+// performance contract against the pre-kernel baseline:
+//
+//	benchcmp old.json new.json \
+//	  --require 'BenchmarkKernelReschedule/v=5000:allocs=2.0,ns=1.0'
+//
+// means: on that benchmark, old.allocs/new.allocs must be >= 2.0 (at
+// least 2x fewer allocations) and old.ns/new.ns must be >= 1.0 (not
+// slower).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type doc struct {
+	Benchmarks []record `json:"benchmarks"`
+}
+
+type requirement struct {
+	bench  string
+	allocs float64 // minimum old/new allocs ratio
+	ns     float64 // minimum old/new ns ratio
+}
+
+func main() {
+	var files []string
+	var reqs []requirement
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "--require":
+			i++
+			if i >= len(args) {
+				fatal("missing --require value")
+			}
+			reqs = append(reqs, parseRequire(args[i]))
+		case strings.HasPrefix(args[i], "--require="):
+			reqs = append(reqs, parseRequire(strings.TrimPrefix(args[i], "--require=")))
+		default:
+			files = append(files, args[i])
+		}
+	}
+	if len(files) != 2 {
+		fatal("usage: benchcmp OLD.json NEW.json [--require 'Bench:allocs=2.0,ns=1.0']...")
+	}
+	oldDoc, newDoc := load(files[0]), load(files[1])
+	oldBy := index(oldDoc)
+	fmt.Printf("%-44s %12s %12s %9s %9s\n", "benchmark", "ns/op", "allocs/op", "ns ×", "allocs ×")
+	newBy := map[string]record{}
+	for _, n := range newDoc.Benchmarks {
+		newBy[n.Name] = n
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Printf("%-44s %12.0f %12.0f %9s %9s\n", n.Name, n.NsPerOp, n.AllocsPerOp, "new", "new")
+			continue
+		}
+		fmt.Printf("%-44s %12.0f %12.0f %9.2f %9.2f\n",
+			n.Name, n.NsPerOp, n.AllocsPerOp, ratio(o.NsPerOp, n.NsPerOp), ratio(o.AllocsPerOp, n.AllocsPerOp))
+	}
+	failed := false
+	for _, rq := range reqs {
+		o, okO := oldBy[rq.bench]
+		n, okN := newBy[rq.bench]
+		if !okO || !okN {
+			fmt.Fprintf(os.Stderr, "benchcmp: required benchmark %q missing (old %v, new %v)\n", rq.bench, okO, okN)
+			failed = true
+			continue
+		}
+		if r := ratio(o.AllocsPerOp, n.AllocsPerOp); rq.allocs > 0 && r < rq.allocs {
+			fmt.Fprintf(os.Stderr, "benchcmp: %s: allocs ratio %.2f < required %.2f (%.0f → %.0f allocs/op)\n",
+				rq.bench, r, rq.allocs, o.AllocsPerOp, n.AllocsPerOp)
+			failed = true
+		}
+		if r := ratio(o.NsPerOp, n.NsPerOp); rq.ns > 0 && r < rq.ns {
+			fmt.Fprintf(os.Stderr, "benchcmp: %s: ns ratio %.2f < required %.2f (%.0f → %.0f ns/op)\n",
+				rq.bench, r, rq.ns, o.NsPerOp, n.NsPerOp)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	if len(reqs) > 0 {
+		fmt.Println("all requirements met")
+	}
+}
+
+func ratio(old, new float64) float64 {
+	if new == 0 {
+		if old == 0 {
+			return 1
+		}
+		return old // treat as "infinitely better", bounded by old
+	}
+	return old / new
+}
+
+func parseRequire(s string) requirement {
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		fatal("bad --require %q: want 'Bench:allocs=2.0,ns=1.0'", s)
+	}
+	rq := requirement{bench: s[:i]}
+	for _, part := range strings.Split(s[i+1:], ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			fatal("bad --require clause %q", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			fatal("bad --require value %q: %v", kv[1], err)
+		}
+		switch kv[0] {
+		case "allocs":
+			rq.allocs = v
+		case "ns":
+			rq.ns = v
+		default:
+			fatal("bad --require metric %q (want allocs or ns)", kv[0])
+		}
+	}
+	return rq
+}
+
+func load(path string) doc {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var d doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		fatal("%s: %v", path, err)
+	}
+	return d
+}
+
+func index(d doc) map[string]record {
+	m := map[string]record{}
+	for _, b := range d.Benchmarks {
+		m[b.Name] = b
+	}
+	return m
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -17,6 +17,15 @@
 //   - Reschedule is procedure schedule(S0, P, H) of Fig. 3: upward ranks
 //     over the unfinished jobs, then EFT-minimising placement.
 //
+// The rank/FEA/placement machinery itself lives in the shared scheduling
+// kernel (internal/kernel); this package owns the execution-state model
+// (ExecState, Snapshot) and exposes Reschedule as the stable one-shot
+// entry point, converting the map-based snapshot into the kernel's dense
+// state. Engine code that reschedules repeatedly (internal/planner) holds
+// a kernel and a dense state directly and skips the conversion. FEA here
+// is the map-based reference implementation of Eq. 1 that the property
+// suites cross-check the kernel against.
+//
 // When clock == 0 and no job has run, Reschedule degenerates to classic
 // HEFT exactly, as §3.4 requires ("AHEFT is identical to HEFT when
 // clock = 0").
@@ -29,7 +38,7 @@ import (
 	"aheft/internal/cost"
 	"aheft/internal/dag"
 	"aheft/internal/grid"
-	"aheft/internal/heft"
+	"aheft/internal/kernel"
 	"aheft/internal/schedule"
 )
 
@@ -99,39 +108,37 @@ func (st *ExecState) SetTransfer(m, k dag.JobID, r grid.ID, t float64) {
 }
 
 // TransferCredit selects which previously initiated file transfers a
-// reschedule may count on (the OutputAt entries Snapshot records).
-type TransferCredit int
+// reschedule may count on (the OutputAt entries Snapshot records). It is
+// the kernel's type; the Credit* constants are re-exported here for the
+// v1 signatures.
+type TransferCredit = kernel.TransferCredit
 
 const (
 	// CreditAll credits completed and in-flight transfers: a file already
 	// moving toward a resource arrives there at its original ETA even if
 	// the consumer is rescheduled elsewhere.
-	CreditAll TransferCredit = iota
+	CreditAll = kernel.CreditAll
 	// CreditDelivered credits only transfers that completed by clock;
 	// in-flight transfers are treated as cancelled by the reschedule.
-	CreditDelivered
+	CreditDelivered = kernel.CreditDelivered
 	// CreditNone credits nothing beyond the producer's own resource:
 	// every cross-resource read pays a fresh transfer from clock.
-	CreditNone
+	CreditNone = kernel.CreditNone
 )
 
 // SnapshotOptions controls how Snapshot derives an ExecState from a
-// schedule.
-type SnapshotOptions struct {
-	// RestartRunning reschedules jobs that are mid-execution at clock,
-	// discarding their partial work, instead of pinning them to their
-	// current assignment. The paper's semantics (reproducing the Fig. 5
-	// makespan of 76) pin running jobs; restart is an ablation.
-	RestartRunning bool
-	// Credit selects the in-flight transfer policy (default CreditAll).
-	Credit TransferCredit
-}
+// schedule (an alias of the kernel's option type).
+type SnapshotOptions = kernel.SnapshotOptions
 
 // Snapshot derives the execution state of schedule s0 executed faithfully
 // (accurate estimates: actual times equal scheduled times) up to clock.
 // The static file-transfer policy is applied: when a job finishes, its
 // output is immediately shipped to the resource of every scheduled
 // successor (paper §4.1 assumption 2).
+//
+// This is the map-based form consumed by inspection code and the what-if
+// API; kernel.State.Snapshot is its dense equivalent on the hot path, and
+// the property suites hold the two to identical reschedules.
 func Snapshot(g *dag.Graph, est cost.Estimator, s0 *schedule.Schedule, clock float64, opts SnapshotOptions) *ExecState {
 	st := NewExecState()
 	st.Clock = clock
@@ -167,21 +174,31 @@ func Snapshot(g *dag.Graph, est cost.Estimator, s0 *schedule.Schedule, clock flo
 	return st
 }
 
-// Options configures the AHEFT rescheduler.
-type Options struct {
-	// NoInsertion disables HEFT's insertion-based slot policy.
-	NoInsertion bool
-	// TieWindow, when positive, treats adjacent jobs in the rank list
-	// whose upward ranks differ by less than TieWindow × (the larger of
-	// the two) as order-ambiguous and additionally evaluates the schedule
-	// with each such pair swapped, keeping the best result. Rationale: the
-	// EFT-greedy list order is a heuristic, and near-equal ranks carry no
-	// real priority information; exploring those swaps costs at most one
-	// extra placement pass per near-tie. With TieWindow ≈ 0.05 this
-	// recovers the paper's Fig. 5(b) reschedule (makespan 76), which pure
-	// greedy placement misses by one locally-attractive move (n5 taking
-	// r3). Zero disables exploration (paper-faithful Fig. 3 greedy).
-	TieWindow float64
+// Options configures the AHEFT rescheduler — an alias of the kernel's
+// placement options, so the two layers cannot drift apart.
+type Options = kernel.Options
+
+// LoadState replays a map-based snapshot into the kernel's dense state:
+// clock, finished outcomes, pinned assignments and the whole transfer
+// ledger. The engine uses it to hand executor-derived snapshots to the
+// kernel; Reschedule uses it for one-shot calls.
+func LoadState(dst *kernel.State, st *ExecState) {
+	dst.Reset()
+	if st == nil {
+		return
+	}
+	dst.Clock = st.Clock
+	for j, f := range st.Finished {
+		dst.Finish(j, f.Resource, f.AST, f.AFT)
+	}
+	for _, a := range st.Pinned {
+		dst.Pin(a)
+	}
+	for key, row := range st.TransferAt {
+		for r, t := range row {
+			dst.SetTransfer(key.From, key.To, r, t)
+		}
+	}
 }
 
 // Reschedule implements procedure schedule(S0, P, H) of Fig. 3. It returns
@@ -191,83 +208,34 @@ type Options struct {
 // resource set rs (the resources available at st.Clock). The caller
 // compares S1's makespan with S0's and adopts S1 only if smaller (Fig. 2,
 // lines 7–9).
+//
+// This is the stable one-shot entry point: it builds a fresh kernel per
+// call. Engine loops that reschedule at every event hold a kernel.Kernel
+// (and its dense State) across calls instead, which also reuses the rank
+// cache and placement scratch.
 func Reschedule(g *dag.Graph, est cost.Estimator, rs []grid.Resource, st *ExecState, opts Options) (*schedule.Schedule, error) {
 	if len(rs) == 0 {
 		return nil, fmt.Errorf("aheft: empty resource set")
 	}
-	if st == nil {
-		st = NewExecState()
-	}
-	ranks, err := heft.RankU(g, est, rs)
-	if err != nil {
-		return nil, err
-	}
-	base := make([]dag.JobID, 0, g.Len())
-	for _, job := range heft.Order(ranks) {
-		if _, done := st.Finished[job]; done {
-			continue
-		}
-		if _, pinned := st.Pinned[job]; pinned {
-			continue
-		}
-		base = append(base, job)
-	}
-
-	best, err := placeAll(g, est, rs, st, base, opts)
-	if err != nil {
-		return nil, err
-	}
-	if opts.TieWindow > 0 {
-		alt := make([]dag.JobID, len(base))
-		for i := 0; i+1 < len(base); i++ {
-			hi, lo := ranks[base[i]], ranks[base[i+1]]
-			if hi <= 0 || hi-lo >= opts.TieWindow*hi {
-				continue
-			}
-			if _, dep := g.EdgeData(base[i], base[i+1]); dep {
-				continue // swapping would violate precedence
-			}
-			copy(alt, base)
-			alt[i], alt[i+1] = alt[i+1], alt[i]
-			cand, err := placeAll(g, est, rs, st, alt, opts)
-			if err != nil {
-				return nil, err
-			}
-			if cand.Makespan() < best.Makespan() {
-				best = cand
-			}
+	k := kernel.New(g, est)
+	hint := 0
+	for _, r := range rs {
+		if int(r.ID)+1 > hint {
+			hint = int(r.ID) + 1
 		}
 	}
-	return best, nil
-}
-
-// placeAll builds one candidate schedule: history carried over, then every
-// job of order placed by the EFT-minimising loop.
-func placeAll(g *dag.Graph, est cost.Estimator, rs []grid.Resource, st *ExecState, order []dag.JobID, opts Options) (*schedule.Schedule, error) {
-	s1 := schedule.New()
-	// Carry over history: finished jobs at their actual intervals, pinned
-	// running jobs at their current assignments. These occupy resource
-	// timelines so the slot search cannot double-book a resource that is
-	// busy finishing pre-clock work.
-	for j, f := range st.Finished {
-		s1.Assign(schedule.Assignment{Job: j, Resource: f.Resource, Start: f.AST, Finish: f.AFT})
-	}
-	for _, a := range st.Pinned {
-		s1.Assign(a)
-	}
-	for _, job := range order {
-		a, err := placeJob(g, est, rs, s1, st, job, !opts.NoInsertion)
-		if err != nil {
-			return nil, err
-		}
-		s1.Assign(a)
-	}
-	return s1, nil
+	ks := k.NewState(hint)
+	LoadState(ks, st)
+	return k.Reschedule(rs, ks, opts)
 }
 
 // FEA implements Eq. 1: the earliest time the output of predecessor m is
 // available on resource r for its successor (the job being placed), given
 // the new partial schedule s1 and the snapshot st.
+//
+// This is the map-based reference form — the kernel evaluates the same
+// four cases over its dense state on the hot path, and the property
+// suites cross-check kernel placements against this function.
 func FEA(g *dag.Graph, est cost.Estimator, st *ExecState, s1 *schedule.Schedule, e dag.Edge, r grid.ID) float64 {
 	m := e.From
 	if f, done := st.Finished[m]; done {
@@ -294,32 +262,6 @@ func FEA(g *dag.Graph, est cost.Estimator, st *ExecState, s1 *schedule.Schedule,
 	// Otherwise: produced elsewhere in the new schedule, transfer follows
 	// its (re)scheduled finish time SFT(m).
 	return pa.Finish + est.Comm(e, pa.Resource, r)
-}
-
-// placeJob runs the Eq. 2–3 EFT minimisation for one unfinished job.
-func placeJob(g *dag.Graph, est cost.Estimator, rs []grid.Resource, s1 *schedule.Schedule, st *ExecState, job dag.JobID, insertion bool) (schedule.Assignment, error) {
-	best := schedule.Assignment{Job: job, Resource: grid.NoResource}
-	for _, r := range rs {
-		// Inner max of Eq. 2: input availability via FEA over predecessors.
-		ready := st.Clock // nothing can start before the rescheduling clock
-		for _, e := range g.Preds(job) {
-			if t := FEA(g, est, st, s1, e, r.ID); t > ready {
-				ready = t
-			}
-		}
-		w := est.Comp(job, r.ID)
-		// avail[j] of Eq. 2 comes from the resource timeline (insertion
-		// policy), which already contains finished and pinned work.
-		start := s1.EarliestStart(r.ID, ready, w, insertion)
-		finish := start + w // Eq. 3
-		if best.Resource == grid.NoResource || finish < best.Finish {
-			best = schedule.Assignment{Job: job, Resource: r.ID, Start: start, Finish: finish}
-		}
-	}
-	if best.Resource == grid.NoResource {
-		return best, fmt.Errorf("aheft: no resource available for job %d", job)
-	}
-	return best, nil
 }
 
 // RemainingMakespan returns the makespan of schedule s — max finish over
@@ -374,7 +316,7 @@ func (st *ExecState) Progress(g *dag.Graph) float64 {
 	return float64(len(st.Finished)) / float64(g.Len())
 }
 
-// ValidateState checks internal consistency of a snapshot: finish times do
+// Validate checks internal consistency of a snapshot: finish times do
 // not exceed the clock, outputs are never available before their producer
 // finishes, and pinned assignments straddle the clock. The executor calls
 // this in race-free debug paths and tests exercise it directly.

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"strconv"
 	"sync"
 
 	"aheft/internal/planner"
+	"aheft/internal/policy"
 	"aheft/internal/rng"
 	"aheft/internal/workload"
 )
@@ -79,12 +81,13 @@ func runAblationPoint(cfg Config, v ablationVariant) (*pointAgg, error) {
 				return
 			}
 			est := sc.Estimator()
-			static, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyStatic, v.opts)
+			ctx := context.Background()
+			static, err := planner.RunPolicy(ctx, sc.Graph, est, sc.Pool, policy.MustGet("heft"), v.opts)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			adaptive, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyAdaptive, v.opts)
+			adaptive, err := planner.RunPolicy(ctx, sc.Graph, est, sc.Pool, policy.MustGet("aheft"), v.opts)
 			if err != nil {
 				errs[i] = err
 				return

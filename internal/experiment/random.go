@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
 	"aheft/internal/planner"
+	"aheft/internal/policy"
 	"aheft/internal/rng"
 	"aheft/internal/workload"
 )
@@ -36,11 +38,12 @@ func randomCase(r *rng.Source, fix func(p *workload.RandomParams, gp *workload.G
 func Fig5(cfg Config) (*Table, error) {
 	sc := workload.SampleScenario()
 	est := sc.Estimator()
-	static, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyStatic, planner.RunOptions{})
+	ctx := context.Background()
+	static, err := planner.RunPolicy(ctx, sc.Graph, est, sc.Pool, policy.MustGet("heft"), planner.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
-	greedy, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyAdaptive, planner.RunOptions{})
+	greedy, err := planner.RunPolicy(ctx, sc.Graph, est, sc.Pool, policy.MustGet("aheft"), planner.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +51,7 @@ func Fig5(cfg Config) (*Table, error) {
 	if tw <= 0 {
 		tw = 0.05
 	}
-	explored, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyAdaptive, planner.RunOptions{TieWindow: tw})
+	explored, err := planner.RunPolicy(ctx, sc.Graph, est, sc.Pool, policy.MustGet("aheft"), planner.RunOptions{TieWindow: tw})
 	if err != nil {
 		return nil, err
 	}

@@ -17,15 +17,21 @@
 //     already-placed predecessors and, with the insertion policy, idle gaps
 //     in each resource's timeline) and bind it to the resource that
 //     minimises EFT.
+//
+// Both phases now live in the shared scheduling kernel
+// (internal/kernel); this package is the thin static-HEFT ordering over
+// it, kept as the stable entry point for one-shot schedules. PlaceJob
+// remains as an independent reference implementation of the Eq. 2–3 EFT
+// step — property suites cross-check the kernel's placements against it.
 package heft
 
 import (
 	"fmt"
-	"sort"
 
 	"aheft/internal/cost"
 	"aheft/internal/dag"
 	"aheft/internal/grid"
+	"aheft/internal/kernel"
 	"aheft/internal/schedule"
 )
 
@@ -39,74 +45,46 @@ type Options struct {
 
 // RankU returns the upward rank of every job, indexed by JobID, computed
 // with average computation costs over the resource set rs and the edge data
-// weights as average communication costs (eqs. 5–6 of the paper).
+// weights as average communication costs (eqs. 5–6 of the paper). The
+// computation runs in the shared kernel; the returned slice is a private
+// copy the caller may keep.
 func RankU(g *dag.Graph, est cost.Estimator, rs []grid.Resource) ([]float64, error) {
 	if len(rs) == 0 {
 		return nil, fmt.Errorf("heft: empty resource set")
 	}
-	order, err := g.TopoOrder()
+	ranks, _, err := kernel.New(g, est).Ranks(rs)
 	if err != nil {
 		return nil, err
 	}
-	ranks := make([]float64, g.Len())
-	for i := len(order) - 1; i >= 0; i-- {
-		j := order[i]
-		w := cost.MeanComp(est, j, rs)
-		best := 0.0
-		for _, e := range g.Succs(j) {
-			if v := cost.MeanComm(e) + ranks[e.To]; v > best {
-				best = v
-			}
-		}
-		ranks[j] = w + best
-	}
-	return ranks, nil
+	return append([]float64(nil), ranks...), nil
 }
 
 // Order returns the jobs sorted by nonincreasing upward rank. Ties break on
 // ascending JobID, which keeps the schedule deterministic; because ranks
 // strictly decrease along every edge (all costs are positive), any rank
 // order is automatically a valid topological order.
-func Order(ranks []float64) []dag.JobID {
-	out := make([]dag.JobID, len(ranks))
-	for i := range out {
-		out[i] = dag.JobID(i)
-	}
-	sort.SliceStable(out, func(a, b int) bool {
-		ra, rb := ranks[out[a]], ranks[out[b]]
-		if ra != rb {
-			return ra > rb
-		}
-		return out[a] < out[b]
-	})
-	return out
-}
+func Order(ranks []float64) []dag.JobID { return kernel.Order(ranks) }
 
 // Schedule computes a full static HEFT schedule of g over the resource set
-// rs. All resources are assumed available from time 0 — the static planner
-// has no notion of future arrivals, which is exactly the limitation AHEFT
-// removes.
+// rs — a thin ordering over the shared kernel. All resources are assumed
+// available from time 0: the static planner has no notion of future
+// arrivals, which is exactly the limitation AHEFT removes.
 func Schedule(g *dag.Graph, est cost.Estimator, rs []grid.Resource, opts Options) (*schedule.Schedule, error) {
-	ranks, err := RankU(g, est, rs)
-	if err != nil {
-		return nil, err
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("heft: empty resource set")
 	}
-	s := schedule.New()
-	for _, job := range Order(ranks) {
-		a, err := PlaceJob(g, est, rs, s, job, 0, !opts.NoInsertion)
-		if err != nil {
-			return nil, err
-		}
-		s.Assign(a)
-	}
-	return s, nil
+	return kernel.New(g, est).Static(rs, kernel.Options{NoInsertion: opts.NoInsertion})
 }
 
 // PlaceJob computes the EFT-minimising assignment for one job given the
 // partial schedule s, in which every predecessor of the job must already be
 // assigned. floor is a lower bound on the start time (0 for static
-// scheduling; the rescheduling clock for AHEFT's pinned evaluations). It is
-// exported for reuse by the adaptive scheduler's identical inner loop.
+// scheduling; the rescheduling clock for pinned evaluations).
+//
+// This is the map-based reference implementation of the Eq. 2–3 EFT step:
+// production schedules run through the kernel's dense placement loop, and
+// the property suites replay kernel placements through this function to
+// cross-check the two.
 func PlaceJob(g *dag.Graph, est cost.Estimator, rs []grid.Resource, s *schedule.Schedule, job dag.JobID, floor float64, insertion bool) (schedule.Assignment, error) {
 	best := schedule.Assignment{Job: job, Resource: grid.NoResource}
 	for _, r := range rs {

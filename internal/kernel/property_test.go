@@ -1,0 +1,210 @@
+package kernel_test
+
+// Property and fuzz suites for the scheduling kernel: every schedule the
+// kernel produces — static or mid-execution, over random or layered DAGs,
+// with scratch reused across many calls — must be structurally valid (full
+// coverage, no timeline overlap, pool-arrival feasible) and must respect
+// precedence through the Eq. 1 FEA model, cross-checked against the
+// independent map-based implementation in internal/core.
+
+import (
+	"math"
+	"testing"
+
+	"aheft/internal/core"
+	"aheft/internal/kernel"
+	"aheft/internal/rng"
+	"aheft/internal/schedule"
+	"aheft/internal/workload"
+)
+
+// quickScenario derives a small random scenario deterministically from a
+// seed; even seeds draw the paper-style random DAG, odd seeds the layered
+// stress generator (at a test-friendly size).
+func quickScenario(t testing.TB, seed uint64) *workload.Scenario {
+	t.Helper()
+	r := rng.New(seed)
+	gp := workload.GridParams{
+		InitialResources: 2 + r.IntN(5),
+		ChangeInterval:   150 + 100*float64(r.IntN(4)),
+		ChangePct:        0.3,
+		MaxEvents:        3,
+	}
+	var (
+		sc  *workload.Scenario
+		err error
+	)
+	if seed%2 == 0 {
+		sc, err = workload.RandomScenario(workload.RandomParams{
+			Jobs:      8 + r.IntN(25),
+			CCR:       []float64{0.3, 1, 4}[r.IntN(3)],
+			OutDegree: 0.3,
+			Beta:      []float64{0, 0.5, 1}[r.IntN(3)],
+			Alpha:     []float64{0.5, 1, 2}[r.IntN(3)],
+		}, gp, r)
+	} else {
+		sc, err = workload.LayeredScenario(workload.LayeredParams{
+			Jobs:  40 + r.IntN(160),
+			Width: 5 + r.IntN(15),
+			FanIn: 1 + r.IntN(4),
+			CCR:   []float64{0.3, 1, 4}[r.IntN(3)],
+			Beta:  0.5,
+		}, gp, r)
+	}
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return sc
+}
+
+// checkRescheduleInvariants verifies one kernel reschedule against the
+// scenario: coverage/overlap/pool validity, history preservation, the
+// clock floor, and FEA input feasibility via the independent core
+// implementation over the equivalent map-based snapshot.
+func checkRescheduleInvariants(t testing.TB, sc *workload.Scenario, s0 *schedule.Schedule, s1 *schedule.Schedule, clock float64) {
+	t.Helper()
+	est := sc.Estimator()
+	if err := s1.Validate(sc.Graph, schedule.ValidateOptions{Pool: sc.Pool}); err != nil {
+		t.Fatalf("clock %g: invalid schedule: %v\n%s", clock, err, s1)
+	}
+	ref := core.Snapshot(sc.Graph, est, s0, clock, core.SnapshotOptions{})
+	if err := ref.Validate(); err != nil {
+		t.Fatalf("clock %g: invalid snapshot: %v", clock, err)
+	}
+	for _, j := range sc.Graph.Jobs() {
+		a := s1.MustGet(j.ID)
+		if fj, done := ref.Finished[j.ID]; done {
+			if a.Resource != fj.Resource || a.Start != fj.AST || a.Finish != fj.AFT {
+				t.Fatalf("clock %g: finished job %s moved: %+v vs %+v", clock, j.Name, a, fj)
+			}
+			continue
+		}
+		if p, pinned := ref.Pinned[j.ID]; pinned {
+			if a != p {
+				t.Fatalf("clock %g: pinned job %s moved: %+v vs %+v", clock, j.Name, a, p)
+			}
+			continue
+		}
+		if a.Start < clock-1e-9 {
+			t.Fatalf("clock %g: job %s starts at %g before the clock", clock, j.Name, a.Start)
+		}
+		// Input feasibility per the independent FEA reference (Eq. 1).
+		for _, e := range sc.Graph.Preds(j.ID) {
+			if fea := core.FEA(sc.Graph, est, ref, s1, e, a.Resource); a.Start+1e-9 < fea {
+				t.Fatalf("clock %g: job %s starts at %g before input from %d ready at %g",
+					clock, j.Name, a.Start, e.From, fea)
+			}
+		}
+		// Duration exactness: no silent stretching or shrinking.
+		if want := est.Comp(j.ID, a.Resource); math.Abs(a.Duration()-want) > 1e-9 {
+			t.Fatalf("clock %g: job %s duration %g != cost %g", clock, j.Name, a.Duration(), want)
+		}
+	}
+}
+
+// TestKernelScheduleValidity drives one reused kernel through a static
+// plan plus reschedules at several clocks for many scenarios — exercising
+// the scratch reuse across calls that production engines rely on — and
+// checks every produced schedule against the full invariant set.
+func TestKernelScheduleValidity(t *testing.T) {
+	for seed := uint64(0); seed < 24; seed++ {
+		sc := quickScenario(t, seed)
+		est := sc.Estimator()
+		k := kernel.New(sc.Graph, est)
+		s0, err := k.Static(sc.Pool.Initial(), kernel.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s0.Validate(sc.Graph, schedule.ValidateOptions{Comp: sc.Table, Comm: sc.Table}); err != nil {
+			t.Fatalf("seed %d: static: %v", seed, err)
+		}
+		st := k.NewState(sc.Pool.Size())
+		for _, frac := range []float64{0, 0.25, 0.5, 0.8} {
+			clock := frac * s0.Makespan()
+			st.Snapshot(s0, clock, kernel.SnapshotOptions{})
+			s1, err := k.Reschedule(sc.Pool.AvailableAt(clock), st, kernel.Options{})
+			if err != nil {
+				t.Fatalf("seed %d clock %g: %v", seed, clock, err)
+			}
+			checkRescheduleInvariants(t, sc, s0, s1, clock)
+		}
+	}
+}
+
+// TestKernelMatchesCoreWrapper holds the two snapshot implementations —
+// the kernel's dense State.Snapshot and the map-based core.Snapshot fed
+// through core.Reschedule's one-shot wrapper — to bit-identical
+// schedules, including under the tie-window explorer and the
+// no-insertion ablation.
+func TestKernelMatchesCoreWrapper(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		sc := quickScenario(t, seed)
+		est := sc.Estimator()
+		k := kernel.New(sc.Graph, est)
+		s0, err := k.Static(sc.Pool.Initial(), kernel.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st := k.NewState(sc.Pool.Size())
+		for _, opts := range []kernel.Options{
+			{},
+			{TieWindow: 0.05},
+			{NoInsertion: true},
+		} {
+			clock := s0.Makespan() / 3
+			rs := sc.Pool.AvailableAt(clock)
+			st.Snapshot(s0, clock, kernel.SnapshotOptions{})
+			dense, err := k.Reschedule(rs, st, opts)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			ref := core.Snapshot(sc.Graph, est, s0, clock, core.SnapshotOptions{})
+			viaMaps, err := core.Reschedule(sc.Graph, est, rs, ref, opts)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for _, j := range sc.Graph.Jobs() {
+				if dense.MustGet(j.ID) != viaMaps.MustGet(j.ID) {
+					t.Fatalf("seed %d opts %+v: job %s: dense %+v, via maps %+v",
+						seed, opts, j.Name, dense.MustGet(j.ID), viaMaps.MustGet(j.ID))
+				}
+			}
+		}
+	}
+}
+
+// FuzzKernelReschedule fuzzes (scenario seed, clock fraction, options)
+// and asserts the full invariant set on whatever the kernel produces.
+func FuzzKernelReschedule(f *testing.F) {
+	f.Add(uint64(1), 0.3, false, 0.0)
+	f.Add(uint64(2), 0.0, true, 0.05)
+	f.Add(uint64(3), 0.9, false, 0.1)
+	f.Add(uint64(42), 0.5, true, 0.0)
+	f.Fuzz(func(t *testing.T, seed uint64, clockFrac float64, noInsertion bool, tieWindow float64) {
+		if math.IsNaN(clockFrac) || math.IsInf(clockFrac, 0) {
+			clockFrac = 0.5
+		}
+		clockFrac = math.Mod(math.Abs(clockFrac), 1)
+		if math.IsNaN(tieWindow) || math.IsInf(tieWindow, 0) || tieWindow < 0 {
+			tieWindow = 0
+		}
+		tieWindow = math.Mod(tieWindow, 0.5)
+		sc := quickScenario(t, seed%64)
+		est := sc.Estimator()
+		k := kernel.New(sc.Graph, est)
+		s0, err := k.Static(sc.Pool.Initial(), kernel.Options{NoInsertion: noInsertion})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock := clockFrac * s0.Makespan()
+		st := k.NewState(sc.Pool.Size())
+		st.Snapshot(s0, clock, kernel.SnapshotOptions{})
+		s1, err := k.Reschedule(sc.Pool.AvailableAt(clock), st, kernel.Options{
+			NoInsertion: noInsertion, TieWindow: tieWindow,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRescheduleInvariants(t, sc, s0, s1, clock)
+	})
+}

@@ -1,0 +1,309 @@
+package kernel
+
+import (
+	"fmt"
+
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/schedule"
+)
+
+// TransferCredit selects which previously initiated file transfers a
+// reschedule may count on (internal/core aliases this type, so the v1
+// core.Credit* names keep working).
+type TransferCredit int
+
+const (
+	// CreditAll credits completed and in-flight transfers: a file already
+	// moving toward a resource arrives there at its original ETA even if
+	// the consumer is rescheduled elsewhere.
+	CreditAll TransferCredit = iota
+	// CreditDelivered credits only transfers that completed by clock;
+	// in-flight transfers are treated as cancelled by the reschedule.
+	CreditDelivered
+	// CreditNone credits nothing beyond the producer's own resource:
+	// every cross-resource read pays a fresh transfer from clock.
+	CreditNone
+)
+
+// SnapshotOptions controls how Snapshot derives a State from a schedule.
+type SnapshotOptions struct {
+	// RestartRunning reschedules jobs that are mid-execution at clock,
+	// discarding their partial work, instead of pinning them to their
+	// current assignment. The paper's semantics (reproducing the Fig. 5
+	// makespan of 76) pin running jobs; restart is an ablation.
+	RestartRunning bool
+	// Credit selects the in-flight transfer policy (default CreditAll).
+	Credit TransferCredit
+}
+
+// State is the dense execution-status snapshot the kernel schedules
+// against — the same information as core.ExecState (Clock, finished jobs,
+// pinned running jobs, and the per-edge file-availability ledger of
+// Eq. 1) but stored in job- and edge-indexed arrays so the FEA hot loop
+// reads it without hashing and the whole structure resets without
+// reallocating.
+//
+// The transfer ledger is an (edge × resource) matrix stamped with an
+// epoch counter: Reset bumps the epoch instead of clearing the matrix,
+// so resetting costs O(jobs) regardless of how many transfers the
+// previous run recorded.
+//
+// A State belongs to the Kernel that created it and shares its lifetime
+// and single-goroutine discipline.
+type State struct {
+	k *Kernel
+
+	// Clock is the logical time of rescheduling.
+	Clock float64
+
+	finRes []grid.ID // grid.NoResource = not finished
+	finAST []float64
+	finAFT []float64
+	nFin   int
+
+	isPin []bool
+	pin   []schedule.Assignment
+
+	led    []float64 // led[edge*stride+res]: earliest availability of the edge's file on res
+	ledEp  []uint32
+	epoch  uint32
+	stride int // resources per ledger row
+}
+
+// NewState returns a fresh empty state at clock 0. resHint sizes the
+// transfer ledger for the given number of resources; the ledger grows on
+// demand if more resources appear later (pass pool.Size() to avoid the
+// regrowth).
+func (k *Kernel) NewState(resHint int) *State {
+	st := &State{
+		k:      k,
+		finRes: make([]grid.ID, k.n),
+		finAST: make([]float64, k.n),
+		finAFT: make([]float64, k.n),
+		isPin:  make([]bool, k.n),
+		pin:    make([]schedule.Assignment, k.n),
+		epoch:  1,
+	}
+	for j := range st.finRes {
+		st.finRes[j] = grid.NoResource
+	}
+	if resHint > 0 {
+		st.growLedger(resHint)
+	}
+	return st
+}
+
+// Reset empties the state: clock 0, nothing finished, nothing pinned,
+// no transfers recorded. Buffers are retained.
+func (st *State) Reset() {
+	st.Clock = 0
+	st.nFin = 0
+	for j := range st.finRes {
+		st.finRes[j] = grid.NoResource
+	}
+	st.ClearPinned()
+	st.epoch++
+	if st.epoch == 0 { // uint32 wrap: actually clear, then restart epochs
+		for i := range st.ledEp {
+			st.ledEp[i] = 0
+		}
+		st.epoch = 1
+	}
+}
+
+// ClearPinned unpins every job (the engine rebuilds the pinned set at
+// each event from the current schedule).
+func (st *State) ClearPinned() {
+	for j := range st.isPin {
+		st.isPin[j] = false
+	}
+}
+
+// Finish records job j as completed on res over [ast, aft). Re-recording
+// a job overwrites its outcome.
+func (st *State) Finish(j dag.JobID, res grid.ID, ast, aft float64) {
+	if st.finRes[j] == grid.NoResource {
+		st.nFin++
+	}
+	st.finRes[j] = res
+	st.finAST[j] = ast
+	st.finAFT[j] = aft
+}
+
+// Finished reports whether job j is recorded as completed.
+func (st *State) Finished(j dag.JobID) bool { return st.finRes[j] != grid.NoResource }
+
+// FinishedCount returns how many jobs are recorded as completed.
+func (st *State) FinishedCount() int { return st.nFin }
+
+// FinishedOutcome returns where a finished job ran and its actual start
+// and finish times; res is grid.NoResource if the job is not finished.
+func (st *State) FinishedOutcome(j dag.JobID) (res grid.ID, ast, aft float64) {
+	return st.finRes[j], st.finAST[j], st.finAFT[j]
+}
+
+// Pin records job j as mid-execution, keeping assignment a.
+func (st *State) Pin(a schedule.Assignment) {
+	st.isPin[a.Job] = true
+	st.pin[a.Job] = a
+}
+
+// Pinned reports whether job j is pinned.
+func (st *State) Pinned(j dag.JobID) bool { return st.isPin[j] }
+
+// Unfinished returns how many jobs are neither finished nor pinned.
+func (st *State) Unfinished() int {
+	n := 0
+	for j := range st.finRes {
+		if st.finRes[j] == grid.NoResource && !st.isPin[j] {
+			n++
+		}
+	}
+	return n
+}
+
+// growLedger (re)shapes the (edge × resource) ledger to cover nRes
+// resources, preserving recorded entries.
+func (st *State) growLedger(nRes int) {
+	if nRes <= st.stride {
+		return
+	}
+	// Grow with headroom so a pool that adds resources one event at a
+	// time does not re-layout the ledger per event.
+	if nRes < st.stride*2 {
+		nRes = st.stride * 2
+	}
+	ne := st.k.nEdges
+	led := make([]float64, ne*nRes)
+	ep := make([]uint32, ne*nRes)
+	for e := 0; e < ne && st.stride > 0; e++ {
+		copy(led[e*nRes:e*nRes+st.stride], st.led[e*st.stride:(e+1)*st.stride])
+		copy(ep[e*nRes:e*nRes+st.stride], st.ledEp[e*st.stride:(e+1)*st.stride])
+	}
+	st.led, st.ledEp, st.stride = led, ep, nRes
+}
+
+// SetTransfer records that the (m → j) file is (or will be) available on
+// resource r at time t, keeping the earliest time if recorded twice —
+// the dense equivalent of core.ExecState.SetTransfer. Unknown edges are
+// ignored (the engine only records real dependences).
+func (st *State) SetTransfer(m, j dag.JobID, r grid.ID, t float64) {
+	e := st.k.edgeIndex(m, j)
+	if e < 0 {
+		return
+	}
+	if int(r) >= st.stride {
+		st.growLedger(int(r) + 1)
+	}
+	i := e*st.stride + int(r)
+	if st.ledEp[i] == st.epoch && st.led[i] <= t {
+		return
+	}
+	st.led[i] = t
+	st.ledEp[i] = st.epoch
+}
+
+// HasTransfer reports whether a transfer of the (m → j) file toward r has
+// been recorded.
+func (st *State) HasTransfer(m, j dag.JobID, r grid.ID) bool {
+	e := st.k.edgeIndex(m, j)
+	if e < 0 || int(r) >= st.stride {
+		return false
+	}
+	return st.ledEp[e*st.stride+int(r)] == st.epoch
+}
+
+// TransferAt returns the recorded availability of the (m → j) file on r.
+func (st *State) TransferAt(m, j dag.JobID, r grid.ID) (float64, bool) {
+	e := st.k.edgeIndex(m, j)
+	if e < 0 {
+		return 0, false
+	}
+	return st.transfer(e, r)
+}
+
+func (st *State) transfer(e int, r grid.ID) (float64, bool) {
+	if int(r) >= st.stride {
+		return 0, false
+	}
+	i := e*st.stride + int(r)
+	if st.ledEp[i] != st.epoch {
+		return 0, false
+	}
+	return st.led[i], true
+}
+
+// fea implements Eq. 1 on the dense state: the earliest time the output
+// of predecessor e.From is available on resource r for the job being
+// placed, given the current candidate placements in the kernel's scratch.
+// eIdx is the dense index of e (predBase[e.To]+i for the i-th pred).
+func (st *State) fea(e dag.Edge, eIdx int, r grid.ID) float64 {
+	m := e.From
+	if fr := st.finRes[m]; fr != grid.NoResource {
+		if t, ok := st.transfer(eIdx, r); ok {
+			// Case 1 (and its in-flight variant): the file is on r —
+			// either produced there (t = AFT) or delivered by a transfer
+			// the old schedule already initiated.
+			return t
+		}
+		// Case 2: finished elsewhere and the file was never directed at
+		// r — a fresh transfer starts now; it cannot start in the past.
+		return st.Clock + st.k.est.Comm(e, fr, r)
+	}
+	// Unfinished predecessor: it has already been placed in the candidate
+	// (rank order guarantees predecessors precede successors), or it is
+	// pinned (merged into the placement template).
+	pa := st.k.placed[m]
+	if pa.Resource == grid.NoResource {
+		panic(fmt.Sprintf("kernel: FEA called before predecessor %d placed", m))
+	}
+	if pa.Resource == r {
+		// Case 3: produced on this very resource in the new schedule.
+		return pa.Finish
+	}
+	// Case 4: produced elsewhere in the new schedule; the transfer
+	// follows its (re)scheduled finish time SFT(m).
+	return pa.Finish + st.k.est.Comm(e, pa.Resource, r)
+}
+
+// Snapshot derives the execution state of schedule s0 executed faithfully
+// (accurate estimates: actual times equal scheduled times) up to clock,
+// replacing the state's previous contents — the dense, allocation-free
+// equivalent of core.Snapshot. The static file-transfer policy applies:
+// when a job finishes, its output is immediately shipped to the resource
+// of every scheduled successor (paper §4.1 assumption 2).
+func (st *State) Snapshot(s0 *schedule.Schedule, clock float64, opts SnapshotOptions) {
+	st.Reset()
+	st.Clock = clock
+	if s0 == nil {
+		return
+	}
+	g, est := st.k.g, st.k.est
+	for _, j := range g.Jobs() {
+		a, ok := s0.Get(j.ID)
+		if !ok {
+			continue
+		}
+		switch {
+		case a.Finish <= clock:
+			st.Finish(j.ID, a.Resource, a.Start, a.Finish)
+			for _, e := range g.Succs(j.ID) {
+				st.SetTransfer(j.ID, e.To, a.Resource, a.Finish)
+				sa, ok := s0.Get(e.To)
+				if !ok || opts.Credit == CreditNone {
+					continue
+				}
+				// Transfer initiated at AFT toward the successor's
+				// scheduled resource; it may still be in flight.
+				eta := a.Finish + est.Comm(e, a.Resource, sa.Resource)
+				if opts.Credit == CreditDelivered && eta > clock {
+					continue
+				}
+				st.SetTransfer(j.ID, e.To, sa.Resource, eta)
+			}
+		case a.Start < clock && !opts.RestartRunning:
+			st.Pin(a)
+		}
+	}
+}

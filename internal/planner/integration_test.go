@@ -1,10 +1,12 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
 
+	"aheft/internal/policy"
 	"aheft/internal/rng"
 	"aheft/internal/workload"
 )
@@ -60,11 +62,11 @@ func testScenarios(t *testing.T, n int) []*workload.Scenario {
 // actual start/finish times equal the planned ones job for job.
 func TestStaticEnactmentMatchesSchedule(t *testing.T) {
 	for i, sc := range testScenarios(t, 24) {
-		analytic, err := Run(sc.Graph, sc.Estimator(), sc.Pool, StrategyStatic, RunOptions{})
+		analytic, err := RunPolicy(context.Background(), sc.Graph, sc.Estimator(), sc.Pool, policy.MustGet("heft"), RunOptions{})
 		if err != nil {
 			t.Fatalf("case %d: analytic: %v", i, err)
 		}
-		svc, err := NewService(sc.Graph, sc.Estimator(), sc.Pool, ServiceOptions{Static: true})
+		svc, err := NewService(sc.Graph, sc.Estimator(), sc.Pool, ServiceOptions{Policy: policy.MustGet("heft")})
 		if err != nil {
 			t.Fatalf("case %d: service: %v", i, err)
 		}
@@ -97,7 +99,7 @@ func TestAdaptiveServiceMatchesAnalyticRunner(t *testing.T) {
 		t.Run(fmt.Sprintf("tie=%g", tie), func(t *testing.T) {
 			for i, sc := range testScenarios(t, 24) {
 				opts := RunOptions{TieWindow: tie}
-				analytic, err := Run(sc.Graph, sc.Estimator(), sc.Pool, StrategyAdaptive, opts)
+				analytic, err := RunPolicy(context.Background(), sc.Graph, sc.Estimator(), sc.Pool, policy.MustGet("aheft"), opts)
 				if err != nil {
 					t.Fatalf("case %d: analytic: %v", i, err)
 				}

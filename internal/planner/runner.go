@@ -8,14 +8,17 @@
 // The loop is generic over the scheduling policy (the paper's heuristic H):
 // both drivers execute any policy.Policy from the registry — classic
 // static HEFT, the paper's AHEFT, or the just-in-time Min-Min family —
-// through the same engine path. The analytic runner in this file replays
-// the paper's experiment setting directly — accurate estimates, so
-// execution follows the schedule exactly and only resource-arrival events
-// can change anything; it is what the experiment harness and benchmarks
-// use, since it is fast and provably equivalent to the event-driven
-// execution (an integration test in this package checks the equivalence).
-// The event-driven Service in service.go subscribes to an executor's event
-// stream and is used by the architecture examples and the what-if API.
+// through the same engine path, each run owning one scheduling kernel
+// (internal/kernel) that carries the rank cache, the dense execution
+// state and the placement scratch across events. The analytic runner in
+// this file replays the paper's experiment setting directly — accurate
+// estimates, so execution follows the schedule exactly and only
+// resource-arrival events can change anything; it is what the experiment
+// harness and benchmarks use, since it is fast and provably equivalent to
+// the event-driven execution (an integration test in this package checks
+// the equivalence). The event-driven Service in service.go subscribes to
+// an executor's event stream and is used by the architecture examples and
+// the what-if API.
 package planner
 
 import (
@@ -26,49 +29,14 @@ import (
 	"aheft/internal/cost"
 	"aheft/internal/dag"
 	"aheft/internal/grid"
+	"aheft/internal/kernel"
 	"aheft/internal/policy"
 	"aheft/internal/schedule"
 )
 
-// Strategy selects the planning behaviour under comparison in §4.
-//
-// Deprecated: strategies are subsumed by named entries in the policy
-// registry ("heft", "aheft", "minmin", …); use RunPolicy or the root
-// aheft.Run facade. The type remains so existing callers keep working.
-type Strategy int
-
-const (
-	// StrategyStatic is traditional one-shot HEFT: plan on the initial
-	// pool, never look back.
-	StrategyStatic Strategy = iota
-	// StrategyAdaptive is AHEFT: reschedule the unfinished jobs at every
-	// resource-arrival event, adopting improvements.
-	StrategyAdaptive
-)
-
-// String returns the strategy's name.
-func (s Strategy) String() string {
-	switch s {
-	case StrategyStatic:
-		return "HEFT"
-	case StrategyAdaptive:
-		return "AHEFT"
-	default:
-		return fmt.Sprintf("Strategy(%d)", int(s))
-	}
-}
-
-// policyName maps the legacy strategy to its policy registry key.
-func (s Strategy) policyName() string {
-	if s == StrategyAdaptive {
-		return "aheft"
-	}
-	return "heft"
-}
-
 // RunOptions tunes the planner. It is an alias of policy.Options so the
-// legacy Strategy path and the policy engine share one configuration
-// type; the zero value reproduces the paper's configuration.
+// engine and the policies share one configuration type; the zero value
+// reproduces the paper's configuration.
 type RunOptions = policy.Options
 
 // Trigger classifies what caused a rescheduling evaluation.
@@ -113,11 +81,6 @@ type Decision struct {
 type Result struct {
 	// Policy is the registry name of the policy that produced the result.
 	Policy string
-	// Strategy is the legacy strategy classification: StrategyAdaptive for
-	// adaptive policies, StrategyStatic otherwise.
-	//
-	// Deprecated: use Policy.
-	Strategy Strategy
 	// Schedule is the final (possibly rescheduled) schedule; with accurate
 	// estimates its assignment times are the actual execution times.
 	Schedule *schedule.Schedule
@@ -151,38 +114,18 @@ func (r *Result) Adoptions() int {
 	return n
 }
 
-// Run executes workflow g on the dynamic pool under the chosen legacy
-// strategy with accurate cost estimates, returning the completed
-// execution.
-//
-// Deprecated: Run is a thin shim over the policy engine — StrategyStatic
-// resolves to the "heft" policy and StrategyAdaptive to "aheft". New code
-// should call RunPolicy (or the root aheft.Run facade) directly, which
-// also accepts a context and any registered policy.
-func Run(g *dag.Graph, est cost.Estimator, pool *grid.Pool, strat Strategy, opts RunOptions) (*Result, error) {
-	pol, err := policy.Get(strat.policyName())
-	if err != nil {
-		return nil, err
-	}
-	res, err := RunPolicy(context.Background(), g, est, pool, pol, opts)
-	if err != nil {
-		return nil, err
-	}
-	res.Strategy = strat
-	return res, nil
-}
-
 // RunPolicy executes workflow g on the dynamic pool under any scheduling
 // policy with accurate cost estimates, returning the completed execution.
 // It honours ctx: cancellation between planning steps aborts the run with
 // the context's error.
 //
-// The engine asks the policy for the initial plan, then — for adaptive
-// policies — walks the pool's change events in time order. At each event
-// time t before the workflow completes it takes the execution snapshot of
-// the current schedule at clock t, asks the policy to replan over the
-// enlarged resource set, and adopts the result if it strictly improves
-// the makespan (Fig. 2, lines 7–9).
+// The engine creates the run's scheduling kernel, asks the policy for the
+// initial plan, then — for adaptive policies — walks the pool's change
+// events in time order. At each event time t before the workflow
+// completes it updates the dense execution snapshot of the current
+// schedule at clock t, asks the policy to replan over the enlarged
+// resource set, and adopts the result if it strictly improves the
+// makespan (Fig. 2, lines 7–9).
 func RunPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid.Pool, pol policy.Policy, opts policy.Options) (*Result, error) {
 	return runPolicy(ctx, g, est, pool, pol, opts, nil)
 }
@@ -204,7 +147,8 @@ func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	initial, err := pol.Plan(g, est, pool, opts)
+	k := kernel.New(g, est)
+	initial, err := pol.Plan(k, pool, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +161,6 @@ func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid
 	if !pol.Adaptive() {
 		return res, nil
 	}
-	res.Strategy = StrategyAdaptive
 
 	// The analytic engine mirrors the event-driven Execution Manager
 	// exactly (an integration test holds the two to bit-equality), which
@@ -227,9 +170,10 @@ func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid
 	// resource, or as a fresh Case-2 transfer at an earlier adoption —
 	// keeps its ETA even after the consumer moves again. Rebuilding the
 	// ledger from the current schedule alone would forget those copies and
-	// mis-time rescheduled starts.
+	// mis-time rescheduled starts. The ledger lives in the kernel's dense
+	// state, which persists across the whole event walk.
 	s0 := initial
-	st := core.NewExecState()
+	st := k.NewState(pool.Size())
 	prev := 0.0
 	for _, t := range pool.ChangeTimes() {
 		if err := ctx.Err(); err != nil {
@@ -244,17 +188,17 @@ func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid
 		shipWindow(g, est, s0, st, prev, t)
 		// Classify jobs at clock t.
 		st.Clock = t
-		st.Pinned = make(map[dag.JobID]schedule.Assignment)
+		st.ClearPinned()
 		for _, j := range g.Jobs() {
 			a := s0.MustGet(j.ID)
 			switch {
 			case a.Finish <= t:
-				st.Finished[j.ID] = core.FinishedJob{Resource: a.Resource, AST: a.Start, AFT: a.Finish}
+				st.Finish(j.ID, a.Resource, a.Start, a.Finish)
 			case a.Start < t && !opts.RestartRunning:
-				st.Pinned[j.ID] = a
+				st.Pin(a)
 			}
 		}
-		s1, err := pol.Replan(g, est, rs, st, opts)
+		s1, err := pol.Replan(k, rs, st, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -267,7 +211,7 @@ func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid
 			PoolSize:     len(rs),
 			OldMakespan:  s0.Makespan(),
 			NewMakespan:  s1.Makespan(),
-			JobsFinished: len(st.Finished),
+			JobsFinished: st.FinishedCount(),
 			Trigger:      TriggerArrival,
 			ArrivedCount: len(pool.ArrivalsAt(t)),
 		}
@@ -279,22 +223,19 @@ func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid
 			// finished predecessor's file is not already at (or moving to)
 			// its new resource (Eq. 1 Case 2 made physical).
 			for _, j := range g.Jobs() {
-				if _, done := st.Finished[j.ID]; done {
-					continue
-				}
-				if _, pinned := st.Pinned[j.ID]; pinned {
+				if st.Finished(j.ID) || st.Pinned(j.ID) {
 					continue
 				}
 				a1 := s1.MustGet(j.ID)
 				for _, e := range g.Preds(j.ID) {
-					pf, done := st.Finished[e.From]
-					if !done {
+					if !st.Finished(e.From) {
 						continue
 					}
-					if _, have := st.TransferAt[core.EdgeKey{From: e.From, To: j.ID}][a1.Resource]; have {
+					if st.HasTransfer(e.From, j.ID, a1.Resource) {
 						continue
 					}
-					st.SetTransfer(e.From, j.ID, a1.Resource, t+est.Comm(e, pf.Resource, a1.Resource))
+					pr, _, _ := st.FinishedOutcome(e.From)
+					st.SetTransfer(e.From, j.ID, a1.Resource, t+est.Comm(e, pr, a1.Resource))
 				}
 			}
 		}
@@ -309,12 +250,12 @@ func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid
 	return res, nil
 }
 
-// shipWindow records, in the ledger st, the static ship-on-finish
-// transfers of every job whose finish time under s0 falls in (prev, t]:
-// each output file becomes available on the producer's own resource at its
-// finish and on the consumer's currently scheduled resource one transfer
-// later.
-func shipWindow(g *dag.Graph, est cost.Estimator, s0 *schedule.Schedule, st *core.ExecState, prev, t float64) {
+// shipWindow records, in the dense ledger of st, the static
+// ship-on-finish transfers of every job whose finish time under s0 falls
+// in (prev, t]: each output file becomes available on the producer's own
+// resource at its finish and on the consumer's currently scheduled
+// resource one transfer later.
+func shipWindow(g *dag.Graph, est cost.Estimator, s0 *schedule.Schedule, st *kernel.State, prev, t float64) {
 	for _, j := range g.Jobs() {
 		a := s0.MustGet(j.ID)
 		if a.Finish <= prev || a.Finish > t {

@@ -10,6 +10,7 @@ import (
 	"aheft/internal/executor"
 	"aheft/internal/grid"
 	"aheft/internal/history"
+	"aheft/internal/kernel"
 	"aheft/internal/policy"
 	"aheft/internal/sim"
 	"aheft/internal/trace"
@@ -19,7 +20,7 @@ import (
 type ServiceOptions struct {
 	RunOptions
 	// Policy selects the scheduling policy the service drives; nil means
-	// the registry's "aheft" policy (or "heft" when Static is set).
+	// the registry's "aheft" policy.
 	Policy policy.Policy
 	// Runtime supplies actual durations for the executor; nil uses the
 	// estimator itself (accurate estimation).
@@ -32,12 +33,6 @@ type ServiceOptions struct {
 	// EWMA by more than this relative amount — the paper's "significant
 	// variance of job performance" event.
 	VarianceThreshold float64
-	// Static disables event reactions entirely (one-shot HEFT enacted by
-	// the executor); used to compare strategies on the same engine.
-	//
-	// Deprecated: prefer Policy with a non-adaptive policy ("heft"); the
-	// flag remains as a shorthand for exactly that.
-	Static bool
 	// Trace, when non-nil, records every run-time event and every
 	// rescheduling decision into the collector.
 	Trace *trace.Collector
@@ -48,11 +43,7 @@ func (o ServiceOptions) policyOrDefault() (policy.Policy, error) {
 	if o.Policy != nil {
 		return o.Policy, nil
 	}
-	name := "aheft"
-	if o.Static {
-		name = "heft"
-	}
-	return policy.Get(name)
+	return policy.Get("aheft")
 }
 
 // Service is one Scheduler instance of the paper's Fig. 1 Planner: it owns
@@ -65,6 +56,9 @@ type Service struct {
 	pool *grid.Pool
 	pol  policy.Policy
 	opts ServiceOptions
+
+	k  *kernel.Kernel // the run's scheduling kernel (rank cache + scratch)
+	ks *kernel.State  // dense snapshot scratch, refilled per evaluation
 
 	engine    *executor.Engine
 	decisions []Decision
@@ -83,7 +77,9 @@ func NewService(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts ServiceO
 		return nil, err
 	}
 	s := &Service{g: g, est: est, pool: pool, pol: pol, opts: opts}
-	initial, err := pol.Plan(g, est, pool, opts.RunOptions)
+	s.k = kernel.New(g, est)
+	s.ks = s.k.NewState(pool.Size())
+	initial, err := pol.Plan(s.k, pool, opts.RunOptions)
 	if err != nil {
 		return nil, err
 	}
@@ -124,13 +120,8 @@ func (s *Service) ExecuteContext(ctx context.Context) (*Result, error) {
 	if _, err := s.engine.Run(); err != nil {
 		return nil, err
 	}
-	strat := StrategyStatic
-	if s.pol.Adaptive() {
-		strat = StrategyAdaptive
-	}
 	return &Result{
 		Policy:          s.pol.Name(),
-		Strategy:        strat,
 		Schedule:        s.engine.Schedule(),
 		Makespan:        s.engine.Makespan(),
 		InitialMakespan: s.initial,
@@ -188,8 +179,17 @@ func (s *Service) onFinish(ev executor.Event) {
 // recording what triggered it and how many resources arrived.
 func (s *Service) evaluate(clock float64, trigger Trigger, arrived int) {
 	st := s.engine.ExecState()
+	core.LoadState(s.ks, st)
 	rs := s.pool.AvailableAt(clock)
-	s1, err := s.pol.Replan(s.g, s.est, rs, st, s.opts.RunOptions)
+	// The event-driven service may run a history-consulting estimator
+	// (the Fig. 1 feedback loop sharpens predictions while the workflow
+	// executes), so cached upward ranks can go stale even when the
+	// resource set did not change — e.g. on a variance-triggered
+	// evaluation. Recompute them on every evaluation, as the pre-kernel
+	// engine did; the analytic runner keeps the cache because its
+	// estimates are fixed for the whole run.
+	s.k.InvalidateRanks()
+	s1, err := s.pol.Replan(s.k, rs, s.ks, s.opts.RunOptions)
 	if err != nil {
 		// An evaluation failure must not kill the running workflow; keep
 		// the current schedule (the paper's "otherwise the Planner does

@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"aheft/internal/dag"
 	"aheft/internal/grid"
 	"aheft/internal/history"
+	"aheft/internal/policy"
 	"aheft/internal/predict"
 	"aheft/internal/rng"
 	"aheft/internal/trace"
@@ -17,7 +19,7 @@ import (
 
 func TestServiceStaticMatchesPlan(t *testing.T) {
 	sc := workload.SampleScenario()
-	svc, err := NewService(sc.Graph, sc.Estimator(), sc.Pool, ServiceOptions{Static: true})
+	svc, err := NewService(sc.Graph, sc.Estimator(), sc.Pool, ServiceOptions{Policy: policy.MustGet("heft")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,8 +30,8 @@ func TestServiceStaticMatchesPlan(t *testing.T) {
 	if res.Makespan != 80 {
 		t.Fatalf("makespan = %g, want 80", res.Makespan)
 	}
-	if res.Strategy != StrategyStatic {
-		t.Fatalf("strategy = %v", res.Strategy)
+	if res.Policy != "heft" {
+		t.Fatalf("policy = %q", res.Policy)
 	}
 	if len(res.Decisions) != 0 {
 		t.Fatalf("static service made decisions: %+v", res.Decisions)
@@ -182,7 +184,7 @@ func (s *scaled) Comm(e dag.Edge, a, b grid.ID) float64 { return s.base.Comm(e, 
 func TestWhatIfAddResource(t *testing.T) {
 	sc := workload.SampleScenario()
 	g, est := sc.Graph, sc.Estimator()
-	s0, err := Run(g, est, sc.Pool, StrategyStatic, RunOptions{})
+	s0, err := RunPolicy(context.Background(), g, est, sc.Pool, policy.MustGet("heft"), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +207,7 @@ func TestWhatIfAddResource(t *testing.T) {
 func TestWhatIfRemoveResource(t *testing.T) {
 	sc := workload.SampleScenario()
 	g, est := sc.Graph, sc.Estimator()
-	s0, err := Run(g, est, sc.Pool, StrategyStatic, RunOptions{})
+	s0, err := RunPolicy(context.Background(), g, est, sc.Pool, policy.MustGet("heft"), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +237,7 @@ func TestWhatIfRemoveResource(t *testing.T) {
 func TestWhatIfRemoveRunningJobsResource(t *testing.T) {
 	sc := workload.SampleScenario()
 	g, est := sc.Graph, sc.Estimator()
-	s0, err := Run(g, est, sc.Pool, StrategyStatic, RunOptions{})
+	s0, err := RunPolicy(context.Background(), g, est, sc.Pool, policy.MustGet("heft"), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +263,7 @@ func TestWhatIfRemoveRunningJobsResource(t *testing.T) {
 func TestWhatIfErrors(t *testing.T) {
 	sc := workload.SampleScenario()
 	g, est := sc.Graph, sc.Estimator()
-	s0, _ := Run(g, est, sc.Pool, StrategyStatic, RunOptions{})
+	s0, _ := RunPolicy(context.Background(), g, est, sc.Pool, policy.MustGet("heft"), RunOptions{})
 	avail := sc.Pool.AvailableAt(0)
 	if _, err := WhatIf(g, est, nil, avail, WhatIfQuery{Clock: 0}, RunOptions{}); err == nil {
 		t.Fatal("nil schedule accepted")
@@ -286,7 +288,7 @@ func TestWhatIfMonotoneInAdditions(t *testing.T) {
 		t.Fatal(err)
 	}
 	g, est := sc.Graph, sc.Estimator()
-	s0, err := Run(g, est, sc.Pool, StrategyStatic, RunOptions{})
+	s0, err := RunPolicy(context.Background(), g, est, sc.Pool, policy.MustGet("heft"), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

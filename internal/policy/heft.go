@@ -1,43 +1,50 @@
 package policy
 
 import (
-	"aheft/internal/core"
-	"aheft/internal/cost"
-	"aheft/internal/dag"
+	"fmt"
+
 	"aheft/internal/grid"
-	"aheft/internal/heft"
+	"aheft/internal/kernel"
 	"aheft/internal/schedule"
 )
 
 // heftPolicy is traditional one-shot HEFT: plan on the time-0 pool, never
 // look back. A static planner cannot use resources it does not know about,
-// which is precisely the deficiency AHEFT addresses.
+// which is precisely the deficiency AHEFT addresses. It is the kernel's
+// Static pass, verbatim.
 type heftPolicy struct{}
 
 func (heftPolicy) Name() string   { return "heft" }
 func (heftPolicy) Adaptive() bool { return false }
 
-func (heftPolicy) Plan(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts Options) (*schedule.Schedule, error) {
-	return heft.Schedule(g, est, pool.Initial(), heft.Options{NoInsertion: opts.NoInsertion})
+func (heftPolicy) Plan(k *kernel.Kernel, pool *grid.Pool, opts Options) (*schedule.Schedule, error) {
+	if pool == nil || len(pool.Initial()) == 0 {
+		return nil, fmt.Errorf("heft: no resources at time 0")
+	}
+	return k.Static(pool.Initial(), opts.Kernel())
 }
 
-func (heftPolicy) Replan(*dag.Graph, cost.Estimator, []grid.Resource, *core.ExecState, Options) (*schedule.Schedule, error) {
+func (heftPolicy) Replan(*kernel.Kernel, []grid.Resource, *kernel.State, Options) (*schedule.Schedule, error) {
 	return nil, nil // static: never proposes a replacement
 }
 
 // aheftPolicy is the paper's adaptive rescheduling strategy: the initial
 // plan is classic HEFT, and every run-time event is evaluated by
 // rescheduling the unfinished jobs over the enlarged resource set
-// (procedure schedule(S0, P, H) of Fig. 3, with H = HEFT).
+// (procedure schedule(S0, P, H) of Fig. 3, with H = HEFT) — the kernel's
+// Reschedule pass over the engine's execution state.
 type aheftPolicy struct{}
 
 func (aheftPolicy) Name() string   { return "aheft" }
 func (aheftPolicy) Adaptive() bool { return true }
 
-func (aheftPolicy) Plan(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts Options) (*schedule.Schedule, error) {
-	return heft.Schedule(g, est, pool.Initial(), heft.Options{NoInsertion: opts.NoInsertion})
+func (aheftPolicy) Plan(k *kernel.Kernel, pool *grid.Pool, opts Options) (*schedule.Schedule, error) {
+	if pool == nil || len(pool.Initial()) == 0 {
+		return nil, fmt.Errorf("aheft: no resources at time 0")
+	}
+	return k.Static(pool.Initial(), opts.Kernel())
 }
 
-func (aheftPolicy) Replan(g *dag.Graph, est cost.Estimator, rs []grid.Resource, st *core.ExecState, opts Options) (*schedule.Schedule, error) {
-	return core.Reschedule(g, est, rs, st, opts.Core())
+func (aheftPolicy) Replan(k *kernel.Kernel, rs []grid.Resource, st *kernel.State, opts Options) (*schedule.Schedule, error) {
+	return k.Reschedule(rs, st, opts.Kernel())
 }

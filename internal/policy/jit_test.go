@@ -1,4 +1,9 @@
-package minmin
+package policy
+
+// Behavioural suite of the just-in-time Min-Min family, migrated from the
+// deleted legacy internal/minmin package: the same scenarios and expected
+// makespans now run through the registered policies and the shared
+// scheduling kernel.
 
 import (
 	"fmt"
@@ -8,10 +13,22 @@ import (
 	"aheft/internal/cost"
 	"aheft/internal/dag"
 	"aheft/internal/grid"
+	"aheft/internal/kernel"
 	"aheft/internal/rng"
 	"aheft/internal/schedule"
 	"aheft/internal/workload"
 )
+
+// runJIT plans one workflow under the named just-in-time heuristic
+// through a fresh kernel, as the engine would.
+func runJIT(t *testing.T, g *dag.Graph, est cost.Estimator, pool *grid.Pool, h Heuristic) *schedule.Schedule {
+	t.Helper()
+	s, err := MustGet(h.RegistryName()).Plan(kernel.New(g, est), pool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
 
 func chain(t *testing.T, n int) *dag.Graph {
 	t.Helper()
@@ -44,15 +61,12 @@ func uniformTable(jobs, res int, w float64) *cost.Table {
 func TestChainOnOneResource(t *testing.T) {
 	g := chain(t, 5)
 	tb := uniformTable(5, 1, 10)
-	res, err := Run(g, cost.Exact(tb), grid.StaticPool(1), MinMin)
-	if err != nil {
-		t.Fatal(err)
+	s := runJIT(t, g, cost.Exact(tb), grid.StaticPool(1), MinMin)
+	if s.Makespan() != 50 {
+		t.Fatalf("makespan = %g, want 50", s.Makespan())
 	}
-	if res.Makespan != 50 {
-		t.Fatalf("makespan = %g, want 50", res.Makespan)
-	}
-	if res.Decisions != 5 {
-		t.Fatalf("decisions = %d, want 5", res.Decisions)
+	if s.Len() != 5 {
+		t.Fatalf("decisions = %d, want 5", s.Len())
 	}
 }
 
@@ -62,12 +76,9 @@ func TestChainOnOneResource(t *testing.T) {
 func TestChainStaysPut(t *testing.T) {
 	g := chain(t, 5)
 	tb := uniformTable(5, 3, 10)
-	res, err := Run(g, cost.Exact(tb), grid.StaticPool(3), MinMin)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Makespan != 50 {
-		t.Fatalf("makespan = %g, want 50 (no pointless migration)\n%s", res.Makespan, res.Schedule)
+	s := runJIT(t, g, cost.Exact(tb), grid.StaticPool(3), MinMin)
+	if s.Makespan() != 50 {
+		t.Fatalf("makespan = %g, want 50 (no pointless migration)\n%s", s.Makespan(), s)
 	}
 }
 
@@ -87,13 +98,10 @@ func fanout(t *testing.T, n int, data float64) *dag.Graph {
 func TestFanoutUsesParallelism(t *testing.T) {
 	g := fanout(t, 4, 0) // free transfers isolate the parallelism question
 	tb := uniformTable(5, 4, 10)
-	res, err := Run(g, cost.Exact(tb), grid.StaticPool(4), MinMin)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := runJIT(t, g, cost.Exact(tb), grid.StaticPool(4), MinMin)
 	// src 10, then 4 sinks in parallel on 4 resources: 20 total.
-	if res.Makespan != 20 {
-		t.Fatalf("makespan = %g, want 20\n%s", res.Makespan, res.Schedule)
+	if s.Makespan() != 20 {
+		t.Fatalf("makespan = %g, want 20\n%s", s.Makespan(), s)
 	}
 }
 
@@ -104,10 +112,7 @@ func TestTransferStallsResource(t *testing.T) {
 	g := fanout(t, 2, 30)
 	// src cost 10 everywhere; sinks cost 10.
 	tb := uniformTable(3, 2, 10)
-	res, err := Run(g, cost.Exact(tb), grid.StaticPool(2), MinMin)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := runJIT(t, g, cost.Exact(tb), grid.StaticPool(2), MinMin)
 	// src on r0 finishes at 10. Both sinks are ready at 10: Min-Min first
 	// binds the co-located one (completion 20 beats 50), then — being a
 	// just-in-time mapper that drains the ready set onto idle machines —
@@ -116,12 +121,12 @@ func TestTransferStallsResource(t *testing.T) {
 	// overlapped that transfer with the first sink's computation (or
 	// queued the job locally, finishing at 30); the dynamic executor can
 	// do neither, and that gap is the paper's §4.2 story.
-	if res.Makespan != 50 {
-		t.Fatalf("makespan = %g, want 50\n%s", res.Makespan, res.Schedule)
+	if s.Makespan() != 50 {
+		t.Fatalf("makespan = %g, want 50\n%s", s.Makespan(), s)
 	}
-	second := res.Schedule.MustGet(g.JobByName("s1"))
+	second := s.MustGet(g.JobByName("s1"))
 	if second.Resource == 0 {
-		second = res.Schedule.MustGet(g.JobByName("s0"))
+		second = s.MustGet(g.JobByName("s0"))
 	}
 	if second.Start != 40 || second.Finish != 50 {
 		t.Fatalf("stalled sink = %+v, want compute [40,50)", second)
@@ -137,25 +142,22 @@ func TestResourceArrivalUsed(t *testing.T) {
 		{Time: 0, Resource: grid.Resource{ID: 0}},
 		{Time: 12, Resource: grid.Resource{ID: 1}},
 	})
-	res, err := Run(g, cost.Exact(tb), pool, MinMin)
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := runJIT(t, g, cost.Exact(tb), pool, MinMin)
 	// src 0→10 on r0; sinks ready at 10: s0 on r0 10→20; r1 arrives at 12:
 	// s1 12→22 on r1; s2 on r0 20→30. Makespan 30 (vs 40 on one resource).
-	if res.Makespan != 30 {
-		t.Fatalf("makespan = %g, want 30\n%s", res.Makespan, res.Schedule)
+	if s.Makespan() != 30 {
+		t.Fatalf("makespan = %g, want 30\n%s", s.Makespan(), s)
 	}
-	used := res.Schedule.Resources()
+	used := s.Resources()
 	if len(used) != 2 {
-		t.Fatalf("arrival not used:\n%s", res.Schedule)
+		t.Fatalf("arrival not used:\n%s", s)
 	}
 }
 
-// TestScheduleStructurallySound: property test over random workloads for
-// all three heuristics — complete coverage, no resource overlaps, and
+// TestJITScheduleStructurallySound: property test over random workloads
+// for all three heuristics — complete coverage, no resource overlaps, and
 // precedence (with the dynamic, decision-time transfer model) respected.
-func TestScheduleStructurallySound(t *testing.T) {
+func TestJITScheduleStructurallySound(t *testing.T) {
 	root := rng.New(0x5EED)
 	for i := 0; i < 20; i++ {
 		r := root.Split(fmt.Sprintf("case-%d", i))
@@ -168,19 +170,16 @@ func TestScheduleStructurallySound(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, h := range []Heuristic{MinMin, MaxMin, Sufferage} {
-			res, err := Run(sc.Graph, sc.Estimator(), sc.Pool, h)
-			if err != nil {
-				t.Fatalf("case %d %s: %v", i, h, err)
-			}
-			if err := res.Schedule.Validate(sc.Graph, schedule.ValidateOptions{Pool: sc.Pool}); err != nil {
+			s := runJIT(t, sc.Graph, sc.Estimator(), sc.Pool, h)
+			if err := s.Validate(sc.Graph, schedule.ValidateOptions{Pool: sc.Pool}); err != nil {
 				t.Fatalf("case %d %s: %v", i, h, err)
 			}
 			// Precedence: a consumer's compute start is never before its
 			// producer's finish.
 			for _, j := range sc.Graph.Jobs() {
-				aj := res.Schedule.MustGet(j.ID)
+				aj := s.MustGet(j.ID)
 				for _, e := range sc.Graph.Preds(j.ID) {
-					ap := res.Schedule.MustGet(e.From)
+					ap := s.MustGet(e.From)
 					if aj.Start+1e-9 < ap.Finish {
 						t.Fatalf("case %d %s: %s starts %g before producer ends %g",
 							i, h, j.Name, aj.Start, ap.Finish)
@@ -206,11 +205,8 @@ func TestHeuristicsWithinFewPercent(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, h := range []Heuristic{MinMin, MaxMin, Sufferage} {
-			res, err := Run(sc.Graph, sc.Estimator(), sc.Pool, h)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sums[h] += res.Makespan
+			s := runJIT(t, sc.Graph, sc.Estimator(), sc.Pool, h)
+			sums[h] += s.Makespan()
 		}
 	}
 	base := sums[MinMin]
@@ -218,17 +214,6 @@ func TestHeuristicsWithinFewPercent(t *testing.T) {
 		if rel := math.Abs(s-base) / base; rel > 0.25 {
 			t.Fatalf("%s deviates %.0f%% from Min-Min (sum %g vs %g)", h, 100*rel, s, base)
 		}
-	}
-}
-
-func TestErrors(t *testing.T) {
-	g := chain(t, 2)
-	tb := uniformTable(2, 1, 10)
-	if _, err := Run(nil, cost.Exact(tb), grid.StaticPool(1), MinMin); err == nil {
-		t.Fatal("nil graph accepted")
-	}
-	if _, err := Run(g, cost.Exact(tb), nil, MinMin); err == nil {
-		t.Fatal("nil pool accepted")
 	}
 }
 

@@ -2,12 +2,10 @@ package policy
 
 import (
 	"fmt"
-	"sort"
 
-	"aheft/internal/core"
-	"aheft/internal/cost"
 	"aheft/internal/dag"
 	"aheft/internal/grid"
+	"aheft/internal/kernel"
 	"aheft/internal/schedule"
 	"aheft/internal/sim"
 )
@@ -43,8 +41,7 @@ func (h Heuristic) String() string {
 }
 
 // RegistryName returns the lower-case policy-registry key for the
-// heuristic (the single source of the heuristic → policy-name mapping;
-// the deprecated minmin shim resolves through it too).
+// heuristic (the single source of the heuristic → policy-name mapping).
 func (h Heuristic) RegistryName() string {
 	switch h {
 	case MaxMin:
@@ -72,6 +69,9 @@ func (h Heuristic) RegistryName() string {
 // critical-path awareness — are what make the dynamic strategy lose by a
 // large factor on data-intensive workflows, reproducing the paper's
 // Min-Min ≈ 3× HEFT headline.
+//
+// The per-(job, resource) completion evaluation is the kernel's
+// DispatchBest; the three heuristics are orderings over its output.
 type jitPolicy struct {
 	h Heuristic
 }
@@ -84,27 +84,29 @@ func (p jitPolicy) Adaptive() bool { return false }
 // JustInTime interface).
 func (jitPolicy) JustInTime() bool { return true }
 
-func (p jitPolicy) Plan(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts Options) (*schedule.Schedule, error) {
+func (p jitPolicy) Plan(k *kernel.Kernel, pool *grid.Pool, opts Options) (*schedule.Schedule, error) {
+	g := k.Graph()
 	if g == nil || g.Len() == 0 {
 		return nil, fmt.Errorf("minmin: empty workflow")
 	}
 	if pool == nil || len(pool.Initial()) == 0 {
 		return nil, fmt.Errorf("minmin: no resources at time 0")
 	}
+	n := g.Len()
 	st := &jitState{
+		k:        k,
 		g:        g,
-		est:      est,
 		h:        p.h,
 		simr:     sim.New(),
-		idle:     make(map[grid.ID]bool),
-		finished: make(map[dag.JobID]bool),
-		assigned: make(map[dag.JobID]bool),
-		resOf:    make(map[dag.JobID]grid.ID),
-		pending:  make(map[dag.JobID]int),
+		idle:     make([]bool, pool.Size()),
+		assigned: make([]bool, n),
+		resOf:    make([]grid.ID, n),
+		pending:  make([]int, n),
 		sched:    schedule.New(),
 	}
 	for _, j := range g.Jobs() {
 		st.pending[j.ID] = len(g.Preds(j.ID))
+		st.resOf[j.ID] = grid.NoResource
 	}
 	for _, r := range pool.Initial() {
 		st.idle[r.ID] = true
@@ -122,70 +124,65 @@ func (p jitPolicy) Plan(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts 
 	if err := st.simr.Run(); err != nil {
 		return nil, err
 	}
-	if len(st.finished) != g.Len() {
-		return nil, fmt.Errorf("minmin: deadlock — %d of %d jobs finished", len(st.finished), g.Len())
+	if st.nDone != n {
+		return nil, fmt.Errorf("minmin: deadlock — %d of %d jobs finished", st.nDone, n)
 	}
 	return st.sched, nil
 }
 
-func (jitPolicy) Replan(*dag.Graph, cost.Estimator, []grid.Resource, *core.ExecState, Options) (*schedule.Schedule, error) {
+func (jitPolicy) Replan(*kernel.Kernel, []grid.Resource, *kernel.State, Options) (*schedule.Schedule, error) {
 	return nil, nil // arrivals are consumed inside the Plan simulation
 }
 
 // jitState is the dispatch simulation the just-in-time policies share.
+// Job and resource state is dense (IDs are dense by construction), so the
+// simulation allocates only its scratch slices once.
 type jitState struct {
+	k    *kernel.Kernel
 	g    *dag.Graph
-	est  cost.Estimator
 	h    Heuristic
 	simr *sim.Simulator
 
-	idle     map[grid.ID]bool
-	finished map[dag.JobID]bool
-	assigned map[dag.JobID]bool
-	resOf    map[dag.JobID]grid.ID
-	pending  map[dag.JobID]int // unfinished predecessor count
+	idle     []bool // by resource ID
+	nDone    int    // finished-job count (deadlock detection)
+	assigned []bool
+	resOf    []grid.ID // by job ID; NoResource until dispatched
+	pending  []int     // unfinished predecessor count
 	sched    *schedule.Schedule
+
+	ready    []dag.JobID // scratch: ready jobs, JobID order
+	idleList []grid.ID   // scratch: idle resources, ID order
+	bests    []bestOf    // scratch: per-ready-job best dispatch
 }
 
-// readySet returns unmapped jobs whose predecessors have all finished, in
-// JobID order for determinism.
+type bestOf struct {
+	res    grid.ID
+	done   float64
+	second float64
+}
+
+// readySet refills st.ready with unmapped jobs whose predecessors have
+// all finished, in JobID order for determinism.
 func (st *jitState) readySet() []dag.JobID {
-	var ready []dag.JobID
+	st.ready = st.ready[:0]
 	for _, j := range st.g.Jobs() {
 		if !st.assigned[j.ID] && st.pending[j.ID] == 0 {
-			ready = append(ready, j.ID)
+			st.ready = append(st.ready, j.ID)
 		}
 	}
-	return ready
+	return st.ready
 }
 
-// idleResources returns the currently idle resources in ID order.
+// idleResources refills st.idleList with the currently idle resources in
+// ID order.
 func (st *jitState) idleResources() []grid.ID {
-	out := make([]grid.ID, 0, len(st.idle))
+	st.idleList = st.idleList[:0]
 	for r, ok := range st.idle {
 		if ok {
-			out = append(out, r)
+			st.idleList = append(st.idleList, grid.ID(r))
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
-}
-
-// completion returns when job j would finish if bound to idle resource r
-// now: input files produced elsewhere start transferring at the decision
-// (dynamic file-transfer policy), the resource stalls until they arrive,
-// then computes.
-func (st *jitState) completion(j dag.JobID, r grid.ID, now float64) float64 {
-	inputReady := now
-	for _, e := range st.g.Preds(j) {
-		if st.resOf[e.From] == r {
-			continue // produced here; predecessor finished before now
-		}
-		if arrive := now + st.est.Comm(e, st.resOf[e.From], r); arrive > inputReady {
-			inputReady = arrive
-		}
-	}
-	return inputReady + st.est.Comp(j, r)
+	return st.idleList
 }
 
 // dispatch binds ready jobs to idle resources, one (job, resource) pair at
@@ -198,27 +195,13 @@ func (st *jitState) dispatch() {
 		if len(ready) == 0 || len(idle) == 0 {
 			return
 		}
-		type bestOf struct {
-			res    grid.ID
-			done   float64
-			second float64
+		if cap(st.bests) < len(ready) {
+			st.bests = make([]bestOf, len(ready))
 		}
-		bests := make([]bestOf, len(ready))
+		bests := st.bests[:len(ready)]
 		for i, j := range ready {
-			b := bestOf{res: grid.NoResource}
-			for _, r := range idle {
-				d := st.completion(j, r, now)
-				switch {
-				case b.res == grid.NoResource:
-					b.res, b.done, b.second = r, d, d
-				case d < b.done:
-					b.second = b.done
-					b.res, b.done = r, d
-				case d < b.second:
-					b.second = d
-				}
-			}
-			bests[i] = b
+			r, done, second := st.k.DispatchBest(j, idle, now, st.resOf)
+			bests[i] = bestOf{res: r, done: done, second: second}
 		}
 		pick := 0
 		for i := 1; i < len(ready); i++ {
@@ -246,10 +229,10 @@ func (st *jitState) assign(j dag.JobID, r grid.ID, done float64) {
 	st.assigned[j] = true
 	st.resOf[j] = r
 	st.idle[r] = false
-	w := st.est.Comp(j, r)
+	w := st.k.Estimator().Comp(j, r)
 	st.sched.Assign(schedule.Assignment{Job: j, Resource: r, Start: done - w, Finish: done})
 	st.simr.At(done, sim.PriJobFinish, func() {
-		st.finished[j] = true
+		st.nDone++
 		st.idle[r] = true
 		for _, e := range st.g.Succs(j) {
 			st.pending[e.To]--

@@ -9,6 +9,14 @@
 // policy: classic static HEFT, the paper's AHEFT, and the dynamic
 // just-in-time Min-Min family all run through the same path.
 //
+// Every policy is a thin ordering over the shared scheduling kernel
+// (internal/kernel): the engine creates one kernel.Kernel per workflow run
+// — it owns the rank cache, the dense execution state and all placement
+// scratch — and passes it to Plan/Replan. Policies therefore stay
+// stateless and safe for concurrent use: one Policy value may serve many
+// workflows at once (the root facade's Session runs one goroutine per
+// workflow against shared registry entries), each with its own kernel.
+//
 // Policies are registered by name in a process-wide thread-safe registry
 // so drivers and the root facade can select them with
 // aheft.WithPolicy("aheft") without linking engine internals.
@@ -20,10 +28,8 @@ import (
 	"strings"
 	"sync"
 
-	"aheft/internal/core"
-	"aheft/internal/cost"
-	"aheft/internal/dag"
 	"aheft/internal/grid"
+	"aheft/internal/kernel"
 	"aheft/internal/schedule"
 )
 
@@ -37,7 +43,7 @@ type Options struct {
 	// partial work (ablation). The default pins running jobs in place.
 	RestartRunning bool
 	// TieWindow enables near-tie rank-order exploration in the
-	// rescheduler (see core.Options.TieWindow). Zero is paper-faithful
+	// rescheduler (see kernel.Options.TieWindow). Zero is paper-faithful
 	// greedy; ≈0.05 recovers the paper's Fig. 5(b) worked example.
 	TieWindow float64
 	// Eps is the minimum makespan improvement required to adopt a new
@@ -45,37 +51,38 @@ type Options struct {
 	Eps float64
 }
 
-// Core converts the options into the rescheduling-kernel options.
-func (o Options) Core() core.Options {
-	return core.Options{NoInsertion: o.NoInsertion, TieWindow: o.TieWindow}
+// Kernel converts the options into the scheduling-kernel options.
+func (o Options) Kernel() kernel.Options {
+	return kernel.Options{NoInsertion: o.NoInsertion, TieWindow: o.TieWindow}
 }
 
 // Policy is one scheduling strategy the generic engine can drive.
 //
-// Plan produces the initial schedule for the workflow. It receives the
-// full dynamic pool: a look-ahead policy (HEFT, AHEFT) plans on the
-// resources available at time 0, while a just-in-time policy (Min-Min)
-// simulates its dispatch decisions across the pool's whole arrival
-// timeline and returns the realised schedule.
+// Plan produces the initial schedule for the workflow, whose graph and
+// estimator the kernel k is bound to. It receives the full dynamic pool:
+// a look-ahead policy (HEFT, AHEFT) plans on the resources available at
+// time 0, while a just-in-time policy (Min-Min) simulates its dispatch
+// decisions across the pool's whole arrival timeline and returns the
+// realised schedule.
 //
-// Replan produces a candidate replacement schedule from the execution
-// snapshot st over the resources rs available at st.Clock. Returning
-// (nil, nil) means the policy proposes nothing for this event; the engine
-// records no decision. Replan is only called when Adaptive reports true.
+// Replan produces a candidate replacement schedule from the dense
+// execution snapshot st over the resources rs available at st.Clock.
+// Returning (nil, nil) means the policy proposes nothing for this event;
+// the engine records no decision. Replan is only called when Adaptive
+// reports true.
 //
-// Implementations must be safe for concurrent use: one Policy value may
-// serve many workflows at once (the root facade's Session runs one
-// goroutine per workflow against shared registry entries).
+// Implementations must be stateless (or internally synchronised): the
+// kernel argument carries all per-run mutable state.
 type Policy interface {
 	// Name returns the registry key, lower-case ("heft", "aheft", …).
 	Name() string
 	// Adaptive reports whether the policy reacts to run-time events.
 	Adaptive() bool
 	// Plan produces the initial schedule.
-	Plan(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts Options) (*schedule.Schedule, error)
+	Plan(k *kernel.Kernel, pool *grid.Pool, opts Options) (*schedule.Schedule, error)
 	// Replan produces a candidate replacement schedule, or (nil, nil) to
 	// keep the current one.
-	Replan(g *dag.Graph, est cost.Estimator, rs []grid.Resource, st *core.ExecState, opts Options) (*schedule.Schedule, error)
+	Replan(k *kernel.Kernel, rs []grid.Resource, st *kernel.State, opts Options) (*schedule.Schedule, error)
 }
 
 // JustInTime is an optional interface a Policy implements to declare that

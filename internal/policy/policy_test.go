@@ -5,10 +5,9 @@ import (
 	"sync"
 	"testing"
 
-	"aheft/internal/core"
-	"aheft/internal/cost"
 	"aheft/internal/dag"
 	"aheft/internal/grid"
+	"aheft/internal/kernel"
 	"aheft/internal/schedule"
 	"aheft/internal/workload"
 )
@@ -51,10 +50,10 @@ type stubPolicy struct{ name string }
 
 func (s stubPolicy) Name() string   { return s.name }
 func (s stubPolicy) Adaptive() bool { return false }
-func (s stubPolicy) Plan(*dag.Graph, cost.Estimator, *grid.Pool, Options) (*schedule.Schedule, error) {
+func (s stubPolicy) Plan(*kernel.Kernel, *grid.Pool, Options) (*schedule.Schedule, error) {
 	return schedule.New(), nil
 }
-func (s stubPolicy) Replan(*dag.Graph, cost.Estimator, []grid.Resource, *core.ExecState, Options) (*schedule.Schedule, error) {
+func (s stubPolicy) Replan(*kernel.Kernel, []grid.Resource, *kernel.State, Options) (*schedule.Schedule, error) {
 	return nil, nil
 }
 
@@ -111,7 +110,7 @@ func TestJITFamily(t *testing.T) {
 	sc := workload.SampleScenario()
 	for _, name := range []string{"minmin", "maxmin", "sufferage"} {
 		p := MustGet(name)
-		s, err := p.Plan(sc.Graph, sc.Estimator(), sc.Pool, Options{})
+		s, err := p.Plan(kernel.New(sc.Graph, sc.Estimator()), sc.Pool, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -128,10 +127,10 @@ func TestJITFamily(t *testing.T) {
 func TestJITValidation(t *testing.T) {
 	sc := workload.SampleScenario()
 	p := MustGet("minmin")
-	if _, err := p.Plan(nil, sc.Estimator(), sc.Pool, Options{}); err == nil {
-		t.Fatal("nil graph accepted")
+	if _, err := p.Plan(kernel.New(dag.New("empty"), sc.Estimator()), sc.Pool, Options{}); err == nil {
+		t.Fatal("empty graph accepted")
 	}
-	if _, err := p.Plan(sc.Graph, sc.Estimator(), nil, Options{}); err == nil {
+	if _, err := p.Plan(kernel.New(sc.Graph, sc.Estimator()), nil, Options{}); err == nil {
 		t.Fatal("nil pool accepted")
 	}
 }
@@ -141,11 +140,11 @@ func TestJITValidation(t *testing.T) {
 // clock = 0).
 func TestHEFTPlanEqualsAHEFTPlan(t *testing.T) {
 	sc := workload.SampleScenario()
-	h, err := MustGet("heft").Plan(sc.Graph, sc.Estimator(), sc.Pool, Options{})
+	h, err := MustGet("heft").Plan(kernel.New(sc.Graph, sc.Estimator()), sc.Pool, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := MustGet("aheft").Plan(sc.Graph, sc.Estimator(), sc.Pool, Options{})
+	a, err := MustGet("aheft").Plan(kernel.New(sc.Graph, sc.Estimator()), sc.Pool, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +163,8 @@ func TestHEFTPlanEqualsAHEFTPlan(t *testing.T) {
 func TestStaticPoliciesProposeNothing(t *testing.T) {
 	sc := workload.SampleScenario()
 	for _, name := range []string{"heft", "minmin", "maxmin", "sufferage"} {
-		s, err := MustGet(name).Replan(sc.Graph, sc.Estimator(), sc.Pool.Initial(), core.NewExecState(), Options{})
+		k := kernel.New(sc.Graph, sc.Estimator())
+		s, err := MustGet(name).Replan(k, sc.Pool.Initial(), k.NewState(0), Options{})
 		if err != nil || s != nil {
 			t.Fatalf("%s.Replan = (%v, %v), want (nil, nil)", name, s, err)
 		}
@@ -175,11 +175,12 @@ func TestStaticPoliciesProposeNothing(t *testing.T) {
 // the initial pool reproduces the HEFT plan exactly.
 func TestAHEFTReplanAtClockZeroIsHEFT(t *testing.T) {
 	sc := workload.SampleScenario()
-	plan, err := MustGet("heft").Plan(sc.Graph, sc.Estimator(), sc.Pool, Options{})
+	k := kernel.New(sc.Graph, sc.Estimator())
+	plan, err := MustGet("heft").Plan(k, sc.Pool, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	re, err := MustGet("aheft").Replan(sc.Graph, sc.Estimator(), sc.Pool.Initial(), core.NewExecState(), Options{})
+	re, err := MustGet("aheft").Replan(k, sc.Pool.Initial(), k.NewState(0), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

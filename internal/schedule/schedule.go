@@ -11,6 +11,7 @@ package schedule
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 
@@ -43,6 +44,48 @@ func New() *Schedule {
 		byJob: make(map[dag.JobID]Assignment),
 		byRes: make(map[grid.ID][]Assignment),
 	}
+}
+
+// FromAssignments builds a schedule from a complete assignment list in
+// one pass: the job map is sized up front and each resource timeline is
+// collected then sorted once, instead of being maintained sorted across
+// per-assignment inserts. This is how the scheduling kernel materialises
+// its final result; it panics on invalid intervals or duplicate jobs,
+// both of which the kernel rules out by construction.
+func FromAssignments(as []Assignment) *Schedule {
+	s := &Schedule{
+		byJob: make(map[dag.JobID]Assignment, len(as)),
+		byRes: make(map[grid.ID][]Assignment),
+	}
+	for _, a := range as {
+		if a.Finish < a.Start || math.IsNaN(a.Start) || math.IsNaN(a.Finish) {
+			panic(fmt.Sprintf("schedule: invalid interval [%g,%g) for job %d", a.Start, a.Finish, a.Job))
+		}
+		if _, dup := s.byJob[a.Job]; dup {
+			panic(fmt.Sprintf("schedule: duplicate assignment for job %d", a.Job))
+		}
+		s.byJob[a.Job] = a
+		s.byRes[a.Resource] = append(s.byRes[a.Resource], a)
+	}
+	for _, tl := range s.byRes {
+		slices.SortFunc(tl, func(a, b Assignment) int {
+			switch {
+			case a.Start != b.Start:
+				if a.Start < b.Start {
+					return -1
+				}
+				return 1
+			case a.Job != b.Job:
+				if a.Job < b.Job {
+					return -1
+				}
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
+	return s
 }
 
 // Len returns the number of assigned jobs.

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"aheft/internal/dag"
+	"aheft/internal/rng"
+)
+
+// LayeredParams configures the large layered random DAGs the stress
+// scenarios use. Unlike RandomDAG — which follows the paper's Topcuoglu
+// generator and is tuned to the evaluation's 20–100-job scale — the
+// layered generator is built for volume: width and depth are explicit,
+// fan-in is bounded, and construction is O(jobs · fan-in), so DAGs of
+// 5k–20k jobs build in milliseconds and exercise the scheduling kernel's
+// hot paths rather than the generator's.
+type LayeredParams struct {
+	// Jobs is the total job count (≥ 2). Up to 20k is routinely exercised
+	// by the stress benches.
+	Jobs int
+	// Width is the number of jobs per layer; the depth follows as
+	// ceil(Jobs/Width). Zero means round(sqrt(Jobs)) — a square DAG.
+	Width int
+	// FanIn is how many distinct parents each non-entry job draws from
+	// the previous layer (clamped to the layer's width). Zero means 3.
+	FanIn int
+	// CCR is the communication-to-computation ratio; edge weights are
+	// uniform on [0, 2·CCR·AvgComp] as in the random generator.
+	CCR float64
+	// Beta is the resource heterogeneity factor (see RandomParams.Beta).
+	Beta float64
+	// AvgComp is ω_DAG; zero means DefaultAvgComp.
+	AvgComp float64
+}
+
+func (p LayeredParams) avgComp() float64 {
+	if p.AvgComp > 0 {
+		return p.AvgComp
+	}
+	return DefaultAvgComp
+}
+
+func (p LayeredParams) width() int {
+	if p.Width > 0 {
+		return p.Width
+	}
+	w := int(math.Round(math.Sqrt(float64(p.Jobs))))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (p LayeredParams) fanIn() int {
+	if p.FanIn > 0 {
+		return p.FanIn
+	}
+	return 3
+}
+
+func (p LayeredParams) validate() error {
+	if p.Jobs < 2 {
+		return fmt.Errorf("workload: LayeredParams.Jobs must be >= 2, got %d", p.Jobs)
+	}
+	if p.CCR < 0 || p.Beta < 0 || p.Beta > 2 || p.Width < 0 || p.FanIn < 0 {
+		return fmt.Errorf("workload: invalid LayeredParams %+v", p)
+	}
+	return nil
+}
+
+// LayeredDAG generates a layered random DAG: ceil(Jobs/Width) layers of
+// Width jobs each (the last layer takes the remainder), every non-entry
+// job drawing FanIn distinct parents uniformly from the previous layer.
+// Layer 0 holds the entries; jobs whose successors all landed elsewhere
+// are exits. Edge weights are uniform on [0, 2·CCR·ω_DAG].
+func LayeredDAG(p LayeredParams, r *rng.Source) (*dag.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	width := p.width()
+	g := dag.New(fmt.Sprintf("layered-v%d-w%d", p.Jobs, width))
+	commScale := 2 * p.CCR * p.avgComp()
+
+	var prev []dag.JobID
+	layer := make([]dag.JobID, 0, width)
+	// pick reuses one scratch slice for the parent sample per job.
+	pick := make([]int, 0, p.fanIn())
+	made := 0
+	for made < p.Jobs {
+		layer = layer[:0]
+		n := width
+		if rem := p.Jobs - made; rem < n {
+			n = rem
+		}
+		for i := 0; i < n; i++ {
+			id := g.AddJob(fmt.Sprintf("j%d", made+1), fmt.Sprintf("op%d", made+1))
+			made++
+			layer = append(layer, id)
+			if len(prev) == 0 {
+				continue
+			}
+			fan := p.fanIn()
+			if fan > len(prev) {
+				fan = len(prev)
+			}
+			// Sample fan distinct indices into prev (rejection is cheap:
+			// fan is a small constant and layers are wide).
+			pick = pick[:0]
+			for len(pick) < fan {
+				c := r.IntN(len(prev))
+				dup := false
+				for _, got := range pick {
+					if got == c {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					pick = append(pick, c)
+				}
+			}
+			for _, c := range pick {
+				g.MustEdge(prev[c], id, r.Uniform(0, commScale))
+			}
+		}
+		prev = append(prev[:0], layer...)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LayeredScenario generates one full stress case: a layered DAG plus a
+// dynamic pool and cost table per gp. It is the workload behind the
+// kernel stress benches (5k–20k jobs under pool churn).
+func LayeredScenario(p LayeredParams, gp GridParams, r *rng.Source) (*Scenario, error) {
+	g, err := LayeredDAG(p, r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildScenario(g, gp, p.Beta, p.avgComp(), p.CCR, PerJob, r)
+}

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"aheft"
-	"aheft/internal/minmin"
 	"aheft/internal/planner"
 	"aheft/internal/rng"
 	"aheft/internal/workload"
@@ -45,67 +44,84 @@ func parityScenarios(t *testing.T) map[string]*workload.Scenario {
 	return out
 }
 
-// legacyMakespan runs a scenario through the legacy v1 entry point the
-// policy replaced: planner.Run for HEFT/AHEFT, minmin.Run for the
-// just-in-time family.
-func legacyMakespan(t *testing.T, sc *workload.Scenario, pol string, tie float64) float64 {
-	t.Helper()
-	est := sc.Estimator()
-	switch pol {
-	case "heft":
-		res, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyStatic, planner.RunOptions{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.Makespan
-	case "aheft":
-		res, err := planner.Run(sc.Graph, est, sc.Pool, planner.StrategyAdaptive, planner.RunOptions{TieWindow: tie})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.Makespan
-	case "minmin", "maxmin", "sufferage":
-		h := map[string]minmin.Heuristic{
-			"minmin": minmin.MinMin, "maxmin": minmin.MaxMin, "sufferage": minmin.Sufferage,
-		}[pol]
-		res, err := minmin.Run(sc.Graph, est, sc.Pool, h)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.Makespan
-	default:
-		t.Fatalf("no legacy entry point for policy %q", pol)
-		return 0
-	}
+// preKernelGoldens pins, for every (policy, scenario, tie-window) cell,
+// the exact makespan produced by the pre-kernel implementation — recorded
+// at the refactor boundary (commit 1636171, where core/heft/policy each
+// carried their own copy of the rank/FEA/placement loop) with 17
+// significant digits, which round-trips float64 exactly. The shared
+// scheduling kernel must reproduce every value bit for bit: the kernel
+// reorganises the arithmetic's data structures, not the arithmetic.
+var preKernelGoldens = map[string]map[string][2]float64{
+	// scenario -> policy -> {tie=0, tie=0.05}
+	"fig4-sample": {
+		"heft":      {80, 80},
+		"aheft":     {80, 76}, // paper Fig. 5(a)/(b)
+		"minmin":    {100, 100},
+		"maxmin":    {101, 101},
+		"sufferage": {96, 96},
+	},
+	"random-0": {
+		"heft":      {820.69988664577875, 820.69988664577875},
+		"aheft":     {810.36964544423677, 810.36964544423677},
+		"minmin":    {985.37136605616035, 985.37136605616035},
+		"maxmin":    {886.83339291197888, 886.83339291197888},
+		"sufferage": {955.22112854539341, 955.22112854539341},
+	},
+	"random-1": {
+		"heft":      {1660.3346420178734, 1660.3346420178734},
+		"aheft":     {1659.0191937130819, 1647.7641666260893},
+		"minmin":    {2208.6094126930661, 2208.6094126930661},
+		"maxmin":    {2039.1982773849099, 2039.1982773849099},
+		"sufferage": {2050.0421773908811, 2050.0421773908811},
+	},
+	"random-2": {
+		"heft":      {5258.9866949604138, 5258.9866949604138},
+		"aheft":     {5258.9866949604138, 4713.5021598965868},
+		"minmin":    {7794.5312048919595, 7794.5312048919595},
+		"maxmin":    {7988.7154476108308, 7988.7154476108308},
+		"sufferage": {7758.0226047570604, 7758.0226047570604},
+	},
+	"blast": {
+		"heft":      {2211.2832894954554, 2211.2832894954554},
+		"aheft":     {1777.6967836633976, 1777.6967836633976},
+		"minmin":    {1872.5200361258528, 1872.5200361258528},
+		"maxmin":    {1872.5200361258528, 1872.5200361258528},
+		"sufferage": {1872.5200361258528, 1872.5200361258528},
+	},
+	"wien2k": {
+		"heft":      {1976.6882685469106, 1976.6882685469106},
+		"aheft":     {1771.0551424628975, 1771.0551424628975},
+		"minmin":    {1803.5229784428921, 1803.5229784428921},
+		"maxmin":    {1803.5229784428921, 1803.5229784428921},
+		"sufferage": {1803.5229784428921, 1803.5229784428921},
+	},
 }
 
-// TestV2ParityWithLegacy checks that the deprecated v1 entry points
-// (planner.Run, minmin.Run) and the v2 facade agree for every registered
-// policy and scenario family — guarding the shim wiring and option
-// plumbing. The legacy shims now share the policy engine, so this alone
-// cannot catch a transcription bug in the engine port itself; that is
-// pinned independently by TestSeedGoldenMakespans below (values recorded
-// from the pre-refactor seed implementation) and by the behavioural
-// suites in internal/minmin and internal/planner that survived the move
-// unchanged.
-func TestV2ParityWithLegacy(t *testing.T) {
+// TestKernelParityWithPreKernelGoldens drives every registered built-in
+// policy over every parity scenario at both tie windows through the v2
+// facade and requires bit-identical makespans against the pre-kernel
+// recordings above. This is the acceptance gate of the kernel refactor:
+// the Fig. 4 sample, the random-DAG goldens and the BLAST/WIEN2K
+// makespans all flow through internal/kernel now, and none may move.
+func TestKernelParityWithPreKernelGoldens(t *testing.T) {
 	ctx := context.Background()
 	scenarios := parityScenarios(t)
-	// The five legacy-backed policies, fixed: future registrations have no
-	// v1 entry point to compare against and must not break this test.
-	legacyBacked := []string{"heft", "aheft", "minmin", "maxmin", "sufferage"}
-	for _, tie := range []float64{0, 0.05} {
-		for _, pol := range legacyBacked {
-			for name, sc := range scenarios {
+	for name, sc := range scenarios {
+		byPolicy, ok := preKernelGoldens[name]
+		if !ok {
+			t.Fatalf("no goldens recorded for scenario %q", name)
+		}
+		for pol, want := range byPolicy {
+			for ti, tie := range []float64{0, 0.05} {
 				t.Run(fmt.Sprintf("%s/%s/tie=%g", pol, name, tie), func(t *testing.T) {
-					want := legacyMakespan(t, sc, pol, tie)
-					got, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
+					res, err := aheft.Run(ctx, sc.Graph, sc.Estimator(), sc.Pool,
 						aheft.WithPolicy(pol), aheft.WithTieWindow(tie))
 					if err != nil {
 						t.Fatal(err)
 					}
-					if got.Makespan != want {
-						t.Fatalf("v2 makespan %v != legacy %v", got.Makespan, want)
+					if res.Makespan != want[ti] {
+						t.Fatalf("makespan %v != pre-kernel golden %v (diff %g)",
+							res.Makespan, want[ti], res.Makespan-want[ti])
 					}
 				})
 			}
@@ -117,8 +133,7 @@ func TestV2ParityWithLegacy(t *testing.T) {
 // sample scenario to the values produced by the seed (pre-refactor)
 // implementations — minmin/maxmin/sufferage were measured by running the
 // original internal/minmin engine at the seed commit, heft/aheft are the
-// paper's published 80/76. Unlike the shim-parity test above, both sides
-// of this comparison cannot drift together.
+// paper's published 80/76.
 func TestSeedGoldenMakespans(t *testing.T) {
 	ctx := context.Background()
 	sc := workload.SampleScenario()
