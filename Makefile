@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check check bench bench-all clean
+.PHONY: all build test race vet fmt fmt-check check bench bench-server bench-all clean
 
 all: check
 
@@ -37,6 +37,20 @@ bench:
 	$(GO) run ./cmd/benchjson < bench-kernel.txt > BENCH_kernel.json
 	@rm -f bench-kernel.txt
 	@echo "wrote BENCH_kernel.json"
+
+# bench-server runs the daemon throughput benches (end-to-end
+# workflows/sec through the aheftd server core: wire ingestion, shard
+# routing, engine, SSE completion) and snapshots them into
+# BENCH_SERVER_OUT (default BENCH_server.json, the committed reference).
+# CI records a fresh snapshot and prints the ratio table with
+# cmd/benchcmp.
+BENCH_SERVER_OUT ?= BENCH_server.json
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkServer' -benchmem . > bench-server.txt || { cat bench-server.txt; rm -f bench-server.txt; exit 1; }
+	cat bench-server.txt
+	$(GO) run ./cmd/benchjson < bench-server.txt > $(BENCH_SERVER_OUT)
+	@rm -f bench-server.txt
+	@echo "wrote $(BENCH_SERVER_OUT)"
 
 # bench-all runs the full benchmark suite, including the paper-scale
 # experiment regeneration benches.

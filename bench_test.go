@@ -10,11 +10,18 @@
 package aheft_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"aheft"
 	"aheft/internal/core"
@@ -22,6 +29,8 @@ import (
 	"aheft/internal/heft"
 	"aheft/internal/kernel"
 	"aheft/internal/rng"
+	"aheft/internal/server"
+	"aheft/internal/wire"
 	"aheft/internal/workload"
 )
 
@@ -253,6 +262,105 @@ func BenchmarkKernelAdaptiveRun(b *testing.B) {
 		if _, err := aheft.Run(ctx, sc.Graph, est, sc.Pool); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Daemon throughput benches. ---
+//
+// BenchmarkServer* is the contract `make bench-server` snapshots into
+// BENCH_server.json: end-to-end workflows/sec through the aheftd server
+// core — HTTP submission in the wire format, shard routing, the
+// kernel-backed engine, and SSE completion — reported as the wf/s
+// metric. Run against the committed snapshot with cmd/benchcmp.
+
+// serverBenchBodies pre-encodes distinct paper-scale submissions so the
+// benchmark measures the daemon, not the generator.
+func serverBenchBodies(b *testing.B, n int) [][]byte {
+	b.Helper()
+	r := rng.New(0xD0E)
+	out := make([][]byte, n)
+	for i := range out {
+		sc, err := workload.RandomScenario(workload.RandomParams{
+			Jobs: 60, CCR: 2, OutDegree: 0.3, Beta: 0.5,
+		}, workload.GridParams{
+			InitialResources: 8, ChangeInterval: 300, ChangePct: 0.25, MaxEvents: 4,
+		}, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := wire.EncodeSubmission(&wire.Submission{
+			Policy: "aheft", Graph: sc.Graph, Comp: sc.Table, Pool: sc.Pool,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = body
+	}
+	return out
+}
+
+// benchServerThroughput drives b.N workflows end to end: each op is one
+// POST plus an SSE follow to the terminal event.
+func benchServerThroughput(b *testing.B, shards int) {
+	srv := server.New(server.Config{Shards: shards, QueueDepth: 4096})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	bodies := serverBenchBodies(b, 8)
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}
+	var next atomic.Int64
+	b.SetParallelism(4) // keep several workflows in flight per core
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := bodies[int(next.Add(1))%len(bodies)]
+			resp, err := client.Post(ts.URL+"/v1/workflows", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				b.Fatalf("submit: HTTP %d", resp.StatusCode)
+			}
+			var sub wire.Submitted
+			err = json.NewDecoder(resp.Body).Decode(&sub)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev, err := client.Get(ts.URL + "/v1/workflows/" + sub.ID + "/events")
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream, err := io.ReadAll(ev.Body)
+			ev.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Contains(stream, []byte(`"kind":"done"`)) {
+				b.Fatalf("workflow %s did not complete: %s", sub.ID, stream)
+			}
+		}
+	})
+	b.StopTimer()
+	if m := srv.MetricsSnapshot(); m.EventsDropped != 0 || m.Failed != 0 {
+		b.Fatalf("bench run lost events or failed workflows: %+v", m)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "wf/s")
+}
+
+// BenchmarkServerThroughput measures daemon workflows/sec at 1 and 4
+// shards (60-job random workflows, accurate estimates).
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchServerThroughput(b, shards)
+		})
 	}
 }
 

@@ -1,0 +1,77 @@
+// Command aheftd is the adaptive-scheduling daemon: it serves the
+// internal/server HTTP API (wire-format workflow submission, status,
+// SSE decision streams, health, metrics) over N sharded session workers.
+//
+//	aheftd -addr :7070 -shards 4 -queue 256
+//
+// SIGTERM or SIGINT starts a graceful drain: intake returns 503, every
+// queued workflow finishes, then the process exits 0. A second signal —
+// or the -drain-timeout deadline — force-cancels in-flight runs and
+// exits non-zero.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aheft/internal/server"
+	"aheft/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	shards := flag.Int("shards", 4, "session workers (one scheduling pipeline each)")
+	queue := flag.Int("queue", 256, "per-shard bounded submission queue depth")
+	maxJobs := flag.Int("max-jobs", wire.DefaultLimits.MaxJobs, "per-submission job cap")
+	maxRes := flag.Int("max-resources", wire.DefaultLimits.MaxResources, "per-submission resource cap")
+	defaultPolicy := flag.String("policy", "aheft", "default scheduling policy for submissions that name none")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to drain queued workflows on shutdown")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Shards:        *shards,
+		QueueDepth:    *queue,
+		Limits:        wire.Limits{MaxJobs: *maxJobs, MaxResources: *maxRes},
+		DefaultPolicy: *defaultPolicy,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("aheftd: listening on %s (%d shards, queue depth %d, default policy %s)",
+			*addr, *shards, *queue, *defaultPolicy)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("aheftd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default handling: a second signal kills the process
+
+	log.Printf("aheftd: draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(drainCtx)
+	_ = httpSrv.Shutdown(drainCtx)
+
+	m := srv.MetricsSnapshot()
+	log.Printf("aheftd: drained: accepted=%d completed=%d failed=%d rejected(backpressure=%d invalid=%d drain=%d) reschedules=%d events=%d dropped=%d inflight_peak=%d",
+		m.Accepted, m.Completed, m.Failed, m.RejectedFull, m.RejectedInvalid, m.RejectedDrain,
+		m.Reschedules, m.EventsEmitted, m.EventsDropped, m.InflightPeak)
+	if drainErr != nil && !errors.Is(drainErr, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "aheftd: drain incomplete: %v\n", drainErr)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,549 @@
+// Command loadgen is a closed-loop traffic generator for the aheftd
+// daemon: it pre-generates a mix of wire-encoded workflows — parametric
+// random DAGs, large layered stress DAGs, and the BLAST/WIEN2K
+// application shapes — submits them at a target arrival rate under an
+// in-flight cap, follows every workflow to completion, and reports
+// achieved throughput and latency percentiles plus the daemon's own
+// /metrics document.
+//
+//	loadgen -addr http://127.0.0.1:7070 -duration 30s -rate 200 \
+//	    -mix random=60,blast=15,wien2k=15,layered=10 -out report.json
+//
+// Exit status is non-zero when any workflow fails, when nothing
+// completes, or when -require-zero-drops / -require-inflight are set and
+// the daemon's counters violate them — so CI can use a loadgen run as a
+// smoke gate.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aheft/internal/rng"
+	"aheft/internal/server"
+	"aheft/internal/stats"
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7070", "daemon base URL")
+	duration := flag.Duration("duration", 30*time.Second, "how long to keep submitting")
+	rate := flag.Float64("rate", 100, "target arrival rate (workflows/sec); 0 = as fast as the in-flight cap allows")
+	inflight := flag.Int("inflight", 600, "max concurrently in-flight workflows (closed-loop cap)")
+	mix := flag.String("mix", "random=60,blast=15,wien2k=15,layered=10", "workload mix weights")
+	jobs := flag.Int("jobs", 60, "random-DAG job count")
+	layeredJobs := flag.Int("layered-jobs", 5000, "layered stress-DAG job count")
+	parallelism := flag.Int("parallelism", 24, "BLAST/WIEN2K fan-out")
+	variants := flag.Int("variants", 8, "distinct pre-generated workflows per mix class")
+	seed := flag.Uint64("seed", 1, "workload-generation seed")
+	policy := flag.String("policy", "aheft", "scheduling policy for every submission")
+	poll := flag.Duration("poll", 5*time.Millisecond, "initial status-poll interval (backs off to 500ms)")
+	follow := flag.Int("follow", 64, "max workflows followed live over SSE instead of polled (exercises the event fan-out the drop counter guards)")
+	out := flag.String("out", "", "write the JSON report here")
+	requireZeroDrops := flag.Bool("require-zero-drops", false, "fail if the daemon reports events_dropped > 0")
+	requireInflight := flag.Int("require-inflight", 0, "fail if the daemon's inflight_peak stays below this")
+	flag.Parse()
+
+	classes, err := buildClasses(*mix, *jobs, *layeredJobs, *parallelism, *variants, *seed, *policy)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	total := 0
+	for _, c := range classes {
+		total += c.weight
+		log.Printf("loadgen: class %-8s weight %3d, %d variants, ~%d KiB each",
+			c.name, c.weight, len(c.bodies), len(c.bodies[0])>>10)
+	}
+
+	client := &http.Client{
+		Timeout: 2 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        *inflight + 64,
+			MaxIdleConnsPerHost: *inflight + 64,
+		},
+	}
+	g := &generator{
+		client: client,
+		base:   strings.TrimRight(*addr, "/"),
+		poll:   *poll,
+	}
+	if *follow > 0 {
+		g.followSem = make(chan struct{}, *follow)
+	}
+	if err := g.waitHealthy(10 * time.Second); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+
+	// Submission loop: arrivals paced at -rate, capacity bounded by the
+	// in-flight semaphore (closed loop: when the cap is hit, arrivals
+	// wait and the stall is counted instead of piling up locally).
+	picker := rng.New(*seed ^ 0x10adcafe)
+	sem := make(chan struct{}, *inflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) / *rate)
+	}
+	next := start
+	for time.Since(start) < *duration {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			g.addStall()
+			sem <- struct{}{} // closed loop: wait for a slot
+		}
+		body := pick(classes, total, picker)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			g.run(body)
+		}()
+	}
+	submitWindow := time.Since(start)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var metrics server.MetricsDoc
+	if err := g.getJSON("/metrics", &metrics); err != nil {
+		log.Fatalf("loadgen: fetch metrics: %v", err)
+	}
+	rep := g.report(submitWindow, elapsed, *rate, metrics)
+	printReport(rep)
+	if *out != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen: write report: %v", err)
+		}
+		log.Printf("loadgen: wrote %s", *out)
+	}
+
+	switch {
+	case rep.Completed == 0:
+		log.Fatal("loadgen: nothing completed")
+	case rep.Failed > 0:
+		log.Fatalf("loadgen: %d workflows failed", rep.Failed)
+	case *requireZeroDrops && metrics.EventsDropped > 0:
+		log.Fatalf("loadgen: daemon dropped %d events", metrics.EventsDropped)
+	case *requireInflight > 0 && metrics.InflightPeak < int64(*requireInflight):
+		log.Fatalf("loadgen: inflight peak %d below required %d", metrics.InflightPeak, *requireInflight)
+	}
+}
+
+// class is one workload family of the mix with its pre-encoded bodies.
+type class struct {
+	name   string
+	weight int
+	bodies [][]byte
+}
+
+func buildClasses(mix string, jobs, layeredJobs, parallelism, variants int, seed uint64, policy string) ([]class, error) {
+	if variants < 1 {
+		return nil, fmt.Errorf("-variants must be >= 1, got %d", variants)
+	}
+	weights := map[string]int{}
+	for _, part := range strings.Split(mix, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix entry %q", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		weights[kv[0]] = w
+	}
+	r := rng.New(seed)
+	gen := func(name string, make func() (*workload.Scenario, error)) (class, error) {
+		c := class{name: name, weight: weights[name]}
+		delete(weights, name)
+		if c.weight == 0 {
+			return c, nil
+		}
+		for i := 0; i < variants; i++ {
+			sc, err := make()
+			if err != nil {
+				return c, fmt.Errorf("generate %s: %w", name, err)
+			}
+			body, err := wire.EncodeSubmission(&wire.Submission{
+				Name:   fmt.Sprintf("%s-%d", name, i),
+				Policy: policy,
+				Graph:  sc.Graph, Comp: sc.Table, Pool: sc.Pool,
+			})
+			if err != nil {
+				return c, fmt.Errorf("encode %s: %w", name, err)
+			}
+			c.bodies = append(c.bodies, body)
+		}
+		return c, nil
+	}
+
+	grid := workload.GridParams{InitialResources: 8, ChangeInterval: 300, ChangePct: 0.25, MaxEvents: 4}
+	stress := workload.GridParams{InitialResources: 16, ChangeInterval: 500, ChangePct: 0.25, MaxEvents: 4}
+	var classes []class
+	for _, spec := range []struct {
+		name string
+		make func() (*workload.Scenario, error)
+	}{
+		{"random", func() (*workload.Scenario, error) {
+			return workload.RandomScenario(workload.RandomParams{Jobs: jobs, CCR: 2, OutDegree: 0.3, Beta: 0.5}, grid, r)
+		}},
+		{"blast", func() (*workload.Scenario, error) {
+			return workload.BlastScenario(workload.AppParams{Parallelism: parallelism, CCR: 1, Beta: 0.5}, grid, r)
+		}},
+		{"wien2k", func() (*workload.Scenario, error) {
+			return workload.Wien2kScenario(workload.AppParams{Parallelism: parallelism, CCR: 1, Beta: 0.5}, grid, r)
+		}},
+		{"layered", func() (*workload.Scenario, error) {
+			return workload.LayeredScenario(workload.LayeredParams{
+				Jobs: layeredJobs, Width: layeredJobs / 50, FanIn: 3, CCR: 1, Beta: 0.5}, stress, r)
+		}},
+	} {
+		c, err := gen(spec.name, spec.make)
+		if err != nil {
+			return nil, err
+		}
+		if c.weight > 0 {
+			classes = append(classes, c)
+		}
+	}
+	for name := range weights {
+		return nil, fmt.Errorf("unknown mix class %q", name)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("empty mix %q", mix)
+	}
+	return classes, nil
+}
+
+func pick(classes []class, total int, r *rng.Source) []byte {
+	n := r.IntN(total)
+	for _, c := range classes {
+		if n < c.weight {
+			return c.bodies[r.IntN(len(c.bodies))]
+		}
+		n -= c.weight
+	}
+	return classes[len(classes)-1].bodies[0]
+}
+
+// generator tracks client-side outcome counts and latencies.
+type generator struct {
+	client *http.Client
+	base   string
+	poll   time.Duration
+
+	// followSem, when non-nil, bounds how many workflows are followed
+	// live over SSE (the rest are polled). Following real subscribers is
+	// what makes the daemon's events_dropped counter — and the
+	// -require-zero-drops gate — meaningful: only a live SSE consumer
+	// can drop events.
+	followSem chan struct{}
+
+	mu               sync.Mutex
+	submitted        int
+	completed        int
+	failed           int
+	retries429       int
+	transportRetries int
+	stalls           int
+	followed         int
+	seqGaps          int
+	wallMs           []float64 // submit → observed terminal state
+	computeMs        []float64 // server-reported engine latency
+}
+
+func (g *generator) addStall() {
+	g.mu.Lock()
+	g.stalls++
+	g.mu.Unlock()
+}
+
+func (g *generator) addTransportRetry() {
+	g.mu.Lock()
+	g.transportRetries++
+	g.mu.Unlock()
+}
+
+func (g *generator) waitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var doc map[string]any
+		if err := g.getJSON("/healthz", &doc); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not healthy after %s: %w", timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (g *generator) getJSON(path string, v any) error {
+	resp, err := g.client.Get(g.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// run drives one workflow: submit (retrying 429 backpressure), then poll
+// its status to a terminal state.
+func (g *generator) run(body []byte) {
+	g.mu.Lock()
+	g.submitted++
+	g.mu.Unlock()
+	start := time.Now()
+
+	var sub wire.Submitted
+	netErrs := 0
+	for attempt := 0; ; attempt++ {
+		resp, err := g.client.Post(g.base+"/v1/workflows", "application/json", bytes.NewReader(body))
+		if err != nil {
+			// Transient transport faults (connection resets under
+			// thousands of concurrent loopback conns) are part of load
+			// generation, not workflow failures: retry a few times
+			// before giving up.
+			if netErrs++; netErrs > 3 {
+				g.fail("submit: %v", err)
+				return
+			}
+			g.addTransportRetry()
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			g.mu.Lock()
+			g.retries429++
+			g.mu.Unlock()
+			// Honour Retry-After, capped: the daemon names 1s, but under
+			// heavy backpressure a tighter retry keeps the closed loop
+			// saturated without hammering.
+			delay := 100 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second / 4
+			}
+			if delay > time.Second {
+				delay = time.Second // keep the closed loop live whatever the header says
+			}
+			time.Sleep(delay)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			resp.Body.Close()
+			g.fail("submit: HTTP %d", resp.StatusCode)
+			return
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil {
+			g.fail("submit decode: %v", err)
+			return
+		}
+		break
+	}
+
+	// Follow a bounded sample of workflows over SSE — real subscribers
+	// on the event fan-out, so the daemon's events_dropped counter (and
+	// -require-zero-drops) guards a path that is actually exercised —
+	// and poll the rest.
+	if g.followSem != nil {
+		select {
+		case g.followSem <- struct{}{}:
+			defer func() { <-g.followSem }()
+			g.followSSE(sub.ID, start)
+			return
+		default:
+		}
+	}
+	g.pollDone(sub.ID, start)
+}
+
+// pollDone polls the workflow's status to a terminal state.
+func (g *generator) pollDone(id string, start time.Time) {
+	interval := g.poll
+	netErrs := 0
+	for {
+		time.Sleep(interval)
+		if interval < 500*time.Millisecond {
+			interval = interval * 3 / 2
+		}
+		var st wire.Status
+		if err := g.getJSON("/v1/workflows/"+id, &st); err != nil {
+			if netErrs++; netErrs > 5 {
+				g.fail("status %s: %v", id, err)
+				return
+			}
+			g.addTransportRetry()
+			continue
+		}
+		netErrs = 0
+		switch st.State {
+		case server.StateDone:
+			g.complete(start, st.ComputeMs)
+			return
+		case server.StateFailed:
+			g.fail("workflow %s: %s", id, st.Error)
+			return
+		}
+	}
+}
+
+// followSSE consumes the workflow's event stream to its terminal event,
+// counting any client-observed Seq gap (a drop for this subscriber). A
+// transport fault on the stream falls back to polling rather than
+// declaring the workflow failed.
+func (g *generator) followSSE(id string, start time.Time) {
+	g.mu.Lock()
+	g.followed++
+	g.mu.Unlock()
+	resp, err := g.client.Get(g.base + "/v1/workflows/" + id + "/events")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		g.addTransportRetry()
+		g.pollDone(id, start)
+		return
+	}
+	defer resp.Body.Close()
+	lastSeq := -1
+	var last wire.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev wire.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			g.fail("follow %s: bad SSE payload: %v", id, err)
+			return
+		}
+		if ev.Seq != lastSeq+1 {
+			g.mu.Lock()
+			g.seqGaps++
+			g.mu.Unlock()
+		}
+		lastSeq = ev.Seq
+		last = ev
+	}
+	switch last.Kind {
+	case "done":
+		// Best-effort status fetch for the server-side compute sample.
+		var st wire.Status
+		_ = g.getJSON("/v1/workflows/"+id, &st)
+		g.complete(start, st.ComputeMs)
+	case "failed":
+		g.fail("workflow %s: %s", id, last.Error)
+	default:
+		// Stream cut before a terminal event: resolve by polling.
+		g.addTransportRetry()
+		g.pollDone(id, start)
+	}
+}
+
+func (g *generator) complete(start time.Time, computeMs float64) {
+	g.mu.Lock()
+	g.completed++
+	g.wallMs = append(g.wallMs, time.Since(start).Seconds()*1e3)
+	// A real compute latency is always positive; zero means the
+	// best-effort status fetch failed (transport fault, record evicted)
+	// and recording it would drag the percentiles toward 0.
+	if computeMs > 0 {
+		g.computeMs = append(g.computeMs, computeMs)
+	}
+	g.mu.Unlock()
+}
+
+func (g *generator) fail(format string, args ...any) {
+	g.mu.Lock()
+	g.failed++
+	n := g.failed
+	g.mu.Unlock()
+	if n <= 10 {
+		log.Printf("loadgen: "+format, args...)
+	}
+}
+
+// Report is the loadgen run summary written to -out.
+type Report struct {
+	DurationS        float64           `json:"duration_s"`      // submission window
+	TotalS           float64           `json:"total_s"`         // window + drain of in-flight
+	TargetRate       float64           `json:"target_rate_wps"` // 0 = uncapped
+	Submitted        int               `json:"submitted"`
+	Completed        int               `json:"completed"`
+	Failed           int               `json:"failed"`
+	Retries429       int               `json:"retries_429"`
+	TransportRetries int               `json:"transport_retries"`
+	Stalls           int               `json:"inflight_stalls"`
+	Followed         int               `json:"followed_sse"`
+	SeqGaps          int               `json:"sse_seq_gaps"`
+	AchievedWps      float64           `json:"achieved_wps"`
+	WallP50Ms        float64           `json:"wall_p50_ms"`
+	WallP95Ms        float64           `json:"wall_p95_ms"`
+	WallP99Ms        float64           `json:"wall_p99_ms"`
+	ComputeP50Ms     float64           `json:"compute_p50_ms"`
+	ComputeP99Ms     float64           `json:"compute_p99_ms"`
+	ServerMetrics    server.MetricsDoc `json:"server_metrics"`
+}
+
+func (g *generator) report(window, elapsed time.Duration, rate float64, metrics server.MetricsDoc) Report {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wall := stats.Quantiles(g.wallMs, 0.50, 0.95, 0.99)
+	comp := stats.Quantiles(g.computeMs, 0.50, 0.99)
+	wps := 0.0
+	if elapsed > 0 {
+		wps = float64(g.completed) / elapsed.Seconds()
+	}
+	return Report{
+		DurationS:  window.Seconds(),
+		TotalS:     elapsed.Seconds(),
+		TargetRate: rate,
+		Submitted:  g.submitted, Completed: g.completed, Failed: g.failed,
+		Retries429: g.retries429, TransportRetries: g.transportRetries, Stalls: g.stalls,
+		Followed: g.followed, SeqGaps: g.seqGaps,
+		AchievedWps: wps,
+		WallP50Ms:   wall[0], WallP95Ms: wall[1], WallP99Ms: wall[2],
+		ComputeP50Ms: comp[0], ComputeP99Ms: comp[1],
+		ServerMetrics: metrics,
+	}
+}
+
+func printReport(r Report) {
+	fmt.Printf("loadgen: %d submitted, %d completed, %d failed in %.1fs (window %.1fs)\n",
+		r.Submitted, r.Completed, r.Failed, r.TotalS, r.DurationS)
+	fmt.Printf("loadgen: throughput %.1f workflows/sec (target rate %.0f/s, %d backpressure retries, %d in-flight stalls)\n",
+		r.AchievedWps, r.TargetRate, r.Retries429, r.Stalls)
+	fmt.Printf("loadgen: followed %d workflows over SSE (%d seq gaps observed client-side)\n",
+		r.Followed, r.SeqGaps)
+	fmt.Printf("loadgen: wall latency p50 %.1fms p95 %.1fms p99 %.1fms; compute p50 %.2fms p99 %.2fms\n",
+		r.WallP50Ms, r.WallP95Ms, r.WallP99Ms, r.ComputeP50Ms, r.ComputeP99Ms)
+	m := r.ServerMetrics
+	fmt.Printf("loadgen: server: completed=%d failed=%d reschedules=%d events=%d dropped=%d inflight_peak=%d rejected(backpressure=%d)\n",
+		m.Completed, m.Failed, m.Reschedules, m.EventsEmitted, m.EventsDropped, m.InflightPeak, m.RejectedFull)
+}

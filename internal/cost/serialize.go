@@ -1,0 +1,29 @@
+package cost
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes the table as its bare jobs × resources matrix —
+// row i is job i, column j is resource j, matching the dense IDs the dag
+// and grid codecs assign on decode.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.comp)
+}
+
+// UnmarshalJSON decodes a matrix written by MarshalJSON. The result is
+// validated by NewTable (rectangular, positive, finite); on error the
+// receiver is left untouched.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var comp [][]float64
+	if err := json.Unmarshal(data, &comp); err != nil {
+		return fmt.Errorf("cost: decode: %w", err)
+	}
+	nt, err := NewTable(comp)
+	if err != nil {
+		return fmt.Errorf("cost: decode: %w", err)
+	}
+	*t = *nt
+	return nil
+}

@@ -7,9 +7,20 @@ import (
 	"strings"
 )
 
+// WireVersion is the current version of the graph wire format. Documents
+// written by MarshalJSON carry it in a "v" field; FromJSON accepts absent
+// or zero versions (pre-versioning documents) up to the current one and
+// rejects anything newer, so a daemon never misparses a future format.
+// The full submission envelope — graph plus estimator table plus pool —
+// lives in package internal/wire, which composes this codec with the
+// grid.Pool and cost.Table codecs (the import direction forbids hosting
+// them here: cost and grid must not be imported by dag).
+const WireVersion = 1
+
 // graphJSON is the on-disk representation of a workflow. Jobs are stored in
 // ID order so that round-tripping preserves IDs.
 type graphJSON struct {
+	V     int        `json:"v,omitempty"`
 	Name  string     `json:"name"`
 	Jobs  []jobJSON  `json:"jobs"`
 	Edges []edgeJSON `json:"edges"`
@@ -29,7 +40,7 @@ type edgeJSON struct {
 // MarshalJSON encodes the graph as a portable JSON document keyed by job
 // names (not numeric IDs), so edited files remain stable under reordering.
 func (g *Graph) MarshalJSON() ([]byte, error) {
-	doc := graphJSON{Name: g.name}
+	doc := graphJSON{V: WireVersion, Name: g.name}
 	for _, j := range g.jobs {
 		doc.Jobs = append(doc.Jobs, jobJSON{Name: j.Name, Op: j.Op})
 	}
@@ -58,6 +69,9 @@ func FromJSON(data []byte) (*Graph, error) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("dag: decode: %w", err)
 	}
+	if doc.V < 0 || doc.V > WireVersion {
+		return nil, fmt.Errorf("dag: decode: unsupported wire version %d (max %d)", doc.V, WireVersion)
+	}
 	g := New(doc.Name)
 	for _, j := range doc.Jobs {
 		if g.JobByName(j.Name) != NoJob {
@@ -78,6 +92,19 @@ func FromJSON(data []byte) (*Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// UnmarshalJSON makes *Graph a json.Unmarshaler over the FromJSON wire
+// format, so composite wire documents (internal/wire) can embed a graph
+// field directly. The decoded graph is fully validated; on error the
+// receiver is left untouched.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	ng, err := FromJSON(data)
+	if err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
 }
 
 // DOT renders the graph in Graphviz dot syntax, with edge labels carrying

@@ -1,0 +1,46 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// arrivalJSON is the wire form of one pool arrival. Resource IDs are not
+// carried explicitly: arrivals are listed in ID order and decoding assigns
+// dense IDs 0..n-1 by position, so a document can never describe the
+// non-dense or duplicate IDs NewPool rejects.
+type arrivalJSON struct {
+	Time float64 `json:"t"`
+	Name string  `json:"name"`
+}
+
+// MarshalJSON encodes the pool as the list of its arrivals in resource-ID
+// order (not arrival-time order): position in the list is the resource ID,
+// which keeps cost-table columns aligned across a round trip.
+func (p *Pool) MarshalJSON() ([]byte, error) {
+	byID := make([]arrivalJSON, len(p.arrivals))
+	for _, a := range p.arrivals {
+		byID[a.Resource.ID] = arrivalJSON{Time: a.Time, Name: a.Resource.Name}
+	}
+	return json.Marshal(byID)
+}
+
+// UnmarshalJSON decodes a pool written by MarshalJSON. The result is
+// validated by NewPool (non-negative times, at least one time-0 resource);
+// on error the receiver is left untouched.
+func (p *Pool) UnmarshalJSON(data []byte) error {
+	var doc []arrivalJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("grid: decode: %w", err)
+	}
+	arr := make([]Arrival, len(doc))
+	for i, a := range doc {
+		arr[i] = Arrival{Time: a.Time, Resource: Resource{ID: ID(i), Name: a.Name}}
+	}
+	np, err := NewPool(arr)
+	if err != nil {
+		return fmt.Errorf("grid: decode: %w", err)
+	}
+	*p = *np
+	return nil
+}

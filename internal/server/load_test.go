@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aheft/internal/rng"
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+// loadBodies pre-encodes n small distinct workflows for volume tests.
+func loadBodies(t testing.TB, n int) [][]byte {
+	t.Helper()
+	r := rng.New(0x10AD)
+	out := make([][]byte, n)
+	for i := range out {
+		sc, err := workload.RandomScenario(workload.RandomParams{
+			Jobs: 30, CCR: 1, OutDegree: 0.3, Beta: 0.5,
+		}, workload.GridParams{
+			InitialResources: 4, ChangeInterval: 150, ChangePct: 0.25, MaxEvents: 3,
+		}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = encodeScenario(t, sc, "aheft", wire.Options{})
+	}
+	return out
+}
+
+// TestLoad500InflightZeroDrops is the acceptance smoke for the daemon:
+// a 4-shard server holds ≥ 500 concurrently in-flight workflows (workers
+// deliberately parked so the figure is deterministic, queues doing the
+// holding), live SSE subscribers follow workflows through the release
+// storm, and at the end every accepted workflow has completed with zero
+// lost events (events_dropped == 0, every stream dense and terminal) and
+// the drain is clean.
+func TestLoad500InflightZeroDrops(t *testing.T) {
+	const (
+		shards = 4
+		depth  = 256 // 4×256 queued + 4 running = 1028 ≥ target
+		target = 800
+	)
+	srv := New(Config{Shards: shards, QueueDepth: depth})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	release := make(chan struct{})
+	srv.execHook = func(*workflow) { <-release }
+
+	bodies := loadBodies(t, 8)
+	ids := make([]string, 0, target)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < target; i += 16 {
+				sub, resp := submit(t, ts, bodies[i%len(bodies)])
+				if resp.StatusCode != 202 {
+					t.Errorf("submit %d: HTTP %d", i, resp.StatusCode)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, sub.ID)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	m := getMetrics(t, ts)
+	if m.Inflight < 500 {
+		t.Fatalf("in-flight %d < 500 with workers parked", m.Inflight)
+	}
+	if m.Accepted != target {
+		t.Fatalf("accepted %d of %d", m.Accepted, target)
+	}
+
+	// Attach live SSE followers to a sample of queued workflows before
+	// releasing the workers, so the fan-out path runs under load too.
+	type streamResult struct {
+		id     string
+		events []wire.Event
+		err    error
+	}
+	streams := make(chan streamResult, 50)
+	for i := 0; i < 50; i++ {
+		id := ids[i*len(ids)/50]
+		go func(id string) {
+			res := streamResult{id: id}
+			resp, err := ts.Client().Get(ts.URL + "/v1/workflows/" + id + "/events")
+			if err != nil {
+				res.err = err
+				streams <- res
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+					var ev wire.Event
+					if err := json.Unmarshal([]byte(data), &ev); err != nil {
+						res.err = err
+						break
+					}
+					res.events = append(res.events, ev)
+				}
+			}
+			streams <- res
+		}(id)
+	}
+
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Zero lost events: the global drop counter is zero and every
+	// followed stream is dense and ends in "done".
+	m = getMetrics(t, ts)
+	if m.EventsDropped != 0 {
+		t.Fatalf("events dropped under load: %d", m.EventsDropped)
+	}
+	if m.Completed != target || m.Failed != 0 || m.Inflight != 0 {
+		t.Fatalf("post-drain metrics: %+v", m)
+	}
+	if m.InflightPeak < 500 {
+		t.Fatalf("inflight peak %d < 500", m.InflightPeak)
+	}
+	for i := 0; i < 50; i++ {
+		res := <-streams
+		if res.err != nil {
+			t.Fatalf("stream %s: %v", res.id, res.err)
+		}
+		if len(res.events) == 0 || res.events[len(res.events)-1].Kind != "done" {
+			t.Fatalf("stream %s incomplete: %d events", res.id, len(res.events))
+		}
+		for j, ev := range res.events {
+			if ev.Seq != j {
+				t.Fatalf("stream %s: seq gap at %d", res.id, j)
+			}
+		}
+	}
+	for _, id := range ids {
+		if st := getStatus(t, ts, id); st.State != StateDone {
+			t.Fatalf("workflow %s: %s", id, st.State)
+		}
+	}
+}
+
+// TestLoadSustainedThroughput pushes a free-running burst (no parked
+// workers) through a 4-shard daemon, with 429 backpressure honoured by
+// resubmission, and checks conservation: everything accepted completes,
+// nothing drops, the gauges return to zero.
+func TestLoadSustainedThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	srv := New(Config{Shards: 4, QueueDepth: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bodies := loadBodies(t, 8)
+	const total = 1500
+	var accepted, retries int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += 32 {
+				for {
+					_, resp := submit(t, ts, bodies[i%len(bodies)])
+					if resp.StatusCode == 202 {
+						mu.Lock()
+						accepted++
+						mu.Unlock()
+						break
+					}
+					if resp.StatusCode != 429 {
+						t.Errorf("submit: HTTP %d", resp.StatusCode)
+						return
+					}
+					mu.Lock()
+					retries++
+					mu.Unlock()
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	m := getMetrics(t, ts)
+	if m.Completed != total || m.Failed != 0 || m.Inflight != 0 || m.EventsDropped != 0 {
+		t.Fatalf("conservation violated (retries=%d): %+v", retries, m)
+	}
+	if m.ComputeMs.Count != total || m.ComputeMs.P99 <= 0 {
+		t.Fatalf("latency window not populated: %+v", m.ComputeMs)
+	}
+	t.Logf("sustained burst: %d workflows, %d backpressure retries, compute p50=%.2fms p99=%.2fms",
+		total, retries, m.ComputeMs.P50, m.ComputeMs.P99)
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aheft/internal/stats"
+)
+
+// Metrics is the daemon's counter set, exposed as an expvar-style JSON
+// document on GET /metrics. All counters are monotonic atomics; gauges
+// (queue depth, in-flight) are computed at read time from authoritative
+// state, except the in-flight high-water mark which is tracked on the
+// submission path.
+type Metrics struct {
+	start time.Time
+
+	// Submission path.
+	submissions     atomic.Uint64 // POST /v1/workflows requests
+	accepted        atomic.Uint64 // enqueued to a shard
+	rejectedFull    atomic.Uint64 // 429: shard queue full
+	rejectedInvalid atomic.Uint64 // 400: malformed/oversized submission
+	rejectedDrain   atomic.Uint64 // 503: submitted while draining
+	abandonedIntake atomic.Uint64 // client gone while awaiting an intake slot
+
+	// Execution path.
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	decisions   atomic.Uint64 // rescheduling evaluations across all workflows
+	reschedules atomic.Uint64 // adopted reschedules
+	evicted     atomic.Uint64 // terminal records dropped by the retention cap
+
+	// Event path.
+	eventsEmitted atomic.Uint64
+	eventsDropped atomic.Uint64 // events lost to a slow SSE subscriber
+
+	inflight     atomic.Int64 // accepted - completed - failed
+	inflightPeak atomic.Int64
+
+	compute latencyWindow // makespan-compute latency per workflow
+}
+
+// NewMetrics returns a zeroed metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), compute: latencyWindow{cap: 8192}}
+}
+
+// inflightReserve moves the in-flight gauge up and maintains its peak.
+// Callers reserve before enqueueing a workflow and roll back with
+// inflightRelease if the enqueue is rejected.
+func (m *Metrics) inflightReserve() {
+	cur := m.inflight.Add(1)
+	for {
+		peak := m.inflightPeak.Load()
+		if cur <= peak || m.inflightPeak.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// inflightRelease undoes a reservation whose enqueue was rejected.
+func (m *Metrics) inflightRelease() { m.inflight.Add(-1) }
+
+func (m *Metrics) workflowDone(failed bool, computeDur time.Duration, decisions, adoptions int) {
+	if failed {
+		m.failed.Add(1)
+	} else {
+		m.completed.Add(1)
+		// Only successful runs contribute latency samples: a failed or
+		// force-cancelled workflow aborts near-instantly and would drag
+		// the compute percentiles toward zero.
+		m.compute.record(computeDur.Seconds() * 1e3)
+	}
+	m.inflight.Add(-1)
+	m.decisions.Add(uint64(decisions))
+	m.reschedules.Add(uint64(adoptions))
+}
+
+// latencyWindow keeps the last cap latency samples (milliseconds) for
+// percentile queries. A bounded window keeps /metrics O(1) in memory over
+// an arbitrarily long daemon lifetime while still reflecting current
+// behaviour.
+type latencyWindow struct {
+	mu    sync.Mutex
+	cap   int
+	buf   []float64
+	next  int
+	total uint64
+}
+
+func (w *latencyWindow) record(ms float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.buf) < w.cap {
+		w.buf = append(w.buf, ms)
+	} else {
+		w.buf[w.next] = ms
+		w.next = (w.next + 1) % w.cap
+	}
+	w.total++
+}
+
+// quantiles returns the requested quantiles (0..1) over the window, or
+// zeros when empty. stats.Quantiles copies before sorting, so handing it
+// the live buffer under the lock is safe and avoids a second copy.
+func (w *latencyWindow) quantiles(qs ...float64) []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return stats.Quantiles(w.buf, qs...)
+}
+
+func (w *latencyWindow) count() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// MetricsDoc is the JSON shape of GET /metrics.
+type MetricsDoc struct {
+	UptimeS float64 `json:"uptime_s"`
+	Shards  int     `json:"shards"`
+
+	Submissions     uint64 `json:"submissions"`
+	Accepted        uint64 `json:"accepted"`
+	RejectedFull    uint64 `json:"rejected_backpressure"`
+	RejectedInvalid uint64 `json:"rejected_invalid"`
+	RejectedDrain   uint64 `json:"rejected_draining"`
+	AbandonedIntake uint64 `json:"abandoned_intake"`
+
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Decisions   uint64 `json:"decisions"`
+	Reschedules uint64 `json:"reschedules"`
+	Evicted     uint64 `json:"evicted"`
+
+	EventsEmitted uint64 `json:"events_emitted"`
+	EventsDropped uint64 `json:"events_dropped"`
+
+	Inflight     int64 `json:"inflight"`
+	InflightPeak int64 `json:"inflight_peak"`
+	QueueDepth   []int `json:"queue_depth"`
+
+	ComputeMs ComputeMs `json:"compute_ms"`
+}
+
+// ComputeMs summarises the makespan-compute latency window.
+type ComputeMs struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// snapshot assembles the document; queueDepth supplies the current
+// per-shard queue lengths.
+func (m *Metrics) snapshot(queueDepth []int) MetricsDoc {
+	q := m.compute.quantiles(0.50, 0.90, 0.99)
+	return MetricsDoc{
+		UptimeS:         time.Since(m.start).Seconds(),
+		Shards:          len(queueDepth),
+		Submissions:     m.submissions.Load(),
+		Accepted:        m.accepted.Load(),
+		RejectedFull:    m.rejectedFull.Load(),
+		RejectedInvalid: m.rejectedInvalid.Load(),
+		RejectedDrain:   m.rejectedDrain.Load(),
+		AbandonedIntake: m.abandonedIntake.Load(),
+		Completed:       m.completed.Load(),
+		Failed:          m.failed.Load(),
+		Decisions:       m.decisions.Load(),
+		Reschedules:     m.reschedules.Load(),
+		Evicted:         m.evicted.Load(),
+		EventsEmitted:   m.eventsEmitted.Load(),
+		EventsDropped:   m.eventsDropped.Load(),
+		Inflight:        m.inflight.Load(),
+		InflightPeak:    m.inflightPeak.Load(),
+		QueueDepth:      queueDepth,
+		ComputeMs: ComputeMs{
+			Count: m.compute.count(),
+			P50:   q[0], P90: q[1], P99: q[2],
+		},
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,454 @@
+// Package server is the aheftd scheduling daemon: a multi-tenant,
+// network-facing front end over the kernel-backed planner engine. It
+// ingests workflows in the versioned internal/wire format, routes each to
+// one of N sharded session workers by consistent hash of the workflow ID
+// (so per-run kernel scratch never crosses a goroutine), applies
+// backpressure when a shard's bounded queue fills (429 + Retry-After),
+// and streams every scheduling decision to subscribers over SSE.
+//
+//	POST /v1/workflows             submit a wire.Submission   → 202 wire.Submitted
+//	GET  /v1/workflows/{id}        status/result              → 200 wire.Status
+//	GET  /v1/workflows/{id}/events scheduling-decision stream → SSE of wire.Event
+//	GET  /healthz                  liveness + drain state
+//	GET  /metrics                  expvar-style counters (server.MetricsDoc)
+//
+// Shutdown is a graceful drain: intake stops (503), the workers finish
+// every queued workflow, then the daemon exits; a deadline on the drain
+// context force-cancels in-flight runs instead.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"aheft/internal/policy"
+	"aheft/internal/wire"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Shards is the number of session workers; 0 means 4.
+	Shards int
+	// QueueDepth is each shard's bounded intake queue; 0 means 256.
+	QueueDepth int
+	// Limits bounds accepted submissions (zero value = wire.DefaultLimits).
+	Limits wire.Limits
+	// MaxBodyBytes caps the request body; 0 means 64 MiB.
+	MaxBodyBytes int64
+	// DefaultPolicy is used when a submission names none; "" means
+	// "aheft".
+	DefaultPolicy string
+	// MaxRetained caps how many *terminal* workflow records are kept for
+	// status/event queries; when the cap is exceeded the oldest-finished
+	// records are evicted (their IDs then answer 404) so a long-lived
+	// daemon's memory stays bounded. 0 means 16384; negative disables
+	// eviction.
+	MaxRetained int
+	// MaxConcurrentIntake bounds how many submissions may be buffered
+	// and decoded at once, capping intake memory at roughly
+	// MaxConcurrentIntake × MaxBodyBytes regardless of client
+	// concurrency (excess requests wait). 0 means 2×Shards, minimum 4.
+	MaxConcurrentIntake int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.DefaultPolicy == "" {
+		c.DefaultPolicy = "aheft"
+	}
+	if c.MaxRetained == 0 {
+		c.MaxRetained = 16384
+	}
+	if c.MaxConcurrentIntake <= 0 {
+		c.MaxConcurrentIntake = 2 * c.Shards
+		if c.MaxConcurrentIntake < 4 {
+			c.MaxConcurrentIntake = 4
+		}
+	}
+	return c
+}
+
+// Server is the daemon core, independent of the listener: cmd/aheftd
+// mounts Handler on an http.Server, tests mount it on httptest.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	shards  []*shard
+	mux     *http.ServeMux
+	intake  chan struct{} // bounds concurrently buffered/decoded submissions
+
+	runCtx    context.Context // cancelling force-aborts in-flight runs
+	cancelRun context.CancelFunc
+	workers   sync.WaitGroup
+
+	// submitMu orders submissions against drain: enqueues hold it shared,
+	// Shutdown takes it exclusively to flip draining and close the
+	// queues, so no send can race a close.
+	submitMu sync.RWMutex
+	draining bool
+
+	mu       sync.RWMutex
+	wfs      map[string]*workflow
+	retained []string // terminal workflow IDs in finish order, for eviction
+	seq      uint64
+
+	// execHook, when non-nil, runs at the start of every workflow
+	// execution. Tests use it to hold a worker in place and exercise
+	// backpressure deterministically.
+	execHook func(*workflow)
+}
+
+// New builds and starts a daemon core: the shard workers are running
+// when New returns.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		metrics:   NewMetrics(),
+		intake:    make(chan struct{}, cfg.MaxConcurrentIntake),
+		runCtx:    ctx,
+		cancelRun: cancel,
+		wfs:       make(map[string]*workflow),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{id: i, srv: s, queue: make(chan *workflow, cfg.QueueDepth)}
+		s.shards = append(s.shards, sh)
+		s.workers.Add(1)
+		go sh.run()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workflows", s.handleSubmit)
+	mux.HandleFunc("GET /v1/workflows/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/workflows/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counter set (tests and embedding callers).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// MetricsSnapshot assembles the current /metrics document, including the
+// live per-shard queue depths.
+func (s *Server) MetricsSnapshot() MetricsDoc {
+	depth := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		depth[i] = len(sh.queue)
+	}
+	return s.metrics.snapshot(depth)
+}
+
+// Shutdown drains the daemon: it stops intake (further submissions get
+// 503), lets the workers finish every queued workflow, and returns nil on
+// a clean drain. If ctx expires first, in-flight and queued runs are
+// force-cancelled and ctx's error is returned. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.submitMu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+	}
+	s.submitMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelRun()
+		return nil
+	case <-ctx.Done():
+		s.cancelRun()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// errorDoc is the JSON body of every non-2xx API response.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	m.submissions.Add(1)
+	// Cheap rejections first: a request the daemon cannot accept is
+	// bounced before its (up to MaxBodyBytes) body is read or decoded,
+	// so backpressure bounds intake memory and CPU, not just the queues.
+	// The ID is daemon-assigned, so the target shard is known pre-decode;
+	// the post-decode enqueue below remains the authoritative check —
+	// this one just refuses the obviously futile work early.
+	s.submitMu.RLock()
+	draining := s.draining
+	s.submitMu.RUnlock()
+	if draining {
+		m.rejectedDrain.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server is draining"})
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("wf-%08d", s.seq)
+	s.mu.Unlock()
+	shardID := shardFor(id, len(s.shards))
+	if q := s.shards[shardID].queue; len(q) == cap(q) {
+		m.rejectedFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: fmt.Sprintf("shard %d queue full", shardID)})
+		return
+	}
+	// The intake semaphore caps how many request bodies are buffered and
+	// decoded at once: without it, N concurrent large POSTs would hold
+	// N × MaxBodyBytes before any queue-full rejection could fire.
+	// Waiting here holds only the connection and its goroutine.
+	select {
+	case s.intake <- struct{}{}:
+		defer func() { <-s.intake }()
+	case <-r.Context().Done():
+		// Client gave up while waiting for an intake slot. Counted so
+		// the /metrics identity submissions = accepted + rejected_* +
+		// abandoned_intake still reconciles.
+		m.abandonedIntake.Add(1)
+		return
+	}
+
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		m.rejectedInvalid.Add(1)
+		code := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, errorDoc{Error: fmt.Sprintf("read body: %v", err)})
+		return
+	}
+	sub, err := wire.DecodeSubmission(data, s.cfg.Limits)
+	if err != nil {
+		m.rejectedInvalid.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	polName := sub.Policy
+	if polName == "" {
+		polName = s.cfg.DefaultPolicy
+	}
+	pol, err := policy.Get(polName)
+	if err != nil {
+		m.rejectedInvalid.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+
+	wf := &workflow{
+		id:        id,
+		name:      sub.Name,
+		shard:     shardID,
+		sub:       sub,
+		jobs:      sub.Graph.Len(),
+		resources: sub.Pool.Size(),
+		pol:       pol,
+		opts: policy.Options{
+			TieWindow:      sub.Options.TieWindow,
+			NoInsertion:    sub.Options.NoInsertion,
+			RestartRunning: sub.Options.RestartRunning,
+			Eps:            sub.Options.Eps,
+		},
+		state:       StateQueued,
+		submittedAt: time.Now(),
+		// The log is seeded with the "submitted" event before the record
+		// is published, so the stream ordering holds even though the
+		// worker may append "started" the instant the enqueue lands. It
+		// is counted in events_emitted only once the enqueue succeeds —
+		// a rejected submission's log dies with the record and must not
+		// move the published counter.
+		events: []wire.Event{{Seq: 0, Kind: "submitted", Workflow: id}},
+	}
+
+	// Register before enqueueing so the ID resolves the instant the
+	// client can know it; unregister if the shard refuses the workflow.
+	s.mu.Lock()
+	s.wfs[id] = wf
+	s.mu.Unlock()
+
+	s.submitMu.RLock()
+	if s.draining {
+		s.submitMu.RUnlock()
+		s.reject(wf, fmt.Errorf("server is draining"))
+		m.rejectedDrain.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server is draining"})
+		return
+	}
+	// Reserve the in-flight slot *before* the enqueue: a fast worker may
+	// dequeue and even finish the workflow the instant it is queued, and
+	// counting afterwards would let the gauge go transiently negative
+	// and the peak undercount real concurrency. A rejected enqueue rolls
+	// the reservation back.
+	m.inflightReserve()
+	select {
+	case s.shards[wf.shard].queue <- wf:
+		m.accepted.Add(1)
+		m.eventsEmitted.Add(1) // the seeded "submitted" event
+		s.submitMu.RUnlock()
+	default:
+		// Bounded queue full: backpressure, not buffering. The client
+		// owns the retry; Retry-After names a delay proportional to one
+		// queue's worth of work.
+		s.submitMu.RUnlock()
+		m.inflightRelease()
+		s.reject(wf, fmt.Errorf("shard %d queue full", wf.shard))
+		m.rejectedFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: fmt.Sprintf("shard %d queue full", wf.shard)})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, wire.Submitted{ID: id, Shard: wf.shard, State: StateQueued})
+}
+
+func (s *Server) forget(id string) {
+	s.mu.Lock()
+	delete(s.wfs, id)
+	s.mu.Unlock()
+}
+
+// reject unwinds a workflow whose enqueue was refused: the record is
+// unregistered (its seeded event log was never counted), and any
+// subscriber that attached in the register→reject window is closed out
+// instead of hanging on a live stream that will never finish.
+func (s *Server) reject(wf *workflow, err error) {
+	s.forget(wf.id)
+	wf.finish(nil, err)
+}
+
+// retire records that a workflow reached a terminal state and evicts the
+// oldest-finished records beyond the retention cap, so the registry —
+// and with it the decoded submissions and event logs it pins — stays
+// bounded over an arbitrarily long daemon lifetime.
+func (s *Server) retire(id string) {
+	cap := s.cfg.MaxRetained
+	if cap < 0 {
+		return
+	}
+	s.mu.Lock()
+	s.retained = append(s.retained, id)
+	for len(s.retained) > cap {
+		delete(s.wfs, s.retained[0])
+		s.retained = s.retained[1:]
+		s.metrics.evicted.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) lookup(id string) (*workflow, bool) {
+	s.mu.RLock()
+	wf, ok := s.wfs[id]
+	s.mu.RUnlock()
+	return wf, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown workflow"})
+		return
+	}
+	writeJSON(w, http.StatusOK, wf.status())
+}
+
+// handleEvents streams the workflow's scheduling events as server-sent
+// events: the full log replayed from Seq 0, then live until the workflow
+// reaches a terminal state or the client disconnects. Because the replay
+// snapshot and the live subscription are taken under one lock, the
+// concatenated stream has dense Seq numbers except across events dropped
+// for this subscriber's own slowness (counted in /metrics
+// events_dropped) — a consumer detects that as a Seq gap and can re-GET
+// the status/stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown workflow"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorDoc{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := wf.subscribe()
+	defer cancel()
+	for _, ev := range replay {
+		if !writeSSE(w, ev) {
+			return
+		}
+	}
+	fl.Flush()
+	if live == nil {
+		return // already terminal: the replay was the whole stream
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return // workflow reached a terminal state
+			}
+			if !writeSSE(w, ev) {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev wire.Event) bool {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return false
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+	return err == nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.submitMu.RLock()
+	draining := s.draining
+	s.submitMu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"shards":   len(s.shards),
+		"draining": draining,
+		"inflight": s.metrics.inflight.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"aheft/internal/cost"
+	"aheft/internal/planner"
+	"aheft/internal/policy"
+	"aheft/internal/wire"
+)
+
+// Workflow states as reported by the API.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// workflow is one submitted workflow's full lifecycle record: the decoded
+// submission, its execution outcome, and the dense per-workflow event log
+// SSE consumers replay and follow.
+type workflow struct {
+	id    string
+	name  string
+	shard int
+	sub   *wire.Submission // released at finish; use jobs/resources after
+	pol   policy.Policy
+	opts  policy.Options
+
+	// Shape captured at submission so status never needs the (released)
+	// submission.
+	jobs      int
+	resources int
+
+	submittedAt time.Time
+
+	mu        sync.Mutex
+	state     string
+	startedAt time.Time
+	doneAt    time.Time
+	events    []wire.Event
+	subs      map[chan wire.Event]struct{}
+	res       *planner.Result
+	err       error
+}
+
+// append adds one event to the log (assigning its dense Seq) and fans it
+// out to the live subscribers. Fan-out never blocks the worker: a
+// subscriber whose buffer is full loses the event, and the loss is
+// counted in Metrics.eventsDropped (surfaced as events_dropped in
+// /metrics) — the log itself is complete, so a replaying consumer can
+// always recover the full stream.
+func (wf *workflow) append(m *Metrics, ev wire.Event) {
+	wf.mu.Lock()
+	ev.Seq = len(wf.events)
+	ev.Workflow = wf.id
+	wf.events = append(wf.events, ev)
+	for ch := range wf.subs {
+		select {
+		case ch <- ev:
+		default:
+			m.eventsDropped.Add(1)
+		}
+	}
+	wf.mu.Unlock()
+	m.eventsEmitted.Add(1)
+}
+
+// subscribe returns a snapshot of the log so far plus a live channel for
+// what follows, or a nil channel when the workflow already reached a
+// terminal state (the snapshot is then the complete stream). The caller
+// must drain the channel and call the returned cancel function when done.
+func (wf *workflow) subscribe() (replay []wire.Event, ch chan wire.Event, cancel func()) {
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	replay = append([]wire.Event(nil), wf.events...)
+	if wf.state == StateDone || wf.state == StateFailed {
+		return replay, nil, func() {}
+	}
+	ch = make(chan wire.Event, subscriberBuffer)
+	if wf.subs == nil {
+		wf.subs = make(map[chan wire.Event]struct{})
+	}
+	wf.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		wf.mu.Lock()
+		delete(wf.subs, ch)
+		wf.mu.Unlock()
+	}
+}
+
+// subscriberBuffer is the per-SSE-connection event buffer. A consumer
+// that falls further behind than this starts losing live events (counted,
+// see workflow.append); 256 matches the root Session's buffer.
+const subscriberBuffer = 256
+
+// finish moves the workflow to its terminal state and closes every live
+// subscription. The decoded submission (graph,
+// cost matrix, pool) and the result's full schedule are released here:
+// the status API reports makespans and decisions, not placements, and a
+// retained terminal record should pin only what it can still serve.
+func (wf *workflow) finish(res *planner.Result, err error) {
+	if res != nil {
+		res.Schedule = nil
+	}
+	wf.mu.Lock()
+	wf.doneAt = time.Now()
+	wf.res, wf.err = res, err
+	wf.sub = nil
+	if err != nil {
+		wf.state = StateFailed
+	} else {
+		wf.state = StateDone
+	}
+	subs := wf.subs
+	wf.subs = nil
+	wf.mu.Unlock()
+	for ch := range subs {
+		close(ch)
+	}
+}
+
+// status assembles the wire.Status document.
+func (wf *workflow) status() wire.Status {
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	st := wire.Status{
+		ID:        wf.id,
+		Name:      wf.name,
+		State:     wf.state,
+		Policy:    wf.pol.Name(),
+		Shard:     wf.shard,
+		Jobs:      wf.jobs,
+		Resources: wf.resources,
+		Events:    len(wf.events),
+	}
+	switch {
+	case !wf.startedAt.IsZero():
+		st.QueueMs = wf.startedAt.Sub(wf.submittedAt).Seconds() * 1e3
+	default:
+		st.QueueMs = time.Since(wf.submittedAt).Seconds() * 1e3
+	}
+	if !wf.doneAt.IsZero() && !wf.startedAt.IsZero() {
+		st.ComputeMs = wf.doneAt.Sub(wf.startedAt).Seconds() * 1e3
+	}
+	if wf.err != nil {
+		st.Error = wf.err.Error()
+	}
+	if wf.res != nil {
+		st.Makespan = wf.res.Makespan
+		st.InitialMakespan = wf.res.InitialMakespan
+		st.Improvement = wf.res.Improvement()
+		st.Adoptions = wf.res.Adoptions()
+		st.Decisions = make([]wire.Decision, len(wf.res.Decisions))
+		for i, d := range wf.res.Decisions {
+			st.Decisions[i] = wireDecision(d)
+		}
+	}
+	return st
+}
+
+func wireDecision(d planner.Decision) wire.Decision {
+	return wire.Decision{
+		Clock:        d.Clock,
+		PoolSize:     d.PoolSize,
+		OldMakespan:  d.OldMakespan,
+		NewMakespan:  d.NewMakespan,
+		Adopted:      d.Adopted,
+		JobsFinished: d.JobsFinished,
+		Trigger:      d.Trigger.String(),
+		Arrived:      d.ArrivedCount,
+	}
+}
+
+// shard is one session worker: a bounded intake queue drained in batches
+// by a single goroutine that runs each workflow through its own
+// kernel-backed planner pipeline. One goroutine per shard means the
+// kernel's hot-path scratch (rank cache, dense state, placement arrays —
+// allocated per run by planner.RunPolicyObserved) is never shared across
+// goroutines, and workflows hashed to the same shard execute in
+// submission order.
+type shard struct {
+	id    int
+	srv   *Server
+	queue chan *workflow
+}
+
+// run is the worker loop. It exits when the queue is closed (drain) after
+// finishing everything already queued. Intake is deliberately
+// one-at-a-time: execution is sequential per shard either way, and
+// pre-draining a batch into a local slice would only free queue slots
+// early — letting a shard hold more accepted-but-unstarted workflows
+// than Config.QueueDepth promises before 429ing.
+func (sh *shard) run() {
+	defer sh.srv.workers.Done()
+	for wf := range sh.queue {
+		sh.execute(wf)
+	}
+}
+
+// execute runs one workflow to completion through the analytic planner
+// engine, streaming every rescheduling decision into the workflow's
+// event log as it is made.
+func (sh *shard) execute(wf *workflow) {
+	m := sh.srv.metrics
+	if sh.srv.execHook != nil {
+		sh.srv.execHook(wf)
+	}
+	wf.mu.Lock()
+	wf.state = StateRunning
+	wf.startedAt = time.Now()
+	wf.mu.Unlock()
+	wf.append(m, wire.Event{Kind: "started"})
+
+	// Decisions are tallied in the observer, not from the result: a run
+	// that fails mid-way still made (and streamed) its evaluations, and
+	// the decisions/reschedules counters must agree with the decision
+	// events in events_emitted.
+	decisions, adoptions := 0, 0
+	res, err := planner.RunPolicyObserved(sh.srv.runCtx, wf.sub.Graph, cost.Exact(wf.sub.Comp), wf.sub.Pool,
+		wf.pol, wf.opts, func(d planner.Decision) {
+			decisions++
+			if d.Adopted {
+				adoptions++
+			}
+			wd := wireDecision(d)
+			wf.append(m, wire.Event{Kind: "decision", Time: d.Clock, Decision: &wd})
+		})
+
+	// The terminal event goes into the log (and to live subscribers)
+	// before finish closes the subscription channels, so a follower sees
+	// "done"/"failed" and then the close.
+	if err != nil {
+		wf.append(m, wire.Event{Kind: "failed", Error: err.Error()})
+		wf.finish(res, err)
+		m.workflowDone(true, time.Since(wf.startedAt), decisions, adoptions)
+		sh.srv.retire(wf.id)
+		return
+	}
+	wf.append(m, wire.Event{Kind: "done", Time: res.Makespan, Makespan: res.Makespan})
+	wf.finish(res, err)
+	m.workflowDone(false, time.Since(wf.startedAt), decisions, adoptions)
+	sh.srv.retire(wf.id)
+}
+
+// shardFor routes a workflow ID to a shard with Jump Consistent Hash
+// (Lamping & Veach) over the ID's FNV-1a digest: uniform, stateless, and
+// stable — growing the shard count moves only ~1/n of the keyspace.
+func shardFor(id string, shards int) int {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return jumpHash(h.Sum64(), shards)
+}
+
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

@@ -131,3 +131,28 @@ func GeoMean(xs []float64) float64 {
 	}
 	return math.Exp(s / float64(len(xs)))
 }
+
+// Quantiles returns the requested quantiles (0..1) of xs by the
+// nearest-rank (ceil) definition, or zeros when xs is empty. xs is not
+// modified. It is the one percentile definition shared by the aheftd
+// daemon's /metrics latency window and cmd/loadgen's report, so the two
+// never disagree on what "p99" means.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Package testleak provides the goroutine-leak check shared by the
+// cancellation tests: capture runtime.NumGoroutine() as a baseline
+// before starting concurrent work, and after tearing it down call Check
+// to poll the count back to the baseline (goroutine exit is asynchronous
+// with the cancellation that caused it).
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check fails t if the goroutine count does not return to
+// baseline+slack within five seconds, dumping all stacks for diagnosis.
+// slack allows for goroutines the test itself still legitimately holds
+// (e.g. a subscriber parked on a closed channel range).
+func Check(t testing.TB, baseline, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d (+%d slack)\n%s",
+				n, baseline, slack, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

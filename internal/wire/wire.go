@@ -1,0 +1,222 @@
+// Package wire defines the versioned submission envelope the aheftd
+// daemon accepts over HTTP: one JSON document bundling a workflow graph,
+// its estimator table, the dynamic resource-pool description, and the
+// scheduling policy/options to drive it with. It composes the codecs of
+// the model packages — dag.Graph (internal/dag/serialize.go), cost.Table
+// and grid.Pool — and layers strict cross-validation and size limits on
+// top, so a malformed or hostile submission is rejected with an error and
+// can never panic or exhaust the daemon (FuzzSerializeRoundTrip holds the
+// decoder to that).
+//
+// The format is versioned at both layers: the envelope carries "v" and
+// every embedded graph document carries its own "v" (dag.WireVersion).
+// Decoders accept versions up to their own and reject newer ones, so old
+// daemons fail closed on future documents.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+)
+
+// Version is the current envelope version. DecodeSubmission accepts 0
+// (legacy, unversioned) through Version and rejects anything newer.
+const Version = 1
+
+// Limits bounds the size of an accepted submission. The zero value means
+// DefaultLimits; a negative field disables that bound.
+type Limits struct {
+	// MaxJobs caps the job count of the submitted graph.
+	MaxJobs int
+	// MaxResources caps the pool size (resources that ever join).
+	MaxResources int
+}
+
+// DefaultLimits is the daemon's default submission bound: generous enough
+// for the 20k-job layered stress workflows, small enough that one
+// submission cannot exhaust the process.
+var DefaultLimits = Limits{MaxJobs: 100_000, MaxResources: 10_000}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxJobs == 0 {
+		l.MaxJobs = DefaultLimits.MaxJobs
+	}
+	if l.MaxResources == 0 {
+		l.MaxResources = DefaultLimits.MaxResources
+	}
+	return l
+}
+
+// Options is the wire form of the policy options (policy.Options), kept
+// as an independent struct so the wire format does not drift silently
+// when the engine grows new knobs.
+type Options struct {
+	// TieWindow enables near-tie rank-order exploration (0 = greedy).
+	TieWindow float64 `json:"tie_window,omitempty"`
+	// NoInsertion disables the insertion-based slot policy.
+	NoInsertion bool `json:"no_insertion,omitempty"`
+	// RestartRunning reschedules mid-execution jobs (analytic-only
+	// ablation; the daemon runs the analytic engine, so it is honoured).
+	RestartRunning bool `json:"restart_running,omitempty"`
+	// Eps is the minimum makespan improvement to adopt a reschedule.
+	Eps float64 `json:"eps,omitempty"`
+}
+
+func (o Options) validate() error {
+	if math.IsNaN(o.TieWindow) || math.IsInf(o.TieWindow, 0) || o.TieWindow < 0 {
+		return fmt.Errorf("wire: invalid tie_window %g", o.TieWindow)
+	}
+	if math.IsNaN(o.Eps) || math.IsInf(o.Eps, 0) || o.Eps < 0 {
+		return fmt.Errorf("wire: invalid eps %g", o.Eps)
+	}
+	return nil
+}
+
+// Submission is the envelope of one POST /v1/workflows request.
+type Submission struct {
+	// V is the envelope version (see Version).
+	V int `json:"v"`
+	// Name optionally labels the workflow; the daemon-assigned ID is
+	// authoritative.
+	Name string `json:"name,omitempty"`
+	// Policy is the scheduling-policy registry name; empty means the
+	// daemon default ("aheft").
+	Policy string `json:"policy,omitempty"`
+	// Options tunes the engine for this workflow.
+	Options Options `json:"options,omitempty"`
+	// Graph is the workflow DAG (dag wire format, validated on decode).
+	Graph *dag.Graph `json:"graph"`
+	// Comp is the estimator table: the jobs × resources computation
+	// matrix over every resource that ever joins the pool.
+	Comp *cost.Table `json:"comp"`
+	// Pool is the dynamic resource pool: arrivals in resource-ID order.
+	Pool *grid.Pool `json:"pool"`
+}
+
+// Validate cross-checks the decoded parts against each other and the
+// limits. It is called by DecodeSubmission; callers constructing a
+// Submission in Go should call it before encoding.
+func (s *Submission) Validate(lim Limits) error {
+	lim = lim.withDefaults()
+	if s.V < 0 || s.V > Version {
+		return fmt.Errorf("wire: unsupported envelope version %d (max %d)", s.V, Version)
+	}
+	if err := s.Options.validate(); err != nil {
+		return err
+	}
+	if s.Graph == nil || s.Graph.Len() == 0 {
+		return fmt.Errorf("wire: submission has no graph")
+	}
+	if s.Comp == nil || s.Comp.Jobs() == 0 {
+		return fmt.Errorf("wire: submission has no estimator table")
+	}
+	if s.Pool == nil || s.Pool.Size() == 0 {
+		return fmt.Errorf("wire: submission has no resource pool")
+	}
+	if lim.MaxJobs > 0 && s.Graph.Len() > lim.MaxJobs {
+		return fmt.Errorf("wire: %d jobs exceeds limit %d", s.Graph.Len(), lim.MaxJobs)
+	}
+	if lim.MaxResources > 0 && s.Pool.Size() > lim.MaxResources {
+		return fmt.Errorf("wire: %d resources exceeds limit %d", s.Pool.Size(), lim.MaxResources)
+	}
+	if s.Comp.Jobs() != s.Graph.Len() {
+		return fmt.Errorf("wire: estimator table covers %d jobs, graph has %d", s.Comp.Jobs(), s.Graph.Len())
+	}
+	if s.Comp.Resources() != s.Pool.Size() {
+		return fmt.Errorf("wire: estimator table covers %d resources, pool has %d", s.Comp.Resources(), s.Pool.Size())
+	}
+	return nil
+}
+
+// EncodeSubmission marshals the submission at the current envelope
+// version after validating its structure. Size limits are the
+// *receiver's* policy (a daemon may be configured well above
+// DefaultLimits), so encoding applies none — only structural validity.
+// The argument is not modified.
+func EncodeSubmission(s *Submission) ([]byte, error) {
+	stamped := *s
+	stamped.V = Version
+	if err := stamped.Validate(Limits{MaxJobs: -1, MaxResources: -1}); err != nil {
+		return nil, err
+	}
+	return json.Marshal(&stamped)
+}
+
+// DecodeSubmission unmarshals and fully validates one submission
+// document. Every embedded part is validated by its own codec (the graph
+// must be a well-formed DAG, the table rectangular/positive/finite, the
+// pool arrivals non-negative with a time-0 resource) and the parts are
+// cross-checked against each other and lim. It never panics on any
+// input.
+func DecodeSubmission(data []byte, lim Limits) (*Submission, error) {
+	var s Submission
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	if err := s.Validate(lim); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// --- Response-side wire types (shared by the daemon and loadgen). ---
+
+// Decision is the wire form of one rescheduling evaluation.
+type Decision struct {
+	Clock        float64 `json:"clock"`
+	PoolSize     int     `json:"pool_size"`
+	OldMakespan  float64 `json:"old_makespan"`
+	NewMakespan  float64 `json:"new_makespan"`
+	Adopted      bool    `json:"adopted"`
+	JobsFinished int     `json:"jobs_finished"`
+	Trigger      string  `json:"trigger"`
+	Arrived      int     `json:"arrived,omitempty"`
+}
+
+// Event is one server-sent event of a workflow's execution: the envelope
+// streamed by GET /v1/workflows/{id}/events. Seq numbers are dense per
+// workflow, so a consumer can detect any gap.
+type Event struct {
+	Seq      int       `json:"seq"`
+	Kind     string    `json:"kind"` // submitted | started | decision | done | failed
+	Workflow string    `json:"workflow"`
+	Time     float64   `json:"time,omitempty"` // simulated clock where meaningful
+	Decision *Decision `json:"decision,omitempty"`
+	Makespan float64   `json:"makespan,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// Status is the GET /v1/workflows/{id} response.
+type Status struct {
+	ID        string  `json:"id"`
+	Name      string  `json:"name,omitempty"`
+	State     string  `json:"state"` // queued | running | done | failed
+	Policy    string  `json:"policy"`
+	Shard     int     `json:"shard"`
+	Jobs      int     `json:"jobs"`
+	Resources int     `json:"resources"`
+	Events    int     `json:"events"`
+	QueueMs   float64 `json:"queue_ms"`
+	ComputeMs float64 `json:"compute_ms,omitempty"`
+
+	// Result fields, set once State is "done".
+	Makespan        float64    `json:"makespan,omitempty"`
+	InitialMakespan float64    `json:"initial_makespan,omitempty"`
+	Improvement     float64    `json:"improvement,omitempty"`
+	Decisions       []Decision `json:"decisions,omitempty"`
+	Adoptions       int        `json:"adoptions,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// Submitted is the POST /v1/workflows response.
+type Submitted struct {
+	ID    string `json:"id"`
+	Shard int    `json:"shard"`
+	State string `json:"state"`
+}

@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"aheft/internal/rng"
+	"aheft/internal/workload"
+)
+
+// sampleSubmission wraps the paper's Fig. 4 scenario in an envelope.
+func sampleSubmission() *Submission {
+	sc := workload.SampleScenario()
+	return &Submission{
+		Name:    "fig4",
+		Policy:  "aheft",
+		Options: Options{TieWindow: 0.05, Eps: 1e-6},
+		Graph:   sc.Graph,
+		Comp:    sc.Table,
+		Pool:    sc.Pool,
+	}
+}
+
+func TestSubmissionRoundTrip(t *testing.T) {
+	s := sampleSubmission()
+	data, err := EncodeSubmission(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSubmission(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.V != Version || got.Name != "fig4" || got.Policy != "aheft" {
+		t.Fatalf("envelope fields lost: %+v", got)
+	}
+	if got.Options != s.Options {
+		t.Fatalf("options lost: got %+v want %+v", got.Options, s.Options)
+	}
+	if got.Graph.Len() != s.Graph.Len() || got.Graph.NumEdges() != s.Graph.NumEdges() {
+		t.Fatalf("graph shape lost: %d jobs / %d edges", got.Graph.Len(), got.Graph.NumEdges())
+	}
+	if got.Pool.Size() != s.Pool.Size() || got.Comp.Jobs() != s.Comp.Jobs() || got.Comp.Resources() != s.Comp.Resources() {
+		t.Fatalf("pool/table shape lost")
+	}
+	// Spot-check a cost and an arrival survived exactly.
+	if got.Comp.Comp(9, 1) != s.Comp.Comp(9, 1) {
+		t.Fatalf("cost w[9][1] changed: %g != %g", got.Comp.Comp(9, 1), s.Comp.Comp(9, 1))
+	}
+	if got.Pool.ArrivalTime(3) != 15 {
+		t.Fatalf("r4 arrival time lost: %g", got.Pool.ArrivalTime(3))
+	}
+	// A second encode must be byte-identical (the codecs are canonical).
+	again, err := EncodeSubmission(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encoding not canonical:\n%s\nvs\n%s", data, again)
+	}
+}
+
+func TestGeneratedScenariosRoundTrip(t *testing.T) {
+	r := rng.New(7)
+	sc, err := workload.RandomScenario(
+		workload.RandomParams{Jobs: 60, CCR: 2, OutDegree: 0.3, Beta: 0.5},
+		workload.GridParams{InitialResources: 6, ChangeInterval: 200, ChangePct: 0.25, MaxEvents: 3}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeSubmission(&Submission{Graph: sc.Graph, Comp: sc.Table, Pool: sc.Pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSubmission(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.Len() != sc.Graph.Len() || got.Pool.Size() != sc.Pool.Size() {
+		t.Fatalf("shape lost: %d/%d jobs, %d/%d resources",
+			got.Graph.Len(), sc.Graph.Len(), got.Pool.Size(), sc.Pool.Size())
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	valid, err := EncodeSubmission(sampleSubmission())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(valid, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+		lim  Limits
+		want string
+	}{
+		{"garbage", []byte("{"), Limits{}, "decode"},
+		{"future envelope version", mutate(func(m map[string]any) { m["v"] = Version + 1 }), Limits{}, "unsupported envelope version"},
+		{"future graph version", mutate(func(m map[string]any) { m["graph"].(map[string]any)["v"] = 99 }), Limits{}, "unsupported wire version"},
+		{"no graph", mutate(func(m map[string]any) { delete(m, "graph") }), Limits{}, "no graph"},
+		{"no table", mutate(func(m map[string]any) { delete(m, "comp") }), Limits{}, "no estimator table"},
+		{"no pool", mutate(func(m map[string]any) { delete(m, "pool") }), Limits{}, "no resource pool"},
+		{"ragged table", mutate(func(m map[string]any) {
+			comp := m["comp"].([]any)
+			comp[0] = comp[0].([]any)[:2]
+		}), Limits{}, "ragged"},
+		{"non-positive cost", mutate(func(m map[string]any) {
+			m["comp"].([]any)[0].([]any)[0] = -1.0
+		}), Limits{}, "invalid cost"},
+		{"table wrong width", mutate(func(m map[string]any) {
+			comp := m["comp"].([]any)
+			for i := range comp {
+				comp[i] = comp[i].([]any)[:3]
+			}
+		}), Limits{}, "pool has"},
+		{"table wrong height", mutate(func(m map[string]any) {
+			m["comp"] = m["comp"].([]any)[:9]
+		}), Limits{}, "graph has"},
+		{"pool without time-0", mutate(func(m map[string]any) {
+			for _, a := range m["pool"].([]any) {
+				a.(map[string]any)["t"] = 5.0
+			}
+		}), Limits{}, "no resource available at time 0"},
+		{"negative arrival", mutate(func(m map[string]any) {
+			m["pool"].([]any)[0].(map[string]any)["t"] = -1.0
+		}), Limits{}, "invalid arrival time"},
+		{"cycle", mutate(func(m map[string]any) {
+			edges := m["graph"].(map[string]any)["edges"].([]any)
+			m["graph"].(map[string]any)["edges"] = append(edges,
+				map[string]any{"from": "n10", "to": "n1", "data": 1.0})
+		}), Limits{}, "cycle"},
+		{"negative edge data", mutate(func(m map[string]any) {
+			m["graph"].(map[string]any)["edges"].([]any)[0].(map[string]any)["data"] = -3.0
+		}), Limits{}, "negative data"},
+		{"duplicate job", mutate(func(m map[string]any) {
+			jobs := m["graph"].(map[string]any)["jobs"].([]any)
+			jobs[1].(map[string]any)["name"] = "n1"
+		}), Limits{}, "duplicate job"},
+		{"too many jobs", valid, Limits{MaxJobs: 5}, "exceeds limit"},
+		{"too many resources", valid, Limits{MaxResources: 2}, "exceeds limit"},
+		{"bad tie window", mutate(func(m map[string]any) {
+			m["options"] = map[string]any{"tie_window": -0.5}
+		}), Limits{}, "invalid tie_window"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSubmission(tc.data, tc.lim)
+			if err == nil {
+				t.Fatalf("decode accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzSerializeRoundTrip holds the decoder to two properties on arbitrary
+// input: it never panics, and any document it accepts re-encodes
+// canonically (encode(decode(d)) decodes to the same bytes again). This
+// is the daemon's ingestion guard — submissions come straight off the
+// network.
+func FuzzSerializeRoundTrip(f *testing.F) {
+	if seed, err := EncodeSubmission(sampleSubmission()); err == nil {
+		f.Add(seed)
+	}
+	r := rng.New(3)
+	if sc, err := workload.BlastScenario(workload.AppParams{Parallelism: 5, CCR: 1, Beta: 0.5},
+		workload.GridParams{InitialResources: 4, ChangeInterval: 100, ChangePct: 0.25, MaxEvents: 2}, r); err == nil {
+		if seed, err := EncodeSubmission(&Submission{Graph: sc.Graph, Comp: sc.Table, Pool: sc.Pool}); err == nil {
+			f.Add(seed)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"v":1,"graph":{"name":"g","jobs":[{"name":"a"}],"edges":[]},"comp":[[1]],"pool":[{"t":0,"name":"r"}]}`))
+	f.Add([]byte(`{"v":2}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSubmission(data, Limits{MaxJobs: 2000, MaxResources: 200})
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		enc, err := EncodeSubmission(s)
+		if err != nil {
+			t.Fatalf("accepted submission failed to re-encode: %v", err)
+		}
+		s2, err := DecodeSubmission(enc, Limits{MaxJobs: 2000, MaxResources: 200})
+		if err != nil {
+			t.Fatalf("re-encoded submission rejected: %v", err)
+		}
+		enc2, err := EncodeSubmission(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip not canonical:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

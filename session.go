@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // EventKind classifies session events.
@@ -58,6 +59,10 @@ type Session struct {
 
 	wg sync.WaitGroup
 
+	// drops counts events lost because the subscriber stopped draining
+	// (see Events for the drop policy). Read it with Dropped.
+	drops atomic.Uint64
+
 	mu       sync.Mutex
 	events   chan Event
 	names    map[string]bool
@@ -85,8 +90,16 @@ func NewSession(ctx context.Context, pool *Pool, opts ...Option) *Session {
 
 // Events returns the session's event stream. The channel is created on
 // first call — subscribe before submitting to see every event — and is
-// closed by Wait. Events are dropped (never blocking the schedulers) when
-// the subscriber stops draining and the buffer fills.
+// closed by Wait.
+//
+// Drop policy: emission never blocks the scheduling goroutines. When the
+// subscriber stops draining and the 256-event buffer fills, the *oldest*
+// buffered event is evicted to make room for the new one (the stream
+// stays current, its history suffers); after cancellation a stalled
+// subscriber loses the new event instead. Every lost event — either way —
+// increments the counter reported by Dropped, so a subscriber can detect
+// an incomplete stream. The aheftd daemon's per-subscriber equivalent is
+// the events_dropped counter in its /metrics document.
 func (s *Session) Events() <-chan Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -106,6 +119,7 @@ func (s *Session) Events() <-chan Event {
 // emit delivers ev to the subscriber, if any. Emission never blocks the
 // scheduling goroutines indefinitely: a full buffer drops the event when
 // the session is cancelled, or drops the oldest buffered event otherwise.
+// Either loss increments the Dropped counter.
 func (s *Session) emit(ev Event) {
 	s.mu.Lock()
 	ch := s.events
@@ -123,17 +137,27 @@ func (s *Session) emit(ev Event) {
 			select {
 			case ch <- ev:
 			default:
+				s.drops.Add(1)
 			}
 			return
 		default:
 			// Buffer full: evict the oldest event and retry.
 			select {
 			case <-ch:
+				s.drops.Add(1)
 			default:
 			}
 		}
 	}
 }
+
+// Dropped reports how many events have been lost to a slow subscriber so
+// far (see Events for the drop policy). A subscriber that subscribed
+// before the first Submit, drained the closed stream, and finds
+// Dropped() == 0 has observed every event the session emitted; events
+// emitted before the first Events call have no subscriber and are
+// discarded without counting.
+func (s *Session) Dropped() uint64 { return s.drops.Load() }
 
 // Submit schedules workflow g (with its estimator) for execution under
 // name and returns immediately; the workflow runs in its own goroutine.

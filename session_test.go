@@ -2,12 +2,15 @@ package aheft_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"aheft"
 	"aheft/internal/rng"
+	"aheft/internal/testleak"
 	"aheft/internal/workload"
 )
 
@@ -186,6 +189,135 @@ func TestSessionSubmitWaitRace(t *testing.T) {
 		}
 		<-done
 	}
+}
+
+// TestSessionEventDropCounter pins the documented drop policy: a
+// subscriber that never drains loses exactly (emitted − buffer) events,
+// the buffer retains the newest 256, and Dropped reports the loss.
+func TestSessionEventDropCounter(t *testing.T) {
+	sc := aheft.SampleScenario()
+	session := aheft.NewSession(context.Background(), sc.Pool, aheft.WithPolicy("heft"))
+	events := session.Events() // subscribed, never drained until the end
+	const n = 200              // 2 events each (submitted + done; heft makes no decisions)
+	for i := 0; i < n; i++ {
+		if err := session.Submit(fmt.Sprintf("wf-%d", i), sc.Graph, sc.Estimator()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := session.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	for range events {
+		received++
+	}
+	const emitted = 2 * n
+	if received+int(session.Dropped()) != emitted {
+		t.Fatalf("received %d + dropped %d != emitted %d", received, session.Dropped(), emitted)
+	}
+	if received != 256 {
+		t.Fatalf("buffer retained %d events, want 256", received)
+	}
+	if session.Dropped() != emitted-256 {
+		t.Fatalf("Dropped() = %d, want %d", session.Dropped(), emitted-256)
+	}
+}
+
+// TestSessionDropAccounting is the counterpart under a live (draining)
+// subscriber: drops may or may not occur depending on scheduling, but
+// received + Dropped always accounts for every emitted event — the
+// stream is never silently short.
+func TestSessionDropAccounting(t *testing.T) {
+	sc := aheft.SampleScenario()
+	session := aheft.NewSession(context.Background(), sc.Pool, aheft.WithPolicy("heft"))
+	events := session.Events()
+	received := make(chan int)
+	go func() {
+		n := 0
+		for range events {
+			n++
+		}
+		received <- n
+	}()
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := session.Submit(fmt.Sprintf("wf-%d", i), sc.Graph, sc.Estimator()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := session.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-received; got+int(session.Dropped()) != 2*n {
+		t.Fatalf("received %d + dropped %d != emitted %d", got, session.Dropped(), 2*n)
+	}
+}
+
+// TestSessionNoDropsWithinBuffer: emissions that fit the 256-event
+// buffer are never dropped, even with a subscriber that only drains at
+// the end.
+func TestSessionNoDropsWithinBuffer(t *testing.T) {
+	sc := aheft.SampleScenario()
+	session := aheft.NewSession(context.Background(), sc.Pool, aheft.WithPolicy("heft"))
+	events := session.Events()
+	const n = 100 // 200 events < 256
+	for i := 0; i < n; i++ {
+		if err := session.Submit(fmt.Sprintf("wf-%d", i), sc.Graph, sc.Estimator()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := session.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for range events {
+		got++
+	}
+	if got != 2*n || session.Dropped() != 0 {
+		t.Fatalf("received %d (want %d), dropped %d (want 0)", got, 2*n, session.Dropped())
+	}
+}
+
+// TestSessionCancelMidRunNoLeak cancels the session from the event
+// stream between reschedule events of in-flight workflows, and checks
+// that Wait reports the cancellation and every scheduling goroutine
+// exits (no leak).
+func TestSessionCancelMidRunNoLeak(t *testing.T) {
+	sc, err := workload.LayeredScenario(workload.LayeredParams{
+		Jobs: 3000, Width: 60, FanIn: 3, CCR: 1, Beta: 0.5,
+	}, workload.GridParams{
+		InitialResources: 8, ChangeInterval: 300, ChangePct: 0.25, MaxEvents: 6,
+	}, rng.New(0xCA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	session := aheft.NewSession(ctx, sc.Pool)
+	events := session.Events()
+	go func() {
+		for ev := range events {
+			if ev.Kind == aheft.EventDecision {
+				cancel() // mid-run: between this and the next reschedule event
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		if err := session.Submit(fmt.Sprintf("wf-%d", i), sc.Graph, sc.Estimator()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := session.Wait(); err == nil {
+		t.Fatal("Wait ignored the mid-run cancellation")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait error %v does not wrap context.Canceled", err)
+	}
+	// Every workflow goroutine must have exited; slack 1 for the
+	// event-drain goroutine, which may still be parked on its closed
+	// range.
+	testleak.Check(t, baseline, 1)
 }
 
 // TestSessionParentCancellation: cancelling the session context aborts
