@@ -38,15 +38,16 @@ bench:
 	@rm -f bench-kernel.txt
 	@echo "wrote BENCH_kernel.json"
 
-# bench-server runs the daemon throughput benches (end-to-end
-# workflows/sec through the aheftd server core: wire ingestion, shard
-# routing, engine, SSE completion) and snapshots them into
-# BENCH_SERVER_OUT (default BENCH_server.json, the committed reference).
-# CI records a fresh snapshot and prints the ratio table with
-# cmd/benchcmp.
+# bench-server runs the daemon benches — end-to-end workflows/sec
+# through the aheftd server core (wire ingestion, shard routing, engine,
+# SSE completion) plus the feedback-loop ingest benches (report batches
+# into the per-tenant history, and forced variance reschedules) — and
+# snapshots them into BENCH_SERVER_OUT (default BENCH_server.json, the
+# committed reference). CI records a fresh snapshot and prints the ratio
+# table with cmd/benchcmp.
 BENCH_SERVER_OUT ?= BENCH_server.json
 bench-server:
-	$(GO) test -run '^$$' -bench 'BenchmarkServer' -benchmem . > bench-server.txt || { cat bench-server.txt; rm -f bench-server.txt; exit 1; }
+	$(GO) test -run '^$$' -bench 'BenchmarkServer|BenchmarkFeedback' -benchmem . > bench-server.txt || { cat bench-server.txt; rm -f bench-server.txt; exit 1; }
 	cat bench-server.txt
 	$(GO) run ./cmd/benchjson < bench-server.txt > $(BENCH_SERVER_OUT)
 	@rm -f bench-server.txt

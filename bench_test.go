@@ -364,6 +364,161 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 }
 
+// --- Feedback-loop ingest benches (part of `make bench-server`). ---
+
+// feedbackBench hosts one daemon and one resident live workflow for the
+// ingest benches.
+type feedbackBench struct {
+	ts   *httptest.Server
+	sc   *workload.Scenario
+	id   string
+	plan wire.Plan
+}
+
+func newFeedbackBench(b *testing.B, varianceThreshold float64) *feedbackBench {
+	b.Helper()
+	srv := server.New(server.Config{Shards: 1, QueueDepth: 4096})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		// The bench deliberately leaves a live workflow resident; a short
+		// deadline force-cancels it instead of waiting out a clean drain.
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	r := rng.New(0xFEEDBE)
+	sc, err := workload.BlastScenario(workload.AppParams{Parallelism: 24, CCR: 1, Beta: 0.5},
+		workload.GridParams{InitialResources: 8, ChangeInterval: 1e9, ChangePct: 0.25, MaxEvents: 1}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &feedbackBench{ts: ts, sc: sc}
+	f.id, f.plan = f.submitLive(b, varianceThreshold)
+	return f
+}
+
+func (f *feedbackBench) submitLive(b *testing.B, varianceThreshold float64) (string, wire.Plan) {
+	b.Helper()
+	body, err := wire.EncodeSubmission(&wire.Submission{
+		Mode: wire.ModeLive, Policy: "aheft", Tenant: "bench",
+		Options: wire.Options{VarianceThreshold: varianceThreshold},
+		Graph:   f.sc.Graph, Comp: f.sc.Table, Pool: f.sc.Pool,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := f.ts.Client().Post(f.ts.URL+"/v1/workflows", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sub wire.Submitted
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		pr, err := f.ts.Client().Get(f.ts.URL + "/v1/workflows/" + sub.ID + "/plan")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pr.StatusCode == http.StatusOK {
+			var plan wire.Plan
+			err = json.NewDecoder(pr.Body).Decode(&plan)
+			pr.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return sub.ID, plan
+		}
+		pr.Body.Close()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (f *feedbackBench) post(b *testing.B, id string, events ...wire.ReportEvent) wire.ReportAck {
+	b.Helper()
+	body, err := wire.EncodeReport(&wire.Report{Events: events})
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := f.ts.Client().Post(f.ts.URL+"/v1/workflows/"+id+"/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ack wire.ReportAck
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		b.Fatalf("report: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ack
+}
+
+// BenchmarkFeedbackIngest measures the daemon's runtime-feedback path.
+// "record" is pure Performance-Monitor ingest: each op is one report
+// batch (job-started + measured job-finished) folded into the per-tenant
+// history with the variance gate never firing; workflows are replaced as
+// they complete. "reschedule" forces a full variance-triggered
+// rescheduling evaluation (history-based re-estimation + kernel replan +
+// projection) on every report.
+func BenchmarkFeedbackIngest(b *testing.B) {
+	b.Run("record", func(b *testing.B) {
+		f := newFeedbackBench(b, 1e9) // variance never triggers
+		id, plan := f.id, f.plan
+		next, clock := 0, 0.0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if next == len(plan.Assignments) {
+				b.StopTimer()
+				id, plan = f.submitLive(b, 1e9)
+				next, clock = 0, 0
+				b.StartTimer()
+			}
+			a := plan.Assignments[next]
+			next++
+			dur := a.Finish - a.Start
+			ack := f.post(b, id,
+				wire.ReportEvent{Kind: wire.ReportJobStarted, Time: clock, Job: a.Job, Resource: a.Resource},
+				wire.ReportEvent{Kind: wire.ReportJobFinished, Time: clock + dur, Job: a.Job, Duration: dur},
+			)
+			if ack.Applied != 2 {
+				b.Fatalf("ack: %+v", ack)
+			}
+			clock += dur
+		}
+		b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run("reschedule", func(b *testing.B) {
+		f := newFeedbackBench(b, 1e9)
+		// Hold one job running forever; every variance report on it forces
+		// an evaluation over the remaining jobs.
+		a := f.plan.Assignments[0]
+		f.post(b, f.id, wire.ReportEvent{Kind: wire.ReportJobStarted, Time: 0, Job: a.Job, Resource: a.Resource})
+		clock := 1.0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate the revised runtime so consecutive evaluations see
+			// different pins.
+			rev := (a.Finish - a.Start) * (1.5 + 0.5*float64(i%2))
+			ack := f.post(b, f.id, wire.ReportEvent{
+				Kind: wire.ReportVariance, Time: clock, Job: a.Job, Duration: rev,
+			})
+			if ack.Decisions != 1 {
+				b.Fatalf("ack: %+v", ack)
+			}
+			clock++
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+	})
+}
+
 // --- Smaller end-to-end benches retained from the paper-scale suite. ---
 
 // BenchmarkAHEFTReschedule times one mid-execution reschedule at the

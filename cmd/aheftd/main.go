@@ -34,13 +34,17 @@ func main() {
 	maxRes := flag.Int("max-resources", wire.DefaultLimits.MaxResources, "per-submission resource cap")
 	defaultPolicy := flag.String("policy", "aheft", "default scheduling policy for submissions that name none")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to drain queued workflows on shutdown")
+	varThr := flag.Float64("variance-threshold", 0, "default significant-variance gate for live workflows (0 = built-in 0.2)")
+	maxTenants := flag.Int("max-tenant-histories", 0, "per-shard cap on retained tenant performance histories (0 = 1024, negative = unbounded)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Shards:        *shards,
-		QueueDepth:    *queue,
-		Limits:        wire.Limits{MaxJobs: *maxJobs, MaxResources: *maxRes},
-		DefaultPolicy: *defaultPolicy,
+		Shards:             *shards,
+		QueueDepth:         *queue,
+		Limits:             wire.Limits{MaxJobs: *maxJobs, MaxResources: *maxRes},
+		DefaultPolicy:      *defaultPolicy,
+		VarianceThreshold:  *varThr,
+		MaxTenantHistories: *maxTenants,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -70,6 +74,10 @@ func main() {
 	log.Printf("aheftd: drained: accepted=%d completed=%d failed=%d rejected(backpressure=%d invalid=%d drain=%d) reschedules=%d events=%d dropped=%d inflight_peak=%d",
 		m.Accepted, m.Completed, m.Failed, m.RejectedFull, m.RejectedInvalid, m.RejectedDrain,
 		m.Reschedules, m.EventsEmitted, m.EventsDropped, m.InflightPeak)
+	log.Printf("aheftd: feedback: reports=%d events=%d rejected=%d whatif=%d reschedules(variance=%d arrival=%d departure=%d) history(tenants=%d cells=%d)",
+		m.Reports, m.ReportEvents, m.ReportsRejected, m.WhatIfQueries,
+		m.ReschedulesVariance, m.ReschedulesArrival, m.ReschedulesDeparture,
+		m.HistoryTenants, m.HistoryCells)
 	if drainErr != nil && !errors.Is(drainErr, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "aheftd: drain incomplete: %v\n", drainErr)
 		os.Exit(1)

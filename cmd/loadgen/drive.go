@@ -1,0 +1,251 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"aheft/internal/drive"
+	"aheft/internal/rng"
+	"aheft/internal/server"
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+// driveParams carries the -drive flags.
+type driveParams struct {
+	duration         time.Duration
+	rate             float64
+	inflight         int
+	policy           string
+	noise            float64
+	churn            float64
+	varThr           float64
+	seed             uint64
+	out              string
+	requireZeroDrops bool
+	requireInflight  int
+	requireVariance  int
+	requireBeat      bool
+}
+
+// DriveClassReport aggregates one mix class's enactment outcomes.
+type DriveClassReport struct {
+	Name                 string  `json:"name"`
+	Completed            int     `json:"completed"`
+	Failed               int     `json:"failed"`
+	Reports              int     `json:"reports"`
+	Events               int     `json:"events"`
+	Reschedules          int     `json:"reschedules"`
+	VarianceReschedules  int     `json:"variance_reschedules"`
+	ArrivalReschedules   int     `json:"arrival_reschedules"`
+	DepartureReschedules int     `json:"departure_reschedules"`
+	AdaptiveMeanMakespan float64 `json:"adaptive_mean_makespan"`
+	StaticMeanMakespan   float64 `json:"static_mean_makespan"`
+	// MeanDeltaPct is 100·(static−adaptive)/static over the class means:
+	// what closing the feedback loop bought, in makespan percent.
+	MeanDeltaPct float64 `json:"mean_delta_pct"`
+}
+
+// DriveReport is the -drive run summary written to -out.
+type DriveReport struct {
+	DurationS     float64            `json:"duration_s"`
+	TotalS        float64            `json:"total_s"`
+	Noise         float64            `json:"noise"`
+	Churn         float64            `json:"churn"`
+	Submitted     int                `json:"submitted"`
+	Completed     int                `json:"completed"`
+	Failed        int                `json:"failed"`
+	Stalls        int                `json:"inflight_stalls"`
+	Classes       []DriveClassReport `json:"classes"`
+	ServerMetrics server.MetricsDoc  `json:"server_metrics"`
+}
+
+// driveAgg accumulates outcomes across the driver goroutines.
+type driveAgg struct {
+	mu        sync.Mutex
+	submitted int
+	completed int
+	failed    int
+	adaptive  map[string]float64 // per class, sum of makespans
+	static    map[string]float64
+	class     map[string]*DriveClassReport
+}
+
+func (a *driveAgg) record(class string, out *drive.Outcome, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.class[class]
+	if err != nil {
+		a.failed++
+		c.Failed++
+		if a.failed <= 10 {
+			log.Printf("loadgen: drive %s: %v", class, err)
+		}
+		return
+	}
+	a.completed++
+	c.Completed++
+	c.Reports += out.Reports
+	c.Events += out.Events
+	c.Reschedules += out.Reschedules
+	c.VarianceReschedules += out.VarianceReschedules
+	c.ArrivalReschedules += out.ArrivalReschedules
+	c.DepartureReschedules += out.DepartureReschedules
+	a.adaptive[class] += out.AdaptiveMakespan
+	a.static[class] += out.StaticMakespan
+}
+
+// driveMain is the -drive entry point: a closed-loop enactment run over
+// the mix, each workflow driven through the daemon's feedback loop by
+// internal/drive, with per-class adaptive-vs-static accounting.
+func driveMain(g *generator, classes []class, total int, p driveParams) {
+	agg := &driveAgg{
+		adaptive: map[string]float64{},
+		static:   map[string]float64{},
+		class:    map[string]*DriveClassReport{},
+	}
+	for _, c := range classes {
+		agg.class[c.name] = &DriveClassReport{Name: c.name}
+	}
+	picker := rng.New(p.seed ^ 0xd21fe10ad)
+	sem := make(chan struct{}, p.inflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var interval time.Duration
+	if p.rate > 0 {
+		interval = time.Duration(float64(time.Second) / p.rate)
+	}
+	next := start
+	seq := uint64(0)
+	for time.Since(start) < p.duration {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			g.addStall()
+			sem <- struct{}{} // closed loop: wait for a slot
+		}
+		c := pickClass(classes, total, picker)
+		sc := c.scenarios[picker.IntN(len(c.scenarios))]
+		seq++
+		seed := p.seed*1_000_003 + seq
+		agg.mu.Lock()
+		agg.submitted++
+		agg.mu.Unlock()
+		wg.Add(1)
+		go func(name string, sc *workload.Scenario, seed uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out, err := drive.Run(context.Background(), drive.Config{
+				BaseURL: g.base,
+				Client:  g.client,
+				Policy:  p.policy,
+				Tenant:  name, // class-scoped history: workflows teach each other
+				Options: wire.Options{VarianceThreshold: p.varThr},
+				Noise:   p.noise,
+				Churn:   p.churn,
+				Seed:    seed,
+				Name:    fmt.Sprintf("%s-drive-%d", name, seed),
+			}, sc)
+			agg.record(name, out, err)
+		}(c.name, sc, seed)
+	}
+	window := time.Since(start)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var metrics server.MetricsDoc
+	if err := g.getJSON("/metrics", &metrics); err != nil {
+		log.Fatalf("loadgen: fetch metrics: %v", err)
+	}
+	rep := DriveReport{
+		DurationS: window.Seconds(),
+		TotalS:    elapsed.Seconds(),
+		Noise:     p.noise,
+		Churn:     p.churn,
+		Submitted: agg.submitted,
+		Completed: agg.completed,
+		Failed:    agg.failed,
+		Stalls:    g.stallCount(),
+	}
+	for _, c := range classes {
+		cr := agg.class[c.name]
+		if cr.Completed > 0 {
+			cr.AdaptiveMeanMakespan = agg.adaptive[c.name] / float64(cr.Completed)
+			cr.StaticMeanMakespan = agg.static[c.name] / float64(cr.Completed)
+			if cr.StaticMeanMakespan > 0 {
+				cr.MeanDeltaPct = 100 * (cr.StaticMeanMakespan - cr.AdaptiveMeanMakespan) / cr.StaticMeanMakespan
+			}
+		}
+		rep.Classes = append(rep.Classes, *cr)
+	}
+	rep.ServerMetrics = metrics
+
+	fmt.Printf("loadgen: drive: %d submitted, %d completed, %d failed in %.1fs (noise %.0f%%, churn %.0f%%)\n",
+		rep.Submitted, rep.Completed, rep.Failed, rep.TotalS, 100*p.noise, 100*p.churn)
+	for _, cr := range rep.Classes {
+		fmt.Printf("loadgen: drive: %-8s completed=%d adaptive=%.1f static=%.1f delta=%+.1f%% reschedules=%d (variance=%d arrival=%d departure=%d)\n",
+			cr.Name, cr.Completed, cr.AdaptiveMeanMakespan, cr.StaticMeanMakespan, cr.MeanDeltaPct,
+			cr.Reschedules, cr.VarianceReschedules, cr.ArrivalReschedules, cr.DepartureReschedules)
+	}
+	fmt.Printf("loadgen: drive: server: reports=%d events=%d rejected=%d reschedules(variance=%d arrival=%d departure=%d) dropped=%d\n",
+		metrics.Reports, metrics.ReportEvents, metrics.ReportsRejected,
+		metrics.ReschedulesVariance, metrics.ReschedulesArrival, metrics.ReschedulesDeparture,
+		metrics.EventsDropped)
+
+	if p.out != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(p.out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen: write report: %v", err)
+		}
+		log.Printf("loadgen: wrote %s", p.out)
+	}
+
+	switch {
+	case rep.Completed == 0:
+		log.Fatal("loadgen: drive: nothing completed")
+	case rep.Failed > 0:
+		log.Fatalf("loadgen: drive: %d workflows failed", rep.Failed)
+	case p.requireZeroDrops && metrics.EventsDropped > 0:
+		log.Fatalf("loadgen: daemon dropped %d events", metrics.EventsDropped)
+	case p.requireInflight > 0 && metrics.InflightPeak < int64(p.requireInflight):
+		log.Fatalf("loadgen: inflight peak %d below required %d", metrics.InflightPeak, p.requireInflight)
+	}
+	// Per-class gates apply only to classes the mix actually exercised —
+	// a class the picker never drew has nothing to prove.
+	for _, cr := range rep.Classes {
+		if cr.Completed == 0 {
+			continue
+		}
+		if p.requireVariance > 0 && cr.VarianceReschedules < p.requireVariance {
+			log.Fatalf("loadgen: class %s saw %d variance-triggered reschedules, require %d",
+				cr.Name, cr.VarianceReschedules, p.requireVariance)
+		}
+		if p.requireBeat && cr.AdaptiveMeanMakespan > cr.StaticMeanMakespan {
+			log.Fatalf("loadgen: class %s adaptive mean %.1f worse than static %.1f",
+				cr.Name, cr.AdaptiveMeanMakespan, cr.StaticMeanMakespan)
+		}
+	}
+}
+
+// pickClass draws a mix class by weight.
+func pickClass(classes []class, total int, r *rng.Source) *class {
+	n := r.IntN(total)
+	for i := range classes {
+		if n < classes[i].weight {
+			return &classes[i]
+		}
+		n -= classes[i].weight
+	}
+	return &classes[len(classes)-1]
+}

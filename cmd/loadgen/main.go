@@ -9,10 +9,22 @@
 //	loadgen -addr http://127.0.0.1:7070 -duration 30s -rate 200 \
 //	    -mix random=60,blast=15,wien2k=15,layered=10 -out report.json
 //
+// With -drive the generator becomes the enactment side of the paper's
+// Fig. 1 loop: each workflow is submitted in live mode, its schedule is
+// executed on the simulated grid with -noise runtime perturbation and
+// -churn arrival jitter, every run-time event is reported back to the
+// daemon, and adopted reschedules are enacted mid-flight
+// (internal/drive). The report then carries per-class reschedule counts
+// and adaptive-vs-static makespan deltas.
+//
+//	loadgen -addr http://127.0.0.1:7070 -drive -duration 20s \
+//	    -mix blast=50,wien2k=50 -noise 0.2 -churn 0.3 \
+//	    -require-variance-reschedules 1 -require-beat-static
+//
 // Exit status is non-zero when any workflow fails, when nothing
-// completes, or when -require-zero-drops / -require-inflight are set and
-// the daemon's counters violate them — so CI can use a loadgen run as a
-// smoke gate.
+// completes, or when -require-zero-drops / -require-inflight /
+// -require-variance-reschedules / -require-beat-static are set and the
+// run violates them — so CI can use a loadgen run as a smoke gate.
 package main
 
 import (
@@ -53,9 +65,15 @@ func main() {
 	out := flag.String("out", "", "write the JSON report here")
 	requireZeroDrops := flag.Bool("require-zero-drops", false, "fail if the daemon reports events_dropped > 0")
 	requireInflight := flag.Int("require-inflight", 0, "fail if the daemon's inflight_peak stays below this")
+	driveMode := flag.Bool("drive", false, "closed-loop enactment mode: live submissions, simulated execution with noise/churn, run-time reports")
+	noise := flag.Float64("noise", 0.2, "-drive: actual-runtime perturbation (fraction)")
+	churn := flag.Float64("churn", 0.3, "-drive: resource-arrival time jitter (fraction)")
+	varThr := flag.Float64("variance-threshold", 0.2, "-drive: daemon-side significant-variance gate")
+	requireVarResched := flag.Int("require-variance-reschedules", 0, "-drive: fail unless every mix class saw at least this many variance-triggered reschedules")
+	requireBeatStatic := flag.Bool("require-beat-static", false, "-drive: fail unless every class's mean adaptive makespan beats the never-reschedule baseline")
 	flag.Parse()
 
-	classes, err := buildClasses(*mix, *jobs, *layeredJobs, *parallelism, *variants, *seed, *policy)
+	classes, err := buildClasses(*mix, *jobs, *layeredJobs, *parallelism, *variants, *seed, *policy, *driveMode)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
@@ -83,6 +101,19 @@ func main() {
 	}
 	if err := g.waitHealthy(10 * time.Second); err != nil {
 		log.Fatalf("loadgen: %v", err)
+	}
+
+	if *driveMode {
+		driveMain(g, classes, total, driveParams{
+			duration: *duration, rate: *rate, inflight: *inflight,
+			policy: *policy, noise: *noise, churn: *churn, varThr: *varThr,
+			seed: *seed, out: *out,
+			requireZeroDrops: *requireZeroDrops,
+			requireInflight:  *requireInflight,
+			requireVariance:  *requireVarResched,
+			requireBeat:      *requireBeatStatic,
+		})
+		return
 	}
 
 	// Submission loop: arrivals paced at -rate, capacity bounded by the
@@ -148,14 +179,16 @@ func main() {
 	}
 }
 
-// class is one workload family of the mix with its pre-encoded bodies.
+// class is one workload family of the mix with its pre-encoded bodies
+// (and, for -drive, the decoded scenarios the enactment loop replays).
 type class struct {
-	name   string
-	weight int
-	bodies [][]byte
+	name      string
+	weight    int
+	bodies    [][]byte
+	scenarios []*workload.Scenario
 }
 
-func buildClasses(mix string, jobs, layeredJobs, parallelism, variants int, seed uint64, policy string) ([]class, error) {
+func buildClasses(mix string, jobs, layeredJobs, parallelism, variants int, seed uint64, policy string, keepScenarios bool) ([]class, error) {
 	if variants < 1 {
 		return nil, fmt.Errorf("-variants must be >= 1, got %d", variants)
 	}
@@ -192,6 +225,12 @@ func buildClasses(mix string, jobs, layeredJobs, parallelism, variants int, seed
 				return c, fmt.Errorf("encode %s: %w", name, err)
 			}
 			c.bodies = append(c.bodies, body)
+			// Only -drive replays the decoded scenarios; a plain load run
+			// uses the encoded bodies alone, and keeping 20k-job graphs
+			// and tables alive for the whole run would waste memory.
+			if keepScenarios {
+				c.scenarios = append(c.scenarios, sc)
+			}
 		}
 		return c, nil
 	}
@@ -275,6 +314,12 @@ func (g *generator) addStall() {
 	g.mu.Lock()
 	g.stalls++
 	g.mu.Unlock()
+}
+
+func (g *generator) stallCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stalls
 }
 
 func (g *generator) addTransportRetry() {

@@ -1,0 +1,440 @@
+// Package drive is the enactment side of the paper's Fig. 1 architecture
+// run against a live aheftd daemon: it submits a workflow in live mode,
+// fetches the daemon's plan, executes it on the simulated grid
+// (internal/executor + internal/sim) with configurable runtime noise and
+// resource churn, and reports every run-time event — job starts, measured
+// finishes, resource joins — back through POST /v1/workflows/{id}/report,
+// adopting whatever reschedule the daemon returns. It also executes the
+// never-reschedule baseline (the initial plan under the same noise and
+// churn), so callers can measure what adaptivity bought.
+//
+// cmd/loadgen's -drive mode and the server acceptance tests share this
+// harness. A Run with a fixed Config and scenario is deterministic as
+// long as the workflow's tenant history is not perturbed by concurrent
+// workflows: the noise table and churned pool are pre-materialised from
+// the seed, and the simulation itself is a deterministic event loop.
+package drive
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/executor"
+	"aheft/internal/grid"
+	"aheft/internal/rng"
+	"aheft/internal/schedule"
+	"aheft/internal/sim"
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+// Config parameterises one driven workflow.
+type Config struct {
+	// BaseURL is the daemon's address ("http://127.0.0.1:7070").
+	BaseURL string
+	// Client is the HTTP client; nil means a 2-minute-timeout default.
+	Client *http.Client
+	// Policy and Options go into the submission. Options.VarianceThreshold
+	// tunes the daemon's variance trigger for this workflow.
+	Policy  string
+	Options wire.Options
+	// Tenant scopes the performance history the daemon plans with.
+	Tenant string
+	// Noise is the actual-runtime perturbation: each (job, resource)
+	// runtime is the estimate scaled by a factor drawn once from
+	// [1−Noise, 1+Noise]. 0 reproduces the estimates exactly.
+	Noise float64
+	// Churn jitters each planned resource arrival time by a factor drawn
+	// from [1−Churn, 1+Churn] — the enacted grid diverges from the
+	// submitted plan, and the daemon only learns the truth from
+	// resource-join reports.
+	Churn float64
+	// Seed drives the noise and churn draws.
+	Seed uint64
+	// Name labels the submission.
+	Name string
+}
+
+// Outcome is the measured result of one driven workflow.
+type Outcome struct {
+	ID   string
+	Jobs int
+	// AdaptiveMakespan is the simulated completion time with the daemon's
+	// reschedules adopted; StaticMakespan is the same noisy grid enacting
+	// the initial plan with no feedback. DaemonMakespan is what the
+	// daemon's terminal status reported (equals AdaptiveMakespan when the
+	// loop is consistent).
+	AdaptiveMakespan float64
+	StaticMakespan   float64
+	DaemonMakespan   float64
+	InitialMakespan  float64
+	// Reports / Events count what was POSTed; Generation is the final
+	// plan generation.
+	Reports    int
+	Events     int
+	Generation int
+	// Decisions and the per-trigger adopted-reschedule counts.
+	Decisions            int
+	Reschedules          int
+	VarianceReschedules  int
+	ArrivalReschedules   int
+	DepartureReschedules int
+}
+
+// Delta returns the fractional makespan improvement of the adaptive run
+// over the static baseline (positive = adaptivity helped).
+func (o *Outcome) Delta() float64 {
+	if o.StaticMakespan <= 0 {
+		return 0
+	}
+	return (o.StaticMakespan - o.AdaptiveMakespan) / o.StaticMakespan
+}
+
+// Run drives one scenario through the daemon's feedback loop to
+// completion and returns the measured outcome.
+func Run(ctx context.Context, cfg Config, sc *workload.Scenario) (*Outcome, error) {
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	d := &driver{cfg: cfg, client: client, base: strings.TrimRight(cfg.BaseURL, "/")}
+	r := rng.New(cfg.Seed ^ 0xd21fe00d)
+	noisy := noisyTable(sc, cfg.Noise, r)
+	pool, err := churnPool(sc.Pool, cfg.Churn, r)
+	if err != nil {
+		return nil, fmt.Errorf("drive: churn pool: %w", err)
+	}
+
+	id, err := d.submit(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := d.fetchPlan(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := planSchedule(plan, sc.Graph)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{ID: id, Jobs: sc.Graph.Len(), InitialMakespan: plan.Makespan, Generation: plan.Generation}
+
+	// The never-reschedule baseline: same noisy runtimes, same churned
+	// grid, the initial plan enacted with nobody listening. It cannot
+	// depend on the adaptive run, so it runs first on its own engine.
+	static, err := executor.New(sim.New(), sc.Graph, cost.Exact(noisy), pool, initial, nil)
+	if err != nil {
+		return nil, fmt.Errorf("drive: static baseline: %w", err)
+	}
+	if _, err := static.Run(); err != nil {
+		return nil, fmt.Errorf("drive: static baseline: %w", err)
+	}
+	out.StaticMakespan = static.Makespan()
+
+	if err := d.enact(ctx, id, sc.Graph, noisy, pool, initial, out); err != nil {
+		return nil, err
+	}
+
+	st, err := d.status(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != "done" {
+		return nil, fmt.Errorf("drive: workflow %s ended %s: %s", id, st.State, st.Error)
+	}
+	out.DaemonMakespan = st.Makespan
+	out.Generation = st.Generation
+	return out, nil
+}
+
+// driver carries the HTTP plumbing.
+type driver struct {
+	cfg    Config
+	client *http.Client
+	base   string
+}
+
+func (d *driver) submit(ctx context.Context, sc *workload.Scenario) (string, error) {
+	body, err := wire.EncodeSubmission(&wire.Submission{
+		Name:    d.cfg.Name,
+		Mode:    wire.ModeLive,
+		Tenant:  d.cfg.Tenant,
+		Policy:  d.cfg.Policy,
+		Options: d.cfg.Options,
+		Graph:   sc.Graph, Comp: sc.Table, Pool: sc.Pool,
+	})
+	if err != nil {
+		return "", fmt.Errorf("drive: encode submission: %w", err)
+	}
+	for {
+		var sub wire.Submitted
+		code, err := d.post(ctx, "/v1/workflows", body, &sub)
+		switch {
+		case err != nil:
+			return "", fmt.Errorf("drive: submit: %w", err)
+		case code == http.StatusAccepted:
+			return sub.ID, nil
+		case code == http.StatusTooManyRequests:
+			// Backpressure: the closed loop owns the retry.
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+		default:
+			return "", fmt.Errorf("drive: submit: HTTP %d", code)
+		}
+	}
+}
+
+// fetchPlan polls until the shard has planned the workflow.
+func (d *driver) fetchPlan(ctx context.Context, id string) (*wire.Plan, error) {
+	for {
+		var plan wire.Plan
+		code, err := d.get(ctx, "/v1/workflows/"+id+"/plan", &plan)
+		switch {
+		case err != nil:
+			return nil, fmt.Errorf("drive: fetch plan: %w", err)
+		case code == http.StatusOK:
+			return &plan, nil
+		case code == http.StatusConflict: // queued, not yet planned
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+			}
+		default:
+			return nil, fmt.Errorf("drive: fetch plan: HTTP %d", code)
+		}
+	}
+}
+
+// enact runs the adaptive execution: the event-driven executor enacts the
+// current plan while every start/finish/arrival is reported upstream; an
+// acked reschedule is resubmitted into the running engine mid-flight.
+func (d *driver) enact(ctx context.Context, id string, g *dag.Graph, noisy *cost.Table, pool *grid.Pool, initial *schedule.Schedule, out *Outcome) error {
+	var eng *executor.Engine
+	var pending []wire.ReportEvent
+	var loopErr error
+	flush := func() {
+		if len(pending) == 0 || loopErr != nil {
+			return
+		}
+		ack, err := d.report(ctx, id, pending)
+		pending = pending[:0]
+		if err != nil {
+			loopErr = err
+			eng.Cancel(err)
+			return
+		}
+		out.Reports++
+		out.Events += ack.Applied
+		out.Decisions += ack.Decisions
+		if ack.Rescheduled {
+			out.Reschedules++
+			switch ack.Trigger {
+			case "variance":
+				out.VarianceReschedules++
+			case "arrival":
+				out.ArrivalReschedules++
+			case "departure":
+				out.DepartureReschedules++
+			}
+			if ack.Plan == nil {
+				loopErr = fmt.Errorf("drive: reschedule ack without plan")
+				eng.Cancel(loopErr)
+				return
+			}
+			s1, err := planSchedule(ack.Plan, g)
+			if err != nil {
+				loopErr = err
+				eng.Cancel(err)
+				return
+			}
+			if err := eng.Resubmit(s1); err != nil {
+				loopErr = fmt.Errorf("drive: resubmit: %w", err)
+				eng.Cancel(loopErr)
+			}
+		}
+	}
+	handler := executor.EventHandlerFunc(func(ev executor.Event) {
+		if loopErr == nil && ctx.Err() != nil {
+			loopErr = ctx.Err()
+			eng.Cancel(loopErr)
+			return
+		}
+		switch {
+		case ev.Finished != dag.NoJob:
+			pending = append(pending, wire.ReportEvent{
+				Kind: wire.ReportJobFinished, Time: ev.Time,
+				Job: int(ev.Finished), Resource: int(ev.OnResource), Duration: ev.ActualDuration,
+			})
+		default:
+			for _, r := range ev.Arrived {
+				pending = append(pending, wire.ReportEvent{
+					Kind: wire.ReportResourceJoin, Time: ev.Time, Resource: int(r.ID),
+				})
+			}
+		}
+		flush()
+	})
+	var err error
+	eng, err = executor.New(sim.New(), g, cost.Exact(noisy), pool, initial, handler)
+	if err != nil {
+		return fmt.Errorf("drive: executor: %w", err)
+	}
+	// Starts are queued, not flushed: they ride in front of the next
+	// finish/arrival report, so the daemon always knows which jobs are
+	// running (and pinned) before it evaluates a reschedule.
+	eng.StartHook = func(j dag.JobID, r grid.ID, t float64) {
+		pending = append(pending, wire.ReportEvent{
+			Kind: wire.ReportJobStarted, Time: t, Job: int(j), Resource: int(r),
+		})
+	}
+	if _, err := eng.Run(); err != nil {
+		if loopErr != nil {
+			return loopErr
+		}
+		return fmt.Errorf("drive: enact: %w", err)
+	}
+	if loopErr != nil {
+		return loopErr
+	}
+	out.AdaptiveMakespan = eng.Makespan()
+	return nil
+}
+
+func (d *driver) report(ctx context.Context, id string, events []wire.ReportEvent) (*wire.ReportAck, error) {
+	body, err := wire.EncodeReport(&wire.Report{Events: events})
+	if err != nil {
+		return nil, fmt.Errorf("drive: encode report: %w", err)
+	}
+	var ack wire.ReportAck
+	code, err := d.post(ctx, "/v1/workflows/"+id+"/report", body, &ack)
+	if err != nil {
+		return nil, fmt.Errorf("drive: report: %w", err)
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("drive: report: HTTP %d", code)
+	}
+	return &ack, nil
+}
+
+func (d *driver) status(ctx context.Context, id string) (*wire.Status, error) {
+	var st wire.Status
+	code, err := d.get(ctx, "/v1/workflows/"+id, &st)
+	if err != nil {
+		return nil, fmt.Errorf("drive: status: %w", err)
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("drive: status: HTTP %d", code)
+	}
+	return &st, nil
+}
+
+func (d *driver) post(ctx context.Context, path string, body []byte, v any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return d.do(req, v)
+}
+
+func (d *driver) get(ctx context.Context, path string, v any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	return d.do(req, v)
+}
+
+func (d *driver) do(req *http.Request, v any) (int, error) {
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		// Surface the server's error text in the status for callers that
+		// treat specific codes as retryable.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return resp.StatusCode, nil
+	}
+	if v == nil {
+		return resp.StatusCode, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return resp.StatusCode, fmt.Errorf("decode response: %w", err)
+	}
+	return resp.StatusCode, nil
+}
+
+// noisyTable materialises actual runtimes: every estimate scaled by a
+// per-(job, resource) factor drawn once up front, so the adaptive run and
+// the static baseline see identical truths regardless of query order.
+func noisyTable(sc *workload.Scenario, noise float64, r *rng.Source) *cost.Table {
+	jobs, res := sc.Table.Jobs(), sc.Table.Resources()
+	rows := make([][]float64, jobs)
+	for j := 0; j < jobs; j++ {
+		rows[j] = make([]float64, res)
+		for k := 0; k < res; k++ {
+			f := 1.0
+			if noise > 0 {
+				f = r.Uniform(1-noise, 1+noise)
+				if f < 0.05 {
+					f = 0.05
+				}
+			}
+			rows[j][k] = sc.Table.Comp(dag.JobID(j), grid.ID(k)) * f
+		}
+	}
+	return cost.MustTable(rows)
+}
+
+// churnPool jitters every planned arrival time (keeping the time-0 set at
+// zero, and keeping late arrivals strictly positive so they stay run-time
+// events the daemon must be *told* about).
+func churnPool(p *grid.Pool, churn float64, r *rng.Source) (*grid.Pool, error) {
+	if churn <= 0 {
+		return p, nil
+	}
+	src := p.Arrivals()
+	arr := make([]grid.Arrival, len(src))
+	for i, a := range src {
+		t := a.Time
+		if t > 0 {
+			t *= r.Uniform(1-churn, 1+churn)
+			if t < 1e-6 {
+				t = 1e-6
+			}
+		}
+		arr[i] = grid.Arrival{Time: t, Resource: a.Resource}
+	}
+	return grid.NewPool(arr)
+}
+
+// planSchedule decodes a wire.Plan into an executable schedule.
+func planSchedule(p *wire.Plan, g *dag.Graph) (*schedule.Schedule, error) {
+	if len(p.Assignments) != g.Len() {
+		return nil, fmt.Errorf("drive: plan covers %d of %d jobs", len(p.Assignments), g.Len())
+	}
+	as := make([]schedule.Assignment, len(p.Assignments))
+	for i, a := range p.Assignments {
+		if a.Job < 0 || a.Job >= g.Len() {
+			return nil, fmt.Errorf("drive: plan names unknown job %d", a.Job)
+		}
+		as[i] = schedule.Assignment{
+			Job: dag.JobID(a.Job), Resource: grid.ID(a.Resource), Start: a.Start, Finish: a.Finish,
+		}
+	}
+	return schedule.FromAssignments(as), nil
+}

@@ -84,6 +84,14 @@ type Engine struct {
 	sched   *schedule.Schedule // current plan (replaceable via Resubmit)
 	handler EventHandler
 
+	// StartHook, when non-nil, is invoked the moment a job begins
+	// executing — before its completion is even scheduled. Unlike
+	// EventHandler events it carries no rescheduling rights; it exists so
+	// an enactment client (the daemon's drive loop) can report
+	// job-started upstream and the remote planner knows which
+	// reservations are committed. Set it before Run.
+	StartHook func(j dag.JobID, r grid.ID, t float64)
+
 	available map[grid.ID]bool
 	busy      map[grid.ID]dag.JobID // resource -> running job
 
@@ -302,6 +310,9 @@ func (e *Engine) canStart(j dag.JobID, r grid.ID, now float64) bool {
 func (e *Engine) start(j dag.JobID, r grid.ID, now float64) {
 	e.started[j] = now
 	e.busy[r] = j
+	if e.StartHook != nil {
+		e.StartHook(j, r, now)
+	}
 	dur := e.rt.Comp(j, r)
 	e.simr.At(now+dur, sim.PriJobFinish, func() { e.finish(j, r, now, now+dur) })
 }

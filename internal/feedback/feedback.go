@@ -1,0 +1,735 @@
+// Package feedback is the daemon-side runtime-feedback subsystem: the
+// half of the paper's Fig. 1 loop that was missing from aheftd. A
+// Tracker owns one live workflow's planning state — the scheduling
+// kernel, the dense execution snapshot, the current schedule — and folds
+// validated wire.Report events into it:
+//
+//   - job-finished events feed measured runtimes into the tenant's
+//     Performance History Repository (internal/history) and are judged
+//     for significant variance against its EWMA;
+//   - the Predictor (predict.HistoryBased, with the submitted estimate
+//     matrix as prior) re-estimates the remaining jobs from that history
+//     before every evaluation, so predictions sharpen while the workflow
+//     runs;
+//   - variance, resource-join and resource-leave events trigger a
+//     rescheduling evaluation through the same kernel/policy pipeline
+//     the analytic engine uses, under the paper's AHEFT semantics:
+//     finished jobs keep their actual intervals, running jobs keep their
+//     reservations, and a candidate is adopted only when it beats the
+//     current plan's *projected* completion under the current estimates
+//     (Fig. 2 line 7 — the projection, not the stale nominal makespan,
+//     is the honest S0 side of the comparison once estimates drift).
+//
+// A Tracker is not safe for concurrent use: the owning shard's single
+// worker goroutine is the only caller, preserving the kernel's
+// single-goroutine discipline. The history.Repository it feeds IS
+// shared — across workflows of the tenant and with metrics readers —
+// and is internally synchronised.
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aheft/internal/core"
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/history"
+	"aheft/internal/kernel"
+	"aheft/internal/planner"
+	"aheft/internal/policy"
+	"aheft/internal/predict"
+	"aheft/internal/schedule"
+	"aheft/internal/wire"
+)
+
+// DefaultVarianceThreshold is the relative runtime deviation beyond which
+// a job-finished event triggers a rescheduling evaluation when the
+// submission names no threshold.
+const DefaultVarianceThreshold = 0.2
+
+// Config assembles a Tracker.
+type Config struct {
+	// Graph is the workflow DAG.
+	Graph *dag.Graph
+	// Prior is the client-supplied estimate matrix, the Predictor's
+	// fallback for (op, resource) pairs without history.
+	Prior cost.Estimator
+	// Pool declares the resource universe: its time-0 arrivals are the
+	// initially available set, its later arrivals are *planned* — in live
+	// mode a resource actually joins only when a resource-join report
+	// says so.
+	Pool *grid.Pool
+	// History is the tenant's Performance History Repository (shared,
+	// thread-safe).
+	History *history.Repository
+	// Policy drives planning and replanning.
+	Policy policy.Policy
+	// Opts tunes the policy.
+	Opts policy.Options
+	// VarianceThreshold gates finish-variance triggering; <= 0 means
+	// DefaultVarianceThreshold.
+	VarianceThreshold float64
+	// UseMean selects the history mean instead of the recency-weighted
+	// EWMA for re-estimation.
+	UseMean bool
+}
+
+type jobPhase uint8
+
+const (
+	phasePending jobPhase = iota
+	phaseStarted
+	phaseFinished
+)
+
+// Outcome summarises what one Apply call did.
+type Outcome struct {
+	// Applied counts the events folded in (the whole batch unless the
+	// workflow completed mid-batch).
+	Applied int
+	// Decisions lists the rescheduling evaluations the batch caused.
+	Decisions []planner.Decision
+	// Rescheduled reports whether any evaluation was adopted; Trigger is
+	// the last adopted one's cause.
+	Rescheduled bool
+	Trigger     planner.Trigger
+	// Done reports workflow completion; Makespan is then the measured
+	// completion time.
+	Done     bool
+	Makespan float64
+}
+
+// Tracker is one live workflow's planning-side state machine.
+type Tracker struct {
+	g    *dag.Graph
+	pool *grid.Pool
+	repo *history.Repository
+	pol  policy.Policy
+	opts policy.Options
+	est  *predict.HistoryBased
+	thr  float64
+
+	k  *kernel.Kernel
+	ks *kernel.State
+
+	sched      *schedule.Schedule
+	generation int
+	initial    float64
+
+	clock    float64
+	phase    []jobPhase
+	startAt  []float64
+	startRes []grid.ID
+	finishAt []float64
+	// pinDur holds a revised expected runtime for a running job (variance
+	// report); 0 means "ask the estimator".
+	pinDur    []float64
+	nStarted  int
+	nFinished int
+
+	resByID []grid.Resource
+	avail   []bool
+	nAvail  int
+
+	decisions []planner.Decision
+	adoptions int
+	done      bool
+	makespan  float64
+
+	// projection scratch
+	projFin []float64
+	resFree []float64
+	pending []dag.JobID
+}
+
+// New plans the workflow over the pool's time-0 resources and returns
+// the tracker holding the live run. The initial plan already consults
+// the tenant's history (warmed by earlier workflows running the same
+// operations); the submitted matrix fills the gaps.
+func New(cfg Config) (*Tracker, error) {
+	switch {
+	case cfg.Graph == nil || cfg.Graph.Len() == 0:
+		return nil, fmt.Errorf("feedback: empty workflow")
+	case cfg.Prior == nil:
+		return nil, fmt.Errorf("feedback: nil prior estimator")
+	case cfg.Pool == nil || cfg.Pool.Size() == 0:
+		return nil, fmt.Errorf("feedback: empty pool")
+	case len(cfg.Pool.Initial()) == 0:
+		return nil, fmt.Errorf("feedback: no resources at time 0")
+	case cfg.History == nil:
+		return nil, fmt.Errorf("feedback: nil history repository")
+	case cfg.Policy == nil:
+		return nil, fmt.Errorf("feedback: nil policy")
+	case policy.IsJustInTime(cfg.Policy):
+		return nil, fmt.Errorf("feedback: policy %q is just-in-time and cannot plan for enactment", cfg.Policy.Name())
+	}
+	n := cfg.Graph.Len()
+	t := &Tracker{
+		g:    cfg.Graph,
+		pool: cfg.Pool,
+		repo: cfg.History,
+		pol:  cfg.Policy,
+		opts: cfg.Opts,
+		thr:  cfg.VarianceThreshold,
+		est: &predict.HistoryBased{
+			Graph:   cfg.Graph,
+			Repo:    cfg.History,
+			Prior:   cfg.Prior,
+			UseEWMA: !cfg.UseMean,
+		},
+		phase:    make([]jobPhase, n),
+		startAt:  make([]float64, n),
+		startRes: make([]grid.ID, n),
+		finishAt: make([]float64, n),
+		pinDur:   make([]float64, n),
+		resByID:  make([]grid.Resource, cfg.Pool.Size()),
+		avail:    make([]bool, cfg.Pool.Size()),
+		projFin:  make([]float64, n),
+		resFree:  make([]float64, cfg.Pool.Size()),
+	}
+	if t.thr <= 0 {
+		t.thr = DefaultVarianceThreshold
+	}
+	for _, a := range cfg.Pool.Arrivals() {
+		t.resByID[a.Resource.ID] = a.Resource
+	}
+	for _, r := range cfg.Pool.Initial() {
+		t.avail[r.ID] = true
+		t.nAvail++
+	}
+	t.k = kernel.New(cfg.Graph, t.est)
+	t.ks = t.k.NewState(cfg.Pool.Size())
+	s0, err := cfg.Policy.Plan(t.k, cfg.Pool, cfg.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: initial plan: %w", err)
+	}
+	t.sched = s0
+	t.generation = 1
+	t.initial = s0.Makespan()
+	return t, nil
+}
+
+// Plan returns the schedule the daemon currently wants enacted.
+func (t *Tracker) Plan() *schedule.Schedule { return t.sched }
+
+// Generation returns the plan generation (1 = initial plan).
+func (t *Tracker) Generation() int { return t.generation }
+
+// InitialMakespan returns the initial plan's predicted makespan.
+func (t *Tracker) InitialMakespan() float64 { return t.initial }
+
+// Clock returns the latest reported time.
+func (t *Tracker) Clock() float64 { return t.clock }
+
+// Done reports completion; Makespan is then the measured completion time.
+func (t *Tracker) Done() bool { return t.done }
+
+// Makespan returns the measured completion time (0 before Done).
+func (t *Tracker) Makespan() float64 { return t.makespan }
+
+// Decisions returns every rescheduling evaluation so far (shared slice;
+// callers must not mutate).
+func (t *Tracker) Decisions() []planner.Decision { return t.decisions }
+
+// Adoptions counts adopted reschedules.
+func (t *Tracker) Adoptions() int { return t.adoptions }
+
+// Available returns the currently available resources in ID order.
+func (t *Tracker) Available() []grid.Resource {
+	out := make([]grid.Resource, 0, t.nAvail)
+	for id, ok := range t.avail {
+		if ok {
+			out = append(out, t.resByID[id])
+		}
+	}
+	return out
+}
+
+// Apply validates the batch against the live run and, only if every
+// event is acceptable, folds it in — reports are all-or-nothing, so a
+// rejected batch leaves the run untouched and the reporter can repair
+// and resend. The returned Outcome says what changed. Events after the
+// completing job-finished are ignored (Applied reports the prefix).
+func (t *Tracker) Apply(events []wire.ReportEvent) (*Outcome, error) {
+	if t.done {
+		return nil, fmt.Errorf("feedback: workflow already complete")
+	}
+	if err := t.validate(events); err != nil {
+		return nil, err
+	}
+	out := &Outcome{}
+	for _, ev := range events {
+		t.clock = ev.Time
+		switch ev.Kind {
+		case wire.ReportJobStarted:
+			j := dag.JobID(ev.Job)
+			t.phase[j] = phaseStarted
+			t.startAt[j] = ev.Time
+			t.startRes[j] = grid.ID(ev.Resource)
+			t.nStarted++
+		case wire.ReportJobFinished:
+			t.applyFinish(ev, out)
+		case wire.ReportVariance:
+			j := dag.JobID(ev.Job)
+			if ev.Duration > 0 {
+				t.pinDur[j] = ev.Duration
+			}
+			t.evaluate(planner.TriggerVariance, 0, out)
+		case wire.ReportResourceJoin:
+			t.avail[ev.Resource] = true
+			t.nAvail++
+			t.evaluate(planner.TriggerArrival, 1, out)
+		case wire.ReportResourceLeave:
+			t.avail[ev.Resource] = false
+			t.nAvail--
+			t.evaluate(planner.TriggerDeparture, 0, out)
+		}
+		out.Applied++
+		if t.done {
+			out.Done = true
+			out.Makespan = t.makespan
+			break
+		}
+	}
+	return out, nil
+}
+
+// validate checks the whole batch against the run's current state plus
+// the batch's own earlier events, so Apply never half-applies a report.
+func (t *Tracker) validate(events []wire.ReportEvent) error {
+	clock := t.clock
+	n := t.g.Len()
+	phase := map[dag.JobID]jobPhase{}
+	startRes := map[dag.JobID]grid.ID{}
+	avail := map[grid.ID]bool{}
+	phaseOf := func(j dag.JobID) jobPhase {
+		if p, ok := phase[j]; ok {
+			return p
+		}
+		return t.phase[j]
+	}
+	availOf := func(r grid.ID) bool {
+		if a, ok := avail[r]; ok {
+			return a
+		}
+		return t.avail[r]
+	}
+	finished := t.nFinished
+	for i, ev := range events {
+		if ev.Time < clock {
+			return fmt.Errorf("feedback: event %d time %g before run clock %g (non-monotonic)", i, ev.Time, clock)
+		}
+		clock = ev.Time
+		if finished == n {
+			// Everything after the completing finish is dead weight but
+			// harmless: Apply stops there anyway.
+			continue
+		}
+		switch ev.Kind {
+		case wire.ReportJobStarted:
+			j := dag.JobID(ev.Job)
+			if ev.Job >= n {
+				return fmt.Errorf("feedback: event %d job %d out of range (workflow has %d jobs)", i, ev.Job, n)
+			}
+			if p := phaseOf(j); p != phasePending {
+				return fmt.Errorf("feedback: event %d starts job %d twice", i, ev.Job)
+			}
+			r := grid.ID(ev.Resource)
+			if ev.Resource >= t.pool.Size() {
+				return fmt.Errorf("feedback: event %d resource %d out of range (universe has %d)", i, ev.Resource, t.pool.Size())
+			}
+			if !availOf(r) {
+				return fmt.Errorf("feedback: event %d starts job %d on unavailable resource %d", i, ev.Job, ev.Resource)
+			}
+			phase[j] = phaseStarted
+			startRes[j] = r
+		case wire.ReportJobFinished:
+			j := dag.JobID(ev.Job)
+			if ev.Job >= n {
+				return fmt.Errorf("feedback: event %d job %d out of range (workflow has %d jobs)", i, ev.Job, n)
+			}
+			switch phaseOf(j) {
+			case phasePending:
+				return fmt.Errorf("feedback: event %d finishes job %d before it started", i, ev.Job)
+			case phaseFinished:
+				return fmt.Errorf("feedback: event %d finishes job %d twice", i, ev.Job)
+			}
+			if ev.Resource != 0 {
+				want := t.startRes[j]
+				if r, ok := startRes[j]; ok {
+					want = r
+				}
+				if grid.ID(ev.Resource) != want {
+					return fmt.Errorf("feedback: event %d finishes job %d on resource %d, started on %d", i, ev.Job, ev.Resource, want)
+				}
+			}
+			phase[j] = phaseFinished
+			finished++
+		case wire.ReportVariance:
+			j := dag.JobID(ev.Job)
+			if ev.Job >= n {
+				return fmt.Errorf("feedback: event %d job %d out of range (workflow has %d jobs)", i, ev.Job, n)
+			}
+			if phaseOf(j) != phaseStarted {
+				return fmt.Errorf("feedback: event %d reports variance on job %d, which is not running", i, ev.Job)
+			}
+		case wire.ReportResourceJoin:
+			r := grid.ID(ev.Resource)
+			if ev.Resource >= t.pool.Size() {
+				return fmt.Errorf("feedback: event %d resource %d out of range (universe has %d)", i, ev.Resource, t.pool.Size())
+			}
+			if availOf(r) {
+				return fmt.Errorf("feedback: event %d joins resource %d, which is already available", i, ev.Resource)
+			}
+			avail[r] = true
+		case wire.ReportResourceLeave:
+			r := grid.ID(ev.Resource)
+			if ev.Resource >= t.pool.Size() {
+				return fmt.Errorf("feedback: event %d resource %d out of range (universe has %d)", i, ev.Resource, t.pool.Size())
+			}
+			if !availOf(r) {
+				return fmt.Errorf("feedback: event %d removes resource %d, which is not available", i, ev.Resource)
+			}
+			avail[r] = false
+		}
+	}
+	return nil
+}
+
+// applyFinish is the Performance Monitor path: record the measured
+// runtime, judge it for significant variance, update the execution
+// snapshot (actual interval + ship-on-finish transfer ledger), and —
+// when the deviation is significant — evaluate a reschedule.
+func (t *Tracker) applyFinish(ev wire.ReportEvent, out *Outcome) {
+	j := dag.JobID(ev.Job)
+	r := t.startRes[j]
+	d := ev.Duration
+	if d <= 0 {
+		d = ev.Time - t.startAt[j]
+	}
+	op := t.g.Job(j).Op
+	variance, hasHistory := 0.0, false
+	if d > 0 {
+		// Judge against the history *excluding* this observation, as the
+		// event-driven Service does.
+		variance, hasHistory = t.repo.Variance(op, r, d)
+		_ = t.repo.Record(op, r, d)
+	}
+	t.phase[j] = phaseFinished
+	t.finishAt[j] = ev.Time
+	t.nFinished++
+	t.ks.Finish(j, r, t.startAt[j], ev.Time)
+	// Static ship-on-finish policy (§4.1 assumption 2): the output file is
+	// on the producer's resource now and starts moving toward each
+	// consumer's currently scheduled resource.
+	for _, e := range t.g.Succs(j) {
+		t.ks.SetTransfer(j, e.To, r, ev.Time)
+		if sa, ok := t.sched.Get(e.To); ok {
+			t.ks.SetTransfer(j, e.To, sa.Resource, ev.Time+t.est.Comm(e, r, sa.Resource))
+		}
+	}
+	if t.nFinished == t.g.Len() {
+		t.done = true
+		t.makespan = 0
+		for j := range t.finishAt {
+			if t.phase[j] == phaseFinished && t.finishAt[j] > t.makespan {
+				t.makespan = t.finishAt[j]
+			}
+		}
+		return
+	}
+	if hasHistory && variance > t.thr {
+		t.evaluate(planner.TriggerVariance, 0, out)
+	}
+}
+
+// syncPins rebuilds the snapshot's pinned set at evaluation clock clk:
+// each running job keeps its reservation, with an expected finish from
+// the revised duration (variance report) or the current estimate, never
+// earlier than clk (a job still running now cannot already have ended).
+func (t *Tracker) syncPins(clk float64) {
+	t.ks.Clock = clk
+	t.ks.ClearPinned()
+	for j := 0; j < t.g.Len(); j++ {
+		if t.phase[j] != phaseStarted {
+			continue
+		}
+		id := dag.JobID(j)
+		dur := t.pinDur[j]
+		if dur <= 0 {
+			dur = t.est.Comp(id, t.startRes[j])
+		}
+		fin := t.startAt[j] + dur
+		if fin < clk {
+			fin = clk
+		}
+		t.ks.Pin(schedule.Assignment{Job: id, Resource: t.startRes[j], Start: t.startAt[j], Finish: fin})
+	}
+}
+
+// evaluate is the Fig. 2 loop body at one run-time event: replan the
+// remaining jobs over the live resource set with history-sharpened
+// estimates, compare against the current plan's projection, adopt on
+// strict improvement. A projection of +Inf (the current plan places a
+// pending job on a departed resource) forces adoption of any feasible
+// candidate.
+func (t *Tracker) evaluate(trigger planner.Trigger, arrived int, out *Outcome) {
+	rs := t.Available()
+	if len(rs) == 0 {
+		return // nothing to plan over; keep the stale plan until a join
+	}
+	t.syncPins(t.clock)
+	// The estimator mutates underneath the kernel as history accrues, so
+	// cached upward ranks are stale on every evaluation.
+	t.k.InvalidateRanks()
+	s1, err := t.pol.Replan(t.k, rs, t.ks, t.opts)
+	if err != nil || s1 == nil {
+		// Evaluation failure must not kill the run ("otherwise the
+		// Planner does not take any action"); a nil proposal means the
+		// policy has nothing to say for this event.
+		return
+	}
+	cur := t.Project()
+	d := planner.Decision{
+		Clock:        t.clock,
+		PoolSize:     len(rs),
+		OldMakespan:  cur,
+		NewMakespan:  s1.Makespan(),
+		JobsFinished: t.nFinished,
+		Trigger:      trigger,
+		ArrivedCount: arrived,
+	}
+	if core.Better(cur, s1.Makespan(), t.opts.Eps) {
+		d.Adopted = true
+		t.adopt(s1)
+		out.Rescheduled = true
+		out.Trigger = trigger
+	}
+	t.decisions = append(t.decisions, d)
+	if d.Adopted {
+		t.adoptions++
+	}
+	out.Decisions = append(out.Decisions, d)
+}
+
+// adopt installs s1 and mirrors the Execution Manager's input staging on
+// resubmit: a rescheduled job whose finished predecessor's file was
+// never directed at its new resource gets a fresh transfer starting now
+// (Eq. 1 Case 2 made physical) — exactly what the analytic runner does
+// on adoption.
+func (t *Tracker) adopt(s1 *schedule.Schedule) {
+	t.sched = s1
+	t.generation++
+	for _, jb := range t.g.Jobs() {
+		if t.phase[jb.ID] != phasePending {
+			continue
+		}
+		a1 := s1.MustGet(jb.ID)
+		for _, e := range t.g.Preds(jb.ID) {
+			if t.phase[e.From] != phaseFinished {
+				continue
+			}
+			if t.ks.HasTransfer(e.From, jb.ID, a1.Resource) {
+				continue
+			}
+			pr := t.startRes[e.From]
+			t.ks.SetTransfer(e.From, jb.ID, a1.Resource, t.clock+t.est.Comm(e, pr, a1.Resource))
+		}
+	}
+}
+
+// Project computes the current plan's expected completion under the
+// current estimates and execution state: finished jobs at their actual
+// times, running jobs at their pinned finishes, and every pending job
+// retimed on its scheduled resource in the schedule's own order. It
+// returns +Inf when the plan is infeasible (a pending job's resource
+// left the pool) — the signal that forces the next evaluation to adopt.
+func (t *Tracker) Project() float64 {
+	n := t.g.Len()
+	mk := 0.0
+	for i := range t.resFree {
+		t.resFree[i] = 0
+	}
+	pend := t.pending[:0]
+	for j := 0; j < n; j++ {
+		id := dag.JobID(j)
+		switch t.phase[j] {
+		case phaseFinished:
+			t.projFin[j] = t.finishAt[j]
+		case phaseStarted:
+			dur := t.pinDur[j]
+			if dur <= 0 {
+				dur = t.est.Comp(id, t.startRes[j])
+			}
+			fin := t.startAt[j] + dur
+			if fin < t.clock {
+				fin = t.clock
+			}
+			t.projFin[j] = fin
+			if fin > t.resFree[t.startRes[j]] {
+				t.resFree[t.startRes[j]] = fin
+			}
+		default:
+			pend = append(pend, id)
+		}
+		if t.phase[j] != phasePending && t.projFin[j] > mk {
+			mk = t.projFin[j]
+		}
+	}
+	t.pending = pend
+	// Schedule order: pending jobs sorted by planned start reproduce both
+	// the per-resource queue order and a dependency-compatible global
+	// order (a predecessor always starts strictly earlier in a valid
+	// schedule with positive durations).
+	sort.Slice(pend, func(a, b int) bool {
+		sa, sb := t.sched.MustGet(pend[a]).Start, t.sched.MustGet(pend[b]).Start
+		if sa != sb {
+			return sa < sb
+		}
+		return pend[a] < pend[b]
+	})
+	for _, j := range pend {
+		a := t.sched.MustGet(j)
+		if int(a.Resource) >= len(t.avail) || !t.avail[a.Resource] {
+			return math.Inf(1)
+		}
+		ready := t.clock
+		for _, e := range t.g.Preds(j) {
+			m := e.From
+			var at float64
+			switch t.phase[m] {
+			case phaseFinished:
+				if tt, ok := t.ks.TransferAt(m, j, a.Resource); ok {
+					at = tt
+				} else {
+					at = t.clock + t.est.Comm(e, t.startRes[m], a.Resource)
+				}
+			case phaseStarted:
+				at = t.projFin[m]
+				if t.startRes[m] != a.Resource {
+					at += t.est.Comm(e, t.startRes[m], a.Resource)
+				}
+			default:
+				at = t.projFin[m]
+				if pr := t.sched.MustGet(m).Resource; pr != a.Resource {
+					at += t.est.Comm(e, pr, a.Resource)
+				}
+			}
+			if at > ready {
+				ready = at
+			}
+		}
+		start := ready
+		if t.resFree[a.Resource] > start {
+			start = t.resFree[a.Resource]
+		}
+		fin := start + t.est.Comp(j, a.Resource)
+		t.projFin[j] = fin
+		t.resFree[a.Resource] = fin
+		if fin > mk {
+			mk = fin
+		}
+	}
+	return mk
+}
+
+// WhatIf answers the paper's §3.3 capacity question against the live
+// run: what would the expected makespan become if the listed resources
+// (indices into the submitted universe) joined or left right now?
+// Running jobs on hypothetically removed resources are restarted
+// elsewhere (the compute slot is gone); files already produced remain
+// reachable (storage outlives the slot), matching planner.WhatIf. The
+// evaluation is tentative: the tracker's plan and state are unchanged.
+func (t *Tracker) WhatIf(q wire.WhatIfRequest) (*wire.WhatIfDoc, error) {
+	if t.done {
+		return nil, fmt.Errorf("feedback: workflow already complete")
+	}
+	if math.IsNaN(q.Clock) || math.IsInf(q.Clock, 0) {
+		return nil, fmt.Errorf("feedback: what-if clock %g is not finite", q.Clock)
+	}
+	clk := q.Clock
+	if clk < t.clock {
+		clk = t.clock
+	}
+	removed := make(map[grid.ID]bool, len(q.Remove))
+	for _, id := range q.Remove {
+		if id < 0 || id >= t.pool.Size() {
+			return nil, fmt.Errorf("feedback: what-if resource %d out of range (universe has %d)", id, t.pool.Size())
+		}
+		removed[grid.ID(id)] = true
+	}
+	hyp := make(map[grid.ID]bool, t.nAvail+len(q.Add))
+	for id, ok := range t.avail {
+		if ok {
+			hyp[grid.ID(id)] = true
+		}
+	}
+	for _, id := range q.Add {
+		if id < 0 || id >= t.pool.Size() {
+			return nil, fmt.Errorf("feedback: what-if resource %d out of range (universe has %d)", id, t.pool.Size())
+		}
+		hyp[grid.ID(id)] = true
+	}
+	for id := range removed {
+		delete(hyp, id)
+	}
+	if len(hyp) == 0 {
+		return nil, fmt.Errorf("feedback: what-if leaves an empty pool")
+	}
+	rs := make([]grid.Resource, 0, len(hyp))
+	for id := range hyp {
+		rs = append(rs, t.resByID[id])
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+
+	// Hypothetical pins: running jobs keep reservations unless their
+	// resource is removed, in which case they restart.
+	t.syncPins(clk)
+	if len(removed) > 0 {
+		t.ks.ClearPinned()
+		for j := 0; j < t.g.Len(); j++ {
+			if t.phase[j] != phaseStarted || removed[t.startRes[j]] {
+				continue
+			}
+			id := dag.JobID(j)
+			dur := t.pinDur[j]
+			if dur <= 0 {
+				dur = t.est.Comp(id, t.startRes[j])
+			}
+			fin := t.startAt[j] + dur
+			if fin < clk {
+				fin = clk
+			}
+			t.ks.Pin(schedule.Assignment{Job: id, Resource: t.startRes[j], Start: t.startAt[j], Finish: fin})
+		}
+	}
+	t.k.InvalidateRanks()
+	s1, err := t.pol.Replan(t.k, rs, t.ks, t.opts)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: what-if reschedule: %w", err)
+	}
+	if s1 == nil {
+		return nil, fmt.Errorf("feedback: policy %q proposes no hypothetical schedule", t.pol.Name())
+	}
+	cur := t.Project()
+	doc := &wire.WhatIfDoc{
+		Clock:           clk,
+		PoolSize:        len(rs),
+		CurrentMakespan: cur,
+		NewMakespan:     s1.Makespan(),
+		Delta:           s1.Makespan() - cur,
+		WouldAdopt:      core.Better(cur, s1.Makespan(), t.opts.Eps),
+	}
+	if math.IsInf(cur, 1) {
+		// The current plan is infeasible (a pending job's resource left);
+		// JSON cannot carry +Inf, so the document uses the -1 sentinel and
+		// any feasible candidate would be adopted.
+		doc.CurrentMakespan = -1
+		doc.Delta = 0
+		doc.WouldAdopt = true
+	}
+	return doc, nil
+}

@@ -9,6 +9,13 @@
 // program there. The repository keeps streaming statistics (count, mean,
 // EWMA, min/max) per key — enough for the history-based predictors without
 // unbounded memory growth.
+//
+// A Repository is safe for concurrent use: in the aheftd daemon one
+// repository is shared by every live workflow of a tenant on a shard —
+// Record/Variance from the report path, Lookup/LookupOp from the
+// history-based predictor inside reschedules — while /metrics readers
+// aggregate Len/Totals from other goroutines. A -race hammer test pins
+// the contract down.
 package history
 
 import (
@@ -137,6 +144,18 @@ func (h *Repository) Len() int {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return len(h.cells)
+}
+
+// Totals returns the cell count and the total number of recorded
+// observations — the repository-size gauges the daemon's /metrics
+// reports.
+func (h *Repository) Totals() (cells, observations int) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, s := range h.cells {
+		observations += s.Count
+	}
+	return len(h.cells), observations
 }
 
 // Keys returns all cells in deterministic order (op, then resource).

@@ -49,6 +49,10 @@ const (
 	// TriggerVariance is a significant deviation of a measured job runtime
 	// from the performance history (ServiceOptions.VarianceThreshold).
 	TriggerVariance
+	// TriggerDeparture is a resource leaving the pool (live feedback
+	// runs): unstarted jobs scheduled on the departed resource make the
+	// current plan infeasible, which forces adoption of the replan.
+	TriggerDeparture
 )
 
 // String returns the trigger's name.
@@ -58,6 +62,8 @@ func (t Trigger) String() string {
 		return "arrival"
 	case TriggerVariance:
 		return "variance"
+	case TriggerDeparture:
+		return "departure"
 	default:
 		return fmt.Sprintf("Trigger(%d)", int(t))
 	}

@@ -1,0 +1,409 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"aheft/internal/cost"
+	"aheft/internal/feedback"
+	"aheft/internal/history"
+	"aheft/internal/planner"
+	"aheft/internal/wire"
+)
+
+// This file is the daemon side of the paper's Fig. 1 feedback loop: live
+// workflows are planned once and then parked on their shard, where
+// POST /v1/workflows/{id}/report events flow into the tenant's
+// Performance History Repository and drive variance/arrival/departure
+// rescheduling through internal/feedback. Everything that touches a live
+// tracker runs on the shard's worker goroutine; HTTP handlers talk to it
+// through the shard's command channel and wait for the reply.
+
+// shardCmd is one request routed to the owning shard's worker goroutine.
+type shardCmd struct {
+	wf     *workflow
+	report *wire.Report
+	whatif *wire.WhatIfRequest
+	reply  chan cmdResult
+}
+
+// cmdResult is the worker's answer.
+type cmdResult struct {
+	ack    *wire.ReportAck
+	whatif *wire.WhatIfDoc
+	code   int // HTTP status when errMsg is set
+	errMsg string
+}
+
+// startLive plans a live workflow and parks it on the shard for the
+// report loop. The initial plan already mines the tenant's performance
+// history (sharpened by earlier workflows), with the submitted estimate
+// matrix as prior.
+func (sh *shard) startLive(wf *workflow) {
+	m := sh.srv.metrics
+	if err := sh.srv.runCtx.Err(); err != nil {
+		// Force-cancelled drain: fail fast instead of planning a workflow
+		// (potentially tens of ms for the stress DAGs) that cancelLive
+		// would immediately kill — the drain deadline already passed.
+		wf.mu.Lock()
+		wf.state = StateRunning
+		wf.startedAt = time.Now()
+		wf.mu.Unlock()
+		wf.append(m, wire.Event{Kind: "failed", Error: err.Error()})
+		wf.finish(nil, err)
+		m.liveWorkflowDone(true)
+		sh.srv.retire(wf.id)
+		return
+	}
+	tr, err := feedback.New(feedback.Config{
+		Graph:             wf.sub.Graph,
+		Prior:             cost.Exact(wf.sub.Comp),
+		Pool:              wf.sub.Pool,
+		History:           sh.historyFor(wf.tenant),
+		Policy:            wf.pol,
+		Opts:              wf.opts,
+		VarianceThreshold: wf.varThr,
+	})
+	wf.mu.Lock()
+	wf.state = StateRunning
+	wf.startedAt = time.Now()
+	wf.mu.Unlock()
+	wf.append(m, wire.Event{Kind: "started"})
+	if err != nil {
+		wf.append(m, wire.Event{Kind: "failed", Error: err.Error()})
+		wf.finish(nil, err)
+		m.liveWorkflowDone(true)
+		sh.srv.retire(wf.id)
+		return
+	}
+	wf.tracker = tr
+	plan := livePlanDoc(wf, "initial")
+	wf.mu.Lock()
+	wf.plan = plan
+	wf.generation = plan.Generation
+	wf.mu.Unlock()
+	wf.append(m, wire.Event{
+		Kind: "plan", Trigger: "initial",
+		Generation: plan.Generation, Makespan: plan.Makespan,
+	})
+	sh.live[wf.id] = wf
+	m.liveResident.Add(1)
+}
+
+// handleCmd serves one report or what-if on the worker goroutine.
+func (sh *shard) handleCmd(c shardCmd) {
+	wf := c.wf
+	m := sh.srv.metrics
+	if wf.tracker == nil || wf.tracker.Done() || sh.live[wf.id] == nil {
+		if c.report != nil {
+			m.reportsRejected.Add(1)
+		}
+		c.reply <- cmdResult{code: http.StatusConflict, errMsg: "workflow is not accepting reports"}
+		return
+	}
+	switch {
+	case c.report != nil:
+		sh.applyReport(wf, c)
+	case c.whatif != nil:
+		doc, err := wf.tracker.WhatIf(*c.whatif)
+		if err != nil {
+			c.reply <- cmdResult{code: http.StatusBadRequest, errMsg: err.Error()}
+			return
+		}
+		m.whatifs.Add(1)
+		doc.Workflow = wf.id
+		c.reply <- cmdResult{whatif: doc}
+	default:
+		c.reply <- cmdResult{code: http.StatusBadRequest, errMsg: "empty command"}
+	}
+}
+
+// applyReport folds a validated report into the live run: history feed,
+// variance judgement, rescheduling decisions into the event log (with
+// their trigger), plan bump on adoption, completion on the last finish.
+func (sh *shard) applyReport(wf *workflow, c shardCmd) {
+	m := sh.srv.metrics
+	out, err := wf.tracker.Apply(c.report.Events)
+	if err != nil {
+		m.reportsRejected.Add(1)
+		c.reply <- cmdResult{code: http.StatusBadRequest, errMsg: err.Error()}
+		return
+	}
+	m.reports.Add(1)
+	m.reportEvents.Add(uint64(out.Applied))
+	m.decisions.Add(uint64(len(out.Decisions)))
+	for _, d := range out.Decisions {
+		wd := wireDecision(d)
+		wf.append(m, wire.Event{
+			Kind: "decision", Time: d.Clock, Decision: &wd,
+			Trigger: wd.Trigger, Arrived: wd.Arrived,
+		})
+		if !d.Adopted {
+			continue
+		}
+		m.reschedules.Add(1)
+		switch d.Trigger {
+		case planner.TriggerVariance:
+			m.reschedVariance.Add(1)
+		case planner.TriggerArrival:
+			m.reschedArrival.Add(1)
+		case planner.TriggerDeparture:
+			m.reschedDeparture.Add(1)
+		}
+	}
+	ack := &wire.ReportAck{
+		Workflow:    wf.id,
+		Applied:     out.Applied,
+		Decisions:   len(out.Decisions),
+		Rescheduled: out.Rescheduled,
+		Generation:  wf.tracker.Generation(),
+		Done:        out.Done,
+	}
+	wf.mu.Lock()
+	wf.reports++
+	wf.mu.Unlock()
+	if out.Rescheduled {
+		ack.Trigger = out.Trigger.String()
+		plan := livePlanDoc(wf, ack.Trigger)
+		wf.mu.Lock()
+		wf.plan = plan
+		wf.generation = plan.Generation
+		wf.mu.Unlock()
+		ack.Plan = plan
+		wf.append(m, wire.Event{
+			Kind: "plan", Time: wf.tracker.Clock(), Trigger: ack.Trigger,
+			Generation: plan.Generation, Makespan: plan.Makespan,
+		})
+	}
+	if out.Done {
+		ack.Makespan = out.Makespan
+		sh.finishLive(wf)
+	}
+	c.reply <- cmdResult{ack: ack}
+}
+
+// finishLive completes a live run: terminal event, record release,
+// metrics, retention.
+func (sh *shard) finishLive(wf *workflow) {
+	m := sh.srv.metrics
+	tr := wf.tracker
+	delete(sh.live, wf.id)
+	m.liveResident.Add(-1)
+	res := &planner.Result{
+		Policy:          wf.pol.Name(),
+		Makespan:        tr.Makespan(),
+		InitialMakespan: tr.InitialMakespan(),
+		Decisions:       tr.Decisions(),
+	}
+	wf.append(m, wire.Event{Kind: "done", Time: tr.Makespan(), Makespan: tr.Makespan()})
+	wf.finish(res, nil)
+	m.liveWorkflowDone(false)
+	sh.srv.retire(wf.id)
+}
+
+// cancelLive force-fails every resident live run (drain deadline).
+func (sh *shard) cancelLive(err error) {
+	m := sh.srv.metrics
+	if err == nil {
+		err = fmt.Errorf("server shutting down")
+	}
+	for id, wf := range sh.live {
+		delete(sh.live, id)
+		m.liveResident.Add(-1)
+		wf.append(m, wire.Event{Kind: "failed", Error: err.Error()})
+		wf.finish(nil, err)
+		m.liveWorkflowDone(true)
+		sh.srv.retire(id)
+	}
+}
+
+// livePlanDoc snapshots the tracker's current schedule as a wire.Plan.
+// Called on the shard goroutine only.
+func livePlanDoc(wf *workflow, trigger string) *wire.Plan {
+	s := wf.tracker.Plan()
+	as := s.Assignments()
+	sort.Slice(as, func(i, j int) bool { return as[i].Job < as[j].Job })
+	doc := &wire.Plan{
+		Workflow:    wf.id,
+		Generation:  wf.tracker.Generation(),
+		Trigger:     trigger,
+		Makespan:    s.Makespan(),
+		Assignments: make([]wire.Assignment, len(as)),
+	}
+	for i, a := range as {
+		doc.Assignments[i] = wire.Assignment{
+			Job: int(a.Job), Resource: int(a.Resource), Start: a.Start, Finish: a.Finish,
+		}
+	}
+	return doc
+}
+
+// historyFor returns (creating on demand) the tenant's Performance
+// History Repository on this shard, refreshing its LRU position and
+// evicting the coldest tenants beyond Config.MaxTenantHistories — a
+// long-lived multi-tenant daemon's history memory stays bounded; a live
+// workflow holds its repository by reference, so eviction only makes
+// *future* workflows of that tenant start cold.
+func (sh *shard) historyFor(tenant string) *history.Repository {
+	sh.histMu.Lock()
+	defer sh.histMu.Unlock()
+	if sh.hist == nil {
+		sh.hist = make(map[string]*history.Repository)
+	}
+	if r, ok := sh.hist[tenant]; ok {
+		for i, t := range sh.histOrder {
+			if t == tenant {
+				sh.histOrder = append(append(sh.histOrder[:i:i], sh.histOrder[i+1:]...), tenant)
+				break
+			}
+		}
+		return r
+	}
+	r := history.New(0)
+	sh.hist[tenant] = r
+	sh.histOrder = append(sh.histOrder, tenant)
+	if cap := sh.srv.cfg.MaxTenantHistories; cap > 0 {
+		for len(sh.hist) > cap {
+			oldest := sh.histOrder[0]
+			sh.histOrder = sh.histOrder[1:]
+			delete(sh.hist, oldest)
+			sh.srv.metrics.historyEvicted.Add(1)
+		}
+	}
+	return r
+}
+
+// historyTotals sums this shard's tenant repositories for /metrics.
+func (sh *shard) historyTotals() (tenants, cells int) {
+	sh.histMu.Lock()
+	defer sh.histMu.Unlock()
+	for _, r := range sh.hist {
+		cells += r.Len()
+	}
+	return len(sh.hist), cells
+}
+
+// --- HTTP handlers ----------------------------------------------------
+
+// dispatch routes a command to the workflow's shard and waits for the
+// worker's reply, bailing out when the client disconnects or the daemon
+// dies. ok is false when there is nothing left to write.
+func (s *Server) dispatch(r *http.Request, wf *workflow, c shardCmd) (cmdResult, bool) {
+	c.wf = wf
+	c.reply = make(chan cmdResult, 1)
+	unavailable := cmdResult{code: http.StatusServiceUnavailable, errMsg: "server is shutting down"}
+	select {
+	case s.shards[wf.shard].cmds <- c:
+	case <-r.Context().Done():
+		return cmdResult{}, false
+	case <-s.runCtx.Done():
+		return unavailable, true
+	}
+	select {
+	case res := <-c.reply:
+		return res, true
+	case <-r.Context().Done():
+		return cmdResult{}, false
+	case <-s.runCtx.Done():
+		return unavailable, true
+	}
+}
+
+// checkLive resolves a live, non-terminal workflow or writes the error.
+func (s *Server) checkLive(w http.ResponseWriter, r *http.Request) (*workflow, bool) {
+	wf, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown workflow"})
+		return nil, false
+	}
+	if !wf.live {
+		writeJSON(w, http.StatusConflict, errorDoc{Error: "workflow is not in live mode"})
+		return nil, false
+	}
+	wf.mu.Lock()
+	state := wf.state
+	wf.mu.Unlock()
+	if state == StateDone || state == StateFailed {
+		writeJSON(w, http.StatusConflict, errorDoc{Error: "workflow is terminal"})
+		return nil, false
+	}
+	return wf, true
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	wf, ok := s.checkLive(w, r)
+	if !ok {
+		m.reportsRejected.Add(1)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		m.reportsRejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("read body: %v", err)})
+		return
+	}
+	rep, err := wire.DecodeReport(data, 0)
+	if err != nil {
+		m.reportsRejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	res, ok := s.dispatch(r, wf, shardCmd{report: rep})
+	if !ok {
+		return
+	}
+	if res.errMsg != "" {
+		writeJSON(w, res.code, errorDoc{Error: res.errMsg})
+		return
+	}
+	writeJSON(w, http.StatusOK, res.ack)
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.checkLive(w, r)
+	if !ok {
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("read body: %v", err)})
+		return
+	}
+	var q wire.WhatIfRequest
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &q); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("decode what-if: %v", err)})
+			return
+		}
+	}
+	res, ok := s.dispatch(r, wf, shardCmd{whatif: &q})
+	if !ok {
+		return
+	}
+	if res.errMsg != "" {
+		writeJSON(w, res.code, errorDoc{Error: res.errMsg})
+		return
+	}
+	writeJSON(w, http.StatusOK, res.whatif)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	wf, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown workflow"})
+		return
+	}
+	wf.mu.Lock()
+	plan := wf.plan
+	wf.mu.Unlock()
+	if plan == nil {
+		writeJSON(w, http.StatusConflict, errorDoc{Error: "workflow has no live plan (analytic mode, or not yet planned)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}

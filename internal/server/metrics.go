@@ -33,6 +33,17 @@ type Metrics struct {
 	reschedules atomic.Uint64 // adopted reschedules
 	evicted     atomic.Uint64 // terminal records dropped by the retention cap
 
+	// Feedback loop (live workflows).
+	reports          atomic.Uint64 // accepted report batches
+	reportEvents     atomic.Uint64 // run-time events folded into live runs
+	reportsRejected  atomic.Uint64 // 400/409 report requests
+	whatifs          atomic.Uint64 // answered what-if queries
+	reschedVariance  atomic.Uint64 // adopted reschedules by trigger
+	reschedArrival   atomic.Uint64
+	reschedDeparture atomic.Uint64
+	liveResident     atomic.Int64  // live workflows parked on shards
+	historyEvicted   atomic.Uint64 // tenant repositories dropped by the LRU cap
+
 	// Event path.
 	eventsEmitted atomic.Uint64
 	eventsDropped atomic.Uint64 // events lost to a slow SSE subscriber
@@ -77,6 +88,20 @@ func (m *Metrics) workflowDone(failed bool, computeDur time.Duration, decisions,
 	m.inflight.Add(-1)
 	m.decisions.Add(uint64(decisions))
 	m.reschedules.Add(uint64(adoptions))
+}
+
+// liveWorkflowDone closes out a live workflow's gauges. Unlike
+// workflowDone it records no compute-latency sample — a live run's wall
+// time is paced by its reporting client, not by the engine — and no
+// decision counts, which the report path already tallied as they
+// happened.
+func (m *Metrics) liveWorkflowDone(failed bool) {
+	if failed {
+		m.failed.Add(1)
+	} else {
+		m.completed.Add(1)
+	}
+	m.inflight.Add(-1)
 }
 
 // latencyWindow keeps the last cap latency samples (milliseconds) for
@@ -136,6 +161,19 @@ type MetricsDoc struct {
 	Reschedules uint64 `json:"reschedules"`
 	Evicted     uint64 `json:"evicted"`
 
+	// Feedback loop (live workflows).
+	Reports              uint64 `json:"reports"`
+	ReportEvents         uint64 `json:"report_events"`
+	ReportsRejected      uint64 `json:"reports_rejected"`
+	WhatIfQueries        uint64 `json:"whatif_queries"`
+	ReschedulesVariance  uint64 `json:"reschedules_variance"`
+	ReschedulesArrival   uint64 `json:"reschedules_arrival"`
+	ReschedulesDeparture uint64 `json:"reschedules_departure"`
+	LiveResident         int64  `json:"live_resident"`
+	HistoryTenants       int    `json:"history_tenants"`
+	HistoryCells         int    `json:"history_cells"`
+	HistoryEvicted       uint64 `json:"history_evicted"`
+
 	EventsEmitted uint64 `json:"events_emitted"`
 	EventsDropped uint64 `json:"events_dropped"`
 
@@ -155,28 +193,40 @@ type ComputeMs struct {
 }
 
 // snapshot assembles the document; queueDepth supplies the current
-// per-shard queue lengths.
-func (m *Metrics) snapshot(queueDepth []int) MetricsDoc {
+// per-shard queue lengths, historyTenants/historyCells the aggregated
+// tenant-repository gauges.
+func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells int) MetricsDoc {
 	q := m.compute.quantiles(0.50, 0.90, 0.99)
 	return MetricsDoc{
-		UptimeS:         time.Since(m.start).Seconds(),
-		Shards:          len(queueDepth),
-		Submissions:     m.submissions.Load(),
-		Accepted:        m.accepted.Load(),
-		RejectedFull:    m.rejectedFull.Load(),
-		RejectedInvalid: m.rejectedInvalid.Load(),
-		RejectedDrain:   m.rejectedDrain.Load(),
-		AbandonedIntake: m.abandonedIntake.Load(),
-		Completed:       m.completed.Load(),
-		Failed:          m.failed.Load(),
-		Decisions:       m.decisions.Load(),
-		Reschedules:     m.reschedules.Load(),
-		Evicted:         m.evicted.Load(),
-		EventsEmitted:   m.eventsEmitted.Load(),
-		EventsDropped:   m.eventsDropped.Load(),
-		Inflight:        m.inflight.Load(),
-		InflightPeak:    m.inflightPeak.Load(),
-		QueueDepth:      queueDepth,
+		UptimeS:              time.Since(m.start).Seconds(),
+		Shards:               len(queueDepth),
+		Submissions:          m.submissions.Load(),
+		Accepted:             m.accepted.Load(),
+		RejectedFull:         m.rejectedFull.Load(),
+		RejectedInvalid:      m.rejectedInvalid.Load(),
+		RejectedDrain:        m.rejectedDrain.Load(),
+		AbandonedIntake:      m.abandonedIntake.Load(),
+		Completed:            m.completed.Load(),
+		Failed:               m.failed.Load(),
+		Decisions:            m.decisions.Load(),
+		Reschedules:          m.reschedules.Load(),
+		Evicted:              m.evicted.Load(),
+		Reports:              m.reports.Load(),
+		ReportEvents:         m.reportEvents.Load(),
+		ReportsRejected:      m.reportsRejected.Load(),
+		WhatIfQueries:        m.whatifs.Load(),
+		ReschedulesVariance:  m.reschedVariance.Load(),
+		ReschedulesArrival:   m.reschedArrival.Load(),
+		ReschedulesDeparture: m.reschedDeparture.Load(),
+		LiveResident:         m.liveResident.Load(),
+		HistoryTenants:       historyTenants,
+		HistoryCells:         historyCells,
+		HistoryEvicted:       m.historyEvicted.Load(),
+		EventsEmitted:        m.eventsEmitted.Load(),
+		EventsDropped:        m.eventsDropped.Load(),
+		Inflight:             m.inflight.Load(),
+		InflightPeak:         m.inflightPeak.Load(),
+		QueueDepth:           queueDepth,
 		ComputeMs: ComputeMs{
 			Count: m.compute.count(),
 			P50:   q[0], P90: q[1], P99: q[2],

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"aheft/internal/feedback"
 	"aheft/internal/policy"
 	"aheft/internal/wire"
 )
@@ -55,6 +56,18 @@ type Config struct {
 	// MaxConcurrentIntake × MaxBodyBytes regardless of client
 	// concurrency (excess requests wait). 0 means 2×Shards, minimum 4.
 	MaxConcurrentIntake int
+	// VarianceThreshold is the default significant-variance gate for live
+	// workflows whose submission names none: a measured runtime deviating
+	// from the tenant's history EWMA by more than this relative amount
+	// triggers a rescheduling evaluation. 0 means
+	// feedback.DefaultVarianceThreshold.
+	VarianceThreshold float64
+	// MaxTenantHistories caps, per shard, how many tenants' Performance
+	// History Repositories are retained; beyond the cap the
+	// least-recently-used tenant's history is evicted (its future
+	// workflows start with cold estimates). 0 means 1024; negative
+	// disables eviction.
+	MaxTenantHistories int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +91,12 @@ func (c Config) withDefaults() Config {
 		if c.MaxConcurrentIntake < 4 {
 			c.MaxConcurrentIntake = 4
 		}
+	}
+	if c.VarianceThreshold <= 0 {
+		c.VarianceThreshold = feedback.DefaultVarianceThreshold
+	}
+	if c.MaxTenantHistories == 0 {
+		c.MaxTenantHistories = 1024
 	}
 	return c
 }
@@ -126,7 +145,13 @@ func New(cfg Config) *Server {
 		wfs:       make(map[string]*workflow),
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh := &shard{id: i, srv: s, queue: make(chan *workflow, cfg.QueueDepth)}
+		sh := &shard{
+			id:    i,
+			srv:   s,
+			queue: make(chan *workflow, cfg.QueueDepth),
+			cmds:  make(chan shardCmd, 16),
+			live:  make(map[string]*workflow),
+		}
 		s.shards = append(s.shards, sh)
 		s.workers.Add(1)
 		go sh.run()
@@ -135,6 +160,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/workflows", s.handleSubmit)
 	mux.HandleFunc("GET /v1/workflows/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/workflows/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/workflows/{id}/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/workflows/{id}/report", s.handleReport)
+	mux.HandleFunc("POST /v1/workflows/{id}/whatif", s.handleWhatIf)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -148,13 +176,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // MetricsSnapshot assembles the current /metrics document, including the
-// live per-shard queue depths.
+// live per-shard queue depths and the aggregated tenant-history gauges.
 func (s *Server) MetricsSnapshot() MetricsDoc {
 	depth := make([]int, len(s.shards))
+	tenants, cells := 0, 0
 	for i, sh := range s.shards {
 		depth[i] = len(sh.queue)
+		t, c := sh.historyTotals()
+		tenants += t
+		cells += c
 	}
-	return s.metrics.snapshot(depth)
+	return s.metrics.snapshot(depth, tenants, cells)
 }
 
 // Shutdown drains the daemon: it stops intake (further submissions get
@@ -262,12 +294,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
 	}
+	live := sub.Mode == wire.ModeLive
+	if live && policy.IsJustInTime(pol) {
+		// A just-in-time Plan is a dispatch simulation, not an enactable
+		// schedule (see policy.JustInTime); a live client cannot execute
+		// it.
+		m.rejectedInvalid.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorDoc{
+			Error: fmt.Sprintf("policy %q is just-in-time and cannot drive a live workflow", polName)})
+		return
+	}
+	tenant := sub.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	varThr := sub.Options.VarianceThreshold
+	if varThr <= 0 {
+		varThr = s.cfg.VarianceThreshold
+	}
 
 	wf := &workflow{
 		id:        id,
 		name:      sub.Name,
 		shard:     shardID,
 		sub:       sub,
+		live:      live,
+		tenant:    tenant,
+		varThr:    varThr,
 		jobs:      sub.Graph.Len(),
 		resources: sub.Pool.Size(),
 		pol:       pol,

@@ -2,10 +2,13 @@ package server
 
 import (
 	"hash/fnv"
+	"math"
 	"sync"
 	"time"
 
 	"aheft/internal/cost"
+	"aheft/internal/feedback"
+	"aheft/internal/history"
 	"aheft/internal/planner"
 	"aheft/internal/policy"
 	"aheft/internal/wire"
@@ -30,6 +33,16 @@ type workflow struct {
 	pol   policy.Policy
 	opts  policy.Options
 
+	// Live-mode identity (immutable after submit).
+	live   bool
+	tenant string
+	varThr float64
+
+	// tracker is the live run's feedback state machine. It is owned by
+	// the shard's worker goroutine exclusively (kernel discipline); HTTP
+	// handlers reach it only through the shard's command channel.
+	tracker *feedback.Tracker
+
 	// Shape captured at submission so status never needs the (released)
 	// submission.
 	jobs      int
@@ -45,6 +58,11 @@ type workflow struct {
 	subs      map[chan wire.Event]struct{}
 	res       *planner.Result
 	err       error
+	// Live-plan snapshot for GET …/plan (written by the shard under mu,
+	// read by HTTP handlers).
+	plan       *wire.Plan
+	generation int
+	reports    int
 }
 
 // append adds one event to the log (assigning its dense Seq) and fans it
@@ -137,6 +155,12 @@ func (wf *workflow) status() wire.Status {
 		Resources: wf.resources,
 		Events:    len(wf.events),
 	}
+	if wf.live {
+		st.Mode = wire.ModeLive
+		st.Tenant = wf.tenant
+		st.Generation = wf.generation
+		st.Reports = wf.reports
+	}
 	switch {
 	case !wf.startedAt.IsZero():
 		st.QueueMs = wf.startedAt.Sub(wf.submittedAt).Seconds() * 1e3
@@ -163,7 +187,7 @@ func (wf *workflow) status() wire.Status {
 }
 
 func wireDecision(d planner.Decision) wire.Decision {
-	return wire.Decision{
+	wd := wire.Decision{
 		Clock:        d.Clock,
 		PoolSize:     d.PoolSize,
 		OldMakespan:  d.OldMakespan,
@@ -173,6 +197,12 @@ func wireDecision(d planner.Decision) wire.Decision {
 		Trigger:      d.Trigger.String(),
 		Arrived:      d.ArrivedCount,
 	}
+	if math.IsInf(wd.OldMakespan, 1) {
+		// A departure made the old plan infeasible; JSON cannot carry
+		// +Inf, so the wire form uses the -1 sentinel.
+		wd.OldMakespan = -1
+	}
+	return wd
 }
 
 // shard is one session worker: a bounded intake queue drained in batches
@@ -182,32 +212,78 @@ func wireDecision(d planner.Decision) wire.Decision {
 // allocated per run by planner.RunPolicyObserved) is never shared across
 // goroutines, and workflows hashed to the same shard execute in
 // submission order.
+//
+// Live-mode workflows stay resident on the shard after their initial
+// plan: run-time reports and what-if queries reach them through cmds, so
+// every touch of a live tracker (and its kernel) happens on this one
+// goroutine too. The shard also owns its tenants' Performance History
+// Repositories — the repositories themselves are thread-safe (metrics
+// readers aggregate them concurrently), but their lifecycle (creation,
+// LRU eviction) is the shard's.
 type shard struct {
 	id    int
 	srv   *Server
 	queue chan *workflow
+	cmds  chan shardCmd
+	live  map[string]*workflow // live workflows resident on this shard
+
+	histMu    sync.Mutex
+	hist      map[string]*history.Repository // per tenant
+	histOrder []string                       // LRU order, oldest first
 }
 
 // run is the worker loop. It exits when the queue is closed (drain) after
-// finishing everything already queued. Intake is deliberately
-// one-at-a-time: execution is sequential per shard either way, and
-// pre-draining a batch into a local slice would only free queue slots
-// early — letting a shard hold more accepted-but-unstarted workflows
-// than Config.QueueDepth promises before 429ing.
+// finishing everything already queued *and* every resident live workflow
+// has finished — live runs drain at their clients' pace, so a shard keeps
+// serving reports after intake closes until the drain deadline
+// force-cancels (runCtx). Intake is deliberately one-at-a-time: execution
+// is sequential per shard either way, and pre-draining a batch into a
+// local slice would only free queue slots early — letting a shard hold
+// more accepted-but-unstarted workflows than Config.QueueDepth promises
+// before 429ing.
 func (sh *shard) run() {
 	defer sh.srv.workers.Done()
-	for wf := range sh.queue {
-		sh.execute(wf)
+	queue := sh.queue
+	for {
+		if queue == nil && len(sh.live) == 0 {
+			return
+		}
+		select {
+		case wf, ok := <-queue:
+			if !ok {
+				queue = nil
+				continue
+			}
+			sh.execute(wf)
+		case c := <-sh.cmds:
+			sh.handleCmd(c)
+		case <-sh.srv.runCtx.Done():
+			// Force-cancel: fail-fast the rest of the (already closed)
+			// queue — a queued live workflow parks itself and is swept up
+			// by the cancel below — then fail the resident live runs.
+			if queue != nil {
+				for wf := range queue {
+					sh.execute(wf)
+				}
+			}
+			sh.cancelLive(sh.srv.runCtx.Err())
+			return
+		}
 	}
 }
 
-// execute runs one workflow to completion through the analytic planner
-// engine, streaming every rescheduling decision into the workflow's
-// event log as it is made.
+// execute runs one workflow: live submissions are planned and parked for
+// the report loop, analytic submissions run to completion through the
+// analytic planner engine, streaming every rescheduling decision into the
+// workflow's event log as it is made.
 func (sh *shard) execute(wf *workflow) {
 	m := sh.srv.metrics
 	if sh.srv.execHook != nil {
 		sh.srv.execHook(wf)
+	}
+	if wf.live {
+		sh.startLive(wf)
+		return
 	}
 	wf.mu.Lock()
 	wf.state = StateRunning
@@ -227,7 +303,10 @@ func (sh *shard) execute(wf *workflow) {
 				adoptions++
 			}
 			wd := wireDecision(d)
-			wf.append(m, wire.Event{Kind: "decision", Time: d.Clock, Decision: &wd})
+			wf.append(m, wire.Event{
+				Kind: "decision", Time: d.Clock, Decision: &wd,
+				Trigger: wd.Trigger, Arrived: wd.Arrived,
+			})
 		})
 
 	// The terminal event goes into the log (and to live subscribers)

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{Events: []ReportEvent{
+		{Kind: ReportJobStarted, Time: 0, Job: 0, Resource: 2},
+		{Kind: ReportJobFinished, Time: 14, Job: 0, Resource: 2, Duration: 14},
+		{Kind: ReportResourceJoin, Time: 15, Resource: 3},
+		{Kind: ReportVariance, Time: 20, Job: 1, Duration: 33},
+		{Kind: ReportResourceLeave, Time: 25, Resource: 1},
+	}}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	data, err := EncodeReport(sampleReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.V != Version || len(got.Events) != 5 {
+		t.Fatalf("envelope lost: %+v", got)
+	}
+	if got.Events[1].Duration != 14 || got.Events[2].Resource != 3 {
+		t.Fatalf("event fields lost: %+v", got.Events)
+	}
+	again, err := EncodeReport(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encoding not canonical:\n%s\nvs\n%s", data, again)
+	}
+}
+
+func TestReportDecodeRejects(t *testing.T) {
+	valid, err := EncodeReport(sampleReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(valid, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	event := func(m map[string]any, i int) map[string]any {
+		return m["events"].([]any)[i].(map[string]any)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		max  int
+		want string
+	}{
+		{"garbage", []byte("{"), 0, "decode"},
+		{"future version", mutate(func(m map[string]any) { m["v"] = Version + 1 }), 0, "unsupported report version"},
+		{"no events", mutate(func(m map[string]any) { m["events"] = []any{} }), 0, "no events"},
+		{"too many events", valid, 2, "exceeds limit"},
+		{"unknown kind", mutate(func(m map[string]any) { event(m, 0)["kind"] = "job-exploded" }), 0, "unknown kind"},
+		{"negative time", mutate(func(m map[string]any) { event(m, 0)["time"] = -1.0 }), 0, "invalid time"},
+		{"non-monotonic", mutate(func(m map[string]any) { event(m, 1)["time"] = 0.0; event(m, 0)["time"] = 5.0 }), 0, "non-monotonic"},
+		{"negative job", mutate(func(m map[string]any) { event(m, 0)["job"] = -1 }), 0, "negative job"},
+		{"negative resource", mutate(func(m map[string]any) { event(m, 0)["resource"] = -2 }), 0, "negative resource"},
+		{"negative duration", mutate(func(m map[string]any) { event(m, 1)["duration"] = -3.0 }), 0, "invalid duration"},
+		{"started with duration", mutate(func(m map[string]any) { event(m, 0)["duration"] = 7.0 }), 0, "carries a duration"},
+		{"variance with resource", mutate(func(m map[string]any) { event(m, 3)["resource"] = 2 }), 0, "carries a resource"},
+		{"join with job", mutate(func(m map[string]any) { event(m, 2)["job"] = 4 }), 0, "carries a job"},
+		{"leave with duration", mutate(func(m map[string]any) { event(m, 4)["duration"] = 1.0 }), 0, "carries a duration"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeReport(tc.data, tc.max)
+			if err == nil {
+				t.Fatalf("decode accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzReportRoundTrip holds the report decoder to the same contract as
+// the submission decoder: arbitrary bytes never panic, and any accepted
+// document re-encodes canonically.
+func FuzzReportRoundTrip(f *testing.F) {
+	if seed, err := EncodeReport(sampleReport()); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"v":1,"events":[{"kind":"job-started","time":0}]}`))
+	f.Add([]byte(`{"v":1,"events":[{"kind":"job-finished","time":3,"job":1,"duration":3}]}`))
+	f.Add([]byte(`{"v":2,"events":[]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeReport(data, 1000)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		enc, err := EncodeReport(r)
+		if err != nil {
+			t.Fatalf("accepted report failed to re-encode: %v", err)
+		}
+		r2, err := DecodeReport(enc, 1000)
+		if err != nil {
+			t.Fatalf("re-encoded report rejected: %v", err)
+		}
+		enc2, err := EncodeReport(r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip not canonical:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

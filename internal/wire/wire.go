@@ -65,6 +65,11 @@ type Options struct {
 	RestartRunning bool `json:"restart_running,omitempty"`
 	// Eps is the minimum makespan improvement to adopt a reschedule.
 	Eps float64 `json:"eps,omitempty"`
+	// VarianceThreshold, for live workflows, is the relative deviation of
+	// a measured runtime from the history EWMA beyond which the daemon
+	// evaluates a reschedule (the paper's "significant variance" event).
+	// Zero means the daemon's configured default.
+	VarianceThreshold float64 `json:"variance_threshold,omitempty"`
 }
 
 func (o Options) validate() error {
@@ -74,8 +79,27 @@ func (o Options) validate() error {
 	if math.IsNaN(o.Eps) || math.IsInf(o.Eps, 0) || o.Eps < 0 {
 		return fmt.Errorf("wire: invalid eps %g", o.Eps)
 	}
+	if math.IsNaN(o.VarianceThreshold) || math.IsInf(o.VarianceThreshold, 0) || o.VarianceThreshold < 0 {
+		return fmt.Errorf("wire: invalid variance_threshold %g", o.VarianceThreshold)
+	}
 	return nil
 }
+
+// Submission modes.
+const (
+	// ModeAnalytic (also the empty string) asks the daemon to run the
+	// workflow to completion through the analytic engine: the pool's
+	// arrival trace is the only event source and the submission is the
+	// whole conversation.
+	ModeAnalytic = "analytic"
+	// ModeLive asks the daemon to plan only: the client enacts the
+	// returned schedule and reports run-time events back through
+	// POST /v1/workflows/{id}/report, closing the paper's Fig. 1 loop.
+	ModeLive = "live"
+)
+
+// MaxTenantLen bounds the tenant label length.
+const MaxTenantLen = 128
 
 // Submission is the envelope of one POST /v1/workflows request.
 type Submission struct {
@@ -84,6 +108,12 @@ type Submission struct {
 	// Name optionally labels the workflow; the daemon-assigned ID is
 	// authoritative.
 	Name string `json:"name,omitempty"`
+	// Mode selects how the daemon runs the workflow (ModeAnalytic when
+	// empty, or ModeLive for the report-driven adaptive loop).
+	Mode string `json:"mode,omitempty"`
+	// Tenant scopes the performance history this workflow reads and
+	// feeds; empty means the daemon's default tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Policy is the scheduling-policy registry name; empty means the
 	// daemon default ("aheft").
 	Policy string `json:"policy,omitempty"`
@@ -105,6 +135,17 @@ func (s *Submission) Validate(lim Limits) error {
 	lim = lim.withDefaults()
 	if s.V < 0 || s.V > Version {
 		return fmt.Errorf("wire: unsupported envelope version %d (max %d)", s.V, Version)
+	}
+	if s.Mode != "" && s.Mode != ModeAnalytic && s.Mode != ModeLive {
+		return fmt.Errorf("wire: unknown mode %q", s.Mode)
+	}
+	if len(s.Tenant) > MaxTenantLen {
+		return fmt.Errorf("wire: tenant label exceeds %d bytes", MaxTenantLen)
+	}
+	for _, c := range s.Tenant {
+		if c < 0x20 || c == 0x7f {
+			return fmt.Errorf("wire: tenant label contains control character %q", c)
+		}
 	}
 	if err := s.Options.validate(); err != nil {
 		return err
@@ -168,8 +209,11 @@ func DecodeSubmission(data []byte, lim Limits) (*Submission, error) {
 
 // Decision is the wire form of one rescheduling evaluation.
 type Decision struct {
-	Clock        float64 `json:"clock"`
-	PoolSize     int     `json:"pool_size"`
+	Clock    float64 `json:"clock"`
+	PoolSize int     `json:"pool_size"`
+	// OldMakespan is the current plan's projected completion at the
+	// evaluation; -1 means the plan had become infeasible (a resource
+	// departure orphaned pending jobs), which forces adoption.
 	OldMakespan  float64 `json:"old_makespan"`
 	NewMakespan  float64 `json:"new_makespan"`
 	Adopted      bool    `json:"adopted"`
@@ -183,19 +227,33 @@ type Decision struct {
 // workflow, so a consumer can detect any gap.
 type Event struct {
 	Seq      int       `json:"seq"`
-	Kind     string    `json:"kind"` // submitted | started | decision | done | failed
+	Kind     string    `json:"kind"` // submitted | started | plan | decision | done | failed
 	Workflow string    `json:"workflow"`
 	Time     float64   `json:"time,omitempty"` // simulated clock where meaningful
 	Decision *Decision `json:"decision,omitempty"`
-	Makespan float64   `json:"makespan,omitempty"`
-	Error    string    `json:"error,omitempty"`
+	// Trigger and Arrived lift the decision's cause into the envelope so
+	// stream consumers can filter without unpacking the payload; on
+	// "plan" events Trigger names what produced the plan.
+	Trigger    string  `json:"trigger,omitempty"`
+	Arrived    int     `json:"arrived,omitempty"`
+	Generation int     `json:"generation,omitempty"` // plan generation (live workflows)
+	Makespan   float64 `json:"makespan,omitempty"`
+	Error      string  `json:"error,omitempty"`
 }
 
 // Status is the GET /v1/workflows/{id} response.
 type Status struct {
-	ID        string  `json:"id"`
-	Name      string  `json:"name,omitempty"`
-	State     string  `json:"state"` // queued | running | done | failed
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State string `json:"state"` // queued | running | done | failed
+	// Mode is the submission mode ("analytic" or "live").
+	Mode string `json:"mode,omitempty"`
+	// Tenant is the performance-history scope of a live workflow.
+	Tenant string `json:"tenant,omitempty"`
+	// Generation is the live plan generation (0 for analytic workflows).
+	Generation int `json:"generation,omitempty"`
+	// Reports counts accepted report batches (live workflows).
+	Reports   int     `json:"reports,omitempty"`
 	Policy    string  `json:"policy"`
 	Shard     int     `json:"shard"`
 	Jobs      int     `json:"jobs"`
