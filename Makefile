@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check check bench bench-server bench-all clean
+.PHONY: all build test race vet fmt fmt-check check lint fuzz bench bench-server bench-all clean
 
 all: check
 
@@ -26,6 +26,24 @@ fmt-check:
 
 check: fmt-check vet build race
 
+# lint mirrors the CI lint job: gofmt, vet, and staticcheck (installed on
+# demand; skipped with a note when the module proxy is unreachable).
+lint: fmt-check vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	elif $(GO) install honnef.co/go/tools/cmd/staticcheck@2025.1 2>/dev/null; then \
+		"$$($(GO) env GOPATH)/bin/staticcheck" ./...; \
+	else echo "staticcheck unavailable (offline?); skipped"; fi
+
+# fuzz runs each fuzz target for FUZZTIME (CI runs 5m per target
+# nightly). The committed seed corpora under */testdata/fuzz/ replay as
+# plain tests in every `go test` run, so regressions reproduce
+# deterministically.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzSerializeRoundTrip' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz 'FuzzReportRoundTrip' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz 'FuzzKernelReschedule' -fuzztime $(FUZZTIME) ./internal/kernel
+
 # bench runs the scheduling-kernel benches (placement + reschedule hot
 # paths on layered 1k–20k-job stress DAGs, plus the end-to-end adaptive
 # run) and snapshots ns/op, B/op and allocs/op into BENCH_kernel.json.
@@ -40,14 +58,16 @@ bench:
 
 # bench-server runs the daemon benches — end-to-end workflows/sec
 # through the aheftd server core (wire ingestion, shard routing, engine,
-# SSE completion) plus the feedback-loop ingest benches (report batches
-# into the per-tenant history, and forced variance reschedules) — and
-# snapshots them into BENCH_SERVER_OUT (default BENCH_server.json, the
-# committed reference). CI records a fresh snapshot and prints the ratio
-# table with cmd/benchcmp.
+# SSE completion), the feedback-loop ingest benches (report batches into
+# the per-tenant history, and forced variance reschedules), and the
+# shared-grid co-scheduling rounds (2-tenant contention-aware planning +
+# merged enactment vs the isolated baseline) — and snapshots them into
+# BENCH_SERVER_OUT (default BENCH_server.json, the committed reference).
+# CI records a fresh snapshot and prints the ratio table with
+# cmd/benchcmp.
 BENCH_SERVER_OUT ?= BENCH_server.json
 bench-server:
-	$(GO) test -run '^$$' -bench 'BenchmarkServer|BenchmarkFeedback' -benchmem . > bench-server.txt || { cat bench-server.txt; rm -f bench-server.txt; exit 1; }
+	$(GO) test -run '^$$' -bench 'BenchmarkServer|BenchmarkFeedback|BenchmarkSharedGrid' -benchmem . > bench-server.txt || { cat bench-server.txt; rm -f bench-server.txt; exit 1; }
 	cat bench-server.txt
 	$(GO) run ./cmd/benchjson < bench-server.txt > $(BENCH_SERVER_OUT)
 	@rm -f bench-server.txt

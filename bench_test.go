@@ -25,6 +25,7 @@ import (
 
 	"aheft"
 	"aheft/internal/core"
+	"aheft/internal/drive"
 	"aheft/internal/experiment"
 	"aheft/internal/heft"
 	"aheft/internal/kernel"
@@ -580,6 +581,57 @@ func BenchmarkAdaptiveRun(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSharedGridContention measures one full shared-grid
+// co-scheduling round through the daemon (part of `make bench-server`):
+// a 2-tenant BLAST/WIEN2K mix planned with mutual reservation
+// visibility, enacted together on one simulated grid (a resource runs
+// one job at a time across tenants, 20% runtime noise, 30% arrival
+// churn) with every run-time event reported and cross-workflow
+// contention reschedules adopted mid-flight — plus the
+// isolated-planning baseline enacted on the identical job stream. One
+// op is one complete round; the grid is registered once and reused, and
+// every round must drain its reservations to zero.
+func BenchmarkSharedGridContention(b *testing.B) {
+	srv := server.New(server.Config{Shards: 2, QueueDepth: 4096})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	gp := workload.GridParams{InitialResources: 4, ChangeInterval: 400, ChangePct: 0.25, MaxEvents: 2}
+	r := rng.New(0x5a12ed)
+	bl, err := workload.BlastScenario(workload.AppParams{Parallelism: 12, CCR: 1, Beta: 0.5}, gp, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wn, err := workload.Wien2kScenario(workload.AppParams{Parallelism: 12, CCR: 1, Beta: 0.5}, gp, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := []drive.Tenant{
+		{Name: "blast", Scenario: bl, Policy: "aheft", Options: wire.Options{VarianceThreshold: 0.2}},
+		{Name: "wien2k", Scenario: wn, Policy: "aheft", Options: wire.Options{VarianceThreshold: 0.2}},
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := drive.RunShared(ctx, drive.SharedConfig{
+			BaseURL: ts.URL, Client: ts.Client(), Grid: "bench",
+			Pool: bl.Pool, Noise: 0.2, Churn: 0.3, Seed: uint64(i)*97 + 3,
+		}, tenants)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.FinalReservations != 0 {
+			b.Fatalf("round %d leaked %d reservations", i, out.FinalReservations)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 }
 
 // BenchmarkWorkloadGeneration times scenario construction (DAG + costs +

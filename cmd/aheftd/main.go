@@ -36,6 +36,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max time to drain queued workflows on shutdown")
 	varThr := flag.Float64("variance-threshold", 0, "default significant-variance gate for live workflows (0 = built-in 0.2)")
 	maxTenants := flag.Int("max-tenant-histories", 0, "per-shard cap on retained tenant performance histories (0 = 1024, negative = unbounded)")
+	maxGrids := flag.Int("max-grids", 0, "cap on registered shared grids (0 = 256, negative = unbounded)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -45,6 +46,7 @@ func main() {
 		DefaultPolicy:      *defaultPolicy,
 		VarianceThreshold:  *varThr,
 		MaxTenantHistories: *maxTenants,
+		MaxSharedGrids:     *maxGrids,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -71,7 +71,28 @@ func main() {
 	varThr := flag.Float64("variance-threshold", 0.2, "-drive: daemon-side significant-variance gate")
 	requireVarResched := flag.Int("require-variance-reschedules", 0, "-drive: fail unless every mix class saw at least this many variance-triggered reschedules")
 	requireBeatStatic := flag.Bool("require-beat-static", false, "-drive: fail unless every class's mean adaptive makespan beats the never-reschedule baseline")
+	sharedGrid := flag.Bool("shared-grid", false, "shared-grid closed-loop mode: rounds of a two-tenant BLAST/WIEN2K mix co-scheduled on one named grid, measured against the isolated-planning baseline")
+	requireContention := flag.Int("require-contention-reschedules", 0, "-shared-grid: fail unless every tenant class saw at least this many cross-workflow (contention) reschedules")
+	requireBeatOblivious := flag.Bool("require-beat-oblivious", false, "-shared-grid: fail unless every class's mean contention-aware makespan beats the isolated-planning baseline")
 	flag.Parse()
+
+	if *sharedGrid {
+		g := &generator{
+			client: &http.Client{Timeout: 2 * time.Minute},
+			base:   strings.TrimRight(*addr, "/"),
+		}
+		if err := g.waitHealthy(10 * time.Second); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		sharedMain(g, sharedParams{
+			duration: *duration, parallelism: *parallelism,
+			noise: *noise, churn: *churn, varThr: *varThr,
+			seed: *seed, policy: *policy, out: *out,
+			requireBeat:       *requireBeatOblivious,
+			requireContention: *requireContention,
+		})
+		return
+	}
 
 	classes, err := buildClasses(*mix, *jobs, *layeredJobs, *parallelism, *variants, *seed, *policy, *driveMode)
 	if err != nil {

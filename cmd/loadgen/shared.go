@@ -1,0 +1,192 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"aheft/internal/drive"
+	"aheft/internal/rng"
+	"aheft/internal/server"
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+// sharedParams carries the -shared-grid flags.
+type sharedParams struct {
+	duration          time.Duration
+	parallelism       int
+	noise             float64
+	churn             float64
+	varThr            float64
+	seed              uint64
+	policy            string
+	out               string
+	requireBeat       bool
+	requireContention int
+}
+
+// SharedClassReport aggregates one tenant class across rounds.
+type SharedClassReport struct {
+	Name                  string  `json:"name"`
+	Completed             int     `json:"completed"`
+	Reschedules           int     `json:"reschedules"`
+	ContentionReschedules int     `json:"contention_reschedules"`
+	VarianceReschedules   int     `json:"variance_reschedules"`
+	ArrivalReschedules    int     `json:"arrival_reschedules"`
+	AwareMeanMakespan     float64 `json:"aware_mean_makespan"`
+	ObliviousMeanMakespan float64 `json:"oblivious_mean_makespan"`
+	// MeanDeltaPct is 100·(oblivious−aware)/oblivious over the class
+	// means: what contention-aware planning bought, in makespan percent.
+	MeanDeltaPct float64 `json:"mean_delta_pct"`
+}
+
+// SharedReport is the -shared-grid run summary written to -out.
+type SharedReport struct {
+	DurationS     float64             `json:"duration_s"`
+	Rounds        int                 `json:"rounds"`
+	Noise         float64             `json:"noise"`
+	Churn         float64             `json:"churn"`
+	LeakedRounds  int                 `json:"leaked_rounds"`
+	Classes       []SharedClassReport `json:"classes"`
+	ServerMetrics server.MetricsDoc   `json:"server_metrics"`
+}
+
+// sharedMain is the -shared-grid entry point: rounds of a two-tenant
+// BLAST/WIEN2K mix co-scheduled on one named grid per round, each round
+// measured against the isolated-planning baseline on the identical job
+// stream (drive.RunShared).
+func sharedMain(g *generator, p sharedParams) {
+	gp := workload.GridParams{InitialResources: 4, ChangeInterval: 400, ChangePct: 0.25, MaxEvents: 2}
+	r := rng.New(p.seed ^ 0x56a12ed611d)
+	agg := map[string]*SharedClassReport{
+		"blast":  {Name: "blast"},
+		"wien2k": {Name: "wien2k"},
+	}
+	rounds, leaked := 0, 0
+	start := time.Now()
+	for time.Since(start) < p.duration {
+		bl, err := workload.BlastScenario(workload.AppParams{Parallelism: p.parallelism, CCR: 1, Beta: 0.5}, gp, r)
+		if err != nil {
+			log.Fatalf("loadgen: shared: %v", err)
+		}
+		wn, err := workload.Wien2kScenario(workload.AppParams{Parallelism: p.parallelism, CCR: 1, Beta: 0.5}, gp, r)
+		if err != nil {
+			log.Fatalf("loadgen: shared: %v", err)
+		}
+		tenants := []drive.Tenant{
+			{Name: "blast", Scenario: bl, Policy: p.policy, Options: wire.Options{VarianceThreshold: p.varThr}},
+			{Name: "wien2k", Scenario: wn, Policy: p.policy, Options: wire.Options{VarianceThreshold: p.varThr}},
+		}
+		// Alternate submission order: the first tenant plans on an empty
+		// grid and the second around its reservations, so a fixed order
+		// would bill all contention to one class.
+		if rounds%2 == 1 {
+			tenants[0], tenants[1] = tenants[1], tenants[0]
+		}
+		// One grid for the whole run: the pool structure is identical
+		// across rounds (costs live in the per-tenant tables, not the
+		// pool) and every round drains its reservations to zero before
+		// the next begins, so reuse also exercises the
+		// register-once/attach-many path.
+		out, err := drive.RunShared(context.Background(), drive.SharedConfig{
+			BaseURL: g.base,
+			Client:  g.client,
+			Grid:    fmt.Sprintf("shared-%d", p.seed),
+			Pool:    bl.Pool,
+			Noise:   p.noise,
+			Churn:   p.churn,
+			Seed:    p.seed*1_000_003 + uint64(rounds),
+		}, tenants)
+		if err != nil {
+			log.Fatalf("loadgen: shared round %d: %v", rounds, err)
+		}
+		if out.FinalReservations != 0 {
+			leaked++
+			log.Printf("loadgen: shared round %d leaked %d reservations", rounds, out.FinalReservations)
+		}
+		for _, to := range out.Tenants {
+			c := agg[to.Name]
+			c.Completed++
+			c.Reschedules += to.Reschedules
+			c.ContentionReschedules += to.ContentionReschedules
+			c.VarianceReschedules += to.VarianceReschedules
+			c.ArrivalReschedules += to.ArrivalReschedules
+			c.AwareMeanMakespan += to.AdaptiveMakespan
+			c.ObliviousMeanMakespan += to.ObliviousMakespan
+		}
+		rounds++
+	}
+	if rounds == 0 {
+		log.Fatal("loadgen: shared: no rounds completed within -duration")
+	}
+
+	var metrics server.MetricsDoc
+	if err := g.getJSON("/metrics", &metrics); err != nil {
+		log.Fatalf("loadgen: fetch metrics: %v", err)
+	}
+	rep := SharedReport{
+		DurationS:     time.Since(start).Seconds(),
+		Rounds:        rounds,
+		Noise:         p.noise,
+		Churn:         p.churn,
+		LeakedRounds:  leaked,
+		ServerMetrics: metrics,
+	}
+	for _, name := range []string{"blast", "wien2k"} {
+		c := agg[name]
+		if c.Completed > 0 {
+			c.AwareMeanMakespan /= float64(c.Completed)
+			c.ObliviousMeanMakespan /= float64(c.Completed)
+			if c.ObliviousMeanMakespan > 0 {
+				c.MeanDeltaPct = 100 * (c.ObliviousMeanMakespan - c.AwareMeanMakespan) / c.ObliviousMeanMakespan
+			}
+		}
+		rep.Classes = append(rep.Classes, *c)
+	}
+
+	fmt.Printf("loadgen: shared: %d rounds in %.1fs (noise %.0f%%, churn %.0f%%)\n",
+		rep.Rounds, rep.DurationS, 100*p.noise, 100*p.churn)
+	for _, c := range rep.Classes {
+		fmt.Printf("loadgen: shared: %-8s completed=%d aware=%.1f oblivious=%.1f delta=%+.1f%% reschedules=%d (contention=%d variance=%d arrival=%d)\n",
+			c.Name, c.Completed, c.AwareMeanMakespan, c.ObliviousMeanMakespan, c.MeanDeltaPct,
+			c.Reschedules, c.ContentionReschedules, c.VarianceReschedules, c.ArrivalReschedules)
+	}
+	fmt.Printf("loadgen: shared: server: grids=%d reservations=%d reschedules(contention=%d variance=%d arrival=%d) dropped=%d\n",
+		metrics.SharedGrids, metrics.Reservations,
+		metrics.ReschedulesContention, metrics.ReschedulesVariance, metrics.ReschedulesArrival,
+		metrics.EventsDropped)
+
+	if p.out != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(p.out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen: write report: %v", err)
+		}
+		log.Printf("loadgen: wrote %s", p.out)
+	}
+
+	switch {
+	case leaked > 0:
+		log.Fatalf("loadgen: shared: %d rounds leaked reservations", leaked)
+	case metrics.Reservations != 0:
+		log.Fatalf("loadgen: shared: daemon still holds %d reservations after all rounds", metrics.Reservations)
+	case metrics.EventsDropped > 0:
+		log.Fatalf("loadgen: daemon dropped %d events", metrics.EventsDropped)
+	}
+	for _, c := range rep.Classes {
+		if c.Completed == 0 {
+			continue
+		}
+		if p.requireContention > 0 && c.ContentionReschedules < p.requireContention {
+			log.Fatalf("loadgen: class %s saw %d cross-workflow (contention) reschedules, require %d",
+				c.Name, c.ContentionReschedules, p.requireContention)
+		}
+		if p.requireBeat && c.AwareMeanMakespan > c.ObliviousMeanMakespan {
+			log.Fatalf("loadgen: class %s contention-aware mean %.1f worse than oblivious %.1f",
+				c.Name, c.AwareMeanMakespan, c.ObliviousMeanMakespan)
+		}
+	}
+}

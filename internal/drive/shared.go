@@ -1,0 +1,533 @@
+package drive
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/executor"
+	"aheft/internal/grid"
+	"aheft/internal/kernel"
+	"aheft/internal/policy"
+	"aheft/internal/rng"
+	"aheft/internal/schedule"
+	"aheft/internal/sim"
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+// This file is the shared-grid enactment harness: several workflows
+// submitted against one named grid (pool: "shared:<name>") and executed
+// *together* on a single discrete-event simulation of that grid, where a
+// resource runs one job at a time across every tenant. The executor
+// already enforces exclusivity and planned queue order, so enacting the
+// union of all tenants' plans as one merged schedule makes cross-workflow
+// contention physically real: oblivious plans that reserved the same slot
+// queue behind each other, contention-aware plans run side by side.
+//
+// The baseline each run measures against is *isolated planning*: the same
+// tenants, the same noisy runtimes, the same churned grid, but every
+// plan computed as if its workflow were alone — exactly what the daemon
+// produced before shared grids existed — then enacted together with no
+// feedback. The delta between the two is what endogenous contention
+// bought.
+
+// Tenant is one workflow of a shared-grid run.
+type Tenant struct {
+	// Name labels the submission and scopes its performance history.
+	Name string
+	// Scenario supplies the workflow graph and estimator table; its Pool
+	// is ignored (the shared grid's pool governs).
+	Scenario *workload.Scenario
+	// Policy and Options go into the submission ("aheft" when empty).
+	Policy  string
+	Options wire.Options
+}
+
+// SharedConfig parameterises one shared-grid run.
+type SharedConfig struct {
+	// BaseURL is the daemon's address.
+	BaseURL string
+	// Client is the HTTP client; nil means a 2-minute-timeout default.
+	Client *http.Client
+	// Grid names the shared grid; it is registered with Pool if absent.
+	Grid string
+	// Pool is the grid's resource universe.
+	Pool *grid.Pool
+	// Noise perturbs actual runtimes per (tenant, job, resource), as in
+	// Config.Noise.
+	Noise float64
+	// Churn jitters the grid's planned arrival times once for the whole
+	// run — every tenant enacts on the same churned grid.
+	Churn float64
+	// Seed drives the noise and churn draws.
+	Seed uint64
+}
+
+// TenantOutcome is one tenant's measured result.
+type TenantOutcome struct {
+	ID   string
+	Name string
+	Jobs int
+	// AdaptiveMakespan is the tenant's completion time in the shared
+	// enactment with contention-aware planning and the feedback loop.
+	// ObliviousMakespan is its completion time when every tenant plans in
+	// isolation (no reservations, no feedback) on the identical job
+	// stream. DaemonMakespan is the daemon's terminal report.
+	AdaptiveMakespan  float64
+	ObliviousMakespan float64
+	DaemonMakespan    float64
+	InitialMakespan   float64
+	Reports           int
+	Events            int
+	Generation        int
+	// Reschedule counts by trigger; Contention counts plans adopted
+	// because *another* workflow's reservations released.
+	Reschedules           int
+	VarianceReschedules   int
+	ArrivalReschedules    int
+	DepartureReschedules  int
+	ContentionReschedules int
+}
+
+// Delta returns the fractional makespan improvement of contention-aware
+// planning over the isolated-planning baseline for this tenant.
+func (o *TenantOutcome) Delta() float64 {
+	if o.ObliviousMakespan <= 0 {
+		return 0
+	}
+	return (o.ObliviousMakespan - o.AdaptiveMakespan) / o.ObliviousMakespan
+}
+
+// SharedOutcome is the result of one shared-grid run.
+type SharedOutcome struct {
+	Grid    string
+	Tenants []TenantOutcome
+	// FinalReservations is the grid's aggregate occupancy after every
+	// tenant finished — anything but zero is a leak.
+	FinalReservations int
+}
+
+// MeanAdaptive and MeanOblivious are the across-tenant mean makespans.
+func (o *SharedOutcome) MeanAdaptive() float64 {
+	s := 0.0
+	for i := range o.Tenants {
+		s += o.Tenants[i].AdaptiveMakespan
+	}
+	return s / float64(len(o.Tenants))
+}
+
+// MeanOblivious is the across-tenant mean of the isolated baseline.
+func (o *SharedOutcome) MeanOblivious() float64 {
+	s := 0.0
+	for i := range o.Tenants {
+		s += o.Tenants[i].ObliviousMakespan
+	}
+	return s / float64(len(o.Tenants))
+}
+
+// RunShared drives the tenants through one shared grid to completion and
+// returns the per-tenant outcomes against the isolated-planning baseline.
+func RunShared(ctx context.Context, cfg SharedConfig, tenants []Tenant) (*SharedOutcome, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("drive: no tenants")
+	}
+	if cfg.Pool == nil || cfg.Pool.Size() == 0 {
+		return nil, fmt.Errorf("drive: shared grid needs a pool")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	d := &driver{cfg: Config{BaseURL: cfg.BaseURL}, client: client, base: strings.TrimRight(cfg.BaseURL, "/")}
+	if err := d.ensureGrid(ctx, cfg.Grid, cfg.Pool); err != nil {
+		return nil, err
+	}
+
+	r := rng.New(cfg.Seed ^ 0x5a11ed641d)
+	enacted, err := churnPool(cfg.Pool, cfg.Churn, r)
+	if err != nil {
+		return nil, fmt.Errorf("drive: churn pool: %w", err)
+	}
+	noisy := make([]*cost.Table, len(tenants))
+	for i, tn := range tenants {
+		noisy[i] = noisyTable(tn.Scenario, cfg.Noise, r)
+	}
+
+	merged, offsets, err := mergeGraphs(tenants)
+	if err != nil {
+		return nil, err
+	}
+	mergedNoisy, err := mergeTables(noisy, cfg.Pool.Size())
+	if err != nil {
+		return nil, err
+	}
+
+	out := &SharedOutcome{Grid: cfg.Grid, Tenants: make([]TenantOutcome, len(tenants))}
+	for i, tn := range tenants {
+		out.Tenants[i] = TenantOutcome{Name: tn.Name, Jobs: tn.Scenario.Graph.Len()}
+	}
+
+	// --- Isolated-planning baseline: each tenant plans as if alone, the
+	// plans are enacted together, nobody listens. ---
+	oblivious := make([]*schedule.Schedule, len(tenants))
+	for i, tn := range tenants {
+		s0, err := isolatedPlan(tn, cfg.Pool)
+		if err != nil {
+			return nil, fmt.Errorf("drive: isolated plan %s: %w", tn.Name, err)
+		}
+		oblivious[i] = s0
+	}
+	base, err := executor.New(sim.New(), merged, cost.Exact(mergedNoisy), enacted,
+		mergeSchedules(oblivious, offsets), nil)
+	if err != nil {
+		return nil, fmt.Errorf("drive: oblivious baseline: %w", err)
+	}
+	recs, err := base.Run()
+	if err != nil {
+		return nil, fmt.Errorf("drive: oblivious baseline: %w", err)
+	}
+	for _, rec := range recs {
+		i := ownerOf(int(rec.Job), offsets)
+		if rec.Finish > out.Tenants[i].ObliviousMakespan {
+			out.Tenants[i].ObliviousMakespan = rec.Finish
+		}
+	}
+
+	// --- Contention-aware adaptive run: live submissions on the shared
+	// grid, merged enactment, every event reported, every acked plan
+	// (own or contention-triggered) adopted mid-flight. ---
+	ids := make([]string, len(tenants))
+	for i, tn := range tenants {
+		id, err := d.submitShared(ctx, cfg.Grid, tn)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+		out.Tenants[i].ID = id
+	}
+	plans := make([]*schedule.Schedule, len(tenants))
+	for i, id := range ids {
+		plan, err := d.fetchPlan(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		s, err := planSchedule(plan, tenants[i].Scenario.Graph)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = s
+		out.Tenants[i].InitialMakespan = plan.Makespan
+		out.Tenants[i].Generation = plan.Generation
+	}
+
+	if err := d.enactShared(ctx, merged, mergedNoisy, enacted, ids, tenants, plans, offsets, out); err != nil {
+		return nil, err
+	}
+
+	for i, id := range ids {
+		st, err := d.status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != "done" {
+			return nil, fmt.Errorf("drive: workflow %s ended %s: %s", id, st.State, st.Error)
+		}
+		out.Tenants[i].DaemonMakespan = st.Makespan
+		out.Tenants[i].Generation = st.Generation
+	}
+	var gst wire.GridStatus
+	if code, err := d.get(ctx, "/v1/grids/"+cfg.Grid, &gst); err != nil {
+		return nil, fmt.Errorf("drive: grid status: %w", err)
+	} else if code != http.StatusOK {
+		return nil, fmt.Errorf("drive: grid status: HTTP %d", code)
+	}
+	out.FinalReservations = gst.Reservations
+	return out, nil
+}
+
+// enactShared runs the merged adaptive enactment.
+func (d *driver) enactShared(ctx context.Context, merged *dag.Graph, mergedNoisy *cost.Table,
+	pool *grid.Pool, ids []string, tenants []Tenant, plans []*schedule.Schedule,
+	offsets []int, out *SharedOutcome) error {
+
+	var eng *executor.Engine
+	var loopErr error
+	pending := make([][]wire.ReportEvent, len(tenants))
+	done := make([]bool, len(tenants))
+
+	resubmit := func() {
+		if err := eng.Resubmit(mergeSchedules(plans, offsets)); err != nil {
+			loopErr = fmt.Errorf("drive: resubmit merged plan: %w", err)
+			eng.Cancel(loopErr)
+		}
+	}
+	flush := func(i int) {
+		if len(pending[i]) == 0 || loopErr != nil || done[i] {
+			return
+		}
+		ack, err := d.report(ctx, ids[i], pending[i])
+		pending[i] = pending[i][:0]
+		if err != nil {
+			loopErr = err
+			eng.Cancel(err)
+			return
+		}
+		to := &out.Tenants[i]
+		to.Reports++
+		to.Events += ack.Applied
+		if ack.Done {
+			done[i] = true
+		}
+		if ack.Plan == nil {
+			return
+		}
+		to.Reschedules++
+		switch ack.Trigger {
+		case "variance":
+			to.VarianceReschedules++
+		case "arrival":
+			to.ArrivalReschedules++
+		case "departure":
+			to.DepartureReschedules++
+		case "contention":
+			to.ContentionReschedules++
+		}
+		s1, err := planSchedule(ack.Plan, tenants[i].Scenario.Graph)
+		if err != nil {
+			loopErr = err
+			eng.Cancel(err)
+			return
+		}
+		plans[i] = s1
+		resubmit()
+	}
+	handler := executor.EventHandlerFunc(func(ev executor.Event) {
+		if loopErr == nil && ctx.Err() != nil {
+			loopErr = ctx.Err()
+			eng.Cancel(loopErr)
+			return
+		}
+		switch {
+		case ev.Finished != dag.NoJob:
+			i := ownerOf(int(ev.Finished), offsets)
+			pending[i] = append(pending[i], wire.ReportEvent{
+				Kind: wire.ReportJobFinished, Time: ev.Time,
+				Job: int(ev.Finished) - offsets[i], Resource: int(ev.OnResource),
+				Duration: ev.ActualDuration,
+			})
+			flush(i)
+		default:
+			// A grid arrival is a run-time event for every live tenant.
+			for _, r := range ev.Arrived {
+				for i := range tenants {
+					if done[i] {
+						continue
+					}
+					pending[i] = append(pending[i], wire.ReportEvent{
+						Kind: wire.ReportResourceJoin, Time: ev.Time, Resource: int(r.ID),
+					})
+				}
+			}
+			for i := range tenants {
+				flush(i)
+			}
+		}
+	})
+	var err error
+	eng, err = executor.New(sim.New(), merged, cost.Exact(mergedNoisy), pool,
+		mergeSchedules(plans, offsets), handler)
+	if err != nil {
+		return fmt.Errorf("drive: shared executor: %w", err)
+	}
+	eng.StartHook = func(j dag.JobID, r grid.ID, t float64) {
+		i := ownerOf(int(j), offsets)
+		// Starts ride ahead of the next finish/arrival report, so the
+		// daemon always knows which jobs hold their slots before it
+		// evaluates any reschedule.
+		pending[i] = append(pending[i], wire.ReportEvent{
+			Kind: wire.ReportJobStarted, Time: t, Job: int(j) - offsets[i], Resource: int(r),
+		})
+	}
+	recs, err := eng.Run()
+	if err != nil {
+		if loopErr != nil {
+			return loopErr
+		}
+		return fmt.Errorf("drive: shared enact: %w", err)
+	}
+	if loopErr != nil {
+		return loopErr
+	}
+	for _, rec := range recs {
+		i := ownerOf(int(rec.Job), offsets)
+		if rec.Finish > out.Tenants[i].AdaptiveMakespan {
+			out.Tenants[i].AdaptiveMakespan = rec.Finish
+		}
+	}
+	return nil
+}
+
+// ensureGrid registers the grid, tolerating an identical pre-existing one
+// (loadgen rounds reuse the daemon).
+func (d *driver) ensureGrid(ctx context.Context, name string, pool *grid.Pool) error {
+	body, err := wire.EncodeGridSpec(&wire.GridSpec{Pool: pool})
+	if err != nil {
+		return fmt.Errorf("drive: encode grid spec: %w", err)
+	}
+	var st wire.GridStatus
+	code, err := d.put(ctx, "/v1/grids/"+name, body, &st)
+	switch {
+	case err != nil:
+		return fmt.Errorf("drive: register grid: %w", err)
+	case code == http.StatusCreated:
+		return nil
+	case code == http.StatusConflict:
+		code, err := d.get(ctx, "/v1/grids/"+name, &st)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("drive: grid %q exists but is unreadable (HTTP %d): %v", name, code, err)
+		}
+		if st.Resources != pool.Size() {
+			return fmt.Errorf("drive: grid %q has %d resources, want %d", name, st.Resources, pool.Size())
+		}
+		return nil
+	default:
+		return fmt.Errorf("drive: register grid: HTTP %d", code)
+	}
+}
+
+// submitShared submits one tenant against the named grid, retrying
+// backpressure.
+func (d *driver) submitShared(ctx context.Context, gridName string, tn Tenant) (string, error) {
+	body, err := wire.EncodeSubmission(&wire.Submission{
+		Name:       tn.Name,
+		Mode:       wire.ModeLive,
+		Tenant:     tn.Name,
+		Policy:     tn.Policy,
+		Options:    tn.Options,
+		Graph:      tn.Scenario.Graph,
+		Comp:       tn.Scenario.Table,
+		SharedGrid: gridName,
+	})
+	if err != nil {
+		return "", fmt.Errorf("drive: encode shared submission: %w", err)
+	}
+	for {
+		var sub wire.Submitted
+		code, err := d.post(ctx, "/v1/workflows", body, &sub)
+		switch {
+		case err != nil:
+			return "", fmt.Errorf("drive: submit shared: %w", err)
+		case code == http.StatusAccepted:
+			return sub.ID, nil
+		case code == http.StatusTooManyRequests:
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+		default:
+			return "", fmt.Errorf("drive: submit shared: HTTP %d", code)
+		}
+	}
+}
+
+// isolatedPlan computes the tenant's plan with no knowledge of the other
+// tenants: the pre-shared-grid behaviour.
+func isolatedPlan(tn Tenant, pool *grid.Pool) (*schedule.Schedule, error) {
+	name := tn.Policy
+	if name == "" {
+		name = "aheft"
+	}
+	pol, err := policy.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	k := kernel.New(tn.Scenario.Graph, cost.Exact(tn.Scenario.Table))
+	return pol.Plan(k, pool, policy.Options{
+		TieWindow:   tn.Options.TieWindow,
+		NoInsertion: tn.Options.NoInsertion,
+		Eps:         tn.Options.Eps,
+	})
+}
+
+// mergeGraphs builds the disjoint union of the tenants' DAGs; offsets[i]
+// is tenant i's first job ID in the merged index space.
+func mergeGraphs(tenants []Tenant) (*dag.Graph, []int, error) {
+	g := dag.New("shared-merged")
+	offsets := make([]int, len(tenants))
+	next := 0
+	for i, tn := range tenants {
+		offsets[i] = next
+		tg := tn.Scenario.Graph
+		for _, j := range tg.Jobs() {
+			g.AddJob(fmt.Sprintf("t%d/%s", i, j.Name), j.Op)
+		}
+		for _, j := range tg.Jobs() {
+			for _, e := range tg.Succs(j.ID) {
+				if err := g.AddEdge(dag.JobID(next+int(e.From)), dag.JobID(next+int(e.To)), e.Data); err != nil {
+					return nil, nil, fmt.Errorf("drive: merge graphs: %w", err)
+				}
+			}
+		}
+		next += tg.Len()
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("drive: merge graphs: %w", err)
+	}
+	return g, offsets, nil
+}
+
+// mergeTables stacks the tenants' runtime tables into one matrix.
+func mergeTables(tables []*cost.Table, resources int) (*cost.Table, error) {
+	var rows [][]float64
+	for _, t := range tables {
+		for j := 0; j < t.Jobs(); j++ {
+			row := make([]float64, resources)
+			for r := 0; r < resources; r++ {
+				row[r] = t.Comp(dag.JobID(j), grid.ID(r))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return cost.NewTable(rows)
+}
+
+// mergeSchedules unions the tenants' plans in the merged job index space.
+func mergeSchedules(plans []*schedule.Schedule, offsets []int) *schedule.Schedule {
+	var as []schedule.Assignment
+	for i, s := range plans {
+		for _, a := range s.Assignments() {
+			as = append(as, schedule.Assignment{
+				Job: a.Job + dag.JobID(offsets[i]), Resource: a.Resource,
+				Start: a.Start, Finish: a.Finish,
+			})
+		}
+	}
+	return schedule.FromAssignments(as)
+}
+
+// ownerOf maps a merged job ID to its tenant index.
+func ownerOf(job int, offsets []int) int {
+	for i := len(offsets) - 1; i >= 0; i-- {
+		if job >= offsets[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// put issues a PUT with a JSON body.
+func (d *driver) put(ctx context.Context, path string, body []byte, v any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, d.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return d.do(req, v)
+}

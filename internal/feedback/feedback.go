@@ -38,6 +38,7 @@ import (
 	"aheft/internal/grid"
 	"aheft/internal/history"
 	"aheft/internal/kernel"
+	"aheft/internal/occupancy"
 	"aheft/internal/planner"
 	"aheft/internal/policy"
 	"aheft/internal/predict"
@@ -75,6 +76,15 @@ type Config struct {
 	// UseMean selects the history mean instead of the recency-weighted
 	// EWMA for re-estimation.
 	UseMean bool
+	// Occupancy, when non-nil, attaches the workflow to a shared grid's
+	// reservation ledger: the tracker publishes its own plan's compute
+	// intervals through the view (whole-plan on initial planning and
+	// every adoption, per-job narrowing as jobs start and finish) and the
+	// kernel's slot search treats every other workflow's reservations as
+	// busy time. Contention becomes endogenous: concurrent workflows on
+	// the grid plan around each other instead of against private pool
+	// snapshots.
+	Occupancy *occupancy.View
 }
 
 type jobPhase uint8
@@ -133,6 +143,11 @@ type Tracker struct {
 	resByID []grid.Resource
 	avail   []bool
 	nAvail  int
+
+	// Shared-grid state: the ledger view this workflow publishes its
+	// reservations through (nil for private-pool workflows).
+	occ    *occupancy.View
+	resBuf []occupancy.Reservation
 
 	decisions []planner.Decision
 	adoptions int
@@ -202,6 +217,12 @@ func New(cfg Config) (*Tracker, error) {
 	}
 	t.k = kernel.New(cfg.Graph, t.est)
 	t.ks = t.k.NewState(cfg.Pool.Size())
+	if cfg.Occupancy != nil {
+		// Attach before planning: the initial plan already routes around
+		// the other workflows' reservations.
+		t.occ = cfg.Occupancy
+		t.k.SetOccupancy(cfg.Occupancy)
+	}
 	s0, err := cfg.Policy.Plan(t.k, cfg.Pool, cfg.Opts)
 	if err != nil {
 		return nil, fmt.Errorf("feedback: initial plan: %w", err)
@@ -209,7 +230,45 @@ func New(cfg Config) (*Tracker, error) {
 	t.sched = s0
 	t.generation = 1
 	t.initial = s0.Makespan()
+	t.publishReservations()
 	return t, nil
+}
+
+// publishReservations replaces this workflow's entries in the shared
+// ledger with the current plan's compute intervals: pending jobs at
+// their scheduled slots, running jobs at their live pins. Finished jobs
+// are history, not claims.
+func (t *Tracker) publishReservations() {
+	if t.occ == nil {
+		return
+	}
+	rs := t.resBuf[:0]
+	for j := 0; j < t.g.Len(); j++ {
+		id := dag.JobID(j)
+		switch t.phase[j] {
+		case phaseFinished:
+			continue
+		case phaseStarted:
+			dur := t.pinDur[j]
+			if dur <= 0 {
+				dur = t.est.Comp(id, t.startRes[j])
+			}
+			fin := t.startAt[j] + dur
+			if fin < t.clock {
+				fin = t.clock
+			}
+			rs = append(rs, occupancy.Reservation{
+				Job: j, Resource: t.startRes[j], Start: t.startAt[j], Finish: fin,
+			})
+		default:
+			a := t.sched.MustGet(id)
+			rs = append(rs, occupancy.Reservation{
+				Job: j, Resource: a.Resource, Start: a.Start, Finish: a.Finish,
+			})
+		}
+	}
+	t.resBuf = rs
+	t.occ.Publish(rs)
 }
 
 // Plan returns the schedule the daemon currently wants enacted.
@@ -270,6 +329,15 @@ func (t *Tracker) Apply(events []wire.ReportEvent) (*Outcome, error) {
 			t.startAt[j] = ev.Time
 			t.startRes[j] = grid.ID(ev.Resource)
 			t.nStarted++
+			if t.occ != nil {
+				// The claim moves from the planned slot to the actual one
+				// (the job may have started late, or on a resource the
+				// plan moved it off an instant too late to matter).
+				t.occ.Update(occupancy.Reservation{
+					Job: ev.Job, Resource: grid.ID(ev.Resource),
+					Start: ev.Time, Finish: ev.Time + t.est.Comp(j, grid.ID(ev.Resource)),
+				})
+			}
 		case wire.ReportJobFinished:
 			t.applyFinish(ev, out)
 		case wire.ReportVariance:
@@ -295,6 +363,31 @@ func (t *Tracker) Apply(events []wire.ReportEvent) (*Outcome, error) {
 		}
 	}
 	return out, nil
+}
+
+// Reevaluate runs one rescheduling evaluation outside the report path, at
+// the run's current clock and resource view. The shard calls it on the
+// survivors of a shared grid when another workflow's reservations
+// release (job finishes, terminal drain): freed capacity is a run-time
+// event exactly like a resource arrival, except the "resource" that
+// changed hands is another tenant's claim. The returned Outcome carries
+// the decision (and adoption) like an Apply would.
+func (t *Tracker) Reevaluate(trigger planner.Trigger) *Outcome {
+	out := &Outcome{}
+	if t.done {
+		return out
+	}
+	t.evaluate(trigger, 0, out)
+	return out
+}
+
+// ForeignReservations returns how many reservations the other workflows
+// on the shared grid currently hold (0 off-grid).
+func (t *Tracker) ForeignReservations() int {
+	if t.occ == nil {
+		return 0
+	}
+	return t.occ.ForeignCount()
 }
 
 // validate checks the whole batch against the run's current state plus
@@ -421,6 +514,9 @@ func (t *Tracker) applyFinish(ev wire.ReportEvent, out *Outcome) {
 	t.phase[j] = phaseFinished
 	t.finishAt[j] = ev.Time
 	t.nFinished++
+	if t.occ != nil {
+		t.occ.ReleaseJob(ev.Job)
+	}
 	t.ks.Finish(j, r, t.startAt[j], ev.Time)
 	// Static ship-on-finish policy (§4.1 assumption 2): the output file is
 	// on the producer's resource now and starts moving toward each
@@ -523,6 +619,7 @@ func (t *Tracker) evaluate(trigger planner.Trigger, arrived int, out *Outcome) {
 func (t *Tracker) adopt(s1 *schedule.Schedule) {
 	t.sched = s1
 	t.generation++
+	defer t.publishReservations()
 	for _, jb := range t.g.Jobs() {
 		if t.phase[jb.ID] != phasePending {
 			continue
@@ -716,12 +813,13 @@ func (t *Tracker) WhatIf(q wire.WhatIfRequest) (*wire.WhatIfDoc, error) {
 	}
 	cur := t.Project()
 	doc := &wire.WhatIfDoc{
-		Clock:           clk,
-		PoolSize:        len(rs),
-		CurrentMakespan: cur,
-		NewMakespan:     s1.Makespan(),
-		Delta:           s1.Makespan() - cur,
-		WouldAdopt:      core.Better(cur, s1.Makespan(), t.opts.Eps),
+		Clock:               clk,
+		PoolSize:            len(rs),
+		CurrentMakespan:     cur,
+		NewMakespan:         s1.Makespan(),
+		Delta:               s1.Makespan() - cur,
+		WouldAdopt:          core.Better(cur, s1.Makespan(), t.opts.Eps),
+		ForeignReservations: t.ForeignReservations(),
 	}
 	if math.IsInf(cur, 1) {
 		// The current plan is infeasible (a pending job's resource left);

@@ -1,0 +1,208 @@
+package feedback
+
+import (
+	"sort"
+	"testing"
+
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/history"
+	"aheft/internal/occupancy"
+	"aheft/internal/planner"
+	"aheft/internal/policy"
+	"aheft/internal/schedule"
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+// newSharedTracker builds a tracker attached to the given ledger under
+// the given owner id, planning the Fig. 4 sample over its pool.
+func newSharedTracker(t *testing.T, l *occupancy.Ledger, owner string) (*Tracker, *workload.Scenario) {
+	t.Helper()
+	sc := workload.SampleScenario()
+	tr, err := New(Config{
+		Graph:     sc.Graph,
+		Prior:     sc.Estimator(),
+		Pool:      sc.Pool,
+		History:   history.New(0),
+		Policy:    policy.MustGet("aheft"),
+		Occupancy: l.View(owner),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, sc
+}
+
+// overlap returns the total pairwise overlap between two workflows'
+// schedules on shared resources.
+func overlap(a, b *schedule.Schedule, g *dag.Graph) float64 {
+	total := 0.0
+	for _, ja := range g.Jobs() {
+		aa := a.MustGet(ja.ID)
+		for _, jb := range g.Jobs() {
+			ab := b.MustGet(jb.ID)
+			if aa.Resource != ab.Resource {
+				continue
+			}
+			lo, hi := aa.Start, aa.Finish
+			if ab.Start > lo {
+				lo = ab.Start
+			}
+			if ab.Finish < hi {
+				hi = ab.Finish
+			}
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+	}
+	return total
+}
+
+// TestSharedTrackersPlanAroundEachOther: the second workflow on a grid
+// must plan into the capacity the first one left, with zero reserved
+// overlap, and both plans publish their reservations.
+func TestSharedTrackersPlanAroundEachOther(t *testing.T) {
+	l := occupancy.NewLedger(4)
+	trA, sc := newSharedTracker(t, l, "wf-a")
+	if got := l.Count("wf-a"); got != sc.Graph.Len() {
+		t.Fatalf("A published %d reservations, want %d", got, sc.Graph.Len())
+	}
+	trB, _ := newSharedTracker(t, l, "wf-b")
+	if got := l.Count("wf-b"); got != sc.Graph.Len() {
+		t.Fatalf("B published %d reservations, want %d", got, sc.Graph.Len())
+	}
+	if trB.ForeignReservations() != sc.Graph.Len() {
+		t.Fatalf("B sees %d foreign reservations", trB.ForeignReservations())
+	}
+	if ov := overlap(trA.Plan(), trB.Plan(), sc.Graph); ov > 0 {
+		t.Fatalf("reserved plans overlap by %g time units", ov)
+	}
+	// B's contended plan cannot beat A's uncontended one.
+	if trB.InitialMakespan() < trA.InitialMakespan() {
+		t.Fatalf("contended plan %g beats uncontended %g",
+			trB.InitialMakespan(), trA.InitialMakespan())
+	}
+}
+
+// TestContentionReevaluateAdoptsFreedCapacity: when the first workflow
+// finishes and its reservations release, a contention reevaluation lets
+// the survivor move onto the freed slots and adopt a strictly better
+// plan.
+func TestContentionReevaluateAdoptsFreedCapacity(t *testing.T) {
+	l := occupancy.NewLedger(4)
+	trA, sc := newSharedTracker(t, l, "wf-a")
+	trB, _ := newSharedTracker(t, l, "wf-b")
+	before := trB.Plan().Makespan()
+
+	// A vanishes wholesale (terminal drain path): the shard releases its
+	// reservations and pokes the survivor.
+	_ = trA
+	if n := l.Release("wf-a"); n != sc.Graph.Len() {
+		t.Fatalf("released %d reservations, want %d", n, sc.Graph.Len())
+	}
+	out := trB.Reevaluate(planner.TriggerContention)
+	if len(out.Decisions) != 1 {
+		t.Fatalf("want one decision, got %+v", out)
+	}
+	d := out.Decisions[0]
+	if d.Trigger != planner.TriggerContention {
+		t.Fatalf("trigger = %v", d.Trigger)
+	}
+	if !out.Rescheduled || !d.Adopted {
+		t.Fatalf("survivor did not adopt the freed capacity: %+v", d)
+	}
+	if trB.Plan().Makespan() >= before {
+		t.Fatalf("adopted plan %g not better than contended %g", trB.Plan().Makespan(), before)
+	}
+	if trB.Generation() != 2 {
+		t.Fatalf("generation = %d", trB.Generation())
+	}
+	// The survivor's new plan must equal the uncontended plan now that the
+	// grid is empty again.
+	if got, want := trB.Plan().Makespan(), trA.InitialMakespan(); got != want {
+		t.Fatalf("freed plan %g, uncontended plan %g", got, want)
+	}
+	// Adoption republished: reservations reflect the new plan.
+	if got := l.Count("wf-b"); got != sc.Graph.Len() {
+		t.Fatalf("B holds %d reservations after adoption", got)
+	}
+}
+
+// TestReservationsNarrowWithExecution: starts relocate claims to actual
+// intervals, finishes release them, and completion leaves the ledger
+// empty for the owner.
+func TestReservationsNarrowWithExecution(t *testing.T) {
+	l := occupancy.NewLedger(4)
+	tr, sc := newSharedTracker(t, l, "wf-a")
+	n := sc.Graph.Len()
+	// Drive the plan faithfully: report every job's start and finish at
+	// its scheduled interval, chronologically interleaved.
+	events := make([]wire.ReportEvent, 0, 2*n)
+	for _, a := range tr.Plan().Assignments() {
+		events = append(events,
+			wire.ReportEvent{Kind: wire.ReportJobStarted, Time: a.Start, Job: int(a.Job), Resource: int(a.Resource)},
+			wire.ReportEvent{Kind: wire.ReportJobFinished, Time: a.Finish, Job: int(a.Job), Resource: int(a.Resource), Duration: a.Duration()},
+		)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		// Starts before finishes at the same instant keeps a job that
+		// begins when another ends valid either way.
+		return events[i].Kind == wire.ReportJobStarted && events[j].Kind == wire.ReportJobFinished
+	})
+	reported := 0
+	for _, ev := range events {
+		out, err := tr.Apply([]wire.ReportEvent{ev})
+		if err != nil {
+			t.Fatalf("%s %d at %g: %v", ev.Kind, ev.Job, ev.Time, err)
+		}
+		if ev.Kind == wire.ReportJobFinished {
+			reported++
+			if out.Done && reported != n {
+				t.Fatalf("done after %d of %d finishes", reported, n)
+			}
+			if want := n - reported; l.Count("wf-a") != want {
+				t.Fatalf("after %d finishes: %d reservations, want %d", reported, l.Count("wf-a"), want)
+			}
+		}
+	}
+	if !tr.Done() {
+		t.Fatal("tracker not done after every finish")
+	}
+	if got := l.Total(); got != 0 {
+		t.Fatalf("completed run leaked %d reservations: %v", got, l.Owners())
+	}
+	// A done tracker's reevaluation is a no-op.
+	if out := tr.Reevaluate(planner.TriggerContention); len(out.Decisions) != 0 {
+		t.Fatalf("done tracker evaluated: %+v", out)
+	}
+}
+
+// TestSharedWhatIfCountsForeign: the what-if answer reports the aggregate
+// occupancy it planned against.
+func TestSharedWhatIfCountsForeign(t *testing.T) {
+	l := occupancy.NewLedger(4)
+	newSharedTracker(t, l, "wf-a")
+	trB, sc := newSharedTracker(t, l, "wf-b")
+	doc, err := trB.WhatIf(wire.WhatIfRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.ForeignReservations != sc.Graph.Len() {
+		t.Fatalf("what-if foreign reservations = %d, want %d", doc.ForeignReservations, sc.Graph.Len())
+	}
+	// Hypothetically adding the late resource must still answer against
+	// the occupied grid, not a private snapshot: the projected new
+	// makespan stays >= the uncontended initial plan.
+	doc2, err := trB.WhatIf(wire.WhatIfRequest{Add: []int{int(grid.ID(3))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.PoolSize != len(sc.Pool.Initial())+1 {
+		t.Fatalf("pool size = %d", doc2.PoolSize)
+	}
+}

@@ -98,6 +98,11 @@ type Kernel struct {
 	histMax    float64               // max finish over hist
 	out        []schedule.Assignment // final assignment list handed to schedule.FromAssignments
 
+	// Shared-grid contention: foreign reservations merged into the slot
+	// search as busy intervals (see SetOccupancy).
+	occ     Occupancy
+	busyBuf []Busy
+
 	empty *State // lazily created zero state backing Static
 }
 
@@ -399,6 +404,7 @@ func (k *Kernel) prepHistory(rs []grid.Resource, st *State) {
 		k.baseTL[a.Resource] = append(k.baseTL[a.Resource], span{start: a.Start, finish: a.Finish, job: a.Job})
 		k.tlTouched = append(k.tlTouched, a.Resource)
 	}
+	k.injectForeign(rs)
 	// Sort each timeline the placement loop will scan, once. History rows
 	// on resources outside rs are never read by the slot search (they only
 	// feed the final schedule through k.hist), so they stay unsorted.
@@ -419,6 +425,13 @@ func (k *Kernel) prepHistory(rs []grid.Resource, st *State) {
 				return 0
 			}
 		})
+		if k.occ != nil {
+			// Foreign claims may overlap each other (and a drifted pin);
+			// the gap walk assumes disjoint spans. Own-only rows are
+			// disjoint by construction and skip the normalisation, keeping
+			// the non-shared path bit-identical.
+			k.baseTL[r.ID] = coalesce(k.baseTL[r.ID])
+		}
 	}
 }
 

@@ -1,0 +1,195 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/kernel"
+	"aheft/internal/schedule"
+	"aheft/internal/workload"
+)
+
+// fixedOccupancy serves a static foreign-reservation map.
+type fixedOccupancy map[grid.ID][]kernel.Busy
+
+func (o fixedOccupancy) AppendBusy(r grid.ID, buf []kernel.Busy) []kernel.Busy {
+	return append(buf, o[r]...)
+}
+
+// singleJobKernel builds a one-job workflow costing dur on either of two
+// resources, so placement is decided purely by the timelines.
+func singleJobKernel(t *testing.T, dur float64) *kernel.Kernel {
+	t.Helper()
+	g := dag.New("one")
+	g.AddJob("j", "op")
+	return kernel.New(g.MustValidate(), cost.MustTable([][]float64{{dur, dur}}))
+}
+
+func twoResources() []grid.Resource {
+	return []grid.Resource{{ID: 0, Name: "r1"}, {ID: 1, Name: "r2"}}
+}
+
+// TestForeignReservationDisplacesPlacement: a foreign claim on the
+// otherwise-chosen resource pushes the job onto the free one.
+func TestForeignReservationDisplacesPlacement(t *testing.T) {
+	k := singleJobKernel(t, 10)
+	s, err := k.Static(twoResources(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := s.MustGet(0); a.Resource != 0 || a.Start != 0 {
+		t.Fatalf("unconstrained placement: %+v", a)
+	}
+	// Resource 0 is claimed by another workflow over [0, 50): the job must
+	// move to resource 1 and still start at 0.
+	k.SetOccupancy(fixedOccupancy{0: {{Start: 0, Finish: 50}}})
+	s, err = k.Static(twoResources(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := s.MustGet(0); a.Resource != 1 || a.Start != 0 {
+		t.Fatalf("contended placement: %+v", a)
+	}
+	// Both resources claimed over [0, 30): the job starts in the first
+	// gap, and the foreign claims never appear in the returned schedule.
+	k.SetOccupancy(fixedOccupancy{
+		0: {{Start: 0, Finish: 30}},
+		1: {{Start: 0, Finish: 30}},
+	})
+	s, err = k.Static(twoResources(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := s.MustGet(0); a.Start != 30 || a.Finish != 40 {
+		t.Fatalf("queued placement: %+v", a)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("foreign claims leaked into the schedule: %d entries", s.Len())
+	}
+	// Detaching restores the unconstrained plan.
+	k.SetOccupancy(nil)
+	s, err = k.Static(twoResources(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := s.MustGet(0); a.Resource != 0 || a.Start != 0 {
+		t.Fatalf("detached placement: %+v", a)
+	}
+}
+
+// TestForeignGapInsertion: the insertion policy places a job into a gap
+// between foreign claims when it fits, after the claims are coalesced.
+func TestForeignGapInsertion(t *testing.T) {
+	k := singleJobKernel(t, 10)
+	rs := []grid.Resource{{ID: 0, Name: "r1"}}
+	// Overlapping claims [0,8)+[5,12) coalesce to [0,12); gap [12,25) fits.
+	k.SetOccupancy(fixedOccupancy{0: {
+		{Start: 0, Finish: 8},
+		{Start: 5, Finish: 12},
+		{Start: 25, Finish: 40},
+	}})
+	s, err := k.Static(rs, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := s.MustGet(0); a.Start != 12 || a.Finish != 22 {
+		t.Fatalf("gap placement: %+v", a)
+	}
+	// Without insertion the job queues behind the last claim.
+	s, err = k.Static(rs, kernel.Options{NoInsertion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := s.MustGet(0); a.Start != 40 {
+		t.Fatalf("no-insertion placement: %+v", a)
+	}
+}
+
+// TestForeignClaimsDoNotRaiseMakespan: a foreign reservation far in the
+// future is not this workflow's work and must not count toward its
+// makespan.
+func TestForeignClaimsDoNotRaiseMakespan(t *testing.T) {
+	k := singleJobKernel(t, 10)
+	k.SetOccupancy(fixedOccupancy{1: {{Start: 0, Finish: 1e6}}})
+	s, err := k.Static(twoResources(), kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 10 {
+		t.Fatalf("makespan %g includes a foreign claim", s.Makespan())
+	}
+}
+
+// TestRescheduleAroundForeignWithHistory: mid-run reschedule composes own
+// execution history with foreign claims.
+func TestRescheduleAroundForeignWithHistory(t *testing.T) {
+	sc := workload.SampleScenario()
+	k := kernel.New(sc.Graph, sc.Estimator())
+	rs := sc.Pool.Initial()
+	s0, err := k.Static(rs, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := k.NewState(sc.Pool.Size())
+	st.Snapshot(s0, s0.Makespan()/3, kernel.SnapshotOptions{})
+	k.SetOccupancy(fixedOccupancy{
+		0: {{Start: 0, Finish: s0.Makespan()}},
+	})
+	s1, err := k.Reschedule(rs, st, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := sc.Estimator()
+	if err := s1.Validate(sc.Graph, schedule.ValidateOptions{Comp: est, Pool: sc.Pool}); err != nil {
+		t.Fatalf("contended reschedule invalid: %v", err)
+	}
+	// Every remaining (not finished, not pinned) job must avoid the fully
+	// claimed resource 0.
+	for _, j := range sc.Graph.Jobs() {
+		if st.Finished(j.ID) || st.Pinned(j.ID) {
+			continue
+		}
+		if a := s1.MustGet(j.ID); a.Resource == 0 {
+			t.Fatalf("job %s placed on the fully claimed resource: %+v", j.Name, a)
+		}
+	}
+}
+
+// TestOccupancyAddsNoSteadyStateAllocations is the shared-grid half of
+// the kernel's zero-allocation contract: with a foreign ledger attached,
+// the steady-state reschedule loop allocates exactly as much as the
+// unconstrained loop (only the returned schedule).
+func TestOccupancyAddsNoSteadyStateAllocations(t *testing.T) {
+	sc := quickScenario(t, 6)
+	rs := sc.Pool.Initial()
+	run := func(k *kernel.Kernel, st *kernel.State, s0 *schedule.Schedule) float64 {
+		return testing.AllocsPerRun(50, func() {
+			st.Snapshot(s0, s0.Makespan()/2, kernel.SnapshotOptions{})
+			if _, err := k.Reschedule(rs, st, kernel.Options{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	prep := func(occ kernel.Occupancy) (*kernel.Kernel, *kernel.State, *schedule.Schedule) {
+		k := kernel.New(sc.Graph, sc.Estimator())
+		k.SetOccupancy(occ)
+		s0, err := k.Static(rs, kernel.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k, k.NewState(sc.Pool.Size()), s0
+	}
+	occ := fixedOccupancy{}
+	for _, r := range rs {
+		occ[r.ID] = []kernel.Busy{
+			{Start: 3, Finish: 9}, {Start: 7, Finish: 20}, {Start: 40, Finish: 55},
+		}
+	}
+	base := run(prep(nil))
+	shared := run(prep(occ))
+	if shared > base {
+		t.Fatalf("occupancy added steady-state allocations: %g allocs/op vs %g without", shared, base)
+	}
+}

@@ -1,0 +1,253 @@
+// Package occupancy is the reservation ledger behind shard-owned shared
+// grids: the record of every placed job's (resource, start, finish)
+// compute interval across the live workflows attached to one grid. The
+// paper frames adaptive rescheduling as a response to a *shared* grid —
+// resources slow down and fill up because other tenants are using them —
+// and this ledger is what makes that contention endogenous: each
+// workflow's planner sees every other workflow's reservations as busy
+// intervals during slot search (kernel.Occupancy), so concurrent
+// workflows on one grid plan around each other instead of against
+// private pool snapshots.
+//
+// Ownership and lifecycle: a Ledger belongs to one shared grid, which
+// lives on one shard. Every mutation happens on that shard's single
+// worker goroutine (the same discipline the kernels follow), but status
+// endpoints and metrics readers aggregate ledgers from other goroutines,
+// so the ledger is internally synchronised. Reads on the planning hot
+// path (AppendBusy) take the one uncontended mutex and copy into a
+// caller-owned buffer — no allocation in steady state.
+//
+// An owner's reservations are replaced wholesale when its plan changes
+// (SetOwner), narrowed job by job as execution progresses (Update on
+// start, ReleaseJob on finish), and dropped atomically when the workflow
+// reaches any terminal state (Release). A leaked reservation — an entry
+// surviving its owner — would silently shrink the grid for every other
+// tenant forever, so Release returns the count removed and Count/Total
+// exist for tests and metrics to prove the ledger drains to zero.
+package occupancy
+
+import (
+	"sort"
+	"sync"
+
+	"aheft/internal/grid"
+	"aheft/internal/kernel"
+)
+
+// Reservation is one job's claimed compute interval on a resource.
+type Reservation struct {
+	Job      int
+	Resource grid.ID
+	Start    float64
+	Finish   float64
+}
+
+// entry is a stored reservation tagged with its owner.
+type entry struct {
+	owner         string
+	job           int
+	start, finish float64
+}
+
+// Ledger records the reservations of every workflow attached to one
+// shared grid, indexed by resource for the slot-search read path.
+type Ledger struct {
+	mu     sync.Mutex
+	byRes  [][]entry      // per resource, sorted by (start, owner, job)
+	owners map[string]int // owner -> live reservation count
+}
+
+// NewLedger returns an empty ledger sized for resHint resources (it grows
+// on demand if reservations name higher IDs).
+func NewLedger(resHint int) *Ledger {
+	if resHint < 0 {
+		resHint = 0
+	}
+	return &Ledger{
+		byRes:  make([][]entry, resHint),
+		owners: make(map[string]int),
+	}
+}
+
+func (l *Ledger) grow(r grid.ID) {
+	for len(l.byRes) <= int(r) {
+		l.byRes = append(l.byRes, nil)
+	}
+}
+
+// insert adds e to its resource row keeping (start, owner, job) order.
+func (l *Ledger) insert(r grid.ID, e entry) {
+	l.grow(r)
+	row := l.byRes[r]
+	i := sort.Search(len(row), func(i int) bool {
+		switch {
+		case row[i].start != e.start:
+			return row[i].start > e.start
+		case row[i].owner != e.owner:
+			return row[i].owner > e.owner
+		default:
+			return row[i].job > e.job
+		}
+	})
+	row = append(row, entry{})
+	copy(row[i+1:], row[i:])
+	row[i] = e
+	l.byRes[r] = row
+	l.owners[e.owner]++
+}
+
+// removeWhere filters every row in place, dropping owner's entries for
+// which match returns true (nil match drops them all).
+func (l *Ledger) removeWhere(owner string, match func(e entry) bool) int {
+	removed := 0
+	for r := range l.byRes {
+		row := l.byRes[r]
+		w := 0
+		for _, e := range row {
+			if e.owner == owner && (match == nil || match(e)) {
+				removed++
+				continue
+			}
+			row[w] = e
+			w++
+		}
+		l.byRes[r] = row[:w]
+	}
+	if removed > 0 {
+		if n := l.owners[owner] - removed; n > 0 {
+			l.owners[owner] = n
+		} else {
+			delete(l.owners, owner)
+		}
+	}
+	return removed
+}
+
+// SetOwner replaces every reservation of owner with rs — the whole-plan
+// publish on initial planning and on every adopted reschedule.
+func (l *Ledger) SetOwner(owner string, rs []Reservation) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.removeWhere(owner, nil)
+	for _, r := range rs {
+		l.insert(r.Resource, entry{owner: owner, job: r.Job, start: r.Start, finish: r.Finish})
+	}
+}
+
+// Update replaces owner's reservation for r.Job (wherever it currently
+// sits — the job may have started on a different resource than planned)
+// with the given interval.
+func (l *Ledger) Update(owner string, r Reservation) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.removeWhere(owner, func(e entry) bool { return e.job == r.Job })
+	l.insert(r.Resource, entry{owner: owner, job: r.Job, start: r.Start, finish: r.Finish})
+}
+
+// ReleaseJob drops owner's reservation for job (a completed job's
+// interval is history, not a claim). It reports whether an entry existed.
+func (l *Ledger) ReleaseJob(owner string, job int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.removeWhere(owner, func(e entry) bool { return e.job == job }) > 0
+}
+
+// Release drops every reservation of owner (workflow reached a terminal
+// state) and returns how many were removed.
+func (l *Ledger) Release(owner string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.removeWhere(owner, nil)
+}
+
+// Count returns owner's live reservation count.
+func (l *Ledger) Count(owner string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.owners[owner]
+}
+
+// Total returns the ledger-wide reservation count.
+func (l *Ledger) Total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, c := range l.owners {
+		n += c
+	}
+	return n
+}
+
+// Owners returns a snapshot of per-owner reservation counts.
+func (l *Ledger) Owners() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int, len(l.owners))
+	for o, c := range l.owners {
+		out[o] = c
+	}
+	return out
+}
+
+// appendBusy appends every interval on r not owned by exclude to buf.
+func (l *Ledger) appendBusy(r grid.ID, exclude string, buf []kernel.Busy) []kernel.Busy {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if int(r) >= len(l.byRes) {
+		return buf
+	}
+	for _, e := range l.byRes[r] {
+		if e.owner == exclude {
+			continue
+		}
+		buf = append(buf, kernel.Busy{Start: e.start, Finish: e.finish})
+	}
+	return buf
+}
+
+// countOthers returns the number of reservations not owned by exclude.
+func (l *Ledger) countOthers(exclude string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for o, c := range l.owners {
+		if o != exclude {
+			n += c
+		}
+	}
+	return n
+}
+
+// View binds the ledger to one owning workflow: the kernel.Occupancy the
+// owner's planner reads (every other owner's reservations are busy) and
+// the write handle its tracker publishes through.
+type View struct {
+	l     *Ledger
+	owner string
+}
+
+// View returns owner's view of the ledger.
+func (l *Ledger) View(owner string) *View { return &View{l: l, owner: owner} }
+
+// Owner returns the workflow identity the view is bound to.
+func (v *View) Owner() string { return v.owner }
+
+// AppendBusy implements kernel.Occupancy: the foreign reservations on r.
+func (v *View) AppendBusy(r grid.ID, buf []kernel.Busy) []kernel.Busy {
+	return v.l.appendBusy(r, v.owner, buf)
+}
+
+// ForeignCount returns how many reservations other owners currently hold.
+func (v *View) ForeignCount() int { return v.l.countOthers(v.owner) }
+
+// Publish replaces the owner's whole reservation set.
+func (v *View) Publish(rs []Reservation) { v.l.SetOwner(v.owner, rs) }
+
+// Update replaces the owner's reservation for one job.
+func (v *View) Update(r Reservation) { v.l.Update(v.owner, r) }
+
+// ReleaseJob drops the owner's reservation for one job.
+func (v *View) ReleaseJob(job int) bool { return v.l.ReleaseJob(v.owner, job) }
+
+// Release drops every reservation of the owner.
+func (v *View) Release() int { return v.l.Release(v.owner) }

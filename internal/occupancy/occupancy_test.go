@@ -1,0 +1,163 @@
+package occupancy
+
+import (
+	"sync"
+	"testing"
+
+	"aheft/internal/grid"
+	"aheft/internal/kernel"
+)
+
+func res(rs ...Reservation) []Reservation { return rs }
+
+func TestSetOwnerReplacesWholesale(t *testing.T) {
+	l := NewLedger(4)
+	l.SetOwner("a", res(
+		Reservation{Job: 0, Resource: 0, Start: 0, Finish: 10},
+		Reservation{Job: 1, Resource: 1, Start: 5, Finish: 15},
+	))
+	if got := l.Count("a"); got != 2 {
+		t.Fatalf("count after publish: %d", got)
+	}
+	l.SetOwner("a", res(Reservation{Job: 2, Resource: 0, Start: 20, Finish: 30}))
+	if got := l.Count("a"); got != 1 {
+		t.Fatalf("count after replace: %d", got)
+	}
+	busy := l.View("b").AppendBusy(0, nil)
+	if len(busy) != 1 || busy[0].Start != 20 || busy[0].Finish != 30 {
+		t.Fatalf("row 0 after replace: %+v", busy)
+	}
+	if busy := l.View("b").AppendBusy(1, nil); len(busy) != 0 {
+		t.Fatalf("row 1 should be empty after replace: %+v", busy)
+	}
+}
+
+func TestViewExcludesOwnReservations(t *testing.T) {
+	l := NewLedger(2)
+	l.SetOwner("a", res(Reservation{Job: 0, Resource: 0, Start: 0, Finish: 10}))
+	l.SetOwner("b", res(Reservation{Job: 0, Resource: 0, Start: 10, Finish: 20}))
+	a := l.View("a").AppendBusy(0, nil)
+	if len(a) != 1 || a[0].Start != 10 {
+		t.Fatalf("a's view should see only b: %+v", a)
+	}
+	b := l.View("b").AppendBusy(0, nil)
+	if len(b) != 1 || b[0].Start != 0 {
+		t.Fatalf("b's view should see only a: %+v", b)
+	}
+	if got := l.View("a").ForeignCount(); got != 1 {
+		t.Fatalf("a foreign count: %d", got)
+	}
+}
+
+func TestAppendBusySortedByStart(t *testing.T) {
+	l := NewLedger(1)
+	l.SetOwner("a", res(
+		Reservation{Job: 1, Resource: 0, Start: 30, Finish: 40},
+		Reservation{Job: 0, Resource: 0, Start: 5, Finish: 10},
+	))
+	l.SetOwner("b", res(Reservation{Job: 0, Resource: 0, Start: 12, Finish: 25}))
+	busy := l.View("c").AppendBusy(0, nil)
+	if len(busy) != 3 {
+		t.Fatalf("want 3 intervals, got %+v", busy)
+	}
+	for i := 1; i < len(busy); i++ {
+		if busy[i].Start < busy[i-1].Start {
+			t.Fatalf("not start-sorted: %+v", busy)
+		}
+	}
+}
+
+func TestUpdateMovesJobAcrossResources(t *testing.T) {
+	l := NewLedger(2)
+	v := l.View("a")
+	v.Publish(res(Reservation{Job: 7, Resource: 0, Start: 0, Finish: 10}))
+	// The job actually started on resource 1 (the plan moved underneath
+	// the enactor); the start report relocates the claim.
+	v.Update(Reservation{Job: 7, Resource: 1, Start: 2, Finish: 12})
+	if got := l.Count("a"); got != 1 {
+		t.Fatalf("update must replace, not add: count %d", got)
+	}
+	if busy := l.View("x").AppendBusy(0, nil); len(busy) != 0 {
+		t.Fatalf("stale claim left on resource 0: %+v", busy)
+	}
+	if busy := l.View("x").AppendBusy(1, nil); len(busy) != 1 || busy[0].Finish != 12 {
+		t.Fatalf("moved claim missing on resource 1: %+v", busy)
+	}
+}
+
+func TestReleaseJobAndRelease(t *testing.T) {
+	l := NewLedger(2)
+	v := l.View("a")
+	v.Publish(res(
+		Reservation{Job: 0, Resource: 0, Start: 0, Finish: 10},
+		Reservation{Job: 1, Resource: 1, Start: 0, Finish: 10},
+		Reservation{Job: 2, Resource: 1, Start: 10, Finish: 20},
+	))
+	if !v.ReleaseJob(1) {
+		t.Fatal("ReleaseJob(1) found nothing")
+	}
+	if v.ReleaseJob(1) {
+		t.Fatal("double release claimed to find an entry")
+	}
+	if got := l.Count("a"); got != 2 {
+		t.Fatalf("count after job release: %d", got)
+	}
+	if got := v.Release(); got != 2 {
+		t.Fatalf("Release removed %d, want 2", got)
+	}
+	if got, total := l.Count("a"), l.Total(); got != 0 || total != 0 {
+		t.Fatalf("leaked reservations: count=%d total=%d owners=%v", got, total, l.Owners())
+	}
+}
+
+func TestLedgerGrowsBeyondHint(t *testing.T) {
+	l := NewLedger(0)
+	l.SetOwner("a", res(Reservation{Job: 0, Resource: 9, Start: 1, Finish: 2}))
+	if busy := l.View("b").AppendBusy(9, nil); len(busy) != 1 {
+		t.Fatalf("row 9: %+v", busy)
+	}
+	if busy := l.View("b").AppendBusy(99, nil); len(busy) != 0 {
+		t.Fatalf("row 99 out of range must read empty: %+v", busy)
+	}
+}
+
+// TestLedgerConcurrentReaders races status-style readers against the
+// owning writer — the ledger is mutated on one shard goroutine but read
+// from metrics/status handlers.
+func TestLedgerConcurrentReaders(t *testing.T) {
+	l := NewLedger(4)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []kernel.Busy
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = l.View("reader").AppendBusy(grid.ID(1), buf[:0])
+				l.Total()
+				l.Owners()
+			}
+		}()
+	}
+	v := l.View("writer")
+	for i := 0; i < 2000; i++ {
+		v.Publish(res(
+			Reservation{Job: 0, Resource: 1, Start: float64(i), Finish: float64(i + 1)},
+			Reservation{Job: 1, Resource: 2, Start: float64(i), Finish: float64(i + 2)},
+		))
+		v.Update(Reservation{Job: 0, Resource: 3, Start: float64(i), Finish: float64(i + 1)})
+		v.ReleaseJob(1)
+		v.Release()
+	}
+	close(stop)
+	wg.Wait()
+	if l.Total() != 0 {
+		t.Fatalf("leaked: %v", l.Owners())
+	}
+}

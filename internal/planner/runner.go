@@ -53,6 +53,12 @@ const (
 	// runs): unstarted jobs scheduled on the departed resource make the
 	// current plan infeasible, which forces adoption of the replan.
 	TriggerDeparture
+	// TriggerContention is a cross-workflow occupancy change on a shared
+	// grid: another workflow finished jobs or departed, releasing its
+	// reservations, so the survivors' slot searches see freed capacity —
+	// the arrival/departure analogue when the "resource" that changed is
+	// another tenant's claim on the grid.
+	TriggerContention
 )
 
 // String returns the trigger's name.
@@ -64,6 +70,8 @@ func (t Trigger) String() string {
 		return "variance"
 	case TriggerDeparture:
 		return "departure"
+	case TriggerContention:
+		return "contention"
 	default:
 		return fmt.Sprintf("Trigger(%d)", int(t))
 	}

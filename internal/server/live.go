@@ -59,7 +59,7 @@ func (sh *shard) startLive(wf *workflow) {
 		sh.srv.retire(wf.id)
 		return
 	}
-	tr, err := feedback.New(feedback.Config{
+	cfg := feedback.Config{
 		Graph:             wf.sub.Graph,
 		Prior:             cost.Exact(wf.sub.Comp),
 		Pool:              wf.sub.Pool,
@@ -67,7 +67,14 @@ func (sh *shard) startLive(wf *workflow) {
 		Policy:            wf.pol,
 		Opts:              wf.opts,
 		VarianceThreshold: wf.varThr,
-	})
+	}
+	if wf.gridRef != nil {
+		// Shared-grid workflow: plan over the grid's resource universe,
+		// publishing reservations into (and planning around) its ledger.
+		cfg.Pool = wf.gridRef.pool
+		cfg.Occupancy = wf.gridRef.ledger.View(wf.id)
+	}
+	tr, err := feedback.New(cfg)
 	wf.mu.Lock()
 	wf.state = StateRunning
 	wf.startedAt = time.Now()
@@ -86,12 +93,19 @@ func (sh *shard) startLive(wf *workflow) {
 	wf.plan = plan
 	wf.generation = plan.Generation
 	wf.mu.Unlock()
+	// The enactor learns the initial plan from GET …/plan; contention
+	// reschedules bumping the generation past this are piggybacked on the
+	// next report ack.
+	wf.ackedGen = plan.Generation
 	wf.append(m, wire.Event{
 		Kind: "plan", Trigger: "initial",
 		Generation: plan.Generation, Makespan: plan.Makespan,
 	})
 	sh.live[wf.id] = wf
 	m.liveResident.Add(1)
+	if wf.gridRef != nil {
+		wf.gridRef.attach(wf)
+	}
 }
 
 // handleCmd serves one report or what-if on the worker goroutine.
@@ -178,12 +192,41 @@ func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 			Kind: "plan", Time: wf.tracker.Clock(), Trigger: ack.Trigger,
 			Generation: plan.Generation, Makespan: plan.Makespan,
 		})
+	} else if gen := wf.tracker.Generation(); gen > wf.ackedGen {
+		// A cross-workflow contention reschedule changed the plan since
+		// this enactor last heard: piggyback the newer plan on the ack so
+		// it is adopted without an extra round trip.
+		wf.mu.Lock()
+		plan := wf.plan
+		wf.mu.Unlock()
+		ack.Rescheduled = true
+		ack.Trigger = plan.Trigger
+		ack.Plan = plan
+		ack.Generation = plan.Generation
 	}
+	wf.ackedGen = wf.tracker.Generation()
+	// Count the reservations this batch released before finishLive tears
+	// the tracker's grid state down.
+	released := 0
+	if wf.gridRef != nil {
+		for _, ev := range c.report.Events[:out.Applied] {
+			if ev.Kind == wire.ReportJobFinished {
+				released++
+			}
+		}
+	}
+	gref := wf.gridRef
 	if out.Done {
 		ack.Makespan = out.Makespan
 		sh.finishLive(wf)
 	}
 	c.reply <- cmdResult{ack: ack}
+	// Cross-workflow trigger: freed capacity is a run-time event for
+	// every survivor on the grid. Evaluated after the reply so the
+	// reporter is not held behind its neighbours' replans.
+	if gref != nil && released > 0 {
+		sh.notifyGrid(gref, wf.id)
+	}
 }
 
 // finishLive completes a live run: terminal event, record release,
@@ -193,6 +236,14 @@ func (sh *shard) finishLive(wf *workflow) {
 	tr := wf.tracker
 	delete(sh.live, wf.id)
 	m.liveResident.Add(-1)
+	if wf.gridRef != nil {
+		// Belt and braces: every per-job release already happened on the
+		// finish reports, but a terminal record must never leave a claim
+		// behind — a leaked reservation would shrink the grid for every
+		// other tenant forever.
+		wf.gridRef.ledger.Release(wf.id)
+		wf.gridRef.detach(wf.id)
+	}
 	res := &planner.Result{
 		Policy:          wf.pol.Name(),
 		Makespan:        tr.Makespan(),
@@ -214,6 +265,12 @@ func (sh *shard) cancelLive(err error) {
 	for id, wf := range sh.live {
 		delete(sh.live, id)
 		m.liveResident.Add(-1)
+		if wf.gridRef != nil {
+			// Force-cancel releases the whole claim set; no survivor
+			// notification — every resident of the shard is being killed.
+			wf.gridRef.ledger.Release(id)
+			wf.gridRef.detach(id)
+		}
 		wf.append(m, wire.Event{Kind: "failed", Error: err.Error()})
 		wf.finish(nil, err)
 		m.liveWorkflowDone(true)
@@ -266,8 +323,8 @@ func (sh *shard) historyFor(tenant string) *history.Repository {
 	r := history.New(0)
 	sh.hist[tenant] = r
 	sh.histOrder = append(sh.histOrder, tenant)
-	if cap := sh.srv.cfg.MaxTenantHistories; cap > 0 {
-		for len(sh.hist) > cap {
+	if limit := sh.srv.cfg.MaxTenantHistories; limit > 0 {
+		for len(sh.hist) > limit {
 			oldest := sh.histOrder[0]
 			sh.histOrder = sh.histOrder[1:]
 			delete(sh.hist, oldest)

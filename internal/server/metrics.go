@@ -34,15 +34,16 @@ type Metrics struct {
 	evicted     atomic.Uint64 // terminal records dropped by the retention cap
 
 	// Feedback loop (live workflows).
-	reports          atomic.Uint64 // accepted report batches
-	reportEvents     atomic.Uint64 // run-time events folded into live runs
-	reportsRejected  atomic.Uint64 // 400/409 report requests
-	whatifs          atomic.Uint64 // answered what-if queries
-	reschedVariance  atomic.Uint64 // adopted reschedules by trigger
-	reschedArrival   atomic.Uint64
-	reschedDeparture atomic.Uint64
-	liveResident     atomic.Int64  // live workflows parked on shards
-	historyEvicted   atomic.Uint64 // tenant repositories dropped by the LRU cap
+	reports           atomic.Uint64 // accepted report batches
+	reportEvents      atomic.Uint64 // run-time events folded into live runs
+	reportsRejected   atomic.Uint64 // 400/409 report requests
+	whatifs           atomic.Uint64 // answered what-if queries
+	reschedVariance   atomic.Uint64 // adopted reschedules by trigger
+	reschedArrival    atomic.Uint64
+	reschedDeparture  atomic.Uint64
+	reschedContention atomic.Uint64 // cross-workflow (shared-grid) reschedules
+	liveResident      atomic.Int64  // live workflows parked on shards
+	historyEvicted    atomic.Uint64 // tenant repositories dropped by the LRU cap
 
 	// Event path.
 	eventsEmitted atomic.Uint64
@@ -169,10 +170,17 @@ type MetricsDoc struct {
 	ReschedulesVariance  uint64 `json:"reschedules_variance"`
 	ReschedulesArrival   uint64 `json:"reschedules_arrival"`
 	ReschedulesDeparture uint64 `json:"reschedules_departure"`
-	LiveResident         int64  `json:"live_resident"`
-	HistoryTenants       int    `json:"history_tenants"`
-	HistoryCells         int    `json:"history_cells"`
-	HistoryEvicted       uint64 `json:"history_evicted"`
+	// ReschedulesContention counts adopted cross-workflow reschedules:
+	// a shared-grid survivor taking capacity another workflow released.
+	ReschedulesContention uint64 `json:"reschedules_contention"`
+	LiveResident          int64  `json:"live_resident"`
+	HistoryTenants        int    `json:"history_tenants"`
+	HistoryCells          int    `json:"history_cells"`
+	HistoryEvicted        uint64 `json:"history_evicted"`
+	// SharedGrids / Reservations are the shared-grid gauges: registered
+	// grids, and the aggregate live reservation count across them.
+	SharedGrids  int `json:"shared_grids"`
+	Reservations int `json:"reservations"`
 
 	EventsEmitted uint64 `json:"events_emitted"`
 	EventsDropped uint64 `json:"events_dropped"`
@@ -195,38 +203,41 @@ type ComputeMs struct {
 // snapshot assembles the document; queueDepth supplies the current
 // per-shard queue lengths, historyTenants/historyCells the aggregated
 // tenant-repository gauges.
-func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells int) MetricsDoc {
+func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, sharedGrids, reservations int) MetricsDoc {
 	q := m.compute.quantiles(0.50, 0.90, 0.99)
 	return MetricsDoc{
-		UptimeS:              time.Since(m.start).Seconds(),
-		Shards:               len(queueDepth),
-		Submissions:          m.submissions.Load(),
-		Accepted:             m.accepted.Load(),
-		RejectedFull:         m.rejectedFull.Load(),
-		RejectedInvalid:      m.rejectedInvalid.Load(),
-		RejectedDrain:        m.rejectedDrain.Load(),
-		AbandonedIntake:      m.abandonedIntake.Load(),
-		Completed:            m.completed.Load(),
-		Failed:               m.failed.Load(),
-		Decisions:            m.decisions.Load(),
-		Reschedules:          m.reschedules.Load(),
-		Evicted:              m.evicted.Load(),
-		Reports:              m.reports.Load(),
-		ReportEvents:         m.reportEvents.Load(),
-		ReportsRejected:      m.reportsRejected.Load(),
-		WhatIfQueries:        m.whatifs.Load(),
-		ReschedulesVariance:  m.reschedVariance.Load(),
-		ReschedulesArrival:   m.reschedArrival.Load(),
-		ReschedulesDeparture: m.reschedDeparture.Load(),
-		LiveResident:         m.liveResident.Load(),
-		HistoryTenants:       historyTenants,
-		HistoryCells:         historyCells,
-		HistoryEvicted:       m.historyEvicted.Load(),
-		EventsEmitted:        m.eventsEmitted.Load(),
-		EventsDropped:        m.eventsDropped.Load(),
-		Inflight:             m.inflight.Load(),
-		InflightPeak:         m.inflightPeak.Load(),
-		QueueDepth:           queueDepth,
+		UptimeS:               time.Since(m.start).Seconds(),
+		Shards:                len(queueDepth),
+		Submissions:           m.submissions.Load(),
+		Accepted:              m.accepted.Load(),
+		RejectedFull:          m.rejectedFull.Load(),
+		RejectedInvalid:       m.rejectedInvalid.Load(),
+		RejectedDrain:         m.rejectedDrain.Load(),
+		AbandonedIntake:       m.abandonedIntake.Load(),
+		Completed:             m.completed.Load(),
+		Failed:                m.failed.Load(),
+		Decisions:             m.decisions.Load(),
+		Reschedules:           m.reschedules.Load(),
+		Evicted:               m.evicted.Load(),
+		Reports:               m.reports.Load(),
+		ReportEvents:          m.reportEvents.Load(),
+		ReportsRejected:       m.reportsRejected.Load(),
+		WhatIfQueries:         m.whatifs.Load(),
+		ReschedulesVariance:   m.reschedVariance.Load(),
+		ReschedulesArrival:    m.reschedArrival.Load(),
+		ReschedulesDeparture:  m.reschedDeparture.Load(),
+		ReschedulesContention: m.reschedContention.Load(),
+		LiveResident:          m.liveResident.Load(),
+		HistoryTenants:        historyTenants,
+		HistoryCells:          historyCells,
+		HistoryEvicted:        m.historyEvicted.Load(),
+		SharedGrids:           sharedGrids,
+		Reservations:          reservations,
+		EventsEmitted:         m.eventsEmitted.Load(),
+		EventsDropped:         m.eventsDropped.Load(),
+		Inflight:              m.inflight.Load(),
+		InflightPeak:          m.inflightPeak.Load(),
+		QueueDepth:            queueDepth,
 		ComputeMs: ComputeMs{
 			Count: m.compute.count(),
 			P50:   q[0], P90: q[1], P99: q[2],

@@ -68,6 +68,10 @@ type Config struct {
 	// workflows start with cold estimates). 0 means 1024; negative
 	// disables eviction.
 	MaxTenantHistories int
+	// MaxSharedGrids caps how many named shared grids may be registered
+	// (each pins its pool and reservation ledger for the daemon's
+	// lifetime). 0 means 256; negative disables the cap.
+	MaxSharedGrids int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTenantHistories == 0 {
 		c.MaxTenantHistories = 1024
 	}
+	if c.MaxSharedGrids == 0 {
+		c.MaxSharedGrids = 256
+	}
 	return c
 }
 
@@ -119,6 +126,10 @@ type Server struct {
 	// queues, so no send can race a close.
 	submitMu sync.RWMutex
 	draining bool
+
+	// Shared-grid registry (see grids.go).
+	gridMu sync.RWMutex
+	grids  map[string]*sharedGrid
 
 	mu       sync.RWMutex
 	wfs      map[string]*workflow
@@ -142,6 +153,7 @@ func New(cfg Config) *Server {
 		intake:    make(chan struct{}, cfg.MaxConcurrentIntake),
 		runCtx:    ctx,
 		cancelRun: cancel,
+		grids:     make(map[string]*sharedGrid),
 		wfs:       make(map[string]*workflow),
 	}
 	for i := 0; i < cfg.Shards; i++ {
@@ -163,6 +175,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/workflows/{id}/plan", s.handlePlan)
 	mux.HandleFunc("POST /v1/workflows/{id}/report", s.handleReport)
 	mux.HandleFunc("POST /v1/workflows/{id}/whatif", s.handleWhatIf)
+	mux.HandleFunc("PUT /v1/grids/{name}", s.handleGridPut)
+	mux.HandleFunc("GET /v1/grids/{name}", s.handleGridGet)
+	mux.HandleFunc("GET /v1/grids", s.handleGridList)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -186,7 +201,8 @@ func (s *Server) MetricsSnapshot() MetricsDoc {
 		tenants += t
 		cells += c
 	}
-	return s.metrics.snapshot(depth, tenants, cells)
+	grids, reservations := s.gridTotals()
+	return s.metrics.snapshot(depth, tenants, cells, grids, reservations)
 }
 
 // Shutdown drains the daemon: it stops intake (further submissions get
@@ -246,7 +262,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("wf-%08d", s.seq)
 	s.mu.Unlock()
 	shardID := shardFor(id, len(s.shards))
-	if q := s.shards[shardID].queue; len(q) == cap(q) {
+	// The id-hashed shard is only a guess until the body is decoded (a
+	// shared-grid submission re-routes to its grid's shard), so the
+	// pre-decode fast reject fires only when *every* queue is full —
+	// then no routing could succeed and reading the body is futile.
+	allFull := true
+	for _, sh := range s.shards {
+		if len(sh.queue) < cap(sh.queue) {
+			allFull = false
+			break
+		}
+	}
+	if allFull {
 		m.rejectedFull.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: fmt.Sprintf("shard %d queue full", shardID)})
@@ -312,6 +339,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if varThr <= 0 {
 		varThr = s.cfg.VarianceThreshold
 	}
+	// Shared-grid attachment: resolve the named grid and re-route the
+	// workflow to the grid's shard, so every workflow contending on one
+	// grid plans on one goroutine against one ledger.
+	var gref *sharedGrid
+	poolSize := 0
+	if sub.SharedGrid != "" {
+		g, ok := s.gridLookup(sub.SharedGrid)
+		if !ok {
+			m.rejectedInvalid.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorDoc{
+				Error: fmt.Sprintf("unknown shared grid %q (create it with PUT /v1/grids/%s)", sub.SharedGrid, sub.SharedGrid)})
+			return
+		}
+		if sub.Comp.Resources() != g.pool.Size() {
+			m.rejectedInvalid.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorDoc{
+				Error: fmt.Sprintf("estimator table covers %d resources, grid %q has %d",
+					sub.Comp.Resources(), sub.SharedGrid, g.pool.Size())})
+			return
+		}
+		gref = g
+		shardID = g.shard
+		poolSize = g.pool.Size()
+	} else {
+		poolSize = sub.Pool.Size()
+	}
 
 	wf := &workflow{
 		id:        id,
@@ -321,8 +374,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		live:      live,
 		tenant:    tenant,
 		varThr:    varThr,
+		gridRef:   gref,
 		jobs:      sub.Graph.Len(),
-		resources: sub.Pool.Size(),
+		resources: poolSize,
 		pol:       pol,
 		opts: policy.Options{
 			TieWindow:      sub.Options.TieWindow,
@@ -401,13 +455,13 @@ func (s *Server) reject(wf *workflow, err error) {
 // and with it the decoded submissions and event logs it pins — stays
 // bounded over an arbitrarily long daemon lifetime.
 func (s *Server) retire(id string) {
-	cap := s.cfg.MaxRetained
-	if cap < 0 {
+	limit := s.cfg.MaxRetained
+	if limit < 0 {
 		return
 	}
 	s.mu.Lock()
 	s.retained = append(s.retained, id)
-	for len(s.retained) > cap {
+	for len(s.retained) > limit {
 		delete(s.wfs, s.retained[0])
 		s.retained = s.retained[1:]
 		s.metrics.evicted.Add(1)

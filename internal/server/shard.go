@@ -43,6 +43,16 @@ type workflow struct {
 	// handlers reach it only through the shard's command channel.
 	tracker *feedback.Tracker
 
+	// gridRef is the shared grid the workflow is attached to (nil for
+	// private-pool workflows). Immutable after submit; the workflow is
+	// routed to the grid's shard.
+	gridRef *sharedGrid
+	// ackedGen is the last plan generation the enactor has been handed
+	// (initial fetch or a report ack). When a cross-workflow contention
+	// reschedule bumps the plan between this enactor's reports, the next
+	// ack piggybacks the newer plan. Shard-goroutine only.
+	ackedGen int
+
 	// Shape captured at submission so status never needs the (released)
 	// submission.
 	jobs      int
@@ -160,6 +170,9 @@ func (wf *workflow) status() wire.Status {
 		st.Tenant = wf.tenant
 		st.Generation = wf.generation
 		st.Reports = wf.reports
+	}
+	if wf.gridRef != nil {
+		st.Grid = wf.gridRef.name
 	}
 	switch {
 	case !wf.startedAt.IsZero():

@@ -236,4 +236,9 @@ type WhatIfDoc struct {
 	Delta float64 `json:"delta"`
 	// WouldAdopt reports whether the planner would switch schedules.
 	WouldAdopt bool `json:"would_adopt"`
+	// ForeignReservations counts the other workflows' reservations the
+	// hypothetical replan had to plan around (shared grids only): the
+	// what-if answer is against the grid's aggregate occupancy, not a
+	// private pool snapshot.
+	ForeignReservations int `json:"foreign_reservations,omitempty"`
 }

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strings"
 
 	"aheft/internal/cost"
 	"aheft/internal/dag"
@@ -101,6 +102,31 @@ const (
 // MaxTenantLen bounds the tenant label length.
 const MaxTenantLen = 128
 
+// SharedPoolPrefix marks a pool reference: a submission whose "pool"
+// field is the JSON string "shared:<name>" attaches to the named
+// shard-resident shared grid (created via PUT /v1/grids/{name}) instead
+// of shipping a private pool of its own. Workflows on the same grid see
+// each other's reservations during planning.
+const SharedPoolPrefix = "shared:"
+
+// MaxGridNameLen bounds a shared-grid name.
+const MaxGridNameLen = 128
+
+// ValidGridName reports whether name is acceptable as a shared-grid
+// identifier: non-empty, bounded, and free of control characters and '/'
+// (names appear in URL paths).
+func ValidGridName(name string) bool {
+	if name == "" || len(name) > MaxGridNameLen {
+		return false
+	}
+	for _, c := range name {
+		if c < 0x21 || c == 0x7f || c == '/' {
+			return false
+		}
+	}
+	return true
+}
+
 // Submission is the envelope of one POST /v1/workflows request.
 type Submission struct {
 	// V is the envelope version (see Version).
@@ -125,7 +151,93 @@ type Submission struct {
 	// matrix over every resource that ever joins the pool.
 	Comp *cost.Table `json:"comp"`
 	// Pool is the dynamic resource pool: arrivals in resource-ID order.
-	Pool *grid.Pool `json:"pool"`
+	// Exactly one of Pool and SharedGrid is set; on the wire both travel
+	// in the "pool" field (an inline pool document, or the string
+	// "shared:<name>").
+	Pool *grid.Pool `json:"-"`
+	// SharedGrid, when non-empty, attaches the workflow to the named
+	// shard-resident shared grid instead of shipping a private pool. The
+	// grid must already exist (PUT /v1/grids/{name}) and the estimator
+	// table must cover its resource universe. Shared submissions must be
+	// ModeLive: contention is resolved through the enactment feedback
+	// loop, and the workflow's reservations become visible to every other
+	// workflow on the same grid.
+	SharedGrid string `json:"-"`
+}
+
+// submissionWire mirrors Submission field for field with the pool carried
+// raw, implementing the polymorphic "pool" encoding. Field order must
+// match Submission so canonical re-encoding is stable.
+type submissionWire struct {
+	V       int             `json:"v"`
+	Name    string          `json:"name,omitempty"`
+	Mode    string          `json:"mode,omitempty"`
+	Tenant  string          `json:"tenant,omitempty"`
+	Policy  string          `json:"policy,omitempty"`
+	Options Options         `json:"options,omitempty"`
+	Graph   *dag.Graph      `json:"graph"`
+	Comp    *cost.Table     `json:"comp"`
+	Pool    json.RawMessage `json:"pool"`
+}
+
+// MarshalJSON encodes the submission with the pool field holding either
+// the inline pool document or the "shared:<name>" reference.
+func (s Submission) MarshalJSON() ([]byte, error) {
+	w := submissionWire{
+		V: s.V, Name: s.Name, Mode: s.Mode, Tenant: s.Tenant,
+		Policy: s.Policy, Options: s.Options, Graph: s.Graph, Comp: s.Comp,
+	}
+	switch {
+	case s.SharedGrid != "" && s.Pool != nil:
+		return nil, fmt.Errorf("wire: submission sets both pool and shared grid %q", s.SharedGrid)
+	case s.SharedGrid != "":
+		ref, err := json.Marshal(SharedPoolPrefix + s.SharedGrid)
+		if err != nil {
+			return nil, err
+		}
+		w.Pool = ref
+	case s.Pool != nil:
+		inline, err := json.Marshal(s.Pool)
+		if err != nil {
+			return nil, err
+		}
+		w.Pool = inline
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the polymorphic pool field: a JSON string is a
+// shared-grid reference, anything else an inline pool document.
+func (s *Submission) UnmarshalJSON(data []byte) error {
+	var w submissionWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*s = Submission{
+		V: w.V, Name: w.Name, Mode: w.Mode, Tenant: w.Tenant,
+		Policy: w.Policy, Options: w.Options, Graph: w.Graph, Comp: w.Comp,
+	}
+	if len(w.Pool) == 0 || string(w.Pool) == "null" {
+		return nil
+	}
+	if w.Pool[0] == '"' {
+		var ref string
+		if err := json.Unmarshal(w.Pool, &ref); err != nil {
+			return fmt.Errorf("wire: decode pool reference: %w", err)
+		}
+		name, ok := strings.CutPrefix(ref, SharedPoolPrefix)
+		if !ok {
+			return fmt.Errorf("wire: pool reference %q must start with %q", ref, SharedPoolPrefix)
+		}
+		s.SharedGrid = name
+		return nil
+	}
+	var p grid.Pool
+	if err := json.Unmarshal(w.Pool, &p); err != nil {
+		return err
+	}
+	s.Pool = &p
+	return nil
 }
 
 // Validate cross-checks the decoded parts against each other and the
@@ -156,17 +268,32 @@ func (s *Submission) Validate(lim Limits) error {
 	if s.Comp == nil || s.Comp.Jobs() == 0 {
 		return fmt.Errorf("wire: submission has no estimator table")
 	}
-	if s.Pool == nil || s.Pool.Size() == 0 {
-		return fmt.Errorf("wire: submission has no resource pool")
-	}
 	if lim.MaxJobs > 0 && s.Graph.Len() > lim.MaxJobs {
 		return fmt.Errorf("wire: %d jobs exceeds limit %d", s.Graph.Len(), lim.MaxJobs)
 	}
-	if lim.MaxResources > 0 && s.Pool.Size() > lim.MaxResources {
-		return fmt.Errorf("wire: %d resources exceeds limit %d", s.Pool.Size(), lim.MaxResources)
-	}
 	if s.Comp.Jobs() != s.Graph.Len() {
 		return fmt.Errorf("wire: estimator table covers %d jobs, graph has %d", s.Comp.Jobs(), s.Graph.Len())
+	}
+	if s.SharedGrid != "" {
+		// Shared-grid submission: the pool lives on the daemon, which
+		// cross-checks the estimator table against the grid's resource
+		// universe at submit time.
+		if s.Pool != nil {
+			return fmt.Errorf("wire: submission sets both pool and shared grid %q", s.SharedGrid)
+		}
+		if !ValidGridName(s.SharedGrid) {
+			return fmt.Errorf("wire: invalid shared-grid name %q", s.SharedGrid)
+		}
+		if s.Mode != ModeLive {
+			return fmt.Errorf("wire: shared grid %q requires mode %q", s.SharedGrid, ModeLive)
+		}
+		return nil
+	}
+	if s.Pool == nil || s.Pool.Size() == 0 {
+		return fmt.Errorf("wire: submission has no resource pool")
+	}
+	if lim.MaxResources > 0 && s.Pool.Size() > lim.MaxResources {
+		return fmt.Errorf("wire: %d resources exceeds limit %d", s.Pool.Size(), lim.MaxResources)
 	}
 	if s.Comp.Resources() != s.Pool.Size() {
 		return fmt.Errorf("wire: estimator table covers %d resources, pool has %d", s.Comp.Resources(), s.Pool.Size())
@@ -203,6 +330,83 @@ func DecodeSubmission(data []byte, lim Limits) (*Submission, error) {
 		return nil, err
 	}
 	return &s, nil
+}
+
+// --- Shared-grid documents --------------------------------------------
+
+// GridSpec is the PUT /v1/grids/{name} body: the resource universe of a
+// shard-resident shared grid that live workflows attach to with
+// pool: "shared:<name>".
+type GridSpec struct {
+	// V is the envelope version (see Version).
+	V int `json:"v"`
+	// Pool is the grid's dynamic resource pool; every attaching
+	// workflow's estimator table must cover it.
+	Pool *grid.Pool `json:"pool"`
+}
+
+// Validate checks the spec against the limits.
+func (g *GridSpec) Validate(lim Limits) error {
+	lim = lim.withDefaults()
+	if g.V < 0 || g.V > Version {
+		return fmt.Errorf("wire: unsupported envelope version %d (max %d)", g.V, Version)
+	}
+	if g.Pool == nil || g.Pool.Size() == 0 {
+		return fmt.Errorf("wire: grid spec has no resource pool")
+	}
+	if lim.MaxResources > 0 && g.Pool.Size() > lim.MaxResources {
+		return fmt.Errorf("wire: %d resources exceeds limit %d", g.Pool.Size(), lim.MaxResources)
+	}
+	return nil
+}
+
+// EncodeGridSpec marshals the spec at the current envelope version after
+// validating its structure.
+func EncodeGridSpec(g *GridSpec) ([]byte, error) {
+	stamped := *g
+	stamped.V = Version
+	if err := stamped.Validate(Limits{MaxJobs: -1, MaxResources: -1}); err != nil {
+		return nil, err
+	}
+	return json.Marshal(&stamped)
+}
+
+// DecodeGridSpec unmarshals and validates one grid spec. It never panics
+// on any input.
+func DecodeGridSpec(data []byte, lim Limits) (*GridSpec, error) {
+	var g GridSpec
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("wire: decode grid spec: %w", err)
+	}
+	if err := g.Validate(lim); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// GridOwner is one attached workflow's live reservation footprint.
+type GridOwner struct {
+	Workflow     string `json:"workflow"`
+	Reservations int    `json:"reservations"`
+}
+
+// GridStatus is the GET /v1/grids/{name} response (and each element of
+// GET /v1/grids).
+type GridStatus struct {
+	Name string `json:"name"`
+	// Shard is the session worker hosting the grid; every workflow
+	// attached to the grid executes there.
+	Shard     int `json:"shard"`
+	Resources int `json:"resources"`
+	// Attached counts the live workflows currently resident on the grid.
+	Attached int `json:"attached"`
+	// Reservations is the aggregate occupancy: the total live reservation
+	// count across every attached workflow. It must drain to zero when
+	// the last workflow finishes — a non-zero value with Attached == 0 is
+	// a leak.
+	Reservations int `json:"reservations"`
+	// Owners breaks Reservations down per attached workflow.
+	Owners []GridOwner `json:"owners,omitempty"`
 }
 
 // --- Response-side wire types (shared by the daemon and loadgen). ---
@@ -250,6 +454,9 @@ type Status struct {
 	Mode string `json:"mode,omitempty"`
 	// Tenant is the performance-history scope of a live workflow.
 	Tenant string `json:"tenant,omitempty"`
+	// Grid names the shared grid the workflow is attached to (shared
+	// submissions only).
+	Grid string `json:"grid,omitempty"`
 	// Generation is the live plan generation (0 for analytic workflows).
 	Generation int `json:"generation,omitempty"`
 	// Reports counts accepted report batches (live workflows).

@@ -168,6 +168,100 @@ func TestDecodeRejects(t *testing.T) {
 	}
 }
 
+// sharedSubmission is a live submission attaching to a shared grid.
+func sharedSubmission() *Submission {
+	sc := workload.SampleScenario()
+	return &Submission{
+		Name:       "fig4-shared",
+		Mode:       ModeLive,
+		Tenant:     "blast",
+		Policy:     "aheft",
+		Graph:      sc.Graph,
+		Comp:       sc.Table,
+		SharedGrid: "cluster-a",
+	}
+}
+
+func TestSharedGridSubmissionRoundTrip(t *testing.T) {
+	data, err := EncodeSubmission(sharedSubmission())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"pool":"shared:cluster-a"`)) {
+		t.Fatalf("pool reference not encoded as a string:\n%s", data)
+	}
+	got, err := DecodeSubmission(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SharedGrid != "cluster-a" || got.Pool != nil {
+		t.Fatalf("reference lost: shared=%q pool=%v", got.SharedGrid, got.Pool)
+	}
+	again, err := EncodeSubmission(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encoding not canonical:\n%s\nvs\n%s", data, again)
+	}
+}
+
+func TestSharedGridSubmissionRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(s *Submission)
+		want   string
+	}{
+		{"analytic mode", func(s *Submission) { s.Mode = "" }, "requires mode"},
+		{"explicit analytic", func(s *Submission) { s.Mode = ModeAnalytic }, "requires mode"},
+		{"both pool and grid", func(s *Submission) { s.Pool = workload.SampleScenario().Pool }, "both pool and shared grid"},
+		{"name with slash", func(s *Submission) { s.SharedGrid = "a/b" }, "invalid shared-grid name"},
+		{"name with space", func(s *Submission) { s.SharedGrid = "a b" }, "invalid shared-grid name"},
+		{"oversized name", func(s *Submission) { s.SharedGrid = strings.Repeat("x", MaxGridNameLen+1) }, "invalid shared-grid name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := sharedSubmission()
+			tc.mutate(s)
+			if err := s.Validate(Limits{}); err == nil {
+				t.Fatal("validate accepted the mutation")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// A bare pool string without the prefix is rejected at decode.
+	valid, err := EncodeSubmission(sharedSubmission())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(valid, []byte(`"shared:cluster-a"`), []byte(`"cluster-a"`), 1)
+	if _, err := DecodeSubmission(bad, Limits{}); err == nil || !strings.Contains(err.Error(), "must start with") {
+		t.Fatalf("bare pool string accepted: %v", err)
+	}
+}
+
+func TestGridSpecRoundTrip(t *testing.T) {
+	sc := workload.SampleScenario()
+	data, err := EncodeGridSpec(&GridSpec{Pool: sc.Pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeGridSpec(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pool.Size() != sc.Pool.Size() {
+		t.Fatalf("pool shape lost: %d != %d", got.Pool.Size(), sc.Pool.Size())
+	}
+	if _, err := DecodeGridSpec([]byte(`{"v":1}`), Limits{}); err == nil {
+		t.Fatal("empty grid spec accepted")
+	}
+	if _, err := DecodeGridSpec(data, Limits{MaxResources: 2}); err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+}
+
 // FuzzSerializeRoundTrip holds the decoder to two properties on arbitrary
 // input: it never panics, and any document it accepts re-encodes
 // canonically (encode(decode(d)) decodes to the same bytes again). This
@@ -184,8 +278,12 @@ func FuzzSerializeRoundTrip(f *testing.F) {
 			f.Add(seed)
 		}
 	}
+	if seed, err := EncodeSubmission(sharedSubmission()); err == nil {
+		f.Add(seed)
+	}
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"v":1,"graph":{"name":"g","jobs":[{"name":"a"}],"edges":[]},"comp":[[1]],"pool":[{"t":0,"name":"r"}]}`))
+	f.Add([]byte(`{"v":1,"mode":"live","graph":{"name":"g","jobs":[{"name":"a"}],"edges":[]},"comp":[[1]],"pool":"shared:g1"}`))
 	f.Add([]byte(`{"v":2}`))
 	f.Add([]byte(`not json`))
 	f.Fuzz(func(t *testing.T, data []byte) {
