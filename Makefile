@@ -43,6 +43,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzSerializeRoundTrip' -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run '^$$' -fuzz 'FuzzReportRoundTrip' -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run '^$$' -fuzz 'FuzzKernelReschedule' -fuzztime $(FUZZTIME) ./internal/kernel
+	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime $(FUZZTIME) ./internal/durable
 
 # bench runs the scheduling-kernel benches (placement + reschedule hot
 # paths on layered 1k–20k-job stress DAGs, plus the end-to-end adaptive
@@ -59,15 +60,16 @@ bench:
 # bench-server runs the daemon benches — end-to-end workflows/sec
 # through the aheftd server core (wire ingestion, shard routing, engine,
 # SSE completion), the feedback-loop ingest benches (report batches into
-# the per-tenant history, and forced variance reschedules), and the
+# the per-tenant history, and forced variance reschedules), the
 # shared-grid co-scheduling rounds (2-tenant contention-aware planning +
-# merged enactment vs the isolated baseline) — and snapshots them into
-# BENCH_SERVER_OUT (default BENCH_server.json, the committed reference).
-# CI records a fresh snapshot and prints the ratio table with
-# cmd/benchcmp.
+# merged enactment vs the isolated baseline), and the durability benches
+# (end-to-end throughput under each WAL fsync policy, raw WAL appends,
+# and startup recovery replay) — and snapshots them into BENCH_SERVER_OUT
+# (default BENCH_server.json, the committed reference). CI records a
+# fresh snapshot and prints the ratio table with cmd/benchcmp.
 BENCH_SERVER_OUT ?= BENCH_server.json
 bench-server:
-	$(GO) test -run '^$$' -bench 'BenchmarkServer|BenchmarkFeedback|BenchmarkSharedGrid' -benchmem . > bench-server.txt || { cat bench-server.txt; rm -f bench-server.txt; exit 1; }
+	$(GO) test -run '^$$' -bench 'BenchmarkServer|BenchmarkFeedback|BenchmarkSharedGrid|BenchmarkWAL|BenchmarkRecovery' -benchmem . > bench-server.txt || { cat bench-server.txt; rm -f bench-server.txt; exit 1; }
 	cat bench-server.txt
 	$(GO) run ./cmd/benchjson < bench-server.txt > $(BENCH_SERVER_OUT)
 	@rm -f bench-server.txt

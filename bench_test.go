@@ -26,6 +26,7 @@ import (
 	"aheft"
 	"aheft/internal/core"
 	"aheft/internal/drive"
+	"aheft/internal/durable"
 	"aheft/internal/experiment"
 	"aheft/internal/heft"
 	"aheft/internal/kernel"
@@ -302,8 +303,8 @@ func serverBenchBodies(b *testing.B, n int) [][]byte {
 
 // benchServerThroughput drives b.N workflows end to end: each op is one
 // POST plus an SSE follow to the terminal event.
-func benchServerThroughput(b *testing.B, shards int) {
-	srv := server.New(server.Config{Shards: shards, QueueDepth: 4096})
+func benchServerThroughput(b *testing.B, cfg server.Config) {
+	srv := server.New(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer func() {
@@ -360,9 +361,117 @@ func BenchmarkServerThroughput(b *testing.B) {
 	for _, shards := range []int{1, 4} {
 		shards := shards
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchServerThroughput(b, shards)
+			benchServerThroughput(b, server.Config{Shards: shards, QueueDepth: 4096})
 		})
 	}
+}
+
+// BenchmarkServerThroughputWAL is the durability overhead contract: the
+// same end-to-end throughput bench as BenchmarkServerThroughput/shards=4
+// with the per-shard WAL journaling every submission and terminal record
+// under each fsync policy. "interval" (the default) is the number to
+// compare against the no-WAL baseline; "always" prices an fsync per
+// append.
+func BenchmarkServerThroughputWAL(b *testing.B) {
+	for _, policy := range []string{"off", "interval", "always"} {
+		policy := policy
+		b.Run("sync="+policy, func(b *testing.B) {
+			benchServerThroughput(b, server.Config{
+				Shards: 4, QueueDepth: 4096,
+				DataDir: b.TempDir(), WALSync: policy,
+			})
+		})
+	}
+}
+
+// BenchmarkWALAppend isolates the durable store's hot path: one
+// length-prefixed CRC-framed record appended to a shard WAL per op, with
+// a payload sized like a live workflow's journaled state record.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := json.RawMessage(`{"assignments":[` +
+		strings.TrimSuffix(strings.Repeat(`{"job":7,"resource":2,"start":11.5,"finish":25.25},`, 8), ",") + `]}`)
+	for _, policy := range []string{"off", "interval", "always"} {
+		policy := policy
+		b.Run("sync="+policy, func(b *testing.B) {
+			pol, err := durable.ParseSyncPolicy(policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, _, err := durable.Open(b.TempDir(), pol, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Append(wire.WALState, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures startup replay: each op opens a data
+// directory holding 100 crashed live workflows (plans, feedback state,
+// tenant histories) and rebuilds the resident daemon state. The wf/s
+// metric is recovered workflows per second.
+func BenchmarkRecovery(b *testing.B) {
+	const workflows = 100
+	cfg := server.Config{Shards: 4, QueueDepth: 4096, DataDir: b.TempDir(), WALSync: "off"}
+	srv, err := server.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	sc := workload.SampleScenario()
+	body, err := wire.EncodeSubmission(&wire.Submission{
+		Mode: wire.ModeLive, Policy: "aheft", Tenant: "bench",
+		Graph: sc.Graph, Comp: sc.Table, Pool: sc.Pool,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	for i := 0; i < workflows; i++ {
+		resp, err := client.Post(ts.URL+"/v1/workflows", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sub wire.Submitted
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			pr, err := client.Get(ts.URL + "/v1/workflows/" + sub.ID + "/plan")
+			if err != nil {
+				b.Fatal(err)
+			}
+			pr.Body.Close()
+			if pr.StatusCode == http.StatusOK {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	ts.Close()
+	srv.Crash()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := server.Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m := s.MetricsSnapshot(); m.RecoveredWorkflows != workflows {
+			b.Fatalf("recovered %d workflows, want %d", m.RecoveredWorkflows, workflows)
+		}
+		s.Crash()
+	}
+	b.ReportMetric(float64(workflows)*float64(b.N)/b.Elapsed().Seconds(), "wf/s")
 }
 
 // --- Feedback-loop ingest benches (part of `make bench-server`). ---

@@ -4,6 +4,13 @@
 //
 //	aheftd -addr :7070 -shards 4 -queue 256
 //
+// With -data-dir the daemon is durable: every shard journals its state
+// to a write-ahead log (fsync policy -wal-sync) with periodic snapshots,
+// and a restarted daemon replays the directory to resume live workflows
+// mid-flight. While replay runs the listener answers 503 "recovering"
+// (GET /v1/healthz), flipping to "ready" when the recovered state is
+// serving.
+//
 // SIGTERM or SIGINT starts a graceful drain: intake returns 503, every
 // queued workflow finishes, then the process exits 0. A second signal —
 // or the -drain-timeout deadline — force-cancels in-flight runs and
@@ -22,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"aheft/internal/buildinfo"
 	"aheft/internal/server"
 	"aheft/internal/wire"
 )
@@ -37,9 +45,32 @@ func main() {
 	varThr := flag.Float64("variance-threshold", 0, "default significant-variance gate for live workflows (0 = built-in 0.2)")
 	maxTenants := flag.Int("max-tenant-histories", 0, "per-shard cap on retained tenant performance histories (0 = 1024, negative = unbounded)")
 	maxGrids := flag.Int("max-grids", 0, "cap on registered shared grids (0 = 256, negative = unbounded)")
+	dataDir := flag.String("data-dir", "", "durability directory (per-shard WAL + snapshots); empty = in-memory only")
+	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | off")
+	walSyncInterval := flag.Duration("wal-sync-interval", 0, "fsync cadence for -wal-sync=interval (0 = built-in 100ms)")
+	snapInterval := flag.Duration("snapshot-interval", 0, "per-shard snapshot cadence (0 = built-in 30s)")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
+
+	// Serve the readiness gate before recovery starts: a restarted durable
+	// daemon with a deep WAL answers 503 "recovering" instead of refusing
+	// connections, so load balancers and the chaos harness can wait on
+	// /v1/healthz rather than on the TCP dial.
+	gate := server.NewGate()
+	httpSrv := &http.Server{Addr: *addr, Handler: gate}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("aheftd: %s listening on %s (%d shards, queue depth %d, default policy %s)",
+			buildinfo.String(), *addr, *shards, *queue, *defaultPolicy)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	srv, err := server.Open(server.Config{
 		Shards:             *shards,
 		QueueDepth:         *queue,
 		Limits:             wire.Limits{MaxJobs: *maxJobs, MaxResources: *maxRes},
@@ -47,15 +78,20 @@ func main() {
 		VarianceThreshold:  *varThr,
 		MaxTenantHistories: *maxTenants,
 		MaxSharedGrids:     *maxGrids,
+		DataDir:            *dataDir,
+		WALSync:            *walSync,
+		WALSyncInterval:    *walSyncInterval,
+		SnapshotInterval:   *snapInterval,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("aheftd: listening on %s (%d shards, queue depth %d, default policy %s)",
-			*addr, *shards, *queue, *defaultPolicy)
-		errCh <- httpSrv.ListenAndServe()
-	}()
+	if err != nil {
+		log.Fatalf("aheftd: open: %v", err)
+	}
+	gate.Ready(srv.Handler())
+	if *dataDir != "" {
+		m := srv.MetricsSnapshot()
+		log.Printf("aheftd: durable in %s (wal-sync=%s): recovered %d live workflows in %.1fms",
+			*dataDir, *walSync, m.RecoveredWorkflows, m.RecoveryMs)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -80,6 +116,10 @@ func main() {
 		m.Reports, m.ReportEvents, m.ReportsRejected, m.WhatIfQueries,
 		m.ReschedulesVariance, m.ReschedulesArrival, m.ReschedulesDeparture,
 		m.HistoryTenants, m.HistoryCells)
+	if *dataDir != "" {
+		log.Printf("aheftd: durability: wal_appends=%d wal_bytes=%d snapshots=%d wal_errors=%d",
+			m.WALAppends, m.WALBytes, m.Snapshots, m.WALErrors)
+	}
 	if drainErr != nil && !errors.Is(drainErr, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "aheftd: drain incomplete: %v\n", drainErr)
 		os.Exit(1)

@@ -53,6 +53,7 @@ type DriveClassReport struct {
 
 // DriveReport is the -drive run summary written to -out.
 type DriveReport struct {
+	Versions      versionStamp       `json:"versions"`
 	DurationS     float64            `json:"duration_s"`
 	TotalS        float64            `json:"total_s"`
 	Noise         float64            `json:"noise"`
@@ -169,6 +170,7 @@ func driveMain(g *generator, classes []class, total int, p driveParams) {
 		log.Fatalf("loadgen: fetch metrics: %v", err)
 	}
 	rep := DriveReport{
+		Versions:  g.versions(),
 		DurationS: window.Seconds(),
 		TotalS:    elapsed.Seconds(),
 		Noise:     p.noise,

@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"aheft/internal/buildinfo"
 	"aheft/internal/rng"
 	"aheft/internal/server"
 	"aheft/internal/stats"
@@ -74,7 +75,21 @@ func main() {
 	sharedGrid := flag.Bool("shared-grid", false, "shared-grid closed-loop mode: rounds of a two-tenant BLAST/WIEN2K mix co-scheduled on one named grid, measured against the isolated-planning baseline")
 	requireContention := flag.Int("require-contention-reschedules", 0, "-shared-grid: fail unless every tenant class saw at least this many cross-workflow (contention) reschedules")
 	requireBeatOblivious := flag.Bool("require-beat-oblivious", false, "-shared-grid: fail unless every class's mean contention-aware makespan beats the isolated-planning baseline")
+	chaos := flag.Bool("chaos", false, "crash-recovery mode: spawn a durable daemon, SIGKILL it mid-load, restart it, and gate on the recovery invariants")
+	chaosDaemon := flag.String("chaos-daemon", "", "-chaos: path to the aheftd binary to spawn")
+	chaosAddr := flag.String("chaos-addr", "127.0.0.1:7177", "-chaos: listen address for the spawned daemon")
+	chaosDataDir := flag.String("chaos-data-dir", "", "-chaos: durability directory (empty = fresh temp dir, removed afterwards)")
+	chaosWALSync := flag.String("chaos-wal-sync", "interval", "-chaos: daemon WAL fsync policy")
+	chaosWorkflows := flag.Int("chaos-workflows", 120, "-chaos: live workflows resident at the kill")
 	flag.Parse()
+
+	if *chaos {
+		chaosMain(chaosParams{
+			daemon: *chaosDaemon, addr: *chaosAddr, dataDir: *chaosDataDir,
+			walSync: *chaosWALSync, workflows: *chaosWorkflows, out: *out,
+		})
+		return
+	}
 
 	if *sharedGrid {
 		g := &generator{
@@ -349,6 +364,27 @@ func (g *generator) addTransportRetry() {
 	g.mu.Unlock()
 }
 
+// versionStamp identifies both ends of a run so committed reports stay
+// comparable across builds.
+type versionStamp struct {
+	Loadgen string `json:"loadgen"`
+	// Daemon is the server's self-reported build (GET /v1/healthz);
+	// empty when the daemon predates the endpoint.
+	Daemon string `json:"daemon,omitempty"`
+}
+
+// versions stamps the report with the client and daemon builds.
+func (g *generator) versions() versionStamp {
+	v := versionStamp{Loadgen: buildinfo.String()}
+	var hz struct {
+		Version string `json:"version"`
+	}
+	if err := g.getJSON("/v1/healthz", &hz); err == nil {
+		v.Daemon = hz.Version
+	}
+	return v
+}
+
 func (g *generator) waitHealthy(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -557,6 +593,7 @@ func (g *generator) fail(format string, args ...any) {
 
 // Report is the loadgen run summary written to -out.
 type Report struct {
+	Versions         versionStamp      `json:"versions"`
 	DurationS        float64           `json:"duration_s"`      // submission window
 	TotalS           float64           `json:"total_s"`         // window + drain of in-flight
 	TargetRate       float64           `json:"target_rate_wps"` // 0 = uncapped
@@ -578,6 +615,7 @@ type Report struct {
 }
 
 func (g *generator) report(window, elapsed time.Duration, rate float64, metrics server.MetricsDoc) Report {
+	versions := g.versions()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	wall := stats.Quantiles(g.wallMs, 0.50, 0.95, 0.99)
@@ -587,6 +625,7 @@ func (g *generator) report(window, elapsed time.Duration, rate float64, metrics 
 		wps = float64(g.completed) / elapsed.Seconds()
 	}
 	return Report{
+		Versions:   versions,
 		DurationS:  window.Seconds(),
 		TotalS:     elapsed.Seconds(),
 		TargetRate: rate,

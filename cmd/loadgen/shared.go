@@ -46,6 +46,7 @@ type SharedClassReport struct {
 
 // SharedReport is the -shared-grid run summary written to -out.
 type SharedReport struct {
+	Versions      versionStamp        `json:"versions"`
 	DurationS     float64             `json:"duration_s"`
 	Rounds        int                 `json:"rounds"`
 	Noise         float64             `json:"noise"`
@@ -129,6 +130,7 @@ func sharedMain(g *generator, p sharedParams) {
 		log.Fatalf("loadgen: fetch metrics: %v", err)
 	}
 	rep := SharedReport{
+		Versions:      g.versions(),
 		DurationS:     time.Since(start).Seconds(),
 		Rounds:        rounds,
 		Noise:         p.noise,

@@ -110,6 +110,12 @@ type Outcome struct {
 	// completion time.
 	Done     bool
 	Makespan float64
+	// Recorded lists the history observations this batch fed into the
+	// tenant's repository, in application order — the durability layer
+	// journals them so a recovered repository is bit-identical to one
+	// that never crashed (replaying deltas in order reproduces the
+	// streaming mean/EWMA arithmetic exactly).
+	Recorded []HistoryDelta
 }
 
 // Tracker is one live workflow's planning-side state machine.
@@ -165,6 +171,25 @@ type Tracker struct {
 // the tenant's history (warmed by earlier workflows running the same
 // operations); the submitted matrix fills the gaps.
 func New(cfg Config) (*Tracker, error) {
+	t, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s0, err := cfg.Policy.Plan(t.k, cfg.Pool, cfg.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: initial plan: %w", err)
+	}
+	t.sched = s0
+	t.generation = 1
+	t.initial = s0.Makespan()
+	t.publishReservations()
+	return t, nil
+}
+
+// build validates the configuration and assembles an unplanned tracker —
+// the shared half of New (which then plans) and Restore (which then
+// installs a journalled state).
+func build(cfg Config) (*Tracker, error) {
 	switch {
 	case cfg.Graph == nil || cfg.Graph.Len() == 0:
 		return nil, fmt.Errorf("feedback: empty workflow")
@@ -223,14 +248,6 @@ func New(cfg Config) (*Tracker, error) {
 		t.occ = cfg.Occupancy
 		t.k.SetOccupancy(cfg.Occupancy)
 	}
-	s0, err := cfg.Policy.Plan(t.k, cfg.Pool, cfg.Opts)
-	if err != nil {
-		return nil, fmt.Errorf("feedback: initial plan: %w", err)
-	}
-	t.sched = s0
-	t.generation = 1
-	t.initial = s0.Makespan()
-	t.publishReservations()
 	return t, nil
 }
 
@@ -510,6 +527,7 @@ func (t *Tracker) applyFinish(ev wire.ReportEvent, out *Outcome) {
 		// event-driven Service does.
 		variance, hasHistory = t.repo.Variance(op, r, d)
 		_ = t.repo.Record(op, r, d)
+		out.Recorded = append(out.Recorded, HistoryDelta{Op: op, Resource: int(r), Duration: d})
 	}
 	t.phase[j] = phaseFinished
 	t.finishAt[j] = ev.Time

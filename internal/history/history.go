@@ -158,6 +158,58 @@ func (h *Repository) Totals() (cells, observations int) {
 	return len(h.cells), observations
 }
 
+// Cell is the serialisable form of one statistics cell, used by the
+// daemon's durability layer to persist a tenant's repository.
+type Cell struct {
+	Op       string  `json:"op"`
+	Resource grid.ID `json:"resource"`
+	Count    int     `json:"count"`
+	Mean     float64 `json:"mean"`
+	EWMA     float64 `json:"ewma"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	Last     float64 `json:"last"`
+}
+
+// Export snapshots every cell in deterministic (op, then resource)
+// order. Import of the result into a fresh repository reproduces the
+// statistics bit for bit.
+func (h *Repository) Export() []Cell {
+	keys := h.Keys()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]Cell, 0, len(keys))
+	for _, k := range keys {
+		s := h.cells[k]
+		if s == nil {
+			continue
+		}
+		out = append(out, Cell{
+			Op: k.Op, Resource: k.Resource,
+			Count: s.Count, Mean: s.Mean, EWMA: s.EWMA, Min: s.Min, Max: s.Max, Last: s.Last,
+		})
+	}
+	return out
+}
+
+// Import installs the exported cells, overwriting any existing cell
+// with the same key. Cells without observations are ignored.
+func (h *Repository) Import(cells []Cell) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, c := range cells {
+		if c.Count <= 0 {
+			continue
+		}
+		h.cells[Key{Op: c.Op, Resource: c.Resource}] = &Stats{
+			Count: c.Count, Mean: c.Mean, EWMA: c.EWMA, Min: c.Min, Max: c.Max, Last: c.Last,
+		}
+	}
+}
+
+// Alpha returns the repository's EWMA smoothing factor.
+func (h *Repository) Alpha() float64 { return h.alpha }
+
 // Keys returns all cells in deterministic order (op, then resource).
 func (h *Repository) Keys() []Key {
 	h.mu.RLock()

@@ -234,6 +234,27 @@ func (st *State) transfer(e int, r grid.ID) (float64, bool) {
 	return st.led[i], true
 }
 
+// ForEachTransfer calls fn for every transfer recorded in the current
+// epoch — (from → to) file available on resource r at time t — in
+// deterministic (edge index, then resource) order. The daemon's
+// durability layer serialises the ledger through this; SetTransfer in
+// the same order reproduces it exactly (a fresh ledger keeps the first,
+// i.e. recorded, time).
+func (st *State) ForEachTransfer(fn func(from, to dag.JobID, r grid.ID, at float64)) {
+	g := st.k.g
+	for j := 0; j < st.k.n; j++ {
+		to := dag.JobID(j)
+		for i, e := range g.Preds(to) {
+			base := (st.k.predBase[j] + i) * st.stride
+			for r := 0; r < st.stride; r++ {
+				if st.ledEp[base+r] == st.epoch {
+					fn(e.From, to, grid.ID(r), st.led[base+r])
+				}
+			}
+		}
+	}
+}
+
 // fea implements Eq. 1 on the dense state: the earliest time the output
 // of predecessor e.From is available on resource r for the job being
 // placed, given the current candidate placements in the kernel's scratch.

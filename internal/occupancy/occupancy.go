@@ -189,6 +189,60 @@ func (l *Ledger) Owners() map[string]int {
 	return out
 }
 
+// Owned is the serialisable form of one stored reservation: the
+// Reservation plus its owning workflow, used by the daemon's durability
+// layer and the recovery property tests.
+type Owned struct {
+	Owner    string  `json:"owner"`
+	Job      int     `json:"job"`
+	Resource grid.ID `json:"resource"`
+	Start    float64 `json:"start"`
+	Finish   float64 `json:"finish"`
+}
+
+// Export snapshots every reservation in deterministic order (resource,
+// then the row's (start, owner, job) order). Import of the result into
+// a fresh ledger reproduces the ledger exactly.
+func (l *Ledger) Export() []Owned {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Owned
+	for r, row := range l.byRes {
+		for _, e := range row {
+			out = append(out, Owned{
+				Owner: e.owner, Job: e.job, Resource: grid.ID(r), Start: e.start, Finish: e.finish,
+			})
+		}
+	}
+	return out
+}
+
+// Import installs the exported reservations into the ledger (which the
+// caller normally keeps empty until then).
+func (l *Ledger) Import(rs []Owned) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, r := range rs {
+		l.insert(r.Resource, entry{owner: r.Owner, job: r.Job, start: r.Start, finish: r.Finish})
+	}
+}
+
+// ownedBy returns owner's current reservations in deterministic
+// (resource, then row) order.
+func (l *Ledger) ownedBy(owner string) []Reservation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Reservation
+	for r, row := range l.byRes {
+		for _, e := range row {
+			if e.owner == owner {
+				out = append(out, Reservation{Job: e.job, Resource: grid.ID(r), Start: e.start, Finish: e.finish})
+			}
+		}
+	}
+	return out
+}
+
 // appendBusy appends every interval on r not owned by exclude to buf.
 func (l *Ledger) appendBusy(r grid.ID, exclude string, buf []kernel.Busy) []kernel.Busy {
 	l.mu.Lock()
@@ -239,6 +293,12 @@ func (v *View) AppendBusy(r grid.ID, buf []kernel.Busy) []kernel.Busy {
 
 // ForeignCount returns how many reservations other owners currently hold.
 func (v *View) ForeignCount() int { return v.l.countOthers(v.owner) }
+
+// Own returns the owner's current reservations as stored in the ledger —
+// the authoritative set, including per-job narrowings since the last
+// whole-plan publish. The durability layer persists these so a restored
+// workflow republishes exactly what it held.
+func (v *View) Own() []Reservation { return v.l.ownedBy(v.owner) }
 
 // Publish replaces the owner's whole reservation set.
 func (v *View) Publish(rs []Reservation) { v.l.SetOwner(v.owner, rs) }

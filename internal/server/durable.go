@@ -1,0 +1,854 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aheft/internal/buildinfo"
+	"aheft/internal/cost"
+	"aheft/internal/durable"
+	"aheft/internal/feedback"
+	"aheft/internal/grid"
+	"aheft/internal/history"
+	"aheft/internal/wire"
+)
+
+// This file is the daemon's durability layer: a per-shard write-ahead
+// log plus periodic snapshots covering everything a shard owns —
+// accepted submissions, live trackers (plan, generation, execution
+// progress), tenant performance histories, terminal records and
+// shared-grid registrations. Each shard appends on its own paths (the
+// submission path logs before enqueue; everything else appends from the
+// shard's single worker goroutine), so the WAL adds one ordered write
+// per state change and no new locking on the planning hot path. On
+// startup, Open replays the newest snapshot plus the log tail: live
+// workflows come back resident with their current plan and feedback
+// state, shared-grid ledgers reassemble from their restored residents,
+// pending submissions re-enqueue, and duplicate report replays are
+// acked idempotently (see applyReport / feedback.AlreadyApplied).
+//
+// Record kinds (wire.WAL*): a submission logs its raw body before the
+// enqueue; a reject voids it; a state record carries the workflow's
+// full post-apply feedback.TrackerState plus that batch's history
+// deltas and the event log; a terminal record freezes the final status;
+// a grid record registers a shared grid. State records are snapshots of
+// the tracker, not operations — replaying operations through Apply
+// would re-run rescheduling evaluations whose outcomes depend on
+// cross-workflow interleavings the log does not capture.
+
+// walSubmission is the payload of a wire.WALSubmission record.
+type walSubmission struct {
+	ID   string          `json:"id"`
+	Body json.RawMessage `json:"body"`
+}
+
+// walReject voids a logged submission whose enqueue was refused.
+type walReject struct {
+	ID string `json:"id"`
+}
+
+// walGrid registers a shared grid (raw wire.GridSpec body).
+type walGrid struct {
+	Name string          `json:"name"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// walState is one live workflow's durable state: the tracker export,
+// the enactor-visible plan/ack bookkeeping, the event log, and the
+// history observations the batch that produced this record fed in.
+type walState struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	// Body is the raw submission, carried in snapshots only (WAL state
+	// records join it from the earlier submission record).
+	Body        json.RawMessage         `json:"body,omitempty"`
+	AckedGen    int                     `json:"acked_gen"`
+	Reports     int                     `json:"reports"`
+	PlanTrigger string                  `json:"plan_trigger"`
+	State       *feedback.TrackerState  `json:"state"`
+	Deltas      []feedback.HistoryDelta `json:"deltas,omitempty"`
+	Events      []wire.Event            `json:"events,omitempty"`
+}
+
+// walTerminal freezes a workflow's final status and event log.
+type walTerminal struct {
+	ID     string       `json:"id"`
+	Status wire.Status  `json:"status"`
+	Plan   *wire.Plan   `json:"plan,omitempty"`
+	Events []wire.Event `json:"events,omitempty"`
+}
+
+// tenantHistory is one tenant's repository in a shard snapshot.
+type tenantHistory struct {
+	Tenant string         `json:"tenant"`
+	Alpha  float64        `json:"alpha"`
+	Cells  []history.Cell `json:"cells"`
+}
+
+// shardSnapshot is the periodic full-state document that truncates the
+// shard's log.
+type shardSnapshot struct {
+	V        int             `json:"v"`
+	Seq      uint64          `json:"seq"`
+	Grids    []walGrid       `json:"grids,omitempty"`
+	Pending  []walSubmission `json:"pending,omitempty"`
+	Live     []walState      `json:"live,omitempty"`
+	Terminal []walTerminal   `json:"terminal,omitempty"`
+	Tenants  []tenantHistory `json:"tenants,omitempty"`
+}
+
+// shardWAL is one shard's durability state: the append store plus the
+// raw-submission mirrors the snapshot needs (a queued workflow sits in
+// a channel and cannot be enumerated; a live tracker does not retain
+// its raw body). The mutex orders appends against snapshot assembly and
+// rotation, so no record can land in a segment the rotation is about to
+// truncate without being covered by the snapshot.
+type shardWAL struct {
+	store *durable.Shard
+
+	mu        sync.Mutex
+	pend      map[string]json.RawMessage // accepted, not yet started
+	pendOrder []string                   // arrival order (lazily compacted)
+	bodies    map[string]json.RawMessage // live residents' raw submissions
+}
+
+func newShardWAL(store *durable.Shard) *shardWAL {
+	return &shardWAL{
+		store:  store,
+		pend:   make(map[string]json.RawMessage),
+		bodies: make(map[string]json.RawMessage),
+	}
+}
+
+// append writes one record; callers hold w.mu. A failed append degrades
+// durability, not availability: the daemon keeps serving and the error
+// is counted and logged.
+func (w *shardWAL) append(m *Metrics, kind string, payload any) {
+	if _, err := w.store.Append(kind, payload); err != nil {
+		m.walErrors.Add(1)
+		log.Printf("aheftd: wal append (%s): %v", kind, err)
+	}
+}
+
+// rawPair hand-encodes {key: name, bodyKey: body} with the raw body
+// embedded verbatim. Submission and grid-spec bodies are large and were
+// already validated when decoded off the wire; letting json.Marshal
+// re-validate and re-compact them on every append is the single biggest
+// cost on the durable submission path, so the two raw-body record kinds
+// build their payloads by hand. Decodes with the ordinary struct tags.
+func rawPair(key, name, bodyKey string, body json.RawMessage) json.RawMessage {
+	buf := make([]byte, 0, len(key)+len(name)+len(bodyKey)+len(body)+16)
+	buf = append(buf, '{', '"')
+	buf = append(buf, key...)
+	buf = append(buf, '"', ':')
+	buf = wire.AppendJSONString(buf, name)
+	if len(body) > 0 {
+		buf = append(buf, ',', '"')
+		buf = append(buf, bodyKey...)
+		buf = append(buf, '"', ':')
+		buf = append(buf, body...)
+	}
+	return append(buf, '}')
+}
+
+// walLogSubmission mirrors and logs an accepted submission before its
+// enqueue, so a crash between accept and start replays it as pending.
+func (sh *shard) walLogSubmission(id string, body json.RawMessage) {
+	w := sh.wal
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pend[id] = body
+	w.pendOrder = append(w.pendOrder, id)
+	w.append(sh.srv.metrics, wire.WALSubmission, rawPair("id", id, "body", body))
+}
+
+// walLogReject voids a logged submission whose enqueue was refused.
+func (sh *shard) walLogReject(id string) {
+	w := sh.wal
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.pend, id)
+	w.append(sh.srv.metrics, wire.WALReject, walReject{ID: id})
+}
+
+// walStateDoc assembles the workflow's current durable state. Shard
+// goroutine only (it reads the tracker).
+func (sh *shard) walStateDoc(wf *workflow, deltas []feedback.HistoryDelta) *walState {
+	wf.mu.Lock()
+	trigger := ""
+	if wf.plan != nil {
+		trigger = wf.plan.Trigger
+	}
+	reports := wf.reports
+	events := append([]wire.Event(nil), wf.events...)
+	wf.mu.Unlock()
+	return &walState{
+		ID:          wf.id,
+		Tenant:      wf.tenant,
+		AckedGen:    wf.ackedGen,
+		Reports:     reports,
+		PlanTrigger: trigger,
+		State:       wf.tracker.ExportState(),
+		Deltas:      deltas,
+		Events:      events,
+	}
+}
+
+// walLogState journals a live workflow's post-apply state (and, on the
+// first call after startLive, promotes its raw body from pending to
+// live). Shard goroutine only.
+func (sh *shard) walLogState(wf *workflow, deltas []feedback.HistoryDelta) {
+	w := sh.wal
+	if w == nil {
+		return
+	}
+	doc := sh.walStateDoc(wf, deltas)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if b, ok := w.pend[wf.id]; ok {
+		delete(w.pend, wf.id)
+		w.bodies[wf.id] = b
+	}
+	w.append(sh.srv.metrics, wire.WALState, doc)
+}
+
+// walLogTerminal journals a workflow's terminal record and drops its
+// raw-body mirrors. Called after finish(), so status() is final.
+func (sh *shard) walLogTerminal(wf *workflow) {
+	w := sh.wal
+	if w == nil {
+		return
+	}
+	wf.mu.Lock()
+	events := append([]wire.Event(nil), wf.events...)
+	plan := wf.plan
+	wf.mu.Unlock()
+	doc := walTerminal{ID: wf.id, Status: wf.status(), Plan: plan, Events: events}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.pend, wf.id)
+	delete(w.bodies, wf.id)
+	w.append(sh.srv.metrics, wire.WALTerminal, doc)
+}
+
+// walLogGrid journals a shared-grid registration on its owning shard.
+func (s *Server) walLogGrid(g *sharedGrid) {
+	sh := s.shards[g.shard]
+	w := sh.wal
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.append(s.metrics, wire.WALGrid, rawPair("name", g.name, "spec", g.raw))
+}
+
+// snapshot writes the shard's full state and truncates its log. It must
+// run where tracker access is safe: the shard's worker goroutine (the
+// periodic tick), or before workers start / after they exit (recovery
+// and shutdown snapshots).
+func (sh *shard) snapshot() {
+	w := sh.wal
+	if w == nil {
+		return
+	}
+	s := sh.srv
+	doc := shardSnapshot{V: wire.Version}
+
+	s.mu.RLock()
+	doc.Seq = s.seq
+	retained := append([]string(nil), s.retained...)
+	s.mu.RUnlock()
+
+	s.gridMu.RLock()
+	for name, g := range s.grids {
+		if g.shard == sh.id {
+			doc.Grids = append(doc.Grids, walGrid{Name: name, Spec: g.raw})
+		}
+	}
+	s.gridMu.RUnlock()
+	sort.Slice(doc.Grids, func(i, j int) bool { return doc.Grids[i].Name < doc.Grids[j].Name })
+
+	liveIDs := make([]string, 0, len(sh.live))
+	for id := range sh.live {
+		liveIDs = append(liveIDs, id)
+	}
+	sort.Strings(liveIDs)
+	for _, id := range liveIDs {
+		doc.Live = append(doc.Live, *sh.walStateDoc(sh.live[id], nil))
+	}
+
+	for _, id := range retained {
+		wf, ok := s.lookup(id)
+		if !ok || wf.shard != sh.id {
+			continue
+		}
+		wf.mu.Lock()
+		events := append([]wire.Event(nil), wf.events...)
+		plan := wf.plan
+		wf.mu.Unlock()
+		doc.Terminal = append(doc.Terminal, walTerminal{ID: id, Status: wf.status(), Plan: plan, Events: events})
+	}
+
+	sh.histMu.Lock()
+	for tenant, repo := range sh.hist {
+		doc.Tenants = append(doc.Tenants, tenantHistory{Tenant: tenant, Alpha: repo.Alpha(), Cells: repo.Export()})
+	}
+	sh.histMu.Unlock()
+	sort.Slice(doc.Tenants, func(i, j int) bool { return doc.Tenants[i].Tenant < doc.Tenants[j].Tenant })
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Pending under the same lock as the rotation: a submission landing
+	// after this point blocks on w.mu and lands in the fresh segment.
+	order := w.pendOrder[:0]
+	for _, id := range w.pendOrder {
+		b, ok := w.pend[id]
+		if !ok {
+			continue
+		}
+		order = append(order, id)
+		doc.Pending = append(doc.Pending, walSubmission{ID: id, Body: b})
+	}
+	w.pendOrder = order
+	for i := range doc.Live {
+		doc.Live[i].Body = w.bodies[doc.Live[i].ID]
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		log.Printf("aheftd: shard %d snapshot marshal: %v", sh.id, err)
+		return
+	}
+	if err := w.store.Rotate(data); err != nil {
+		sh.srv.metrics.walErrors.Add(1)
+		log.Printf("aheftd: shard %d snapshot rotate: %v", sh.id, err)
+	}
+}
+
+// Crash simulates a SIGKILL for recovery tests: every WAL store is
+// frozen exactly as the disk would be at the kill instant (no flush, no
+// final snapshot), then the workers are torn down. The Server is
+// unusable afterwards; reopen the data directory with Open.
+func (s *Server) Crash() {
+	for _, sh := range s.shards {
+		if sh.wal != nil {
+			sh.wal.store.Disable()
+		}
+	}
+	s.submitMu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+	}
+	s.submitMu.Unlock()
+	s.cancelRun()
+	s.workers.Wait()
+}
+
+// --- recovery ---------------------------------------------------------
+
+// recoveredWorkflow accumulates one workflow's records across the
+// snapshot and the log tail.
+type recoveredWorkflow struct {
+	id       string
+	body     json.RawMessage
+	state    *walState // latest wins
+	terminal *walTerminal
+	rejected bool
+	order    int // arrival order for pending re-enqueue
+}
+
+// recoverState replays every shard directory under dataDir into the
+// (not yet started) server: stores are opened (repairing torn tails),
+// snapshots and log tails merged, and the registry, shards, grids,
+// tenant histories and live trackers rebuilt. Orphan directories from a
+// larger previous shard count are folded in and removed. Must run
+// before the shard goroutines start.
+func (s *Server) recoverState() error {
+	start := time.Now()
+	dataDir := s.cfg.DataDir
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return fmt.Errorf("server: data dir: %w", err)
+	}
+	policy, err := durable.ParseSyncPolicy(s.cfg.WALSync)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+
+	// Every existing shard-<i> directory, plus the 0..N-1 range the
+	// current configuration owns.
+	dirs := map[int]bool{}
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		return fmt.Errorf("server: data dir: %w", err)
+	}
+	for _, e := range entries {
+		var idx int
+		if n, _ := fmt.Sscanf(e.Name(), "shard-%d", &idx); n == 1 && e.IsDir() && idx >= 0 {
+			dirs[idx] = true
+		}
+	}
+	for i := range s.shards {
+		dirs[i] = true
+	}
+	idxs := make([]int, 0, len(dirs))
+	for i := range dirs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+
+	wfs := map[string]*recoveredWorkflow{}
+	gridSpecs := map[string]json.RawMessage{}
+	repos := map[int]map[string]*history.Repository{} // target shard -> tenant
+	var terminals []walTerminal
+	var maxSeq uint64
+	orderCounter := 0
+
+	repoFor := func(shardIdx int, tenant string, alpha float64) *history.Repository {
+		byTenant := repos[shardIdx]
+		if byTenant == nil {
+			byTenant = map[string]*history.Repository{}
+			repos[shardIdx] = byTenant
+		}
+		r := byTenant[tenant]
+		if r == nil {
+			r = history.New(alpha)
+			byTenant[tenant] = r
+		}
+		return r
+	}
+	wfFor := func(id string) *recoveredWorkflow {
+		rw := wfs[id]
+		if rw == nil {
+			rw = &recoveredWorkflow{id: id, order: orderCounter}
+			orderCounter++
+			wfs[id] = rw
+		}
+		if n := parseWorkflowSeq(id); n > maxSeq {
+			maxSeq = n
+		}
+		return rw
+	}
+
+	var orphanDirs []string
+	for _, idx := range idxs {
+		dir := filepath.Join(dataDir, fmt.Sprintf("shard-%d", idx))
+		var rec *durable.Recovered
+		if idx < len(s.shards) {
+			store, r, err := durable.Open(dir, policy, s.cfg.WALSyncInterval)
+			if err != nil {
+				return fmt.Errorf("server: shard %d wal: %w", idx, err)
+			}
+			s.shards[idx].wal = newShardWAL(store)
+			rec = r
+		} else {
+			r, err := durable.Load(dir)
+			if err != nil {
+				return fmt.Errorf("server: orphan shard %d wal: %w", idx, err)
+			}
+			rec = r
+			orphanDirs = append(orphanDirs, dir)
+		}
+		target := idx % len(s.shards)
+
+		if rec.Snapshot != nil {
+			var snap shardSnapshot
+			if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+				return fmt.Errorf("server: shard %d snapshot: %w", idx, err)
+			}
+			if snap.Seq > maxSeq {
+				maxSeq = snap.Seq
+			}
+			for _, g := range snap.Grids {
+				if _, ok := gridSpecs[g.Name]; !ok {
+					gridSpecs[g.Name] = g.Spec
+				}
+			}
+			for _, t := range snap.Tenants {
+				repoFor(target, t.Tenant, t.Alpha).Import(t.Cells)
+			}
+			for _, p := range snap.Pending {
+				rw := wfFor(p.ID)
+				rw.body = p.Body
+			}
+			for i := range snap.Live {
+				st := snap.Live[i]
+				rw := wfFor(st.ID)
+				rw.body = st.Body
+				rw.state = &st
+			}
+			for _, t := range snap.Terminal {
+				rw := wfFor(t.ID)
+				rw.terminal = &t
+				terminals = append(terminals, t)
+			}
+		}
+		for _, r := range rec.Records {
+			switch r.Kind {
+			case wire.WALSubmission:
+				var p walSubmission
+				if json.Unmarshal(r.Data, &p) == nil && p.ID != "" {
+					rw := wfFor(p.ID)
+					rw.body = p.Body
+					rw.rejected = false
+				}
+			case wire.WALReject:
+				var p walReject
+				if json.Unmarshal(r.Data, &p) == nil && p.ID != "" {
+					wfFor(p.ID).rejected = true
+				}
+			case wire.WALGrid:
+				var p walGrid
+				if json.Unmarshal(r.Data, &p) == nil && p.Name != "" {
+					if _, ok := gridSpecs[p.Name]; !ok {
+						gridSpecs[p.Name] = p.Spec
+					}
+				}
+			case wire.WALState:
+				var p walState
+				if json.Unmarshal(r.Data, &p) != nil || p.ID == "" {
+					continue
+				}
+				rw := wfFor(p.ID)
+				if p.Body != nil {
+					rw.body = p.Body
+				}
+				rw.state = &p
+				// History deltas replay in LSN order regardless of whether
+				// the workflow itself survives to restoration.
+				repo := repoFor(target, p.Tenant, 0)
+				for _, d := range p.Deltas {
+					_ = repo.Record(d.Op, grid.ID(d.Resource), d.Duration)
+				}
+			case wire.WALTerminal:
+				var p walTerminal
+				if json.Unmarshal(r.Data, &p) != nil || p.ID == "" {
+					continue
+				}
+				rw := wfFor(p.ID)
+				rw.terminal = &p
+				terminals = append(terminals, p)
+			}
+		}
+	}
+
+	// Install tenant histories on their shards before any tracker is
+	// restored against them.
+	for shardIdx, byTenant := range repos {
+		sh := s.shards[shardIdx]
+		names := make([]string, 0, len(byTenant))
+		for t := range byTenant {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		sh.histMu.Lock()
+		if sh.hist == nil {
+			sh.hist = make(map[string]*history.Repository)
+		}
+		for _, t := range names {
+			if _, ok := sh.hist[t]; !ok {
+				sh.hist[t] = byTenant[t]
+				sh.histOrder = append(sh.histOrder, t)
+			}
+		}
+		sh.histMu.Unlock()
+	}
+
+	// Shared grids: re-register under the current shard count. Ledgers
+	// start empty and reassemble from their restored residents.
+	gridNames := make([]string, 0, len(gridSpecs))
+	for name := range gridSpecs {
+		gridNames = append(gridNames, name)
+	}
+	sort.Strings(gridNames)
+	for _, name := range gridNames {
+		spec, err := wire.DecodeGridSpec(gridSpecs[name], s.cfg.Limits)
+		if err != nil {
+			log.Printf("aheftd: recovery: grid %q spec: %v", name, err)
+			continue
+		}
+		s.grids[name] = newSharedGrid(name, gridSpecs[name], spec, len(s.shards))
+	}
+
+	// Terminal records: frozen, queryable, retained under the cap. The
+	// terminals list preserves finish order for the retention sweep; the
+	// per-workflow latest record is the one registered.
+	seenTerm := make(map[string]bool, len(terminals))
+	for i := range terminals {
+		id := terminals[i].ID
+		rw := wfs[id]
+		if rw == nil || rw.terminal == nil || seenTerm[id] {
+			continue
+		}
+		seenTerm[id] = true
+		t := rw.terminal
+		st := t.Status
+		wf := &workflow{
+			id:     t.ID,
+			name:   st.Name,
+			shard:  st.Shard,
+			live:   st.Mode == wire.ModeLive,
+			tenant: st.Tenant,
+			jobs:   st.Jobs, resources: st.Resources,
+			submittedAt: time.Now(),
+			state:       st.State,
+			events:      t.Events,
+			plan:        t.Plan,
+			generation:  st.Generation,
+			reports:     st.Reports,
+			frozen:      &st,
+		}
+		s.wfs[t.ID] = wf
+		s.retire(t.ID)
+	}
+
+	// Live residents: restore trackers, re-park, re-attach.
+	liveIDs := make([]string, 0, len(wfs))
+	for id, rw := range wfs {
+		if rw.terminal == nil && !rw.rejected && rw.state != nil {
+			liveIDs = append(liveIDs, id)
+		}
+	}
+	sort.Strings(liveIDs)
+	recovered := 0
+	for _, id := range liveIDs {
+		rw := wfs[id]
+		if err := s.restoreLive(rw); err != nil {
+			log.Printf("aheftd: recovery: workflow %s: %v", id, err)
+			s.failRecovered(id, err)
+			continue
+		}
+		recovered++
+	}
+
+	// Pending submissions: re-enqueue in arrival order.
+	var pending []*recoveredWorkflow
+	for _, rw := range wfs {
+		if rw.terminal == nil && !rw.rejected && rw.state == nil && rw.body != nil {
+			pending = append(pending, rw)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].order < pending[j].order })
+	for _, rw := range pending {
+		if err := s.requeueRecovered(rw); err != nil {
+			log.Printf("aheftd: recovery: workflow %s: %v", rw.id, err)
+			s.failRecovered(rw.id, err)
+		}
+	}
+
+	s.mu.Lock()
+	if maxSeq > s.seq {
+		s.seq = maxSeq
+	}
+	s.mu.Unlock()
+
+	// Everything recovered is covered by a fresh snapshot, so the next
+	// startup replays one snapshot and a short tail, and the old
+	// (possibly repaired) segments are swept.
+	for _, sh := range s.shards {
+		sh.snapshot()
+	}
+	for _, dir := range orphanDirs {
+		if err := os.RemoveAll(dir); err != nil {
+			log.Printf("aheftd: recovery: remove %s: %v", dir, err)
+		}
+	}
+	s.recoveredWfs = uint64(recovered)
+	s.recoveryMs = time.Since(start).Seconds() * 1e3
+	return nil
+}
+
+// restoreLive rebuilds one live workflow from its journalled state and
+// parks it on its shard. Runs before workers start, so touching the
+// tracker here is safe.
+func (s *Server) restoreLive(rw *recoveredWorkflow) error {
+	if rw.body == nil {
+		return fmt.Errorf("live state without submission body")
+	}
+	wf, gref, err := s.buildWorkflow(rw.id, rw.body)
+	if err != nil {
+		return fmt.Errorf("rebuild submission: %w", err)
+	}
+	if !wf.live {
+		return fmt.Errorf("state record for non-live workflow")
+	}
+	sh := s.shards[wf.shard]
+	cfg := feedback.Config{
+		Graph:             wf.sub.Graph,
+		Prior:             cost.Exact(wf.sub.Comp),
+		Pool:              wf.sub.Pool,
+		History:           sh.historyFor(wf.tenant),
+		Policy:            wf.pol,
+		Opts:              wf.opts,
+		VarianceThreshold: wf.varThr,
+	}
+	if gref != nil {
+		cfg.Pool = gref.pool
+		cfg.Occupancy = gref.ledger.View(wf.id)
+	}
+	tr, err := feedback.Restore(cfg, rw.state.State)
+	if err != nil {
+		return err
+	}
+	wf.tracker = tr
+	wf.ackedGen = rw.state.AckedGen
+	trigger := rw.state.PlanTrigger
+	if trigger == "" {
+		trigger = "initial"
+	}
+	plan := livePlanDoc(wf, trigger)
+	wf.mu.Lock()
+	wf.state = StateRunning
+	wf.startedAt = time.Now()
+	wf.plan = plan
+	wf.generation = plan.Generation
+	wf.reports = rw.state.Reports
+	wf.events = rw.state.Events
+	wf.mu.Unlock()
+
+	s.mu.Lock()
+	s.wfs[wf.id] = wf
+	s.mu.Unlock()
+	sh.live[wf.id] = wf
+	if gref != nil {
+		gref.attach(wf)
+	}
+	if w := sh.wal; w != nil {
+		w.mu.Lock()
+		w.bodies[wf.id] = rw.body
+		w.mu.Unlock()
+	}
+	s.metrics.liveResident.Add(1)
+	s.metrics.inflightReserve()
+	return nil
+}
+
+// requeueRecovered re-enqueues an accepted-but-unstarted submission.
+func (s *Server) requeueRecovered(rw *recoveredWorkflow) error {
+	wf, _, err := s.buildWorkflow(rw.id, rw.body)
+	if err != nil {
+		return fmt.Errorf("rebuild submission: %w", err)
+	}
+	sh := s.shards[wf.shard]
+	s.mu.Lock()
+	s.wfs[wf.id] = wf
+	s.mu.Unlock()
+	if w := sh.wal; w != nil {
+		w.mu.Lock()
+		w.pend[wf.id] = rw.body
+		w.pendOrder = append(w.pendOrder, wf.id)
+		w.mu.Unlock()
+	}
+	s.metrics.inflightReserve()
+	select {
+	case sh.queue <- wf:
+		return nil
+	default:
+		s.metrics.inflightRelease()
+		s.forget(wf.id)
+		if w := sh.wal; w != nil {
+			w.mu.Lock()
+			delete(w.pend, wf.id)
+			w.mu.Unlock()
+		}
+		return fmt.Errorf("shard %d queue full during recovery", wf.shard)
+	}
+}
+
+// failRecovered registers a synthetic failed terminal for a journalled
+// workflow that could not be brought back (its client was told 202 and
+// deserves an answer, not a 404).
+func (s *Server) failRecovered(id string, cause error) {
+	msg := fmt.Sprintf("lost in recovery: %v", cause)
+	st := wire.Status{ID: id, State: StateFailed, Error: msg, Events: 2}
+	wf := &workflow{
+		id: id, submittedAt: time.Now(), state: StateFailed,
+		events: []wire.Event{
+			{Seq: 0, Kind: "submitted", Workflow: id},
+			{Seq: 1, Kind: "failed", Workflow: id, Error: msg},
+		},
+		frozen: &st,
+	}
+	s.mu.Lock()
+	s.wfs[id] = wf
+	s.mu.Unlock()
+	s.retire(id)
+	s.metrics.failed.Add(1)
+}
+
+// parseWorkflowSeq extracts N from a daemon-assigned "wf-%08d" ID.
+func parseWorkflowSeq(id string) uint64 {
+	var n uint64
+	if c, _ := fmt.Sscanf(id, "wf-%d", &n); c == 1 {
+		return n
+	}
+	return 0
+}
+
+// --- readiness gate + versioned health --------------------------------
+
+// Gate is the recovering/ready switch in front of the daemon's handler:
+// every request is answered 503 {"status":"recovering"} until Ready
+// installs the real handler. cmd/aheftd serves the gate immediately and
+// flips it once Open's replay completes, so a probe (or loadgen's
+// waitHealthy) distinguishes "recovering" from "ready" by status code.
+type Gate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a gate in the recovering state.
+func NewGate() *Gate { return &Gate{} }
+
+// Ready installs the recovered daemon's handler.
+func (g *Gate) Ready(h http.Handler) { g.h.Store(&h) }
+
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status":  "recovering",
+		"version": buildinfo.String(),
+	})
+}
+
+// handleHealthzV1 is the readiness endpoint: once a Server answers it at
+// all, replay has completed (Open is synchronous), so it reports ready
+// or draining plus the recovery and build identity a supervisor or
+// load generator wants to gate on.
+func (s *Server) handleHealthzV1(w http.ResponseWriter, r *http.Request) {
+	s.submitMu.RLock()
+	draining := s.draining
+	s.submitMu.RUnlock()
+	status := "ready"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":              status,
+		"version":             buildinfo.String(),
+		"shards":              len(s.shards),
+		"durable":             s.cfg.DataDir != "",
+		"recovered_workflows": s.recoveredWfs,
+		"recovery_ms":         s.recoveryMs,
+		"inflight":            s.metrics.inflight.Load(),
+	})
+}

@@ -1,0 +1,439 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+// The crash-recovery suite: a durable daemon is killed mid-flight
+// (Server.Crash freezes the WAL stores exactly as a SIGKILL would leave
+// the disk) and reopened on the same data directory, and the restarted
+// daemon must resume every live workflow where it stood — plans with
+// their generations, feedback progress, tenant histories, shared-grid
+// ledgers — and ack duplicate report replays idempotently.
+
+// openDurable opens a durable server over dir and mounts it on httptest.
+// No cleanup is registered: crash/restart tests manage both ends.
+func openDurable(t testing.TB, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.DataDir = dir
+	srv, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return srv, httptest.NewServer(srv.Handler())
+}
+
+type healthzDoc struct {
+	Status             string  `json:"status"`
+	Version            string  `json:"version"`
+	Shards             int     `json:"shards"`
+	Durable            bool    `json:"durable"`
+	RecoveredWorkflows uint64  `json:"recovered_workflows"`
+	RecoveryMs         float64 `json:"recovery_ms"`
+}
+
+func getHealthz(t testing.TB, ts *httptest.Server) healthzDoc {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/healthz: HTTP %d", resp.StatusCode)
+	}
+	var doc healthzDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// remainingEvents returns the faithful full-execution report for plan
+// minus the events already covered by the applied prefix.
+func remainingEvents(plan *wire.Plan, prefix []wire.ReportEvent) []wire.ReportEvent {
+	type key struct {
+		kind string
+		job  int
+	}
+	done := make(map[key]bool, len(prefix))
+	for _, ev := range prefix {
+		done[key{ev.Kind, ev.Job}] = true
+	}
+	var evs []wire.ReportEvent
+	for _, a := range plan.Assignments {
+		if !done[key{wire.ReportJobStarted, a.Job}] {
+			evs = append(evs, wire.ReportEvent{
+				Kind: wire.ReportJobStarted, Time: a.Start, Job: a.Job, Resource: a.Resource,
+			})
+		}
+		if !done[key{wire.ReportJobFinished, a.Job}] {
+			evs = append(evs, wire.ReportEvent{
+				Kind: wire.ReportJobFinished, Time: a.Finish, Job: a.Job, Resource: a.Resource, Duration: a.Finish - a.Start,
+			})
+		}
+	}
+	sortReportEvents(evs)
+	return evs
+}
+
+func sortReportEvents(evs []wire.ReportEvent) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &evs[j-1], &evs[j]
+			if a.Time < b.Time || (a.Time == b.Time && !(a.Kind == wire.ReportJobFinished && b.Kind == wire.ReportJobStarted)) {
+				break
+			}
+			*a, *b = *b, *a
+		}
+	}
+}
+
+// TestKillRestartRecovery is the acceptance test for the durability
+// layer: >100 live workflows (private across four tenants, plus two
+// tenants sharing a grid), a subset with partial execution reported, a
+// hard kill, a reopen on the same data directory, and then every
+// workflow must be resident with its pre-crash plan and generation,
+// duplicate report replays must be acked idempotently, every run must
+// complete with a correct makespan, and the shared-grid ledger must
+// drain to zero.
+func TestKillRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	sc := workload.SampleScenario()
+	cfg := Config{Shards: 4, WALSync: "off", SnapshotInterval: time.Hour}
+
+	srvA, tsA := openDurable(t, dir, cfg)
+	registerGrid(t, tsA, "shared", sc)
+
+	const nPrivate = 100
+	tenants := []string{"t0", "t1", "t2", "t3"}
+	var ids []string
+	for i := 0; i < nPrivate; i++ {
+		body := encodeLive(t, sc, "aheft", tenants[i%len(tenants)], wire.Options{})
+		sub, resp := submit(t, tsA, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		ids = append(ids, sub.ID)
+	}
+	var gridIDs []string
+	for _, tenant := range []string{"alice", "bob", "alice", "bob"} {
+		gridIDs = append(gridIDs, submitShared(t, tsA, "shared", tenant, sc))
+	}
+	all := append(append([]string(nil), ids...), gridIDs...)
+
+	plansA := make(map[string]*wire.Plan, len(all))
+	for _, id := range all {
+		plansA[id] = waitPlan(t, tsA, id)
+	}
+
+	// Every 5th private workflow reports a partial faithful execution, so
+	// recovery must restore mid-flight feedback state and tenant history,
+	// not just initial plans.
+	prefixes := make(map[string][]wire.ReportEvent)
+	for i := 0; i < nPrivate; i += 5 {
+		id := ids[i]
+		prefix := replayPrefix(*plansA[id], 20)
+		if len(prefix) == 0 {
+			t.Fatalf("empty replay prefix for %s", id)
+		}
+		var ack wire.ReportAck
+		if code, msg := postJSON(t, tsA, "/v1/workflows/"+id+"/report", encodeReport(t, prefix...), &ack); code != http.StatusOK {
+			t.Fatalf("prefix report %s: HTTP %d (%s)", id, code, msg)
+		}
+		if ack.Applied != len(prefix) || ack.Done {
+			t.Fatalf("prefix ack %s: %+v", id, ack)
+		}
+		prefixes[id] = prefix
+	}
+	gridBefore := gridStatus(t, tsA, "shared")
+	if gridBefore.Reservations == 0 || gridBefore.Attached != len(gridIDs) {
+		t.Fatalf("pre-crash grid status: %+v", gridBefore)
+	}
+
+	// Kill. The disk now holds whatever the WAL had at this instant.
+	srvA.Crash()
+	tsA.Close()
+
+	srvB, tsB := openDurable(t, dir, cfg)
+	defer func() {
+		tsB.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		if err := srvB.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	hz := getHealthz(t, tsB)
+	if hz.Status != "ready" || !hz.Durable {
+		t.Fatalf("healthz after recovery: %+v", hz)
+	}
+	if hz.RecoveredWorkflows != uint64(len(all)) {
+		t.Fatalf("recovered_workflows = %d, want %d", hz.RecoveredWorkflows, len(all))
+	}
+	doc := getMetrics(t, tsB)
+	if doc.LiveResident != int64(len(all)) {
+		t.Fatalf("live_resident after recovery = %d, want %d", doc.LiveResident, len(all))
+	}
+	if doc.HistoryCells == 0 {
+		t.Fatal("tenant history did not survive the crash")
+	}
+
+	// Plans and generations must come back exactly as last handed out.
+	for _, id := range all {
+		got := waitPlan(t, tsB, id)
+		want := plansA[id]
+		if got.Generation != want.Generation {
+			t.Fatalf("%s: generation %d after restart, want %d", id, got.Generation, want.Generation)
+		}
+		if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+			t.Fatalf("%s: assignments changed across restart", id)
+		}
+	}
+	gridAfter := gridStatus(t, tsB, "shared")
+	if gridAfter.Reservations != gridBefore.Reservations || gridAfter.Attached != gridBefore.Attached {
+		t.Fatalf("grid ledger not reconstructed: before %+v after %+v", gridBefore, gridAfter)
+	}
+
+	// A duplicate replay of an already-applied batch (the enactor never
+	// saw its ack) must be acked idempotently, not 400ed.
+	dups := 0
+	for id, prefix := range prefixes {
+		var ack wire.ReportAck
+		if code, msg := postJSON(t, tsB, "/v1/workflows/"+id+"/report", encodeReport(t, prefix...), &ack); code != http.StatusOK {
+			t.Fatalf("duplicate report %s: HTTP %d (%s)", id, code, msg)
+		}
+		if ack.Applied != len(prefix) || ack.Done {
+			t.Fatalf("duplicate ack %s: %+v", id, ack)
+		}
+		dups++
+	}
+	if got := getMetrics(t, tsB).ReportsDuplicate; got != uint64(dups) {
+		t.Fatalf("reports_duplicate = %d, want %d", got, dups)
+	}
+
+	// Drive every workflow to completion against the recovered daemon.
+	for _, id := range all {
+		plan := waitPlan(t, tsB, id)
+		events := remainingEvents(plan, prefixes[id])
+		var ack wire.ReportAck
+		if code, msg := postJSON(t, tsB, "/v1/workflows/"+id+"/report", encodeReport(t, events...), &ack); code != http.StatusOK {
+			t.Fatalf("final report %s: HTTP %d (%s)", id, code, msg)
+		}
+		if !ack.Done {
+			t.Fatalf("workflow %s not done after full replay: %+v", id, ack)
+		}
+	}
+	for _, id := range all {
+		st := waitDone(t, tsB, id)
+		if st.State != StateDone {
+			t.Fatalf("workflow %s: state %q error %q", id, st.State, st.Error)
+		}
+		if st.Makespan <= 0 {
+			t.Fatalf("workflow %s: makespan %v", id, st.Makespan)
+		}
+	}
+
+	// No workflow lost, no reservation leaked.
+	final := gridStatus(t, tsB, "shared")
+	if final.Reservations != 0 || final.Attached != 0 {
+		t.Fatalf("grid did not drain: %+v", final)
+	}
+	if got := getMetrics(t, tsB).LiveResident; got != 0 {
+		t.Fatalf("live_resident after drain = %d", got)
+	}
+
+	// The recovered event logs must have stayed dense across the restart:
+	// pre-crash events replayed, post-restart events appended after them.
+	id := ids[0]
+	resp, err := tsB.Client().Get(tsB.URL + "/v1/workflows/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	want := 0
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev wire.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != want {
+			t.Fatalf("event log gap across restart: seq %d, want %d", ev.Seq, want)
+		}
+		want++
+	}
+	if want == 0 {
+		t.Fatal("no events streamed for recovered workflow")
+	}
+}
+
+// TestPendingSubmissionsRequeuedAfterCrash crashes a daemon whose
+// workers are wedged, leaving accepted-but-unstarted submissions only in
+// the WAL; the restarted daemon must re-enqueue and finish them, and
+// keep assigning fresh IDs after the recovered sequence.
+func TestPendingSubmissionsRequeuedAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	sc := workload.SampleScenario()
+	cfg := Config{Shards: 1, WALSync: "off", SnapshotInterval: time.Hour}
+
+	srvA, tsA := openDurable(t, dir, cfg)
+	// Wedge the single worker until the crash: every accepted workflow
+	// stays queued (or parked in the hook), so none reaches a terminal
+	// record before the kill.
+	srvA.execHook = func(*workflow) { <-srvA.runCtx.Done() }
+	body := encodeScenario(t, sc, "aheft", wire.Options{TieWindow: 0.05})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sub, resp := submit(t, tsA, body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		ids = append(ids, sub.ID)
+	}
+	srvA.Crash()
+	tsA.Close()
+
+	srvB, tsB := openDurable(t, dir, cfg)
+	defer func() {
+		tsB.Close()
+		srvB.Shutdown(context.Background())
+	}()
+	for _, id := range ids {
+		st := waitDone(t, tsB, id)
+		if st.State != StateDone || st.Makespan != 76 {
+			t.Fatalf("recovered pending workflow %s: state %q makespan %v", id, st.State, st.Makespan)
+		}
+	}
+	// The ID sequence continues past the recovered workflows.
+	sub, resp := submit(t, tsB, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-recovery submit: HTTP %d", resp.StatusCode)
+	}
+	if sub.ID != fmt.Sprintf("wf-%08d", len(ids)+1) {
+		t.Fatalf("post-recovery ID %s, want wf-%08d", sub.ID, len(ids)+1)
+	}
+	if st := waitDone(t, tsB, sub.ID); st.State != StateDone {
+		t.Fatalf("post-recovery workflow: %+v", st)
+	}
+}
+
+// TestTerminalRecordsSurviveRestart: a clean shutdown snapshots, and the
+// reopened daemon serves the finished workflows' statuses and event logs
+// from the frozen records.
+func TestTerminalRecordsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	sc := workload.SampleScenario()
+	cfg := Config{Shards: 2, WALSync: "interval"}
+
+	srvA, tsA := openDurable(t, dir, cfg)
+	body := encodeScenario(t, sc, "aheft", wire.Options{TieWindow: 0.05})
+	sub, resp := submit(t, tsA, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	stA := waitDone(t, tsA, sub.ID)
+	tsA.Close()
+	if err := srvA.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srvB, tsB := openDurable(t, dir, cfg)
+	defer func() {
+		tsB.Close()
+		srvB.Shutdown(context.Background())
+	}()
+	stB := getStatus(t, tsB, sub.ID)
+	if stB.State != StateDone || stB.Makespan != stA.Makespan || stB.Events != stA.Events {
+		t.Fatalf("terminal status diverged across restart:\n  before %+v\n  after  %+v", stA, stB)
+	}
+	if stB.Policy != stA.Policy || stB.Adoptions != stA.Adoptions {
+		t.Fatalf("terminal status detail diverged:\n  before %+v\n  after  %+v", stA, stB)
+	}
+}
+
+// TestRecoveryIsIdempotent: recovering, doing nothing, and restarting
+// again must reproduce the same state — the post-recovery snapshot must
+// be a faithful self-description.
+func TestRecoveryIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	sc := workload.SampleScenario()
+	cfg := Config{Shards: 2, WALSync: "off", SnapshotInterval: time.Hour}
+
+	srvA, tsA := openDurable(t, dir, cfg)
+	registerGrid(t, tsA, "g", sc)
+	id := submitShared(t, tsA, "g", "tenant-a", sc)
+	planA := waitPlan(t, tsA, id)
+	srvA.Crash()
+	tsA.Close()
+
+	for round := 0; round < 2; round++ {
+		srv, ts := openDurable(t, dir, cfg)
+		hz := getHealthz(t, ts)
+		if hz.RecoveredWorkflows != 1 {
+			t.Fatalf("round %d: recovered_workflows = %d", round, hz.RecoveredWorkflows)
+		}
+		plan := waitPlan(t, ts, id)
+		if plan.Generation != planA.Generation || !reflect.DeepEqual(plan.Assignments, planA.Assignments) {
+			t.Fatalf("round %d: plan diverged", round)
+		}
+		if gs := gridStatus(t, ts, "g"); gs.Attached != 1 || gs.Reservations == 0 {
+			t.Fatalf("round %d: grid status %+v", round, gs)
+		}
+		srv.Crash()
+		ts.Close()
+	}
+}
+
+// TestGateRecoveringThenReady covers the readiness satellite: the gate
+// answers 503 "recovering" until the recovered handler is installed.
+func TestGateRecoveringThenReady(t *testing.T) {
+	g := NewGate()
+	ts := httptest.NewServer(g)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc healthzDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || doc.Status != "recovering" {
+		t.Fatalf("gate before ready: HTTP %d %+v", resp.StatusCode, doc)
+	}
+
+	srv, _ := newTestServer(t, Config{Shards: 1})
+	g.Ready(srv.Handler())
+	resp, err = ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc = healthzDoc{}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || doc.Status != "ready" {
+		t.Fatalf("gate after ready: HTTP %d %+v", resp.StatusCode, doc)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,12 +33,28 @@ type sharedGrid struct {
 	shard  int
 	pool   *grid.Pool
 	ledger *occupancy.Ledger
+	// raw is the registration's wire.GridSpec body, kept verbatim so the
+	// durability layer journals and replays exactly what was submitted.
+	raw json.RawMessage
 
 	// attached tracks the live workflows currently resident on the grid.
 	// Mutations happen on the owning shard's goroutine; the mutex exists
 	// for the status/metrics readers.
 	mu       sync.Mutex
 	attached map[string]*workflow
+}
+
+// newSharedGrid builds a grid record for a decoded spec; the ledger
+// starts empty (recovery refills it through its restored residents).
+func newSharedGrid(name string, raw json.RawMessage, spec *wire.GridSpec, shards int) *sharedGrid {
+	return &sharedGrid{
+		name:     name,
+		shard:    shardFor("grid:"+name, shards),
+		pool:     spec.Pool,
+		ledger:   occupancy.NewLedger(spec.Pool.Size()),
+		raw:      append(json.RawMessage(nil), raw...),
+		attached: make(map[string]*workflow),
+	}
 }
 
 func (g *sharedGrid) attach(wf *workflow) {
@@ -126,13 +143,7 @@ func (s *Server) handleGridPut(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
 	}
-	g := &sharedGrid{
-		name:     name,
-		shard:    shardFor("grid:"+name, len(s.shards)),
-		pool:     spec.Pool,
-		ledger:   occupancy.NewLedger(spec.Pool.Size()),
-		attached: make(map[string]*workflow),
-	}
+	g := newSharedGrid(name, data, spec, len(s.shards))
 	s.gridMu.Lock()
 	switch {
 	case s.grids[name] != nil:
@@ -146,6 +157,7 @@ func (s *Server) handleGridPut(w http.ResponseWriter, r *http.Request) {
 	}
 	s.grids[name] = g
 	s.gridMu.Unlock()
+	s.walLogGrid(g)
 	writeJSON(w, http.StatusCreated, g.status())
 }
 
@@ -212,5 +224,8 @@ func (sh *shard) notifyGrid(g *sharedGrid, except string) {
 			Kind: "plan", Time: wf.tracker.Clock(), Trigger: plan.Trigger,
 			Generation: plan.Generation, Makespan: plan.Makespan,
 		})
+		// The adoption changed the survivor's plan and reservations; a
+		// crash before its next report must restore the adopted state.
+		sh.walLogState(wf, nil)
 	}
 }

@@ -57,6 +57,7 @@ func (sh *shard) startLive(wf *workflow) {
 		wf.finish(nil, err)
 		m.liveWorkflowDone(true)
 		sh.srv.retire(wf.id)
+		sh.walLogTerminal(wf)
 		return
 	}
 	cfg := feedback.Config{
@@ -85,6 +86,7 @@ func (sh *shard) startLive(wf *workflow) {
 		wf.finish(nil, err)
 		m.liveWorkflowDone(true)
 		sh.srv.retire(wf.id)
+		sh.walLogTerminal(wf)
 		return
 	}
 	wf.tracker = tr
@@ -106,6 +108,9 @@ func (sh *shard) startLive(wf *workflow) {
 	if wf.gridRef != nil {
 		wf.gridRef.attach(wf)
 	}
+	// Journal the planned state; this also promotes the raw submission
+	// body from the WAL's pending mirror to its live mirror.
+	sh.walLogState(wf, nil)
 }
 
 // handleCmd serves one report or what-if on the worker goroutine.
@@ -143,6 +148,32 @@ func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 	m := sh.srv.metrics
 	out, err := wf.tracker.Apply(c.report.Events)
 	if err != nil {
+		// A restarted daemon may be re-sent a batch it already applied
+		// before the crash (the enactor's ack was lost). Replays the
+		// tracker's recovered state already reflects are acked
+		// idempotently instead of 400ing a correct client.
+		if wf.tracker.AlreadyApplied(c.report.Events) {
+			m.reportsDuplicate.Add(1)
+			ack := &wire.ReportAck{
+				Workflow:   wf.id,
+				Applied:    len(c.report.Events),
+				Generation: wf.tracker.Generation(),
+			}
+			if gen := wf.tracker.Generation(); gen > wf.ackedGen {
+				wf.mu.Lock()
+				plan := wf.plan
+				wf.mu.Unlock()
+				if plan != nil {
+					ack.Rescheduled = true
+					ack.Trigger = plan.Trigger
+					ack.Plan = plan
+					ack.Generation = plan.Generation
+				}
+				wf.ackedGen = gen
+			}
+			c.reply <- cmdResult{ack: ack}
+			return
+		}
 		m.reportsRejected.Add(1)
 		c.reply <- cmdResult{code: http.StatusBadRequest, errMsg: err.Error()}
 		return
@@ -216,6 +247,11 @@ func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 		}
 	}
 	gref := wf.gridRef
+	// Journal the post-apply state (with this batch's history deltas)
+	// even when the batch completes the run: the deltas must reach the
+	// recovered tenant history, and the terminal record finishLive
+	// journals supersedes the state record on replay.
+	sh.walLogState(wf, out.Recorded)
 	if out.Done {
 		ack.Makespan = out.Makespan
 		sh.finishLive(wf)
@@ -254,6 +290,7 @@ func (sh *shard) finishLive(wf *workflow) {
 	wf.finish(res, nil)
 	m.liveWorkflowDone(false)
 	sh.srv.retire(wf.id)
+	sh.walLogTerminal(wf)
 }
 
 // cancelLive force-fails every resident live run (drain deadline).
@@ -275,6 +312,7 @@ func (sh *shard) cancelLive(err error) {
 		wf.finish(nil, err)
 		m.liveWorkflowDone(true)
 		sh.srv.retire(id)
+		sh.walLogTerminal(wf)
 	}
 }
 

@@ -37,6 +37,7 @@ type Metrics struct {
 	reports           atomic.Uint64 // accepted report batches
 	reportEvents      atomic.Uint64 // run-time events folded into live runs
 	reportsRejected   atomic.Uint64 // 400/409 report requests
+	reportsDuplicate  atomic.Uint64 // post-restart replays acked idempotently
 	whatifs           atomic.Uint64 // answered what-if queries
 	reschedVariance   atomic.Uint64 // adopted reschedules by trigger
 	reschedArrival    atomic.Uint64
@@ -48,6 +49,11 @@ type Metrics struct {
 	// Event path.
 	eventsEmitted atomic.Uint64
 	eventsDropped atomic.Uint64 // events lost to a slow SSE subscriber
+
+	// Durability path. Appends/bytes/snapshots live on the durable
+	// stores (see Server.MetricsSnapshot); only failures are counted
+	// here.
+	walErrors atomic.Uint64 // failed WAL appends/rotations (durability degraded)
 
 	inflight     atomic.Int64 // accepted - completed - failed
 	inflightPeak atomic.Int64
@@ -166,6 +172,7 @@ type MetricsDoc struct {
 	Reports              uint64 `json:"reports"`
 	ReportEvents         uint64 `json:"report_events"`
 	ReportsRejected      uint64 `json:"reports_rejected"`
+	ReportsDuplicate     uint64 `json:"reports_duplicate"`
 	WhatIfQueries        uint64 `json:"whatif_queries"`
 	ReschedulesVariance  uint64 `json:"reschedules_variance"`
 	ReschedulesArrival   uint64 `json:"reschedules_arrival"`
@@ -185,11 +192,31 @@ type MetricsDoc struct {
 	EventsEmitted uint64 `json:"events_emitted"`
 	EventsDropped uint64 `json:"events_dropped"`
 
+	// Durability (all zero when Config.DataDir is empty): WAL record and
+	// byte counts, snapshot rotations, failed appends, and what the last
+	// startup recovery restored and how long it took.
+	WALAppends         uint64  `json:"wal_appends"`
+	WALBytes           uint64  `json:"wal_bytes"`
+	Snapshots          uint64  `json:"snapshots"`
+	WALErrors          uint64  `json:"wal_errors"`
+	RecoveredWorkflows uint64  `json:"recovered_workflows"`
+	RecoveryMs         float64 `json:"recovery_ms"`
+
 	Inflight     int64 `json:"inflight"`
 	InflightPeak int64 `json:"inflight_peak"`
 	QueueDepth   []int `json:"queue_depth"`
 
 	ComputeMs ComputeMs `json:"compute_ms"`
+}
+
+// DurabilityStats carries the aggregated per-store WAL gauges into
+// Metrics.snapshot.
+type DurabilityStats struct {
+	WALAppends uint64
+	WALBytes   uint64
+	Snapshots  uint64
+	Recovered  uint64
+	RecoveryMs float64
 }
 
 // ComputeMs summarises the makespan-compute latency window.
@@ -203,7 +230,7 @@ type ComputeMs struct {
 // snapshot assembles the document; queueDepth supplies the current
 // per-shard queue lengths, historyTenants/historyCells the aggregated
 // tenant-repository gauges.
-func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, sharedGrids, reservations int) MetricsDoc {
+func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, sharedGrids, reservations int, d DurabilityStats) MetricsDoc {
 	q := m.compute.quantiles(0.50, 0.90, 0.99)
 	return MetricsDoc{
 		UptimeS:               time.Since(m.start).Seconds(),
@@ -222,6 +249,7 @@ func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, share
 		Reports:               m.reports.Load(),
 		ReportEvents:          m.reportEvents.Load(),
 		ReportsRejected:       m.reportsRejected.Load(),
+		ReportsDuplicate:      m.reportsDuplicate.Load(),
 		WhatIfQueries:         m.whatifs.Load(),
 		ReschedulesVariance:   m.reschedVariance.Load(),
 		ReschedulesArrival:    m.reschedArrival.Load(),
@@ -235,6 +263,12 @@ func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, share
 		Reservations:          reservations,
 		EventsEmitted:         m.eventsEmitted.Load(),
 		EventsDropped:         m.eventsDropped.Load(),
+		WALAppends:            d.WALAppends,
+		WALBytes:              d.WALBytes,
+		Snapshots:             d.Snapshots,
+		WALErrors:             m.walErrors.Load(),
+		RecoveredWorkflows:    d.Recovered,
+		RecoveryMs:            d.RecoveryMs,
 		Inflight:              m.inflight.Load(),
 		InflightPeak:          m.inflightPeak.Load(),
 		QueueDepth:            queueDepth,

@@ -72,6 +72,21 @@ type Config struct {
 	// (each pins its pool and reservation ledger for the daemon's
 	// lifetime). 0 means 256; negative disables the cap.
 	MaxSharedGrids int
+	// DataDir, when set, makes the daemon durable: each shard keeps a
+	// write-ahead log plus periodic snapshots under DataDir/shard-<i>,
+	// and Open replays them so a restarted daemon resumes its live
+	// workflows mid-flight (see durable.go). Empty disables durability.
+	DataDir string
+	// WALSync is the fsync policy for the WAL: "always" (fsync every
+	// append), "interval" (background fsync every WALSyncInterval — the
+	// default), or "off" (leave flushing to the OS).
+	WALSync string
+	// WALSyncInterval is the background fsync cadence under
+	// WALSync="interval"; 0 means durable.DefaultSyncInterval.
+	WALSyncInterval time.Duration
+	// SnapshotInterval is how often each shard snapshots its full state
+	// and truncates its log; 0 means 30s.
+	SnapshotInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +119,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSharedGrids == 0 {
 		c.MaxSharedGrids = 256
+	}
+	if c.WALSync == "" {
+		c.WALSync = "interval"
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
 	}
 	return c
 }
@@ -140,11 +161,33 @@ type Server struct {
 	// execution. Tests use it to hold a worker in place and exercise
 	// backpressure deterministically.
 	execHook func(*workflow)
+
+	// Durability (set by Open when Config.DataDir is non-empty).
+	recoveredWfs uint64    // live workflows restored by the last recovery
+	recoveryMs   float64   // wall time of the last recovery
+	walFinal     sync.Once // final snapshot + store close on Shutdown
 }
 
 // New builds and starts a daemon core: the shard workers are running
-// when New returns.
+// when New returns. It panics on error, which only durable
+// configurations (Config.DataDir set) can produce — use Open for those.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a daemon core and, when Config.DataDir is set, replays the
+// write-ahead logs and snapshots found there before any worker starts:
+// when Open returns, recovered live workflows are resident on their
+// shards with their current plans and feedback state, shared-grid
+// ledgers are reassembled, and pending submissions are re-queued. The
+// replay runs strictly before the shard goroutines exist, so recovery
+// touches trackers under the same single-goroutine discipline the
+// workers follow (via happens-before of the goroutine start).
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -165,6 +208,14 @@ func New(cfg Config) *Server {
 			live:  make(map[string]*workflow),
 		}
 		s.shards = append(s.shards, sh)
+	}
+	if cfg.DataDir != "" {
+		if err := s.recoverState(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	for _, sh := range s.shards {
 		s.workers.Add(1)
 		go sh.run()
 	}
@@ -179,9 +230,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/grids/{name}", s.handleGridGet)
 	mux.HandleFunc("GET /v1/grids", s.handleGridList)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthzV1)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP API.
@@ -202,7 +254,18 @@ func (s *Server) MetricsSnapshot() MetricsDoc {
 		cells += c
 	}
 	grids, reservations := s.gridTotals()
-	return s.metrics.snapshot(depth, tenants, cells, grids, reservations)
+	var d DurabilityStats
+	for _, sh := range s.shards {
+		if sh.wal != nil {
+			a, b, sn := sh.wal.store.Counters()
+			d.WALAppends += a
+			d.WALBytes += b
+			d.Snapshots += sn
+		}
+	}
+	d.Recovered = s.recoveredWfs
+	d.RecoveryMs = s.recoveryMs
+	return s.metrics.snapshot(depth, tenants, cells, grids, reservations, d)
 }
 
 // Shutdown drains the daemon: it stops intake (further submissions get
@@ -227,12 +290,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.cancelRun()
+		s.finalizeWAL()
 		return nil
 	case <-ctx.Done():
 		s.cancelRun()
 		<-done
+		s.finalizeWAL()
 		return ctx.Err()
 	}
+}
+
+// finalizeWAL writes one last snapshot per shard and closes the stores.
+// Runs once, after every worker has exited, so touching shard state here
+// is safe. A Crash()ed server's stores are disabled, making this a no-op.
+func (s *Server) finalizeWAL() {
+	s.walFinal.Do(func() {
+		for _, sh := range s.shards {
+			if sh.wal == nil {
+				continue
+			}
+			sh.snapshot()
+			sh.wal.store.Close()
+		}
+	})
 }
 
 // errorDoc is the JSON body of every non-2xx API response.
@@ -305,11 +385,66 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorDoc{Error: fmt.Sprintf("read body: %v", err)})
 		return
 	}
-	sub, err := wire.DecodeSubmission(data, s.cfg.Limits)
+	wf, _, err := s.buildWorkflow(id, data)
 	if err != nil {
 		m.rejectedInvalid.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
+	}
+	// Register before enqueueing so the ID resolves the instant the
+	// client can know it; unregister if the shard refuses the workflow.
+	s.mu.Lock()
+	s.wfs[id] = wf
+	s.mu.Unlock()
+
+	s.submitMu.RLock()
+	if s.draining {
+		s.submitMu.RUnlock()
+		s.reject(wf, fmt.Errorf("server is draining"))
+		m.rejectedDrain.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server is draining"})
+		return
+	}
+	// Reserve the in-flight slot *before* the enqueue: a fast worker may
+	// dequeue and even finish the workflow the instant it is queued, and
+	// counting afterwards would let the gauge go transiently negative
+	// and the peak undercount real concurrency. A rejected enqueue rolls
+	// the reservation back.
+	m.inflightReserve()
+	// Journal the accepted submission before the enqueue, so a crash in
+	// the window between accept and start replays it as pending. A
+	// refused enqueue voids it with a reject record below.
+	s.shards[wf.shard].walLogSubmission(id, data)
+	select {
+	case s.shards[wf.shard].queue <- wf:
+		m.accepted.Add(1)
+		m.eventsEmitted.Add(1) // the seeded "submitted" event
+		s.submitMu.RUnlock()
+	default:
+		// Bounded queue full: backpressure, not buffering. The client
+		// owns the retry; Retry-After names a delay proportional to one
+		// queue's worth of work.
+		s.submitMu.RUnlock()
+		m.inflightRelease()
+		s.shards[wf.shard].walLogReject(id)
+		s.reject(wf, fmt.Errorf("shard %d queue full", wf.shard))
+		m.rejectedFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: fmt.Sprintf("shard %d queue full", wf.shard)})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, wire.Submitted{ID: id, Shard: wf.shard, State: StateQueued})
+}
+
+// buildWorkflow decodes and validates a raw submission body into a
+// registered-shape workflow record: policy resolution, live-mode
+// checks, tenant and variance defaults, shared-grid routing. It is the
+// one constructor both the submit path and crash recovery use, so a
+// replayed body rebuilds exactly the record the original request built.
+func (s *Server) buildWorkflow(id string, data []byte) (*workflow, *sharedGrid, error) {
+	sub, err := wire.DecodeSubmission(data, s.cfg.Limits)
+	if err != nil {
+		return nil, nil, err
 	}
 	polName := sub.Policy
 	if polName == "" {
@@ -317,19 +452,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	pol, err := policy.Get(polName)
 	if err != nil {
-		m.rejectedInvalid.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
-		return
+		return nil, nil, err
 	}
 	live := sub.Mode == wire.ModeLive
 	if live && policy.IsJustInTime(pol) {
 		// A just-in-time Plan is a dispatch simulation, not an enactable
 		// schedule (see policy.JustInTime); a live client cannot execute
 		// it.
-		m.rejectedInvalid.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorDoc{
-			Error: fmt.Sprintf("policy %q is just-in-time and cannot drive a live workflow", polName)})
-		return
+		return nil, nil, fmt.Errorf("policy %q is just-in-time and cannot drive a live workflow", polName)
 	}
 	tenant := sub.Tenant
 	if tenant == "" {
@@ -343,21 +473,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// workflow to the grid's shard, so every workflow contending on one
 	// grid plans on one goroutine against one ledger.
 	var gref *sharedGrid
+	shardID := shardFor(id, len(s.shards))
 	poolSize := 0
 	if sub.SharedGrid != "" {
 		g, ok := s.gridLookup(sub.SharedGrid)
 		if !ok {
-			m.rejectedInvalid.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorDoc{
-				Error: fmt.Sprintf("unknown shared grid %q (create it with PUT /v1/grids/%s)", sub.SharedGrid, sub.SharedGrid)})
-			return
+			return nil, nil, fmt.Errorf("unknown shared grid %q (create it with PUT /v1/grids/%s)", sub.SharedGrid, sub.SharedGrid)
 		}
 		if sub.Comp.Resources() != g.pool.Size() {
-			m.rejectedInvalid.Add(1)
-			writeJSON(w, http.StatusBadRequest, errorDoc{
-				Error: fmt.Sprintf("estimator table covers %d resources, grid %q has %d",
-					sub.Comp.Resources(), sub.SharedGrid, g.pool.Size())})
-			return
+			return nil, nil, fmt.Errorf("estimator table covers %d resources, grid %q has %d",
+				sub.Comp.Resources(), sub.SharedGrid, g.pool.Size())
 		}
 		gref = g
 		shardID = g.shard
@@ -394,45 +519,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// move the published counter.
 		events: []wire.Event{{Seq: 0, Kind: "submitted", Workflow: id}},
 	}
-
-	// Register before enqueueing so the ID resolves the instant the
-	// client can know it; unregister if the shard refuses the workflow.
-	s.mu.Lock()
-	s.wfs[id] = wf
-	s.mu.Unlock()
-
-	s.submitMu.RLock()
-	if s.draining {
-		s.submitMu.RUnlock()
-		s.reject(wf, fmt.Errorf("server is draining"))
-		m.rejectedDrain.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server is draining"})
-		return
-	}
-	// Reserve the in-flight slot *before* the enqueue: a fast worker may
-	// dequeue and even finish the workflow the instant it is queued, and
-	// counting afterwards would let the gauge go transiently negative
-	// and the peak undercount real concurrency. A rejected enqueue rolls
-	// the reservation back.
-	m.inflightReserve()
-	select {
-	case s.shards[wf.shard].queue <- wf:
-		m.accepted.Add(1)
-		m.eventsEmitted.Add(1) // the seeded "submitted" event
-		s.submitMu.RUnlock()
-	default:
-		// Bounded queue full: backpressure, not buffering. The client
-		// owns the retry; Retry-After names a delay proportional to one
-		// queue's worth of work.
-		s.submitMu.RUnlock()
-		m.inflightRelease()
-		s.reject(wf, fmt.Errorf("shard %d queue full", wf.shard))
-		m.rejectedFull.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: fmt.Sprintf("shard %d queue full", wf.shard)})
-		return
-	}
-	writeJSON(w, http.StatusAccepted, wire.Submitted{ID: id, Shard: wf.shard, State: StateQueued})
+	return wf, gref, nil
 }
 
 func (s *Server) forget(id string) {

@@ -73,6 +73,10 @@ type workflow struct {
 	plan       *wire.Plan
 	generation int
 	reports    int
+	// frozen, when set, is a recovered terminal workflow's status as
+	// journalled before the restart: status() serves it verbatim (the
+	// result and submission objects it was assembled from are gone).
+	frozen *wire.Status
 }
 
 // append adds one event to the log (assigning its dense Seq) and fans it
@@ -155,6 +159,9 @@ func (wf *workflow) finish(res *planner.Result, err error) {
 func (wf *workflow) status() wire.Status {
 	wf.mu.Lock()
 	defer wf.mu.Unlock()
+	if wf.frozen != nil {
+		return *wf.frozen
+	}
 	st := wire.Status{
 		ID:        wf.id,
 		Name:      wf.name,
@@ -240,6 +247,10 @@ type shard struct {
 	cmds  chan shardCmd
 	live  map[string]*workflow // live workflows resident on this shard
 
+	// wal is the shard's durability state (nil when Config.DataDir is
+	// empty; see durable.go).
+	wal *shardWAL
+
 	histMu    sync.Mutex
 	hist      map[string]*history.Repository // per tenant
 	histOrder []string                       // LRU order, oldest first
@@ -257,6 +268,14 @@ type shard struct {
 func (sh *shard) run() {
 	defer sh.srv.workers.Done()
 	queue := sh.queue
+	// Periodic snapshots run on this goroutine so they can read live
+	// trackers; disabled (nil channel) when the daemon is not durable.
+	var snapC <-chan time.Time
+	if sh.wal != nil {
+		t := time.NewTicker(sh.srv.cfg.SnapshotInterval)
+		defer t.Stop()
+		snapC = t.C
+	}
 	for {
 		if queue == nil && len(sh.live) == 0 {
 			return
@@ -270,6 +289,8 @@ func (sh *shard) run() {
 			sh.execute(wf)
 		case c := <-sh.cmds:
 			sh.handleCmd(c)
+		case <-snapC:
+			sh.snapshot()
 		case <-sh.srv.runCtx.Done():
 			// Force-cancel: fail-fast the rest of the (already closed)
 			// queue — a queued live workflow parks itself and is swept up
@@ -330,12 +351,14 @@ func (sh *shard) execute(wf *workflow) {
 		wf.finish(res, err)
 		m.workflowDone(true, time.Since(wf.startedAt), decisions, adoptions)
 		sh.srv.retire(wf.id)
+		sh.walLogTerminal(wf)
 		return
 	}
 	wf.append(m, wire.Event{Kind: "done", Time: res.Makespan, Makespan: res.Makespan})
 	wf.finish(res, err)
 	m.workflowDone(false, time.Since(wf.startedAt), decisions, adoptions)
 	sh.srv.retire(wf.id)
+	sh.walLogTerminal(wf)
 }
 
 // shardFor routes a workflow ID to a shard with Jump Consistent Hash
