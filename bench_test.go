@@ -28,9 +28,11 @@ import (
 	"aheft/internal/drive"
 	"aheft/internal/durable"
 	"aheft/internal/experiment"
+	"aheft/internal/grid"
 	"aheft/internal/heft"
 	"aheft/internal/kernel"
 	"aheft/internal/rng"
+	"aheft/internal/schedule"
 	"aheft/internal/server"
 	"aheft/internal/wire"
 	"aheft/internal/workload"
@@ -213,14 +215,66 @@ func BenchmarkKernelPlacement(b *testing.B) {
 	}
 }
 
-// BenchmarkKernelReschedule times one mid-execution reschedule (snapshot +
-// rank + placement over the enlarged pool) — the operation the Planner
-// performs per grid event, at stress sizes, exactly as the engine drives
-// it: one kernel per run, its dense state snapshotted and rescheduled per
-// event. This is the acceptance bench: v=5000 must show ≥2x fewer
-// allocs/op than the pre-kernel BENCH_baseline.json (which recorded the
-// same per-event operation through the then-current core.Snapshot +
-// core.Reschedule path).
+// advanceBench progresses st tracker-style against the adopted schedule s
+// — finishes with ship-on-filename transfers, pins for running jobs — the
+// way the daemon's feedback loop maintains its state between evaluations
+// (no Reset, so the kernel's delta memo stays live). It returns the
+// running (pinned) assignments for perturbation.
+func advanceBench(sc *workload.Scenario, st *kernel.State, s *schedule.Schedule, clock float64) []schedule.Assignment {
+	est := sc.Estimator()
+	g := sc.Graph
+	st.Clock = clock
+	st.ClearPinned()
+	var running []schedule.Assignment
+	for _, j := range g.Jobs() {
+		a, ok := s.Get(j.ID)
+		if !ok {
+			continue
+		}
+		switch {
+		case a.Finish <= clock:
+			st.Finish(j.ID, a.Resource, a.Start, a.Finish)
+			for _, e := range g.Succs(j.ID) {
+				st.SetTransfer(j.ID, e.To, a.Resource, a.Finish)
+				if sa, ok := s.Get(e.To); ok {
+					st.SetTransfer(j.ID, e.To, sa.Resource, a.Finish+est.Comm(e, a.Resource, sa.Resource))
+				}
+			}
+		case a.Start < clock:
+			st.Pin(a)
+			running = append(running, a)
+		}
+	}
+	return running
+}
+
+// toggleOccupancy serves a mutable foreign claim on one resource, for the
+// contention-trigger benches.
+type toggleOccupancy struct {
+	r    grid.ID
+	busy []kernel.Busy
+}
+
+func (o *toggleOccupancy) AppendBusy(r grid.ID, buf []kernel.Busy) []kernel.Busy {
+	if r == o.r {
+		return append(buf, o.busy...)
+	}
+	return buf
+}
+
+// BenchmarkKernelReschedule times one full mid-execution replan — the
+// operation the Planner performs per trigger — at stress sizes, exactly as
+// the engine drives it: one kernel per run, its dense state maintained and
+// rescheduled per event.
+//
+// The v=N variants are the historical pool-event numbers (resource set
+// changed, ranks recomputed, state re-snapshotted) — BENCH_baseline.json
+// gates v=5000 at ≥2x fewer allocs/op than the pre-kernel path, so their
+// names must stay stable. The trigger=* variants split the cost by trigger
+// kind so BENCH_kernel.json trajectories stay attributable: variance and
+// contention replan over an unchanged resource set (warm rank cache),
+// while arrival and departure pay rank recomputation over a changed one —
+// alike today, tracked separately so either can drift alone.
 func BenchmarkKernelReschedule(b *testing.B) {
 	for _, jobs := range []int{1000, 5000, 20000} {
 		jobs := jobs
@@ -248,6 +302,159 @@ func BenchmarkKernelReschedule(b *testing.B) {
 				}
 			}
 		})
+	}
+	for _, trigger := range []string{"variance", "arrival", "departure", "contention"} {
+		trigger := trigger
+		b.Run(fmt.Sprintf("trigger=%s/v=5000", trigger), func(b *testing.B) {
+			sc := kernelScenario(b, 5000)
+			est := sc.Estimator()
+			k := kernel.New(sc.Graph, est)
+			occ := &toggleOccupancy{}
+			if trigger == "contention" {
+				k.SetOccupancy(occ)
+			}
+			s0, err := k.Static(sc.Pool.Initial(), kernel.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clock := s0.Makespan() / 3
+			rsFull := sc.Pool.AvailableAt(clock)
+			rsSmall := rsFull[:len(rsFull)-1]
+			st := k.NewState(sc.Pool.Size())
+			running := advanceBench(sc, st, s0, clock)
+			if len(running) == 0 {
+				b.Fatal("no running jobs at the bench clock")
+			}
+			pin := running[0]
+			occ.r = rsFull[0].ID
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rs := rsFull
+				switch trigger {
+				case "variance":
+					// One running job's revised runtime alternates, so
+					// consecutive evaluations always see a changed pin.
+					fin := pin.Finish
+					if i%2 == 0 {
+						fin += 0.1 * (pin.Finish - pin.Start)
+					}
+					st.Pin(schedule.Assignment{Job: pin.Job, Resource: pin.Resource, Start: pin.Start, Finish: fin})
+				case "arrival", "departure":
+					// The resource set changed: ranks must be recomputed.
+					if i%2 == 0 {
+						rs = rsSmall
+					}
+					k.InvalidateRanks()
+				case "contention":
+					// A foreign reservation appears and disappears.
+					occ.busy = occ.busy[:0]
+					if i%2 == 0 {
+						occ.busy = append(occ.busy, kernel.Busy{Start: clock, Finish: clock + 50})
+					}
+				}
+				if _, err := k.Reschedule(rs, st, kernel.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelDeltaReschedule times the incremental reschedule path
+// absorbing a small event: a foreign reservation (a co-tenant booking, the
+// contention trigger) toggling on one resource at a horizon position
+// calibrated so the realised dirty cone is the smallest achievable at or
+// above the requested size — cone=1 is a perturbation that invalidates a
+// single job's slot. Every op must take the delta path (a fallback fails
+// the bench) and the realised cone is reported as the "cone" metric. The
+// CI benchcmp gate holds v=20000/cone=1 at ≥10x faster than the full
+// replan (BenchmarkKernelReschedule/v=20000).
+func BenchmarkKernelDeltaReschedule(b *testing.B) {
+	for _, jobs := range []int{1000, 5000, 20000} {
+		for _, cone := range []int{1, 4, 16} {
+			jobs, cone := jobs, cone
+			b.Run(fmt.Sprintf("v=%d/cone=%d", jobs, cone), func(b *testing.B) {
+				sc := kernelScenario(b, jobs)
+				est := sc.Estimator()
+				k := kernel.New(sc.Graph, est)
+				occ := &toggleOccupancy{}
+				k.SetOccupancy(occ)
+				s0, err := k.Static(sc.Pool.Initial(), kernel.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				clock := s0.Makespan() / 3
+				rs := sc.Pool.AvailableAt(clock)
+				occ.r = rs[0].ID
+				st := k.NewState(sc.Pool.Size())
+				advanceBench(sc, st, s0, clock)
+				opts := kernel.Options{Incremental: true, MaxConeFrac: 1}
+				// First pass records the memo the deltas replay against.
+				s1, err := k.Reschedule(rs, st, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Calibrate the reservation position: the cone is the set of
+				// jobs whose slots run past the claim, so it shrinks as the
+				// claim moves later — binary-search the latest position whose
+				// realised cone still reaches the requested size. Each trial
+				// toggles the claim on and back off through the delta path,
+				// which also warms every scratch buffer before timing.
+				width := 0.02 * (s1.Makespan() - clock)
+				toggle := func(busy []kernel.Busy) int {
+					occ.busy = busy
+					if _, err := k.Reschedule(rs, st, opts); err != nil {
+						b.Fatal(err)
+					}
+					ds := k.DeltaStats()
+					if !ds.Delta {
+						b.Fatalf("delta path not taken: %+v", ds)
+					}
+					return ds.Cone
+				}
+				span := s1.Makespan() - clock
+				lo, hi := clock, s1.Makespan()
+				pos := clock
+				// Bracket from the tail inward so every trial keeps a small
+				// cone (a mid-horizon trial would re-probe half the DAG).
+				for off := span / 1024; ; off *= 2 {
+					t := s1.Makespan() - off
+					if t <= clock {
+						break
+					}
+					got := toggle([]kernel.Busy{{Start: t, Finish: t + width}})
+					toggle(nil)
+					if got >= cone {
+						pos, lo = t, t
+						break
+					}
+					hi = t
+				}
+				for i := 0; i < 20 && hi-lo > 1e-6*span; i++ {
+					mid := lo + (hi-lo)/2
+					got := toggle([]kernel.Busy{{Start: mid, Finish: mid + width}})
+					toggle(nil)
+					if got >= cone {
+						pos, lo = mid, mid
+					} else {
+						hi = mid
+					}
+				}
+				claim := []kernel.Busy{{Start: pos, Finish: pos + width}}
+				coneSum := 0.0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%2 == 0 {
+						coneSum += float64(toggle(claim))
+					} else {
+						coneSum += float64(toggle(nil))
+					}
+				}
+				b.ReportMetric(coneSum/float64(b.N), "cone")
+			})
+		}
 	}
 }
 

@@ -13,6 +13,22 @@
 // means: on that benchmark, old.allocs/new.allocs must be >= 2.0 (at
 // least 2x fewer allocations) and old.ns/new.ns must be >= 1.0 (not
 // slower).
+//
+// --only restricts the printed comparison to benchmarks whose name starts
+// with one of the comma-separated prefixes (a named subset); --require and
+// --ratio still resolve against the full documents:
+//
+//	benchcmp old.json new.json --only BenchmarkKernelDeltaReschedule
+//
+// --ratio gates one benchmark against another WITHIN the new document —
+// ns/op of the first must be at least the given multiple of the second:
+//
+//	benchcmp old.json new.json \
+//	  --ratio 'BenchmarkKernelReschedule/v=20000/kind=finish:BenchmarkKernelDeltaReschedule/v=20000/cone=1:10'
+//
+// means: in new.json, the full replan at v=20000 must take >= 10x the
+// ns/op of the 1-job delta reschedule — the incremental path's speedup
+// contract.
 package main
 
 import (
@@ -40,9 +56,18 @@ type requirement struct {
 	ns     float64 // minimum old/new ns ratio
 }
 
+// ratioGate pins two benchmarks in the NEW document against each other:
+// new[num].ns / new[den].ns must be >= min.
+type ratioGate struct {
+	num, den string
+	min      float64
+}
+
 func main() {
 	var files []string
 	var reqs []requirement
+	var ratios []ratioGate
+	var only []string
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
 		switch {
@@ -54,12 +79,28 @@ func main() {
 			reqs = append(reqs, parseRequire(args[i]))
 		case strings.HasPrefix(args[i], "--require="):
 			reqs = append(reqs, parseRequire(strings.TrimPrefix(args[i], "--require=")))
+		case args[i] == "--ratio":
+			i++
+			if i >= len(args) {
+				fatal("missing --ratio value")
+			}
+			ratios = append(ratios, parseRatio(args[i]))
+		case strings.HasPrefix(args[i], "--ratio="):
+			ratios = append(ratios, parseRatio(strings.TrimPrefix(args[i], "--ratio=")))
+		case args[i] == "--only":
+			i++
+			if i >= len(args) {
+				fatal("missing --only value")
+			}
+			only = append(only, strings.Split(args[i], ",")...)
+		case strings.HasPrefix(args[i], "--only="):
+			only = append(only, strings.Split(strings.TrimPrefix(args[i], "--only="), ",")...)
 		default:
 			files = append(files, args[i])
 		}
 	}
 	if len(files) != 2 {
-		fatal("usage: benchcmp OLD.json NEW.json [--require 'Bench:allocs=2.0,ns=1.0']...")
+		fatal("usage: benchcmp OLD.json NEW.json [--only Prefix,...] [--require 'Bench:allocs=2.0,ns=1.0']... [--ratio 'BenchA:BenchB:10']...")
 	}
 	oldDoc, newDoc := load(files[0]), load(files[1])
 	oldBy := index(oldDoc)
@@ -67,6 +108,9 @@ func main() {
 	newBy := map[string]record{}
 	for _, n := range newDoc.Benchmarks {
 		newBy[n.Name] = n
+		if !selected(n.Name, only) {
+			continue
+		}
 		o, ok := oldBy[n.Name]
 		if !ok {
 			fmt.Printf("%-44s %12.0f %12.0f %9s %9s\n", n.Name, n.NsPerOp, n.AllocsPerOp, "new", "new")
@@ -76,6 +120,22 @@ func main() {
 			n.Name, n.NsPerOp, n.AllocsPerOp, ratio(o.NsPerOp, n.NsPerOp), ratio(o.AllocsPerOp, n.AllocsPerOp))
 	}
 	failed := false
+	for _, rg := range ratios {
+		num, okN := newBy[rg.num]
+		den, okD := newBy[rg.den]
+		if !okN || !okD {
+			fmt.Fprintf(os.Stderr, "benchcmp: ratio benchmark missing in new doc (%q %v, %q %v)\n", rg.num, okN, rg.den, okD)
+			failed = true
+			continue
+		}
+		if r := ratio(num.NsPerOp, den.NsPerOp); r < rg.min {
+			fmt.Fprintf(os.Stderr, "benchcmp: ratio %s / %s = %.2f < required %.2f (%.0f / %.0f ns/op)\n",
+				rg.num, rg.den, r, rg.min, num.NsPerOp, den.NsPerOp)
+			failed = true
+		} else {
+			fmt.Printf("ratio %s / %s = %.2fx (>= %.2f)\n", rg.num, rg.den, r, rg.min)
+		}
+	}
 	for _, rq := range reqs {
 		o, okO := oldBy[rq.bench]
 		n, okN := newBy[rq.bench]
@@ -98,9 +158,23 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	if len(reqs) > 0 {
+	if len(reqs)+len(ratios) > 0 {
 		fmt.Println("all requirements met")
 	}
+}
+
+// selected reports whether name passes the --only prefix filter; an empty
+// filter selects everything.
+func selected(name string, only []string) bool {
+	if len(only) == 0 {
+		return true
+	}
+	for _, p := range only {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 func ratio(old, new float64) float64 {
@@ -138,6 +212,20 @@ func parseRequire(s string) requirement {
 		}
 	}
 	return rq
+}
+
+// parseRatio parses 'BenchA:BenchB:min' — benchmark names never contain
+// colons, so a plain split is unambiguous.
+func parseRatio(s string) ratioGate {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		fatal("bad --ratio %q: want 'BenchA:BenchB:10'", s)
+	}
+	v, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || v <= 0 {
+		fatal("bad --ratio minimum %q", parts[2])
+	}
+	return ratioGate{num: parts[0], den: parts[1], min: v}
 }
 
 func load(path string) doc {

@@ -204,6 +204,7 @@ func driveMain(g *generator, classes []class, total int, p driveParams) {
 		metrics.Reports, metrics.ReportEvents, metrics.ReportsRejected,
 		metrics.ReschedulesVariance, metrics.ReschedulesArrival, metrics.ReschedulesDeparture,
 		metrics.EventsDropped)
+	printReschedPath("drive: server", metrics)
 
 	if p.out != "" {
 		data, _ := json.MarshalIndent(rep, "", "  ")

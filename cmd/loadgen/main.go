@@ -651,4 +651,21 @@ func printReport(r Report) {
 	m := r.ServerMetrics
 	fmt.Printf("loadgen: server: completed=%d failed=%d reschedules=%d events=%d dropped=%d inflight_peak=%d rejected(backpressure=%d)\n",
 		m.Completed, m.Failed, m.Reschedules, m.EventsEmitted, m.EventsDropped, m.InflightPeak, m.RejectedFull)
+	printReschedPath("server", m)
+}
+
+// printReschedPath summarises the kernel's replan-path split (delta vs
+// full-fallback) and the per-trigger reschedule latency quantiles from a
+// /metrics snapshot. Quiet when the run exercised no reschedule path.
+func printReschedPath(prefix string, m server.MetricsDoc) {
+	if m.ReschedulesDelta == 0 && m.ReschedulesFullFallback == 0 {
+		return
+	}
+	line := fmt.Sprintf("loadgen: %s: replan path delta=%d full=%d", prefix, m.ReschedulesDelta, m.ReschedulesFullFallback)
+	for _, tr := range []string{"arrival", "variance", "departure", "contention"} {
+		if w, ok := m.RescheduleMs[tr]; ok && w.Count > 0 {
+			line += fmt.Sprintf(" %s(n=%d p50=%.2fms p99=%.2fms)", tr, w.Count, w.P50, w.P99)
+		}
+	}
+	fmt.Println(line)
 }

@@ -161,6 +161,7 @@ func sharedMain(g *generator, p sharedParams) {
 		metrics.SharedGrids, metrics.Reservations,
 		metrics.ReschedulesContention, metrics.ReschedulesVariance, metrics.ReschedulesArrival,
 		metrics.EventsDropped)
+	printReschedPath("shared: server", metrics)
 
 	if p.out != "" {
 		data, _ := json.MarshalIndent(rep, "", "  ")

@@ -119,6 +119,10 @@ func MeanComm(e dag.Edge) float64 { return e.Data }
 // paper's "accurate estimation" assumption made explicit in the types.
 func Exact(t *Table) Estimator { return t }
 
+// EstimateVersion implements kernel.VersionedEstimator: a Table is
+// immutable after construction, so its estimates never drift.
+func (t *Table) EstimateVersion() uint64 { return 0 }
+
 var _ Estimator = (*Table)(nil)
 
 // CCR computes the communication-to-computation ratio of a workflow under

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"aheft/internal/core"
 	"aheft/internal/cost"
@@ -596,10 +597,23 @@ func (t *Tracker) evaluate(trigger planner.Trigger, arrived int, out *Outcome) {
 		return // nothing to plan over; keep the stale plan until a join
 	}
 	t.syncPins(t.clock)
-	// The estimator mutates underneath the kernel as history accrues, so
-	// cached upward ranks are stale on every evaluation.
-	t.k.InvalidateRanks()
-	s1, err := t.pol.Replan(t.k, rs, t.ks, t.opts)
+	// The estimator mutates underneath the kernel as history accrues. The
+	// HistoryBased predictor is versioned, so the kernel detects stale
+	// ranks (and stale delta memos) itself; only an unversioned estimator
+	// needs the explicit invalidation, which would also wipe the rank
+	// cache the delta path relies on.
+	if _, versioned := any(t.est).(kernel.VersionedEstimator); !versioned {
+		t.k.InvalidateRanks()
+	}
+	// Live evaluations default to the incremental path: the kernel falls
+	// back to a full replan whenever it cannot prove the event's dirty
+	// cone small (and bit-identity is parity-tested), so this is purely a
+	// latency lever.
+	opts := t.opts
+	opts.Incremental = true
+	began := time.Now()
+	s1, err := t.pol.Replan(t.k, rs, t.ks, opts)
+	elapsed := time.Since(began)
 	if err != nil || s1 == nil {
 		// Evaluation failure must not kill the run ("otherwise the
 		// Planner does not take any action"); a nil proposal means the
@@ -615,6 +629,16 @@ func (t *Tracker) evaluate(trigger planner.Trigger, arrived int, out *Outcome) {
 		JobsFinished: t.nFinished,
 		Trigger:      trigger,
 		ArrivedCount: arrived,
+		ElapsedMs:    float64(elapsed) / float64(time.Millisecond),
+	}
+	if ds := t.k.DeltaStats(); ds.Attempted {
+		if ds.Delta {
+			d.Path = "delta"
+			d.ConeSize = ds.Cone
+		} else {
+			d.Path = "full"
+			d.FallbackReason = ds.Reason
+		}
 	}
 	if core.Better(cur, s1.Makespan(), t.opts.Eps) {
 		d.Adopted = true

@@ -55,6 +55,10 @@ type Repository struct {
 	mu    sync.RWMutex
 	alpha float64
 	cells map[Key]*Stats
+	// gen counts mutations (Record, Import). Estimators backed by the
+	// repository expose it as their EstimateVersion, letting the kernel
+	// detect "estimates drifted" without comparing cell contents.
+	gen uint64
 }
 
 // New returns an empty repository with the given EWMA smoothing factor;
@@ -74,6 +78,7 @@ func (h *Repository) Record(op string, r grid.ID, d float64) error {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.gen++
 	k := Key{Op: op, Resource: r}
 	s, ok := h.cells[k]
 	if !ok {
@@ -197,6 +202,7 @@ func (h *Repository) Export() []Cell {
 func (h *Repository) Import(cells []Cell) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.gen++
 	for _, c := range cells {
 		if c.Count <= 0 {
 			continue
@@ -209,6 +215,15 @@ func (h *Repository) Import(cells []Cell) {
 
 // Alpha returns the repository's EWMA smoothing factor.
 func (h *Repository) Alpha() float64 { return h.alpha }
+
+// Generation returns the mutation counter: it advances on every Record
+// and Import, so two equal Generation reads bracket a window in which
+// every history-derived estimate was stable.
+func (h *Repository) Generation() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.gen
+}
 
 // Keys returns all cells in deterministic order (op, then resource).
 func (h *Repository) Keys() []Key {

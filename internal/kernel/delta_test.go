@@ -1,0 +1,421 @@
+package kernel_test
+
+// Tests for the incremental (delta) reschedule path: perturbation
+// taxonomy (finish-early, finish-late, resource-join, resource-leave,
+// foreign-reservation-release) with cone assertions, chained
+// delta-vs-full parity over random scenarios, and the zero-added-
+// allocations contract. Parity is always bit-identical: the delta path
+// must be indistinguishable from a full replan on the same snapshot.
+
+import (
+	"fmt"
+	"testing"
+
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/kernel"
+	"aheft/internal/rng"
+	"aheft/internal/schedule"
+	"aheft/internal/workload"
+)
+
+// advance progresses st to clock against the currently adopted schedule s,
+// the way feedback.Tracker maintains its state between evaluations: jobs
+// whose actual finish time has passed are recorded finished with
+// ship-on-finish transfers toward every scheduled consumer, and
+// started-but-unfinished jobs are re-pinned. scaleOf perturbs actual
+// runtimes (actual duration = scale × scheduled duration, anchored at the
+// currently scheduled start); it applies to pins too, so an overrun
+// extends the pinned interval exactly like a variance report does.
+// Applying the same advance calls to two states keeps them bit-identical,
+// which the parity tests rely on.
+func advance(sc *workload.Scenario, st *kernel.State, s *schedule.Schedule, clock float64, scaleOf map[dag.JobID]float64) {
+	est := sc.Estimator()
+	g := sc.Graph
+	st.Clock = clock
+	st.ClearPinned()
+	for _, j := range g.Jobs() {
+		if st.Finished(j.ID) {
+			continue
+		}
+		a, ok := s.Get(j.ID)
+		if !ok {
+			continue
+		}
+		fin := a.Finish
+		if f, ok := scaleOf[j.ID]; ok {
+			fin = a.Start + f*(a.Finish-a.Start)
+		}
+		switch {
+		case a.Start < clock && fin <= clock:
+			st.Finish(j.ID, a.Resource, a.Start, fin)
+			for _, e := range g.Succs(j.ID) {
+				st.SetTransfer(j.ID, e.To, a.Resource, fin)
+				if sa, ok := s.Get(e.To); ok {
+					st.SetTransfer(j.ID, e.To, sa.Resource, fin+est.Comm(e, a.Resource, sa.Resource))
+				}
+			}
+		case a.Start < clock:
+			st.Pin(schedule.Assignment{Job: j.ID, Resource: a.Resource, Start: a.Start, Finish: fin})
+		}
+	}
+}
+
+// requireSameSchedule asserts bit-identical assignments for every job.
+func requireSameSchedule(t testing.TB, g *dag.Graph, got, want *schedule.Schedule, ctx string) {
+	t.Helper()
+	for _, j := range g.Jobs() {
+		if got.MustGet(j.ID) != want.MustGet(j.ID) {
+			t.Fatalf("%s: job %s diverged: delta %+v, full %+v",
+				ctx, j.Name, got.MustGet(j.ID), want.MustGet(j.ID))
+		}
+	}
+}
+
+// taxonomyScenario is the fixed mid-size layered workflow the taxonomy
+// cases share.
+func taxonomyScenario(t *testing.T) *workload.Scenario {
+	t.Helper()
+	sc, err := workload.LayeredScenario(workload.LayeredParams{
+		Jobs: 240, Width: 8, FanIn: 3, CCR: 1, Beta: 0.5,
+	}, workload.GridParams{
+		InitialResources: 6, ChangeInterval: 1e9, ChangePct: 0.25, MaxEvents: 1,
+	}, rng.New(0xDE17A))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// pickUnstarted returns the first job of s scheduled strictly inside
+// (after, upTo] — not yet started at `after`, finished by `upTo`.
+func pickUnstarted(t *testing.T, g *dag.Graph, s *schedule.Schedule, after, upTo float64) schedule.Assignment {
+	t.Helper()
+	for _, j := range g.Jobs() {
+		a, ok := s.Get(j.ID)
+		if ok && a.Start > after && a.Finish <= upTo {
+			return a
+		}
+	}
+	t.Fatalf("no job scheduled inside (%g, %g]", after, upTo)
+	return schedule.Assignment{}
+}
+
+// TestKernelDeltaTaxonomy drives one perturbation of each trigger kind
+// through a memoised kernel and asserts (a) whether the delta path runs or
+// which fallback reason fires, (b) cone membership — every still-pending
+// direct successor of a perturbed job re-probes — and (c) bit-identical
+// parity against an independent full replan on a replicated state.
+func TestKernelDeltaTaxonomy(t *testing.T) {
+	type world struct {
+		sc       *workload.Scenario
+		ki, kr   *kernel.Kernel // incremental and full-reference kernels
+		sti, str *kernel.State
+		s1       *schedule.Schedule // adopted schedule after the memo pass
+		c1, c2   float64
+		occ      fixedOccupancy // shared by both kernels (may be nil)
+	}
+	cases := []struct {
+		name string
+		// setup may attach occupancy before the memo pass.
+		setup func(w *world)
+		// perturb mutates overrides / resource set / occupancy for step 2,
+		// returning the step-2 resource set and the perturbed job (or
+		// dag.NoJob when the perturbation is not job-shaped).
+		perturb    func(w *world, ov map[dag.JobID]float64, rs []grid.Resource) ([]grid.Resource, dag.JobID)
+		wantDelta  bool
+		wantReason string
+	}{
+		{
+			name: "finish-early",
+			perturb: func(w *world, ov map[dag.JobID]float64, rs []grid.Resource) ([]grid.Resource, dag.JobID) {
+				a := pickUnstarted(t, w.sc.Graph, w.s1, w.c1, w.c2)
+				ov[a.Job] = 0.5
+				return rs, a.Job
+			},
+			wantDelta: true,
+		},
+		{
+			name: "finish-late",
+			perturb: func(w *world, ov map[dag.JobID]float64, rs []grid.Resource) ([]grid.Resource, dag.JobID) {
+				a := pickUnstarted(t, w.sc.Graph, w.s1, w.c1, w.c2)
+				late := a.Finish + 0.49*(w.c2-a.Finish)
+				ov[a.Job] = (late - a.Start) / (a.Finish - a.Start)
+				return rs, a.Job
+			},
+			wantDelta: true,
+		},
+		{
+			name: "resource-join",
+			perturb: func(w *world, ov map[dag.JobID]float64, rs []grid.Resource) ([]grid.Resource, dag.JobID) {
+				full := w.sc.Pool.Initial()
+				return full, dag.NoJob // memo pass ran on full[:len-1]
+			},
+			wantDelta:  false,
+			wantReason: "resource-set-changed",
+		},
+		{
+			name: "resource-leave",
+			perturb: func(w *world, ov map[dag.JobID]float64, rs []grid.Resource) ([]grid.Resource, dag.JobID) {
+				return rs[:len(rs)-1], dag.NoJob
+			},
+			wantDelta:  false,
+			wantReason: "resource-set-changed",
+		},
+		{
+			name: "foreign-reservation-release",
+			setup: func(w *world) {
+				rs := w.sc.Pool.Initial()
+				w.occ = fixedOccupancy{rs[0].ID: {{Start: 0, Finish: 1e9}}}
+				w.ki.SetOccupancy(w.occ)
+				w.kr.SetOccupancy(w.occ)
+			},
+			perturb: func(w *world, ov map[dag.JobID]float64, rs []grid.Resource) ([]grid.Resource, dag.JobID) {
+				// The other workflow releases its claim: the resource opens
+				// up from c2 onward and the cone should flow onto it.
+				w.occ[rs[0].ID] = []kernel.Busy{{Start: 0, Finish: w.c2}}
+				return rs, dag.NoJob
+			},
+			wantDelta: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := taxonomyScenario(t)
+			w := &world{sc: sc}
+			w.ki = kernel.New(sc.Graph, sc.Estimator())
+			w.kr = kernel.New(sc.Graph, sc.Estimator())
+			if tc.setup != nil {
+				tc.setup(w)
+			}
+			rs := sc.Pool.Initial()
+			if tc.name == "resource-join" {
+				rs = rs[:len(rs)-1]
+			}
+			opts := kernel.Options{Incremental: true, MaxConeFrac: 1}
+			s0, err := w.ki.Static(rs, kernel.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.sti = w.ki.NewState(sc.Pool.Size())
+			w.str = w.kr.NewState(sc.Pool.Size())
+			w.c1, w.c2 = 0.3*s0.Makespan(), 0.55*s0.Makespan()
+			advance(sc, w.sti, s0, w.c1, nil)
+			advance(sc, w.str, s0, w.c1, nil)
+			w.s1, err = w.ki.Reschedule(rs, w.sti, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ds := w.ki.DeltaStats(); !ds.Attempted || ds.Delta || ds.Reason != "no-memo" {
+				t.Fatalf("memo pass stats: %+v", ds)
+			}
+
+			ov := map[dag.JobID]float64{}
+			rs2, job := tc.perturb(w, ov, rs)
+			advance(sc, w.sti, w.s1, w.c2, ov)
+			advance(sc, w.str, w.s1, w.c2, ov)
+			s2, err := w.ki.Reschedule(rs2, w.sti, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := w.ki.DeltaStats()
+			if ds.Delta != tc.wantDelta {
+				t.Fatalf("delta taken = %v, want %v (stats %+v)", ds.Delta, tc.wantDelta, ds)
+			}
+			if tc.wantReason != "" && ds.Reason != tc.wantReason {
+				t.Fatalf("fallback reason %q, want %q", ds.Reason, tc.wantReason)
+			}
+			if ds.Delta {
+				if ds.Cone < 1 || ds.Cone > ds.Base {
+					t.Fatalf("implausible cone: %+v", ds)
+				}
+				if job != dag.NoJob {
+					// Cone membership: every direct successor of the
+					// perturbed job that is still pending re-probes.
+					pending := 0
+					for _, e := range sc.Graph.Succs(job) {
+						if !w.sti.Finished(e.To) && !w.sti.Pinned(e.To) {
+							pending++
+						}
+					}
+					if ds.Cone < pending {
+						t.Fatalf("cone %d misses direct successors (%d pending): %+v", ds.Cone, pending, ds)
+					}
+				}
+			}
+			s2ref, err := w.kr.Reschedule(rs2, w.str, kernel.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameSchedule(t, sc.Graph, s2, s2ref, tc.name)
+		})
+	}
+}
+
+// TestKernelDeltaParityChain chains several perturbation rounds per random
+// scenario through one memoised kernel — delta feeding the next delta —
+// and holds every round bit-identical to an independent full replan. With
+// the cone cap lifted and a stable resource set, every round after the
+// memo-recording first one must actually take the delta path.
+func TestKernelDeltaParityChain(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		sc := quickScenario(t, seed)
+		r := rng.New(seed ^ 0xDE17A)
+		est := sc.Estimator()
+		ki := kernel.New(sc.Graph, est)
+		kr := kernel.New(sc.Graph, est)
+		rs := sc.Pool.Initial()
+		s0, err := ki.Static(rs, kernel.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sti := ki.NewState(sc.Pool.Size())
+		str := kr.NewState(sc.Pool.Size())
+		opts := kernel.Options{Incremental: true, MaxConeFrac: 1}
+		ov := map[dag.JobID]float64{}
+		s := s0
+		deltas := 0
+		for step, frac := range []float64{0.15, 0.3, 0.45, 0.6, 0.8} {
+			clock := frac * s0.Makespan()
+			if step > 0 {
+				// Perturb a not-yet-started job's runtime by ±50%.
+				for _, j := range sc.Graph.Jobs() {
+					a, ok := s.Get(j.ID)
+					if !ok || a.Start <= clock || sti.Finished(j.ID) {
+						continue
+					}
+					if _, seen := ov[j.ID]; seen {
+						continue
+					}
+					ov[j.ID] = 0.5 + r.Float64()
+					break
+				}
+			}
+			advance(sc, sti, s, clock, ov)
+			advance(sc, str, s, clock, ov)
+			si, err := ki.Reschedule(rs, sti, opts)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			sref, err := kr.Reschedule(rs, str, kernel.Options{})
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			requireSameSchedule(t, sc.Graph, si, sref,
+				fmt.Sprintf("seed %d step %d (stats %+v)", seed, step, ki.DeltaStats()))
+			ds := ki.DeltaStats()
+			if step == 0 && (ds.Delta || ds.Reason != "no-memo") {
+				t.Fatalf("seed %d: first pass should record, got %+v", seed, ds)
+			}
+			if step > 0 {
+				if !ds.Delta {
+					t.Fatalf("seed %d step %d: expected delta path, got %+v", seed, step, ds)
+				}
+				deltas++
+			}
+			s = si
+		}
+		if deltas == 0 {
+			t.Fatalf("seed %d: no delta rounds exercised", seed)
+		}
+	}
+}
+
+// TestKernelDeltaConeOverflowFallsBack pins the configurable threshold: a
+// cone cap small enough to be exceeded must abort to a full replan with
+// reason "cone-overflow" — and still produce the identical schedule.
+func TestKernelDeltaConeOverflowFallsBack(t *testing.T) {
+	sc := taxonomyScenario(t)
+	ki := kernel.New(sc.Graph, sc.Estimator())
+	kr := kernel.New(sc.Graph, sc.Estimator())
+	rs := sc.Pool.Initial()
+	s0, err := ki.Static(rs, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sti, str := ki.NewState(sc.Pool.Size()), kr.NewState(sc.Pool.Size())
+	c1, c2 := 0.3*s0.Makespan(), 0.55*s0.Makespan()
+	// A cone cap this small cannot absorb a job that overruns into most of
+	// its layer's successors.
+	opts := kernel.Options{Incremental: true, MaxConeFrac: 1e-9}
+	advance(sc, sti, s0, c1, nil)
+	advance(sc, str, s0, c1, nil)
+	s1, err := ki.Reschedule(rs, sti, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pickUnstarted(t, sc.Graph, s1, c1, c2)
+	late := a.Finish + 0.49*(c2-a.Finish)
+	ov := map[dag.JobID]float64{a.Job: (late - a.Start) / (a.Finish - a.Start)}
+	advance(sc, sti, s1, c2, ov)
+	advance(sc, str, s1, c2, ov)
+	s2, err := ki.Reschedule(rs, sti, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := ki.DeltaStats(); ds.Delta || ds.Reason != "cone-overflow" {
+		t.Fatalf("want cone-overflow fallback, got %+v", ds)
+	}
+	s2ref, err := kr.Reschedule(rs, str, kernel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSchedule(t, sc.Graph, s2, s2ref, "cone-overflow")
+}
+
+// TestKernelDeltaZeroSteadyStateAllocations is the delta half of the
+// kernel's allocation contract: a steady-state delta reschedule allocates
+// no more than the full pass — i.e. only the returned schedule.
+func TestKernelDeltaZeroSteadyStateAllocations(t *testing.T) {
+	sc, err := workload.LayeredScenario(workload.LayeredParams{
+		Jobs: 1000, Width: 20, FanIn: 3, CCR: 1, Beta: 0.5,
+	}, workload.GridParams{
+		InitialResources: 8, ChangeInterval: 1e9, ChangePct: 0.25, MaxEvents: 1,
+	}, rng.New(0xA110C))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := sc.Estimator()
+	rs := sc.Pool.Initial()
+
+	prep := func(opts kernel.Options) (*kernel.Kernel, *kernel.State) {
+		k := kernel.New(sc.Graph, est)
+		s0, err := k.Static(rs, kernel.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := k.NewState(sc.Pool.Size())
+		advance(sc, st, s0, 0.4*s0.Makespan(), nil)
+		// Warm up: first pass records the memo (and grows all scratch),
+		// second settles the delta path's buffers.
+		for i := 0; i < 2; i++ {
+			if _, err := k.Reschedule(rs, st, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k, st
+	}
+
+	optsDelta := kernel.Options{Incremental: true, MaxConeFrac: 1}
+	kd, std := prep(optsDelta)
+	kf, stf := prep(kernel.Options{})
+
+	deltaTaken := true
+	deltaAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := kd.Reschedule(rs, std, optsDelta); err != nil {
+			t.Fatal(err)
+		}
+		deltaTaken = deltaTaken && kd.DeltaStats().Delta
+	})
+	if !deltaTaken {
+		t.Fatalf("delta path not taken in steady state: %+v", kd.DeltaStats())
+	}
+	fullAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := kf.Reschedule(rs, stf, kernel.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if deltaAllocs > fullAllocs {
+		t.Fatalf("delta path added steady-state allocations: %g allocs/op vs %g full", deltaAllocs, fullAllocs)
+	}
+}

@@ -54,6 +54,33 @@ type Options struct {
 	// (makespan 76), which pure greedy placement misses. Zero disables
 	// exploration (paper-faithful Fig. 3 greedy).
 	TieWindow float64
+	// Incremental enables the delta-reschedule path: a full pass records a
+	// placement memo, and the next pass re-ranks and re-places only the
+	// dirty cone of the perturbation (see delta.go), falling back to a
+	// full replan whenever the memo cannot prove the rest of the schedule
+	// unchanged. The result is bit-identical to a full replan on the same
+	// snapshot. Requires a VersionedEstimator, insertion mode and
+	// TieWindow == 0 to take effect; otherwise every pass runs full.
+	Incremental bool
+	// MaxConeFrac caps the dirty cone at this fraction of the jobs being
+	// placed before the delta path aborts to a full replan; 0 means
+	// DefaultMaxConeFrac. Use 1 to never abort on cone size.
+	MaxConeFrac float64
+}
+
+// DefaultMaxConeFrac is the delta path's fallback threshold: once more
+// than this fraction of the remaining jobs needs re-placing, a full
+// replan is cheaper than cascading through the memo.
+const DefaultMaxConeFrac = 0.25
+
+// VersionedEstimator is a cost estimator that can report whether its
+// answers may have changed: two equal EstimateVersion reads bracket a
+// window in which every Comp/Comm answer was stable. The kernel uses it
+// to keep the rank cache honest under history-sharpened estimates and to
+// gate the incremental reschedule memo.
+type VersionedEstimator interface {
+	cost.Estimator
+	EstimateVersion() uint64
 }
 
 // span is one occupied interval of a resource timeline, mirroring
@@ -77,12 +104,15 @@ type Kernel struct {
 	nEdges      int
 	predsSorted bool // every Preds list sorted by From (Validate ran)
 
-	// Rank cache: valid for the exact resource set rankRS.
-	ranks  []float64
-	order  []dag.JobID
-	rankRS []grid.ID
-	rankOK bool
-	topo   []dag.JobID
+	// Rank cache: valid for the exact resource set rankRS at estimator
+	// version rankVer (VersionedEstimator only; unversioned estimators
+	// rely on explicit InvalidateRanks).
+	ranks   []float64
+	order   []dag.JobID
+	rankRS  []grid.ID
+	rankOK  bool
+	rankVer uint64
+	topo    []dag.JobID
 
 	// Placement scratch, reused across calls.
 	baseTL     [][]span              // per resource: history (finished+pinned) spans, sorted
@@ -102,6 +132,12 @@ type Kernel struct {
 	// search as busy intervals (see SetOccupancy).
 	occ     Occupancy
 	busyBuf []Busy
+
+	// Incremental rescheduling (delta.go): the memo of the last recorded
+	// full pass, the per-pass delta scratch, and the last pass's report.
+	memo  *deltaMemo
+	dsc   deltaScratch
+	delta DeltaStats
 
 	empty *State // lazily created zero state backing Static
 }
@@ -180,7 +216,7 @@ func (k *Kernel) Ranks(rs []grid.Resource) ([]float64, []dag.JobID, error) {
 	if len(rs) == 0 {
 		return nil, nil, fmt.Errorf("kernel: empty resource set")
 	}
-	if k.rankOK && k.sameRS(rs) {
+	if k.rankOK && k.sameRS(rs) && k.ranksFresh() {
 		return k.ranks, k.order, nil
 	}
 	if k.topo == nil {
@@ -210,8 +246,23 @@ func (k *Kernel) Ranks(rs []grid.Resource) ([]float64, []dag.JobID, error) {
 	for _, r := range rs {
 		k.rankRS = append(k.rankRS, r.ID)
 	}
+	if v, ok := k.est.(VersionedEstimator); ok {
+		k.rankVer = v.EstimateVersion()
+	}
 	k.rankOK = true
 	return k.ranks, k.order, nil
+}
+
+// ranksFresh reports whether the cached ranks are still valid under the
+// estimator: a VersionedEstimator invalidates them by advancing its
+// version; an unversioned estimator is assumed stable between explicit
+// InvalidateRanks calls (the pre-existing contract).
+func (k *Kernel) ranksFresh() bool {
+	v, ok := k.est.(VersionedEstimator)
+	if !ok {
+		return true
+	}
+	return v.EstimateVersion() == k.rankVer
 }
 
 func (k *Kernel) sameRS(rs []grid.Resource) bool {
@@ -305,12 +356,30 @@ func (k *Kernel) Reschedule(rs []grid.Resource, st *State, opts Options) (*sched
 	}
 	k.base = base
 
+	k.delta = DeltaStats{}
+	if opts.Incremental {
+		k.delta.Attempted = true
+		k.delta.Base = len(base)
+		if s := k.rescheduleDelta(rs, st, base, opts); s != nil {
+			return s, nil
+		}
+		// rescheduleDelta set k.delta.Reason; fall through to a full
+		// replan, which re-records the memo below.
+	}
+
 	k.prepHistory(rs, st)
-	bestMk, err := k.placeCandidate(rs, st, base, opts)
+	var rec *deltaMemo
+	if opts.Incremental && k.memoRecordable(opts) {
+		rec = k.ensureMemo(rs)
+	}
+	bestMk, err := k.placeCandidate(rs, st, base, opts, rec)
 	if err != nil {
 		return nil, err
 	}
 	copy(k.bestPlaced, k.placed)
+	if rec != nil {
+		k.finishMemo(rec, rs, st, base, opts)
+	}
 
 	if opts.TieWindow > 0 {
 		alt := k.alt
@@ -329,7 +398,7 @@ func (k *Kernel) Reschedule(rs []grid.Resource, st *State, opts Options) (*sched
 			}
 			copy(alt, base)
 			alt[i], alt[i+1] = alt[i+1], alt[i]
-			mk, err := k.placeCandidate(rs, st, alt, opts)
+			mk, err := k.placeCandidate(rs, st, alt, opts, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -339,7 +408,13 @@ func (k *Kernel) Reschedule(rs []grid.Resource, st *State, opts Options) (*sched
 			}
 		}
 	}
-	return k.buildSchedule(base), nil
+	s := k.buildSchedule(base)
+	if rec != nil {
+		// Keep a kernel-private copy for the delta path to patch; the
+		// caller owns s and may mutate it freely.
+		rec.sched = s.Clone()
+	}
+	return s, nil
 }
 
 // growTimelines ensures the per-resource scratch covers resource IDs up
@@ -439,22 +514,36 @@ func (k *Kernel) prepHistory(rs []grid.Resource, st *State) {
 // jobs of order (rank order, or a tie-window variation of it) and returns
 // the candidate's makespan. The resulting placements are left in
 // k.placed. This is the zero-allocation steady-state inner loop.
-func (k *Kernel) placeCandidate(rs []grid.Resource, st *State, order []dag.JobID, opts Options) (float64, error) {
+//
+// A non-nil rec additionally records the delta memo's per-probe data
+// (probe upper bounds, ready floors, clock-sensitive FEA cases) as the
+// pass runs; the extra branches are dead weight on the rec == nil path.
+func (k *Kernel) placeCandidate(rs []grid.Resource, st *State, order []dag.JobID, opts Options, rec *deltaMemo) (float64, error) {
 	copy(k.placed, k.basePlaced)
 	for _, r := range rs {
 		k.workTL[r.ID] = append(k.workTL[r.ID][:0], k.baseTL[r.ID]...)
 	}
 	insertion := !opts.NoInsertion
 	mk := k.histMax
+	nRS := len(rs)
 	for _, job := range order {
 		bestRes := grid.NoResource
 		bestStart, bestFinish := 0.0, 0.0
 		preds := k.g.Preds(job)
 		eBase := k.predBase[job]
-		for _, r := range rs {
+		readyMin := 0.0
+		case2 := false
+		for ri, r := range rs {
 			// Inner max of Eq. 2: input availability via FEA (Eq. 1).
 			ready := st.Clock
 			for i := range preds {
+				if rec != nil {
+					if fr := st.finRes[preds[i].From]; fr != grid.NoResource {
+						if _, ok := st.transfer(eBase+i, r.ID); !ok {
+							case2 = true // Eq. 1 Case 2: clock-sensitive
+						}
+					}
+				}
 				if t := st.fea(preds[i], eBase+i, r.ID); t > ready {
 					ready = t
 				}
@@ -462,12 +551,23 @@ func (k *Kernel) placeCandidate(rs []grid.Resource, st *State, order []dag.JobID
 			w := k.est.Comp(job, r.ID)
 			start := earliestStart(k.workTL[r.ID], ready, w, insertion)
 			finish := start + w // Eq. 3
+			if rec != nil {
+				rec.probeStart[int(job)*nRS+ri] = start
+				rec.probeEnd[int(job)*nRS+ri] = start + w
+				if ri == 0 || ready < readyMin {
+					readyMin = ready
+				}
+			}
 			if bestRes == grid.NoResource || finish < bestFinish {
 				bestRes, bestStart, bestFinish = r.ID, start, finish
 			}
 		}
 		if bestRes == grid.NoResource {
 			return 0, fmt.Errorf("kernel: no resource available for job %d", job)
+		}
+		if rec != nil {
+			rec.readyMin[job] = readyMin
+			rec.case2[job] = case2
 		}
 		k.placed[job] = schedule.Assignment{Job: job, Resource: bestRes, Start: bestStart, Finish: bestFinish}
 		insertSpan(&k.workTL[bestRes], span{start: bestStart, finish: bestFinish, job: job})

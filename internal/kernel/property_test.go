@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"aheft/internal/core"
+	"aheft/internal/dag"
 	"aheft/internal/kernel"
 	"aheft/internal/rng"
 	"aheft/internal/schedule"
@@ -173,14 +174,22 @@ func TestKernelMatchesCoreWrapper(t *testing.T) {
 	}
 }
 
-// FuzzKernelReschedule fuzzes (scenario seed, clock fraction, options)
-// and asserts the full invariant set on whatever the kernel produces.
+// FuzzKernelReschedule fuzzes (scenario seed, clock fraction, options,
+// perturbation scale) and asserts the full invariant set on whatever the
+// kernel produces, then drives a memoised kernel through a perturb-then-
+// compare round: tracker-style progress to a later clock with one job's
+// runtime scaled by perturbScale, the incremental reschedule on top of the
+// recorded memo, and a bit-identical comparison against an independent
+// full replan on a replicated state (under tie-window or no-insertion the
+// incremental attempt must fall back — and still match).
 func FuzzKernelReschedule(f *testing.F) {
-	f.Add(uint64(1), 0.3, false, 0.0)
-	f.Add(uint64(2), 0.0, true, 0.05)
-	f.Add(uint64(3), 0.9, false, 0.1)
-	f.Add(uint64(42), 0.5, true, 0.0)
-	f.Fuzz(func(t *testing.T, seed uint64, clockFrac float64, noInsertion bool, tieWindow float64) {
+	f.Add(uint64(1), 0.3, false, 0.0, 1.0)
+	f.Add(uint64(2), 0.0, true, 0.05, 0.5)
+	f.Add(uint64(3), 0.9, false, 0.1, 1.8)
+	f.Add(uint64(42), 0.5, true, 0.0, 2.4)
+	f.Add(uint64(7), 0.25, false, 0.0, 0.3)
+	f.Add(uint64(12), 0.4, false, 0.0, 1.6)
+	f.Fuzz(func(t *testing.T, seed uint64, clockFrac float64, noInsertion bool, tieWindow float64, perturbScale float64) {
 		if math.IsNaN(clockFrac) || math.IsInf(clockFrac, 0) {
 			clockFrac = 0.5
 		}
@@ -189,6 +198,10 @@ func FuzzKernelReschedule(f *testing.F) {
 			tieWindow = 0
 		}
 		tieWindow = math.Mod(tieWindow, 0.5)
+		if math.IsNaN(perturbScale) || math.IsInf(perturbScale, 0) {
+			perturbScale = 1.3
+		}
+		perturbScale = 0.25 + math.Mod(math.Abs(perturbScale), 2.25)
 		sc := quickScenario(t, seed%64)
 		est := sc.Estimator()
 		k := kernel.New(sc.Graph, est)
@@ -206,5 +219,51 @@ func FuzzKernelReschedule(f *testing.F) {
 			t.Fatal(err)
 		}
 		checkRescheduleInvariants(t, sc, s0, s1, clock)
+
+		// Perturb-then-compare: memo pass at clock, perturbed progress to a
+		// later clock, delta (or its fallback) vs an independent full pass.
+		opts := kernel.Options{
+			NoInsertion: noInsertion, TieWindow: tieWindow,
+			Incremental: true, MaxConeFrac: 1,
+		}
+		refOpts := kernel.Options{NoInsertion: noInsertion, TieWindow: tieWindow}
+		ki := kernel.New(sc.Graph, est)
+		kr := kernel.New(sc.Graph, est)
+		sti := ki.NewState(sc.Pool.Size())
+		str := kr.NewState(sc.Pool.Size())
+		rs := sc.Pool.AvailableAt(clock)
+		advance(sc, sti, s0, clock, nil)
+		advance(sc, str, s0, clock, nil)
+		s1i, err := ki.Reschedule(rs, sti, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1r, err := kr.Reschedule(rs, str, refOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameSchedule(t, sc.Graph, s1i, s1r, "memo pass")
+		ov := map[dag.JobID]float64{}
+		for _, j := range sc.Graph.Jobs() {
+			if a, ok := s1i.Get(j.ID); ok && a.Start > clock && !sti.Finished(j.ID) {
+				ov[j.ID] = perturbScale
+				break
+			}
+		}
+		clock2 := clock + 0.5*(s0.Makespan()-clock)
+		advance(sc, sti, s1i, clock2, ov)
+		advance(sc, str, s1i, clock2, ov)
+		s2i, err := ki.Reschedule(rs, sti, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2r, err := kr.Reschedule(rs, str, refOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameSchedule(t, sc.Graph, s2i, s2r, "perturbed pass")
+		if ds := ki.DeltaStats(); (noInsertion || tieWindow != 0) && ds.Delta {
+			t.Fatalf("delta path ran under ineligible options: %+v", ds)
+		}
 	})
 }

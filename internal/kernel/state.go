@@ -69,6 +69,12 @@ type State struct {
 	ledEp  []uint32
 	epoch  uint32
 	stride int // resources per ledger row
+
+	// inputGen[j] counts effective ledger writes on j's incoming edges.
+	// The delta path compares it against its memo to detect jobs whose
+	// Eq. 1 inputs changed between reschedules without replaying the
+	// ledger.
+	inputGen []uint32
 }
 
 // NewState returns a fresh empty state at clock 0. resHint sizes the
@@ -84,6 +90,8 @@ func (k *Kernel) NewState(resHint int) *State {
 		isPin:  make([]bool, k.n),
 		pin:    make([]schedule.Assignment, k.n),
 		epoch:  1,
+
+		inputGen: make([]uint32, k.n),
 	}
 	for j := range st.finRes {
 		st.finRes[j] = grid.NoResource
@@ -103,6 +111,9 @@ func (st *State) Reset() {
 		st.finRes[j] = grid.NoResource
 	}
 	st.ClearPinned()
+	for j := range st.inputGen {
+		st.inputGen[j] = 0
+	}
 	st.epoch++
 	if st.epoch == 0 { // uint32 wrap: actually clear, then restart epochs
 		for i := range st.ledEp {
@@ -202,6 +213,7 @@ func (st *State) SetTransfer(m, j dag.JobID, r grid.ID, t float64) {
 	}
 	st.led[i] = t
 	st.ledEp[i] = st.epoch
+	st.inputGen[j]++
 }
 
 // HasTransfer reports whether a transfer of the (m → j) file toward r has

@@ -88,6 +88,26 @@ type Decision struct {
 	JobsFinished int     // jobs already completed at the event
 	Trigger      Trigger // what caused this evaluation
 	ArrivedCount int     // resources that joined at the event (arrival trigger)
+
+	// The fields below are process-local telemetry, not replayable state:
+	// the kernel's delta memo lives in memory, so a recovered run may
+	// legitimately take the full path where the original took the delta
+	// (the schedules are bit-identical either way). They are excluded
+	// from serialised forms — the wire layers that want them map them
+	// explicitly.
+
+	// Path records how the evaluation's replan was computed: "delta" when
+	// the kernel's incremental path proved a small dirty cone and reused
+	// the memoized placements, "full" otherwise (including every delta
+	// fallback). Empty for engines that never ask for the incremental path.
+	Path string `json:"-"`
+	// ConeSize is the number of jobs the delta path re-probed (0 on the
+	// full path). FallbackReason is the kernel's fallback cause when an
+	// incremental attempt fell back to a full replan.
+	ConeSize       int    `json:"-"`
+	FallbackReason string `json:"-"`
+	// ElapsedMs is the wall-clock cost of the replan in milliseconds.
+	ElapsedMs float64 `json:"-"`
 }
 
 // Result is the outcome of running one workflow to completion under one

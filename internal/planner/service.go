@@ -3,6 +3,7 @@ package planner
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"aheft/internal/core"
 	"aheft/internal/cost"
@@ -179,17 +180,26 @@ func (s *Service) onFinish(ev executor.Event) {
 // recording what triggered it and how many resources arrived.
 func (s *Service) evaluate(clock float64, trigger Trigger, arrived int) {
 	st := s.engine.ExecState()
-	core.LoadState(s.ks, st)
+	// Sync (not reload) the dense state: the executor's facts are
+	// monotone, and keeping the state's epoch lets the kernel's delta
+	// path react incrementally to small events.
+	core.SyncState(s.ks, st)
 	rs := s.pool.AvailableAt(clock)
 	// The event-driven service may run a history-consulting estimator
 	// (the Fig. 1 feedback loop sharpens predictions while the workflow
 	// executes), so cached upward ranks can go stale even when the
 	// resource set did not change — e.g. on a variance-triggered
-	// evaluation. Recompute them on every evaluation, as the pre-kernel
-	// engine did; the analytic runner keeps the cache because its
-	// estimates are fixed for the whole run.
-	s.k.InvalidateRanks()
-	s1, err := s.pol.Replan(s.k, rs, s.ks, s.opts.RunOptions)
+	// evaluation. A versioned estimator advertises that drift and the
+	// kernel recomputes by itself; only unversioned ones need the
+	// explicit invalidation (which would also defeat the delta memo).
+	if _, versioned := s.est.(kernel.VersionedEstimator); !versioned {
+		s.k.InvalidateRanks()
+	}
+	opts := s.opts.RunOptions
+	opts.Incremental = true
+	began := time.Now()
+	s1, err := s.pol.Replan(s.k, rs, s.ks, opts)
+	elapsed := time.Since(began)
 	if err != nil {
 		// An evaluation failure must not kill the running workflow; keep
 		// the current schedule (the paper's "otherwise the Planner does
@@ -208,6 +218,16 @@ func (s *Service) evaluate(clock float64, trigger Trigger, arrived int) {
 		JobsFinished: len(st.Finished),
 		Trigger:      trigger,
 		ArrivedCount: arrived,
+		ElapsedMs:    float64(elapsed) / float64(time.Millisecond),
+	}
+	if ds := s.k.DeltaStats(); ds.Attempted {
+		if ds.Delta {
+			d.Path = "delta"
+			d.ConeSize = ds.Cone
+		} else {
+			d.Path = "full"
+			d.FallbackReason = ds.Reason
+		}
 	}
 	if core.Better(cur, s1.Makespan(), s.opts.Eps) {
 		if err := s.engine.Resubmit(s1); err == nil {

@@ -49,11 +49,25 @@ type Options struct {
 	// Eps is the minimum makespan improvement required to adopt a new
 	// schedule. Zero means the 1e-9 float tolerance.
 	Eps float64
+	// Incremental lets the rescheduler take the memoized delta path when
+	// the event's dirty cone is small enough, falling back to a full
+	// replan otherwise (see kernel.Options.Incremental). Engines enable
+	// it per Replan call; it has no effect on Plan.
+	Incremental bool
+	// MaxConeFrac caps the dirty-cone size as a fraction of the pending
+	// jobs before the delta path falls back to a full replan. Zero means
+	// kernel.DefaultMaxConeFrac.
+	MaxConeFrac float64
 }
 
 // Kernel converts the options into the scheduling-kernel options.
 func (o Options) Kernel() kernel.Options {
-	return kernel.Options{NoInsertion: o.NoInsertion, TieWindow: o.TieWindow}
+	return kernel.Options{
+		NoInsertion: o.NoInsertion,
+		TieWindow:   o.TieWindow,
+		Incremental: o.Incremental,
+		MaxConeFrac: o.MaxConeFrac,
+	}
 }
 
 // Policy is one scheduling strategy the generic engine can drive.

@@ -64,6 +64,11 @@ func (p *HistoryBased) Comm(e dag.Edge, rFrom, rTo grid.ID) float64 {
 	return p.Prior.Comm(e, rFrom, rTo)
 }
 
+// EstimateVersion implements kernel.VersionedEstimator: the predictor's
+// answers change exactly when the repository underneath it mutates (Comm
+// delegates to the static prior, so only Comp drifts).
+func (p *HistoryBased) EstimateVersion() uint64 { return p.Repo.Generation() }
+
 // Noisy wraps an estimator with multiplicative error: every Comp estimate
 // is scaled by a factor drawn once per (job, resource) from
 // [1−Error, 1+Error]. Draws are memoised so repeated queries are

@@ -33,16 +33,28 @@ func (a Assignment) Duration() float64 { return a.Finish - a.Start }
 
 // Schedule is a mutable mapping from jobs to assignments. The zero value is
 // not usable; call New.
+//
+// Job IDs are dense (the dag package numbers jobs 0..n-1), so the by-job
+// view is a slice indexed by JobID with Resource == grid.NoResource
+// marking unassigned entries — every lookup is an array access, and
+// building a schedule from a complete assignment list never hashes.
 type Schedule struct {
-	byJob map[dag.JobID]Assignment
+	byJob []Assignment // indexed by JobID; Resource == grid.NoResource ⇒ unassigned
+	n     int
 	byRes map[grid.ID][]Assignment // each slice sorted by Start
 }
 
 // New returns an empty schedule.
 func New() *Schedule {
 	return &Schedule{
-		byJob: make(map[dag.JobID]Assignment),
 		byRes: make(map[grid.ID][]Assignment),
+	}
+}
+
+// grow extends the by-job view to cover job j.
+func (s *Schedule) grow(j dag.JobID) {
+	for len(s.byJob) <= int(j) {
+		s.byJob = append(s.byJob, Assignment{Resource: grid.NoResource})
 	}
 }
 
@@ -53,18 +65,28 @@ func New() *Schedule {
 // its final result; it panics on invalid intervals or duplicate jobs,
 // both of which the kernel rules out by construction.
 func FromAssignments(as []Assignment) *Schedule {
+	maxID := dag.JobID(-1)
+	for i := range as {
+		if as[i].Job > maxID {
+			maxID = as[i].Job
+		}
+	}
 	s := &Schedule{
-		byJob: make(map[dag.JobID]Assignment, len(as)),
+		byJob: make([]Assignment, int(maxID)+1),
 		byRes: make(map[grid.ID][]Assignment),
+	}
+	for j := range s.byJob {
+		s.byJob[j].Resource = grid.NoResource
 	}
 	for _, a := range as {
 		if a.Finish < a.Start || math.IsNaN(a.Start) || math.IsNaN(a.Finish) {
 			panic(fmt.Sprintf("schedule: invalid interval [%g,%g) for job %d", a.Start, a.Finish, a.Job))
 		}
-		if _, dup := s.byJob[a.Job]; dup {
+		if s.byJob[a.Job].Resource != grid.NoResource {
 			panic(fmt.Sprintf("schedule: duplicate assignment for job %d", a.Job))
 		}
 		s.byJob[a.Job] = a
+		s.n++
 		s.byRes[a.Resource] = append(s.byRes[a.Resource], a)
 	}
 	for _, tl := range s.byRes {
@@ -89,7 +111,7 @@ func FromAssignments(as []Assignment) *Schedule {
 }
 
 // Len returns the number of assigned jobs.
-func (s *Schedule) Len() int { return len(s.byJob) }
+func (s *Schedule) Len() int { return s.n }
 
 // Assign adds or replaces the assignment for a job, keeping the resource
 // timeline sorted. It panics on a negative-duration interval.
@@ -97,8 +119,11 @@ func (s *Schedule) Assign(a Assignment) {
 	if a.Finish < a.Start || math.IsNaN(a.Start) || math.IsNaN(a.Finish) {
 		panic(fmt.Sprintf("schedule: invalid interval [%g,%g) for job %d", a.Start, a.Finish, a.Job))
 	}
-	if old, ok := s.byJob[a.Job]; ok {
+	s.grow(a.Job)
+	if old := s.byJob[a.Job]; old.Resource != grid.NoResource {
 		s.removeFromTimeline(old)
+	} else {
+		s.n++
 	}
 	s.byJob[a.Job] = a
 	tl := s.byRes[a.Resource]
@@ -116,9 +141,10 @@ func (s *Schedule) Assign(a Assignment) {
 
 // Remove deletes the assignment for a job, if present.
 func (s *Schedule) Remove(job dag.JobID) {
-	if a, ok := s.byJob[job]; ok {
+	if a, ok := s.Get(job); ok {
 		s.removeFromTimeline(a)
-		delete(s.byJob, job)
+		s.byJob[job].Resource = grid.NoResource
+		s.n--
 	}
 }
 
@@ -126,7 +152,8 @@ func (s *Schedule) removeFromTimeline(a Assignment) {
 	tl := s.byRes[a.Resource]
 	for i := range tl {
 		if tl[i].Job == a.Job {
-			s.byRes[a.Resource] = append(tl[:i:i], tl[i+1:]...)
+			copy(tl[i:], tl[i+1:])
+			s.byRes[a.Resource] = tl[:len(tl)-1]
 			return
 		}
 	}
@@ -134,14 +161,16 @@ func (s *Schedule) removeFromTimeline(a Assignment) {
 
 // Get returns the assignment for a job, if any.
 func (s *Schedule) Get(job dag.JobID) (Assignment, bool) {
-	a, ok := s.byJob[job]
-	return a, ok
+	if int(job) < 0 || int(job) >= len(s.byJob) || s.byJob[job].Resource == grid.NoResource {
+		return Assignment{}, false
+	}
+	return s.byJob[job], true
 }
 
 // MustGet returns the assignment for a job and panics if it is missing —
 // used on paths where the scheduler has already guaranteed coverage.
 func (s *Schedule) MustGet(job dag.JobID) Assignment {
-	a, ok := s.byJob[job]
+	a, ok := s.Get(job)
 	if !ok {
 		panic(fmt.Sprintf("schedule: job %d not assigned", job))
 	}
@@ -167,19 +196,22 @@ func (s *Schedule) Resources() []grid.ID {
 
 // Jobs returns the assigned jobs in ascending JobID order.
 func (s *Schedule) Jobs() []dag.JobID {
-	out := make([]dag.JobID, 0, len(s.byJob))
+	out := make([]dag.JobID, 0, s.n)
 	for j := range s.byJob {
-		out = append(out, j)
+		if s.byJob[j].Resource != grid.NoResource {
+			out = append(out, dag.JobID(j))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Assignments returns all assignments ordered by (Start, Job).
 func (s *Schedule) Assignments() []Assignment {
-	out := make([]Assignment, 0, len(s.byJob))
-	for _, a := range s.byJob {
-		out = append(out, a)
+	out := make([]Assignment, 0, s.n)
+	for j := range s.byJob {
+		if s.byJob[j].Resource != grid.NoResource {
+			out = append(out, s.byJob[j])
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
@@ -195,8 +227,8 @@ func (s *Schedule) Assignments() []Assignment {
 // (exit jobs necessarily finish last).
 func (s *Schedule) Makespan() float64 {
 	m := 0.0
-	for _, a := range s.byJob {
-		if a.Finish > m {
+	for j := range s.byJob {
+		if a := &s.byJob[j]; a.Resource != grid.NoResource && a.Finish > m {
 			m = a.Finish
 		}
 	}
@@ -206,9 +238,8 @@ func (s *Schedule) Makespan() float64 {
 // Clone returns a deep copy.
 func (s *Schedule) Clone() *Schedule {
 	c := New()
-	for j, a := range s.byJob {
-		c.byJob[j] = a
-	}
+	c.byJob = append([]Assignment(nil), s.byJob...)
+	c.n = s.n
 	for r, tl := range s.byRes {
 		c.byRes[r] = append([]Assignment(nil), tl...)
 	}
@@ -284,12 +315,12 @@ type ValidateOptions struct {
 // consistency. It returns the first violation found.
 func (s *Schedule) Validate(g *dag.Graph, opts ValidateOptions) error {
 	for _, j := range g.Jobs() {
-		if _, ok := s.byJob[j.ID]; !ok {
+		if _, ok := s.Get(j.ID); !ok {
 			return fmt.Errorf("schedule: job %s unassigned", j.Name)
 		}
 	}
-	if len(s.byJob) != g.Len() {
-		return fmt.Errorf("schedule: %d assignments for %d jobs", len(s.byJob), g.Len())
+	if s.n != g.Len() {
+		return fmt.Errorf("schedule: %d assignments for %d jobs", s.n, g.Len())
 	}
 	for r, tl := range s.byRes {
 		for i := 1; i < len(tl); i++ {
@@ -303,7 +334,11 @@ func (s *Schedule) Validate(g *dag.Graph, opts ValidateOptions) error {
 		}
 	}
 	if opts.Pool != nil {
-		for _, a := range s.byJob {
+		for j := range s.byJob {
+			a := s.byJob[j]
+			if a.Resource == grid.NoResource {
+				continue
+			}
 			if at := opts.Pool.ArrivalTime(a.Resource); a.Start < at {
 				return fmt.Errorf("schedule: job %d starts at %g on r%d which only joins at %g",
 					a.Job, a.Start, a.Resource, at)
@@ -311,7 +346,11 @@ func (s *Schedule) Validate(g *dag.Graph, opts ValidateOptions) error {
 		}
 	}
 	if opts.Comp != nil {
-		for _, a := range s.byJob {
+		for j := range s.byJob {
+			a := s.byJob[j]
+			if a.Resource == grid.NoResource {
+				continue
+			}
 			want := opts.Comp.Comp(a.Job, a.Resource)
 			if diff := math.Abs(a.Duration() - want); diff > 1e-9 {
 				return fmt.Errorf("schedule: job %d duration %g != cost %g on r%d", a.Job, a.Duration(), want, a.Resource)

@@ -204,6 +204,7 @@ func (sh *shard) notifyGrid(g *sharedGrid, except string) {
 		out := wf.tracker.Reevaluate(planner.TriggerContention)
 		m.decisions.Add(uint64(len(out.Decisions)))
 		for _, d := range out.Decisions {
+			m.recordDecision(d)
 			wd := wireDecision(d)
 			wf.append(m, wire.Event{
 				Kind: "decision", Time: d.Clock, Decision: &wd,

@@ -182,6 +182,7 @@ func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 	m.reportEvents.Add(uint64(out.Applied))
 	m.decisions.Add(uint64(len(out.Decisions)))
 	for _, d := range out.Decisions {
+		m.recordDecision(d)
 		wd := wireDecision(d)
 		wf.append(m, wire.Event{
 			Kind: "decision", Time: d.Clock, Decision: &wd,

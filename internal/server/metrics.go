@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aheft/internal/planner"
 	"aheft/internal/stats"
 )
 
@@ -46,6 +47,14 @@ type Metrics struct {
 	liveResident      atomic.Int64  // live workflows parked on shards
 	historyEvicted    atomic.Uint64 // tenant repositories dropped by the LRU cap
 
+	// Incremental-rescheduling telemetry: every live evaluation asks the
+	// kernel for the delta path, which either proves a small dirty cone
+	// (reschedDelta) or falls back to a full replan (reschedFullFallback).
+	// reschedLat holds one replan-latency window per planner.Trigger.
+	reschedDelta        atomic.Uint64
+	reschedFullFallback atomic.Uint64
+	reschedLat          [4]latencyWindow
+
 	// Event path.
 	eventsEmitted atomic.Uint64
 	eventsDropped atomic.Uint64 // events lost to a slow SSE subscriber
@@ -63,7 +72,26 @@ type Metrics struct {
 
 // NewMetrics returns a zeroed metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), compute: latencyWindow{cap: 8192}}
+	m := &Metrics{start: time.Now(), compute: latencyWindow{cap: 8192}}
+	for i := range m.reschedLat {
+		m.reschedLat[i].cap = 4096
+	}
+	return m
+}
+
+// recordDecision folds one live rescheduling evaluation into the
+// incremental-path counters and the trigger's latency window. Called on
+// the owning shard's goroutine (the windows are internally locked).
+func (m *Metrics) recordDecision(d planner.Decision) {
+	switch d.Path {
+	case "delta":
+		m.reschedDelta.Add(1)
+	case "full":
+		m.reschedFullFallback.Add(1)
+	}
+	if t := int(d.Trigger); t >= 0 && t < len(m.reschedLat) {
+		m.reschedLat[t].record(d.ElapsedMs)
+	}
 }
 
 // inflightReserve moves the in-flight gauge up and maintains its peak.
@@ -180,10 +208,18 @@ type MetricsDoc struct {
 	// ReschedulesContention counts adopted cross-workflow reschedules:
 	// a shared-grid survivor taking capacity another workflow released.
 	ReschedulesContention uint64 `json:"reschedules_contention"`
-	LiveResident          int64  `json:"live_resident"`
-	HistoryTenants        int    `json:"history_tenants"`
-	HistoryCells          int    `json:"history_cells"`
-	HistoryEvicted        uint64 `json:"history_evicted"`
+	// ReschedulesDelta / ReschedulesFullFallback split every live
+	// rescheduling evaluation by how the kernel computed the replan:
+	// the incremental delta path versus its fall-back to a full replan.
+	ReschedulesDelta        uint64 `json:"reschedules_delta"`
+	ReschedulesFullFallback uint64 `json:"reschedules_full_fallback"`
+	// RescheduleMs summarises replan wall-clock latency per trigger
+	// ("variance", "arrival", "departure", "contention").
+	RescheduleMs   map[string]RescheduleMs `json:"reschedule_ms"`
+	LiveResident   int64                   `json:"live_resident"`
+	HistoryTenants int                     `json:"history_tenants"`
+	HistoryCells   int                     `json:"history_cells"`
+	HistoryEvicted uint64                  `json:"history_evicted"`
 	// SharedGrids / Reservations are the shared-grid gauges: registered
 	// grids, and the aggregate live reservation count across them.
 	SharedGrids  int `json:"shared_grids"`
@@ -227,51 +263,70 @@ type ComputeMs struct {
 	P99   float64 `json:"p99"`
 }
 
+// RescheduleMs summarises one trigger's replan-latency window.
+type RescheduleMs struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
 // snapshot assembles the document; queueDepth supplies the current
 // per-shard queue lengths, historyTenants/historyCells the aggregated
 // tenant-repository gauges.
 func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, sharedGrids, reservations int, d DurabilityStats) MetricsDoc {
 	q := m.compute.quantiles(0.50, 0.90, 0.99)
+	resched := make(map[string]RescheduleMs, len(m.reschedLat))
+	for i := range m.reschedLat {
+		w := &m.reschedLat[i]
+		lq := w.quantiles(0.50, 0.90, 0.99)
+		resched[planner.Trigger(i).String()] = RescheduleMs{
+			Count: w.count(), P50: lq[0], P90: lq[1], P99: lq[2],
+		}
+	}
 	return MetricsDoc{
-		UptimeS:               time.Since(m.start).Seconds(),
-		Shards:                len(queueDepth),
-		Submissions:           m.submissions.Load(),
-		Accepted:              m.accepted.Load(),
-		RejectedFull:          m.rejectedFull.Load(),
-		RejectedInvalid:       m.rejectedInvalid.Load(),
-		RejectedDrain:         m.rejectedDrain.Load(),
-		AbandonedIntake:       m.abandonedIntake.Load(),
-		Completed:             m.completed.Load(),
-		Failed:                m.failed.Load(),
-		Decisions:             m.decisions.Load(),
-		Reschedules:           m.reschedules.Load(),
-		Evicted:               m.evicted.Load(),
-		Reports:               m.reports.Load(),
-		ReportEvents:          m.reportEvents.Load(),
-		ReportsRejected:       m.reportsRejected.Load(),
-		ReportsDuplicate:      m.reportsDuplicate.Load(),
-		WhatIfQueries:         m.whatifs.Load(),
-		ReschedulesVariance:   m.reschedVariance.Load(),
-		ReschedulesArrival:    m.reschedArrival.Load(),
-		ReschedulesDeparture:  m.reschedDeparture.Load(),
-		ReschedulesContention: m.reschedContention.Load(),
-		LiveResident:          m.liveResident.Load(),
-		HistoryTenants:        historyTenants,
-		HistoryCells:          historyCells,
-		HistoryEvicted:        m.historyEvicted.Load(),
-		SharedGrids:           sharedGrids,
-		Reservations:          reservations,
-		EventsEmitted:         m.eventsEmitted.Load(),
-		EventsDropped:         m.eventsDropped.Load(),
-		WALAppends:            d.WALAppends,
-		WALBytes:              d.WALBytes,
-		Snapshots:             d.Snapshots,
-		WALErrors:             m.walErrors.Load(),
-		RecoveredWorkflows:    d.Recovered,
-		RecoveryMs:            d.RecoveryMs,
-		Inflight:              m.inflight.Load(),
-		InflightPeak:          m.inflightPeak.Load(),
-		QueueDepth:            queueDepth,
+		UptimeS:                 time.Since(m.start).Seconds(),
+		Shards:                  len(queueDepth),
+		Submissions:             m.submissions.Load(),
+		Accepted:                m.accepted.Load(),
+		RejectedFull:            m.rejectedFull.Load(),
+		RejectedInvalid:         m.rejectedInvalid.Load(),
+		RejectedDrain:           m.rejectedDrain.Load(),
+		AbandonedIntake:         m.abandonedIntake.Load(),
+		Completed:               m.completed.Load(),
+		Failed:                  m.failed.Load(),
+		Decisions:               m.decisions.Load(),
+		Reschedules:             m.reschedules.Load(),
+		Evicted:                 m.evicted.Load(),
+		Reports:                 m.reports.Load(),
+		ReportEvents:            m.reportEvents.Load(),
+		ReportsRejected:         m.reportsRejected.Load(),
+		ReportsDuplicate:        m.reportsDuplicate.Load(),
+		WhatIfQueries:           m.whatifs.Load(),
+		ReschedulesVariance:     m.reschedVariance.Load(),
+		ReschedulesArrival:      m.reschedArrival.Load(),
+		ReschedulesDeparture:    m.reschedDeparture.Load(),
+		ReschedulesContention:   m.reschedContention.Load(),
+		ReschedulesDelta:        m.reschedDelta.Load(),
+		ReschedulesFullFallback: m.reschedFullFallback.Load(),
+		RescheduleMs:            resched,
+		LiveResident:            m.liveResident.Load(),
+		HistoryTenants:          historyTenants,
+		HistoryCells:            historyCells,
+		HistoryEvicted:          m.historyEvicted.Load(),
+		SharedGrids:             sharedGrids,
+		Reservations:            reservations,
+		EventsEmitted:           m.eventsEmitted.Load(),
+		EventsDropped:           m.eventsDropped.Load(),
+		WALAppends:              d.WALAppends,
+		WALBytes:                d.WALBytes,
+		Snapshots:               d.Snapshots,
+		WALErrors:               m.walErrors.Load(),
+		RecoveredWorkflows:      d.Recovered,
+		RecoveryMs:              d.RecoveryMs,
+		Inflight:                m.inflight.Load(),
+		InflightPeak:            m.inflightPeak.Load(),
+		QueueDepth:              queueDepth,
 		ComputeMs: ComputeMs{
 			Count: m.compute.count(),
 			P50:   q[0], P90: q[1], P99: q[2],

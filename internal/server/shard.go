@@ -216,6 +216,10 @@ func wireDecision(d planner.Decision) wire.Decision {
 		JobsFinished: d.JobsFinished,
 		Trigger:      d.Trigger.String(),
 		Arrived:      d.ArrivedCount,
+		Path:         d.Path,
+		Cone:         d.ConeSize,
+		Fallback:     d.FallbackReason,
+		ElapsedMs:    d.ElapsedMs,
 	}
 	if math.IsInf(wd.OldMakespan, 1) {
 		// A departure made the old plan infeasible; JSON cannot carry

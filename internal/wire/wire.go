@@ -424,6 +424,17 @@ type Decision struct {
 	JobsFinished int     `json:"jobs_finished"`
 	Trigger      string  `json:"trigger"`
 	Arrived      int     `json:"arrived,omitempty"`
+	// Path reports how the replan was computed ("delta" when the kernel's
+	// incremental path proved a small dirty cone, "full" otherwise), Cone
+	// how many jobs the delta path re-probed, Fallback why an incremental
+	// attempt fell back, and ElapsedMs the replan's wall-clock cost. These
+	// are live telemetry: the daemon's journalled state omits them (a
+	// recovered run may legitimately replan fully where the original took
+	// the delta — the schedules are identical either way).
+	Path      string  `json:"path,omitempty"`
+	Cone      int     `json:"cone,omitempty"`
+	Fallback  string  `json:"fallback,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
 }
 
 // Event is one server-sent event of a workflow's execution: the envelope
