@@ -591,6 +591,16 @@ func BenchmarkServerThroughputWAL(b *testing.B) {
 	}
 }
 
+// BenchmarkServerThroughputTraced is the observability overhead
+// contract: the same end-to-end bench as
+// BenchmarkServerThroughput/shards=4 with the causal span tracer on —
+// intake/queue/plan spans on every workflow, per-stage latency windows
+// rolled into /metrics. The acceptance bar is < 5% below the untraced
+// shards=4 entry in BENCH_server.json.
+func BenchmarkServerThroughputTraced(b *testing.B) {
+	benchServerThroughput(b, server.Config{Shards: 4, QueueDepth: 4096, Tracing: true})
+}
+
 // BenchmarkWALAppend isolates the durable store's hot path: one
 // length-prefixed CRC-framed record appended to a shard WAL per op, with
 // a payload sized like a live workflow's journaled state record.

@@ -50,6 +50,10 @@ func main() {
 	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | off")
 	walSyncInterval := flag.Duration("wal-sync-interval", 0, "fsync cadence for -wal-sync=interval (0 = built-in 100ms)")
 	snapInterval := flag.Duration("snapshot-interval", 0, "per-shard snapshot cadence (0 = built-in 30s)")
+	tracing := flag.Bool("trace", false, "enable the causal span tracer (GET /v1/workflows/{id}/trace, per-stage latencies in /metrics)")
+	traceFile := flag.String("trace-file", "", "stream completed spans to this file as OTLP-shaped JSON lines (implies -trace)")
+	traceSpans := flag.Int("trace-spans", 0, "retained spans per workflow for the trace endpoint (0 = built-in 512)")
+	recordDir := flag.String("record-dir", "", "flight-recorder directory: capture every input and decision per shard for deterministic replay (cmd/replay)")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -72,18 +76,22 @@ func main() {
 	}()
 
 	srv, err := server.Open(server.Config{
-		Shards:             *shards,
-		QueueDepth:         *queue,
-		Limits:             wire.Limits{MaxJobs: *maxJobs, MaxResources: *maxRes},
-		DefaultPolicy:      *defaultPolicy,
-		VarianceThreshold:  *varThr,
-		MaxConeFrac:        *coneFrac,
-		MaxTenantHistories: *maxTenants,
-		MaxSharedGrids:     *maxGrids,
-		DataDir:            *dataDir,
-		WALSync:            *walSync,
-		WALSyncInterval:    *walSyncInterval,
-		SnapshotInterval:   *snapInterval,
+		Shards:                *shards,
+		QueueDepth:            *queue,
+		Limits:                wire.Limits{MaxJobs: *maxJobs, MaxResources: *maxRes},
+		DefaultPolicy:         *defaultPolicy,
+		VarianceThreshold:     *varThr,
+		MaxConeFrac:           *coneFrac,
+		MaxTenantHistories:    *maxTenants,
+		MaxSharedGrids:        *maxGrids,
+		DataDir:               *dataDir,
+		WALSync:               *walSync,
+		WALSyncInterval:       *walSyncInterval,
+		SnapshotInterval:      *snapInterval,
+		Tracing:               *tracing,
+		TraceFile:             *traceFile,
+		TraceSpansPerWorkflow: *traceSpans,
+		RecordDir:             *recordDir,
 	})
 	if err != nil {
 		log.Fatalf("aheftd: open: %v", err)

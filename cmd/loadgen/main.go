@@ -36,6 +36,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -81,7 +82,20 @@ func main() {
 	chaosDataDir := flag.String("chaos-data-dir", "", "-chaos: durability directory (empty = fresh temp dir, removed afterwards)")
 	chaosWALSync := flag.String("chaos-wal-sync", "interval", "-chaos: daemon WAL fsync policy")
 	chaosWorkflows := flag.Int("chaos-workflows", 120, "-chaos: live workflows resident at the kill")
+	record := flag.String("record", "", "spawn an in-process recording daemon and drive the run against it, leaving a cmd/replay-verifiable flight recording in this directory (overrides -addr)")
+	recordShards := flag.Int("record-shards", 4, "-record: daemon shard count")
 	flag.Parse()
+
+	if *record != "" {
+		if *chaos {
+			log.Fatal("loadgen: -record is incompatible with -chaos (record the chaos daemon with aheftd -record-dir instead)")
+		}
+		base, finish := startRecorded(*record, *recordShards, *policy, *varThr)
+		*addr = base
+		// A clean drain writes each stream's trailer; log.Fatal on a
+		// failed gate skips this, leaving a recording replay refuses.
+		defer finish()
+	}
 
 	if *chaos {
 		chaosMain(chaosParams{
@@ -662,6 +676,21 @@ func printReschedPath(prefix string, m server.MetricsDoc) {
 		return
 	}
 	line := fmt.Sprintf("loadgen: %s: replan path delta=%d full=%d", prefix, m.ReschedulesDelta, m.ReschedulesFullFallback)
+	if len(m.ReschedulesFullFallbackByReason) > 0 {
+		reasons := make([]string, 0, len(m.ReschedulesFullFallbackByReason))
+		for r := range m.ReschedulesFullFallbackByReason {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		line += " full_by_reason("
+		for i, r := range reasons {
+			if i > 0 {
+				line += " "
+			}
+			line += fmt.Sprintf("%s=%d", r, m.ReschedulesFullFallbackByReason[r])
+		}
+		line += ")"
+	}
 	for _, tr := range []string{"arrival", "variance", "departure", "contention"} {
 		if w, ok := m.RescheduleMs[tr]; ok && w.Count > 0 {
 			line += fmt.Sprintf(" %s(n=%d p50=%.2fms p99=%.2fms)", tr, w.Count, w.P50, w.P99)

@@ -1,0 +1,62 @@
+// Command replay re-drives a flight recording captured with
+// aheftd -record-dir (or loadgen -record) through a fresh in-process
+// daemon and verifies that every decision, plan generation and terminal
+// outcome reproduces bit-identically. Exit status: 0 on an identical
+// replay, 1 on divergence, 2 on an unusable recording (torn tail,
+// missing or unclean trailer) or an operational error.
+//
+//	replay -dir /tmp/rec                    verify a recording
+//	replay -dir /tmp/rec -digest out.txt    also write the canonical
+//	                                        output-stream digest (two
+//	                                        replays of one recording must
+//	                                        write identical files)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aheft/internal/replay"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "recording directory (required)")
+		digest  = flag.String("digest", "", "write the canonical output digest to this file")
+		timeout = flag.Duration("timeout", 60*time.Second, "bound on the whole replay")
+		quiet   = flag.Bool("q", false, "print nothing on success")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "replay: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	res, err := replay.Run(*dir, replay.Options{Timeout: *timeout})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		os.Exit(2)
+	}
+	if *digest != "" {
+		out := strings.Join(res.Digest, "\n") + "\n"
+		if err := os.WriteFile(*digest, []byte(out), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "replay: write digest: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if !res.Identical() {
+		fmt.Fprintf(os.Stderr, "replay: DIVERGED — %d mismatches over %d output records:\n", len(res.Divergences), res.Outputs)
+		for _, d := range res.Divergences {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("replay: identical — %d shards, %d inputs re-driven, %d output records matched\n",
+			res.Shards, res.Inputs, res.Outputs)
+	}
+}

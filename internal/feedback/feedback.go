@@ -640,6 +640,9 @@ func (t *Tracker) evaluate(trigger planner.Trigger, arrived int, out *Outcome) {
 			d.FallbackReason = ds.Reason
 		}
 	}
+	if tm := t.k.LastTiming(); tm.RankMs > 0 || tm.PlaceMs > 0 {
+		d.RankMs, d.PlaceMs = tm.RankMs, tm.PlaceMs
+	}
 	if core.Better(cur, s1.Makespan(), t.opts.Eps) {
 		d.Adopted = true
 		t.adopt(s1)

@@ -98,6 +98,7 @@ func scrubTelemetry(ds []planner.Decision) []planner.Decision {
 	out := make([]planner.Decision, len(ds))
 	for i, d := range ds {
 		d.Path, d.ConeSize, d.FallbackReason, d.ElapsedMs = "", 0, "", 0
+		d.RankMs, d.PlaceMs = 0, 0
 		out[i] = d
 	}
 	return out

@@ -115,12 +115,28 @@ func (h *Repository) Lookup(op string, r grid.ID) (Stats, bool) {
 func (h *Repository) LookupOp(op string) (mean float64, count int) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	sum := 0.0
+	// Sum in deterministic resource order, not map order: float addition
+	// is not associative, and a map-order sum here differs in the last
+	// ULP across runs. This estimate feeds placement and adoption
+	// decisions, so that ULP would flip near-threshold tie-breaks and
+	// make an otherwise deterministic daemon fail record/replay
+	// verification.
+	type contrib struct {
+		r   grid.ID
+		sum float64
+		n   int
+	}
+	cs := make([]contrib, 0, 8)
 	for k, s := range h.cells {
 		if k.Op == op {
-			sum += s.Mean * float64(s.Count)
-			count += s.Count
+			cs = append(cs, contrib{k.Resource, s.Mean * float64(s.Count), s.Count})
 		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].r < cs[j].r })
+	sum := 0.0
+	for _, c := range cs {
+		sum += c.sum
+		count += c.n
 	}
 	if count == 0 {
 		return 0, 0

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 
 	"aheft/internal/cost"
 	"aheft/internal/dag"
@@ -139,8 +140,27 @@ type Kernel struct {
 	dsc   deltaScratch
 	delta DeltaStats
 
+	// timing is the wall-clock phase split of the last Reschedule —
+	// telemetry only, never an input to scheduling decisions (see
+	// LastTiming).
+	timing Timing
+
 	empty *State // lazily created zero state backing Static
 }
+
+// Timing is the wall-clock phase split of the last Reschedule: the
+// upward-rank phase (near zero when the rank cache is warm) versus
+// everything after it (delta probe or candidate placement). Pure
+// telemetry — the observability layer rolls it into evaluate spans; a
+// replayed run reproduces the schedules bit-identically regardless of
+// what these read.
+type Timing struct {
+	RankMs  float64
+	PlaceMs float64
+}
+
+// LastTiming returns the phase timing of the last Reschedule.
+func (k *Kernel) LastTiming() Timing { return k.timing }
 
 // New returns a kernel for scheduling g under est. The graph is treated
 // as immutable from this point on.
@@ -343,10 +363,13 @@ func (k *Kernel) Reschedule(rs []grid.Resource, st *State, opts Options) (*sched
 		k.empty.Reset()
 		st = k.empty
 	}
+	began := time.Now()
 	ranks, order, err := k.Ranks(rs)
 	if err != nil {
 		return nil, err
 	}
+	rankDone := time.Now()
+	k.timing = Timing{RankMs: rankDone.Sub(began).Seconds() * 1e3}
 	base := k.base[:0]
 	for _, job := range order {
 		if st.finRes[job] != grid.NoResource || st.isPin[job] {
@@ -361,6 +384,7 @@ func (k *Kernel) Reschedule(rs []grid.Resource, st *State, opts Options) (*sched
 		k.delta.Attempted = true
 		k.delta.Base = len(base)
 		if s := k.rescheduleDelta(rs, st, base, opts); s != nil {
+			k.timing.PlaceMs = time.Since(rankDone).Seconds() * 1e3
 			return s, nil
 		}
 		// rescheduleDelta set k.delta.Reason; fall through to a full
@@ -414,6 +438,7 @@ func (k *Kernel) Reschedule(rs []grid.Resource, st *State, opts Options) (*sched
 		// caller owns s and may mutate it freely.
 		rec.sched = s.Clone()
 	}
+	k.timing.PlaceMs = time.Since(rankDone).Seconds() * 1e3
 	return s, nil
 }
 

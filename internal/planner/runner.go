@@ -107,7 +107,12 @@ type Decision struct {
 	ConeSize       int    `json:"-"`
 	FallbackReason string `json:"-"`
 	// ElapsedMs is the wall-clock cost of the replan in milliseconds.
+	// RankMs/PlaceMs split it into the kernel's upward-rank phase and
+	// the placement (or delta-probe) phase — the kernel timing hooks
+	// the evaluate spans surface.
 	ElapsedMs float64 `json:"-"`
+	RankMs    float64 `json:"-"`
+	PlaceMs   float64 `json:"-"`
 }
 
 // Result is the outcome of running one workflow to completion under one

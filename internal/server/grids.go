@@ -158,6 +158,12 @@ func (s *Server) handleGridPut(w http.ResponseWriter, r *http.Request) {
 	s.grids[name] = g
 	s.gridMu.Unlock()
 	s.walLogGrid(g)
+	// Recorded at registration time on the owning shard's stream: any
+	// submission referencing the grid is only accepted after this 201, so
+	// the record precedes every dependent submission record.
+	if s.recorder != nil {
+		s.recorder.grid(g.shard, name, g.raw)
+	}
 	writeJSON(w, http.StatusCreated, g.status())
 }
 
@@ -195,7 +201,11 @@ func (s *Server) handleGridList(w http.ResponseWriter, r *http.Request) {
 // report ack (the generation piggyback in applyReport). Adoptions are
 // deliberately not re-notified: a survivor taking freed capacity does
 // not free capacity itself, so the round terminates.
-func (sh *shard) notifyGrid(g *sharedGrid, except string) {
+//
+// link is the releasing workflow's ingest span (0 when tracing is off):
+// every survivor's evaluate span carries it as its causal cross-workflow
+// edge — "this replan happened because that batch freed capacity".
+func (sh *shard) notifyGrid(g *sharedGrid, except string, link uint64) {
 	m := sh.srv.metrics
 	for _, wf := range g.residents(except) {
 		if sh.live[wf.id] == nil || wf.tracker == nil || wf.tracker.Done() {
@@ -205,6 +215,10 @@ func (sh *shard) notifyGrid(g *sharedGrid, except string) {
 		m.decisions.Add(uint64(len(out.Decisions)))
 		for _, d := range out.Decisions {
 			m.recordDecision(d)
+			sh.emitDecisionSpans(wf, d, 0, link, except)
+			if rec := sh.srv.recorder; rec != nil {
+				rec.decision(sh.id, wf.id, d)
+			}
 			wd := wireDecision(d)
 			wf.append(m, wire.Event{
 				Kind: "decision", Time: d.Clock, Decision: &wd,
@@ -221,6 +235,9 @@ func (sh *shard) notifyGrid(g *sharedGrid, except string) {
 		wf.plan = plan
 		wf.generation = plan.Generation
 		wf.mu.Unlock()
+		if rec := sh.srv.recorder; rec != nil {
+			rec.plan(sh.id, plan)
+		}
 		wf.append(m, wire.Event{
 			Kind: "plan", Time: wf.tracker.Clock(), Trigger: plan.Trigger,
 			Generation: plan.Generation, Makespan: plan.Makespan,

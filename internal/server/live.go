@@ -11,6 +11,7 @@ import (
 	"aheft/internal/cost"
 	"aheft/internal/feedback"
 	"aheft/internal/history"
+	"aheft/internal/obs"
 	"aheft/internal/planner"
 	"aheft/internal/wire"
 )
@@ -27,6 +28,10 @@ import (
 type shardCmd struct {
 	wf     *workflow
 	report *wire.Report
+	// raw is the report's undecoded body, carried along only when the
+	// flight recorder is on so the worker can append it in processing
+	// order (see record.go).
+	raw    json.RawMessage
 	whatif *wire.WhatIfRequest
 	reply  chan cmdResult
 }
@@ -58,7 +63,19 @@ func (sh *shard) startLive(wf *workflow) {
 		m.liveWorkflowDone(true)
 		sh.srv.retire(wf.id)
 		sh.walLogTerminal(wf)
+		if rec := sh.srv.recorder; rec != nil {
+			rec.done(sh.id, wf.id, StateFailed, 0, err.Error())
+		}
 		return
+	}
+	planAct := sh.srv.tracer.Start(obs.StagePlan, wf.id)
+	if planAct != nil {
+		planAct.Span.Parent = wf.rootSpan
+		planAct.Span.Shard = sh.id
+		planAct.Span.Tenant = wf.tenant
+		if wf.gridRef != nil {
+			planAct.Span.Grid = wf.gridRef.name
+		}
 	}
 	cfg := feedback.Config{
 		Graph:             wf.sub.Graph,
@@ -82,11 +99,15 @@ func (sh *shard) startLive(wf *workflow) {
 	wf.mu.Unlock()
 	wf.append(m, wire.Event{Kind: "started"})
 	if err != nil {
+		planAct.Fail(err)
 		wf.append(m, wire.Event{Kind: "failed", Error: err.Error()})
 		wf.finish(nil, err)
 		m.liveWorkflowDone(true)
 		sh.srv.retire(wf.id)
 		sh.walLogTerminal(wf)
+		if rec := sh.srv.recorder; rec != nil {
+			rec.done(sh.id, wf.id, StateFailed, 0, err.Error())
+		}
 		return
 	}
 	wf.tracker = tr
@@ -99,6 +120,13 @@ func (sh *shard) startLive(wf *workflow) {
 	// reschedules bumping the generation past this are piggybacked on the
 	// next report ack.
 	wf.ackedGen = plan.Generation
+	if planAct != nil {
+		planAct.Span.Generation = plan.Generation
+		planAct.End()
+	}
+	if rec := sh.srv.recorder; rec != nil {
+		rec.plan(sh.id, plan)
+	}
 	wf.append(m, wire.Event{
 		Kind: "plan", Trigger: "initial",
 		Generation: plan.Generation, Makespan: plan.Makespan,
@@ -146,6 +174,24 @@ func (sh *shard) handleCmd(c shardCmd) {
 // their trigger), plan bump on adoption, completion on the last finish.
 func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 	m := sh.srv.metrics
+	// Record the report before applying it: even a batch the tracker
+	// rejects or has already applied reached this worker and consumed its
+	// turn in the processing order, and replay must re-drive it to land
+	// on the same order (it is re-rejected or re-acked identically).
+	if rec := sh.srv.recorder; rec != nil && c.raw != nil {
+		rec.report(sh.id, wf.id, c.raw)
+	}
+	ingestAct := sh.srv.tracer.Start(obs.StageIngest, wf.id)
+	var ingestID uint64
+	if ingestAct != nil {
+		ingestAct.Span.Parent = wf.rootSpan
+		ingestAct.Span.Shard = sh.id
+		ingestAct.Span.Tenant = wf.tenant
+		if wf.gridRef != nil {
+			ingestAct.Span.Grid = wf.gridRef.name
+		}
+		ingestID = ingestAct.Span.ID
+	}
 	out, err := wf.tracker.Apply(c.report.Events)
 	if err != nil {
 		// A restarted daemon may be re-sent a batch it already applied
@@ -171,10 +217,12 @@ func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 				}
 				wf.ackedGen = gen
 			}
+			ingestAct.End()
 			c.reply <- cmdResult{ack: ack}
 			return
 		}
 		m.reportsRejected.Add(1)
+		ingestAct.Fail(err)
 		c.reply <- cmdResult{code: http.StatusBadRequest, errMsg: err.Error()}
 		return
 	}
@@ -183,6 +231,10 @@ func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 	m.decisions.Add(uint64(len(out.Decisions)))
 	for _, d := range out.Decisions {
 		m.recordDecision(d)
+		sh.emitDecisionSpans(wf, d, ingestID, 0, "")
+		if rec := sh.srv.recorder; rec != nil {
+			rec.decision(sh.id, wf.id, d)
+		}
 		wd := wireDecision(d)
 		wf.append(m, wire.Event{
 			Kind: "decision", Time: d.Clock, Decision: &wd,
@@ -220,6 +272,9 @@ func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 		wf.generation = plan.Generation
 		wf.mu.Unlock()
 		ack.Plan = plan
+		if rec := sh.srv.recorder; rec != nil {
+			rec.plan(sh.id, plan)
+		}
 		wf.append(m, wire.Event{
 			Kind: "plan", Time: wf.tracker.Clock(), Trigger: ack.Trigger,
 			Generation: plan.Generation, Makespan: plan.Makespan,
@@ -257,12 +312,62 @@ func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 		ack.Makespan = out.Makespan
 		sh.finishLive(wf)
 	}
+	// StageEnact marks a plan generation reaching its enactor: this ack
+	// carries one either because this batch's replan was adopted or as
+	// the contention-generation piggyback.
+	if t := sh.srv.tracer; t != nil && ack.Plan != nil {
+		t.Emit(obs.Span{
+			Stage: obs.StageEnact, Workflow: wf.id, Tenant: wf.tenant, Shard: sh.id,
+			Parent: ingestID, Trigger: ack.Trigger, Generation: ack.Generation,
+		}, 0)
+	}
+	ingestAct.End()
 	c.reply <- cmdResult{ack: ack}
 	// Cross-workflow trigger: freed capacity is a run-time event for
 	// every survivor on the grid. Evaluated after the reply so the
-	// reporter is not held behind its neighbours' replans.
+	// reporter is not held behind its neighbours' replans. The survivors'
+	// evaluate spans link back to this batch's ingest span — the span of
+	// the releasing workflow's finish report, the causal edge.
 	if gref != nil && released > 0 {
-		sh.notifyGrid(gref, wf.id)
+		sh.notifyGrid(gref, wf.id, ingestID)
+	}
+}
+
+// emitDecisionSpans files the retroactive evaluate span for one
+// rescheduling evaluation — back-dated by the kernel-measured replan
+// latency, so nothing runs on the measured path — and, on adoption, the
+// adopt span beneath it. parent is the triggering ingest span;
+// link/linkWf, when set, name the cross-workflow cause (the releasing
+// workflow's ingest span, contention trigger).
+func (sh *shard) emitDecisionSpans(wf *workflow, d planner.Decision, parent, link uint64, linkWf string) {
+	t := sh.srv.tracer
+	if t == nil {
+		return
+	}
+	sp := obs.Span{
+		Stage:        obs.StageEvaluate,
+		Workflow:     wf.id,
+		Tenant:       wf.tenant,
+		Shard:        sh.id,
+		Parent:       parent,
+		Link:         link,
+		LinkWorkflow: linkWf,
+		Trigger:      d.Trigger.String(),
+		Path:         d.Path,
+		Cone:         d.ConeSize,
+		Fallback:     d.FallbackReason,
+		Adopted:      d.Adopted,
+	}
+	if wf.gridRef != nil {
+		sp.Grid = wf.gridRef.name
+	}
+	evalID := t.Emit(sp, time.Duration(d.ElapsedMs*float64(time.Millisecond)))
+	if d.Adopted {
+		t.Emit(obs.Span{
+			Stage: obs.StageAdopt, Workflow: wf.id, Tenant: wf.tenant, Grid: sp.Grid,
+			Shard: sh.id, Parent: evalID, Trigger: sp.Trigger,
+			Generation: wf.tracker.Generation(),
+		}, 0)
 	}
 }
 
@@ -292,6 +397,9 @@ func (sh *shard) finishLive(wf *workflow) {
 	m.liveWorkflowDone(false)
 	sh.srv.retire(wf.id)
 	sh.walLogTerminal(wf)
+	if rec := sh.srv.recorder; rec != nil {
+		rec.done(sh.id, wf.id, StateDone, tr.Makespan(), "")
+	}
 }
 
 // cancelLive force-fails every resident live run (drain deadline).
@@ -314,6 +422,9 @@ func (sh *shard) cancelLive(err error) {
 		m.liveWorkflowDone(true)
 		sh.srv.retire(id)
 		sh.walLogTerminal(wf)
+		if rec := sh.srv.recorder; rec != nil {
+			rec.done(sh.id, id, StateFailed, 0, err.Error())
+		}
 	}
 }
 
@@ -449,7 +560,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
 	}
-	res, ok := s.dispatch(r, wf, shardCmd{report: rep})
+	var raw json.RawMessage
+	if s.recorder != nil {
+		raw = data
+	}
+	res, ok := s.dispatch(r, wf, shardCmd{report: rep, raw: raw})
 	if !ok {
 		return
 	}
@@ -500,6 +615,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if plan == nil {
 		writeJSON(w, http.StatusConflict, errorDoc{Error: "workflow has no live plan (analytic mode, or not yet planned)"})
 		return
+	}
+	// A plan fetch is an enactment: the enactor now holds this
+	// generation. (Reading rootSpan here is ordered by wf.mu: it is
+	// written before the enqueue, and plan above is non-nil only after
+	// the worker — which dequeued after that write — published it.)
+	if t := s.tracer; t != nil {
+		t.Emit(obs.Span{
+			Stage: obs.StageEnact, Workflow: wf.id, Tenant: wf.tenant,
+			Shard: wf.shard, Parent: wf.rootSpan, Generation: plan.Generation,
+		}, 0)
 	}
 	writeJSON(w, http.StatusOK, plan)
 }

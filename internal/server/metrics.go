@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aheft/internal/obs"
 	"aheft/internal/planner"
 	"aheft/internal/stats"
 )
@@ -54,6 +55,12 @@ type Metrics struct {
 	reschedDelta        atomic.Uint64
 	reschedFullFallback atomic.Uint64
 	reschedLat          [4]latencyWindow
+	// fallbackReasons breaks reschedFullFallback down by the kernel's
+	// FallbackReason ("no-memo", "cone-overflow", "estimates-drifted", …)
+	// so an operator can see *why* the delta path is being abandoned, not
+	// just how often.
+	fallbackMu      sync.Mutex
+	fallbackReasons map[string]uint64
 
 	// Event path.
 	eventsEmitted atomic.Uint64
@@ -64,6 +71,10 @@ type Metrics struct {
 	// here.
 	walErrors atomic.Uint64 // failed WAL appends/rotations (durability degraded)
 
+	// Flight recorder (Config.RecordDir; see record.go).
+	recorderRecords atomic.Uint64 // records appended across all shard streams
+	recorderErrors  atomic.Uint64 // failed appends (recording degraded)
+
 	inflight     atomic.Int64 // accepted - completed - failed
 	inflightPeak atomic.Int64
 
@@ -72,7 +83,11 @@ type Metrics struct {
 
 // NewMetrics returns a zeroed metrics set.
 func NewMetrics() *Metrics {
-	m := &Metrics{start: time.Now(), compute: latencyWindow{cap: 8192}}
+	m := &Metrics{
+		start:           time.Now(),
+		compute:         latencyWindow{cap: 8192},
+		fallbackReasons: make(map[string]uint64),
+	}
 	for i := range m.reschedLat {
 		m.reschedLat[i].cap = 4096
 	}
@@ -88,6 +103,11 @@ func (m *Metrics) recordDecision(d planner.Decision) {
 		m.reschedDelta.Add(1)
 	case "full":
 		m.reschedFullFallback.Add(1)
+		if d.FallbackReason != "" {
+			m.fallbackMu.Lock()
+			m.fallbackReasons[d.FallbackReason]++
+			m.fallbackMu.Unlock()
+		}
 	}
 	if t := int(d.Trigger); t >= 0 && t < len(m.reschedLat) {
 		m.reschedLat[t].record(d.ElapsedMs)
@@ -213,6 +233,10 @@ type MetricsDoc struct {
 	// the incremental delta path versus its fall-back to a full replan.
 	ReschedulesDelta        uint64 `json:"reschedules_delta"`
 	ReschedulesFullFallback uint64 `json:"reschedules_full_fallback"`
+	// ReschedulesFullFallbackByReason splits the fallback count by the
+	// kernel's FallbackReason. Empty reasons (engines that never attempt
+	// the delta path) are not counted here.
+	ReschedulesFullFallbackByReason map[string]uint64 `json:"reschedules_full_fallback_by_reason,omitempty"`
 	// RescheduleMs summarises replan wall-clock latency per trigger
 	// ("variance", "arrival", "departure", "contention").
 	RescheduleMs   map[string]RescheduleMs `json:"reschedule_ms"`
@@ -238,11 +262,27 @@ type MetricsDoc struct {
 	RecoveredWorkflows uint64  `json:"recovered_workflows"`
 	RecoveryMs         float64 `json:"recovery_ms"`
 
+	// Observability: span totals and per-stage latency rollups from the
+	// causal tracer (zero/absent when tracing is off), and the flight
+	// recorder's append counters (zero when recording is off).
+	TraceSpans        uint64                    `json:"trace_spans"`
+	TraceSpansDropped uint64                    `json:"trace_spans_dropped"`
+	TraceStageMs      map[string]obs.StageStats `json:"trace_stage_ms,omitempty"`
+	RecorderRecords   uint64                    `json:"recorder_records"`
+	RecorderErrors    uint64                    `json:"recorder_errors"`
+
 	Inflight     int64 `json:"inflight"`
 	InflightPeak int64 `json:"inflight_peak"`
 	QueueDepth   []int `json:"queue_depth"`
 
 	ComputeMs ComputeMs `json:"compute_ms"`
+}
+
+// ObsStats carries the tracer's aggregated gauges into Metrics.snapshot.
+type ObsStats struct {
+	Spans   uint64
+	Dropped uint64
+	Stages  map[string]obs.StageStats
 }
 
 // DurabilityStats carries the aggregated per-store WAL gauges into
@@ -274,7 +314,7 @@ type RescheduleMs struct {
 // snapshot assembles the document; queueDepth supplies the current
 // per-shard queue lengths, historyTenants/historyCells the aggregated
 // tenant-repository gauges.
-func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, sharedGrids, reservations int, d DurabilityStats) MetricsDoc {
+func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, sharedGrids, reservations int, d DurabilityStats, o ObsStats) MetricsDoc {
 	q := m.compute.quantiles(0.50, 0.90, 0.99)
 	resched := make(map[string]RescheduleMs, len(m.reschedLat))
 	for i := range m.reschedLat {
@@ -284,49 +324,64 @@ func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, share
 			Count: w.count(), P50: lq[0], P90: lq[1], P99: lq[2],
 		}
 	}
+	var byReason map[string]uint64
+	m.fallbackMu.Lock()
+	if len(m.fallbackReasons) > 0 {
+		byReason = make(map[string]uint64, len(m.fallbackReasons))
+		for r, n := range m.fallbackReasons {
+			byReason[r] = n
+		}
+	}
+	m.fallbackMu.Unlock()
 	return MetricsDoc{
-		UptimeS:                 time.Since(m.start).Seconds(),
-		Shards:                  len(queueDepth),
-		Submissions:             m.submissions.Load(),
-		Accepted:                m.accepted.Load(),
-		RejectedFull:            m.rejectedFull.Load(),
-		RejectedInvalid:         m.rejectedInvalid.Load(),
-		RejectedDrain:           m.rejectedDrain.Load(),
-		AbandonedIntake:         m.abandonedIntake.Load(),
-		Completed:               m.completed.Load(),
-		Failed:                  m.failed.Load(),
-		Decisions:               m.decisions.Load(),
-		Reschedules:             m.reschedules.Load(),
-		Evicted:                 m.evicted.Load(),
-		Reports:                 m.reports.Load(),
-		ReportEvents:            m.reportEvents.Load(),
-		ReportsRejected:         m.reportsRejected.Load(),
-		ReportsDuplicate:        m.reportsDuplicate.Load(),
-		WhatIfQueries:           m.whatifs.Load(),
-		ReschedulesVariance:     m.reschedVariance.Load(),
-		ReschedulesArrival:      m.reschedArrival.Load(),
-		ReschedulesDeparture:    m.reschedDeparture.Load(),
-		ReschedulesContention:   m.reschedContention.Load(),
-		ReschedulesDelta:        m.reschedDelta.Load(),
-		ReschedulesFullFallback: m.reschedFullFallback.Load(),
-		RescheduleMs:            resched,
-		LiveResident:            m.liveResident.Load(),
-		HistoryTenants:          historyTenants,
-		HistoryCells:            historyCells,
-		HistoryEvicted:          m.historyEvicted.Load(),
-		SharedGrids:             sharedGrids,
-		Reservations:            reservations,
-		EventsEmitted:           m.eventsEmitted.Load(),
-		EventsDropped:           m.eventsDropped.Load(),
-		WALAppends:              d.WALAppends,
-		WALBytes:                d.WALBytes,
-		Snapshots:               d.Snapshots,
-		WALErrors:               m.walErrors.Load(),
-		RecoveredWorkflows:      d.Recovered,
-		RecoveryMs:              d.RecoveryMs,
-		Inflight:                m.inflight.Load(),
-		InflightPeak:            m.inflightPeak.Load(),
-		QueueDepth:              queueDepth,
+		UptimeS:                         time.Since(m.start).Seconds(),
+		Shards:                          len(queueDepth),
+		Submissions:                     m.submissions.Load(),
+		Accepted:                        m.accepted.Load(),
+		RejectedFull:                    m.rejectedFull.Load(),
+		RejectedInvalid:                 m.rejectedInvalid.Load(),
+		RejectedDrain:                   m.rejectedDrain.Load(),
+		AbandonedIntake:                 m.abandonedIntake.Load(),
+		Completed:                       m.completed.Load(),
+		Failed:                          m.failed.Load(),
+		Decisions:                       m.decisions.Load(),
+		Reschedules:                     m.reschedules.Load(),
+		Evicted:                         m.evicted.Load(),
+		Reports:                         m.reports.Load(),
+		ReportEvents:                    m.reportEvents.Load(),
+		ReportsRejected:                 m.reportsRejected.Load(),
+		ReportsDuplicate:                m.reportsDuplicate.Load(),
+		WhatIfQueries:                   m.whatifs.Load(),
+		ReschedulesVariance:             m.reschedVariance.Load(),
+		ReschedulesArrival:              m.reschedArrival.Load(),
+		ReschedulesDeparture:            m.reschedDeparture.Load(),
+		ReschedulesContention:           m.reschedContention.Load(),
+		ReschedulesDelta:                m.reschedDelta.Load(),
+		ReschedulesFullFallback:         m.reschedFullFallback.Load(),
+		ReschedulesFullFallbackByReason: byReason,
+		RescheduleMs:                    resched,
+		LiveResident:                    m.liveResident.Load(),
+		HistoryTenants:                  historyTenants,
+		HistoryCells:                    historyCells,
+		HistoryEvicted:                  m.historyEvicted.Load(),
+		SharedGrids:                     sharedGrids,
+		Reservations:                    reservations,
+		EventsEmitted:                   m.eventsEmitted.Load(),
+		EventsDropped:                   m.eventsDropped.Load(),
+		WALAppends:                      d.WALAppends,
+		WALBytes:                        d.WALBytes,
+		Snapshots:                       d.Snapshots,
+		WALErrors:                       m.walErrors.Load(),
+		RecoveredWorkflows:              d.Recovered,
+		RecoveryMs:                      d.RecoveryMs,
+		TraceSpans:                      o.Spans,
+		TraceSpansDropped:               o.Dropped,
+		TraceStageMs:                    o.Stages,
+		RecorderRecords:                 m.recorderRecords.Load(),
+		RecorderErrors:                  m.recorderErrors.Load(),
+		Inflight:                        m.inflight.Load(),
+		InflightPeak:                    m.inflightPeak.Load(),
+		QueueDepth:                      queueDepth,
 		ComputeMs: ComputeMs{
 			Count: m.compute.count(),
 			P50:   q[0], P90: q[1], P99: q[2],

@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
 	"aheft/internal/feedback"
+	"aheft/internal/obs"
 	"aheft/internal/policy"
 	"aheft/internal/wire"
 )
@@ -93,6 +95,24 @@ type Config struct {
 	// SnapshotInterval is how often each shard snapshots its full state
 	// and truncates its log; 0 means 30s.
 	SnapshotInterval time.Duration
+	// Tracing enables the causal span tracer (internal/obs): every
+	// decision-path stage files a span, retained per workflow for
+	// GET /v1/workflows/{id}/trace and rolled into /metrics stage
+	// latencies.
+	Tracing bool
+	// TraceFile, when set, streams every completed span to this file as
+	// OTLP-shaped JSON lines (implies Tracing).
+	TraceFile string
+	// TraceSpansPerWorkflow bounds the retained span log per workflow;
+	// 0 means the obs default (512).
+	TraceSpansPerWorkflow int
+	// RecordDir, when set, turns on the deterministic flight recorder:
+	// each shard appends every external input it processes (submissions,
+	// reports, grid registrations) plus every output it emits (decisions,
+	// plan generations, terminals) to RecordDir/record-shard-<i>.wal.
+	// internal/replay re-drives such a recording through a fresh daemon
+	// and asserts a bit-identical output sequence.
+	RecordDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +192,12 @@ type Server struct {
 	recoveredWfs uint64    // live workflows restored by the last recovery
 	recoveryMs   float64   // wall time of the last recovery
 	walFinal     sync.Once // final snapshot + store close on Shutdown
+
+	// Observability (set by Open; see obs.go wiring and record.go).
+	tracer    *obs.Tracer // nil when Config.Tracing is off
+	traceFile *os.File    // OTLP sink backing file (nil without TraceFile)
+	recorder  *recorder   // nil when Config.RecordDir is empty
+	obsFinal  sync.Once   // trailer + flush on Shutdown
 }
 
 // New builds and starts a daemon core: the shard workers are running
@@ -215,9 +241,34 @@ func Open(cfg Config) (*Server, error) {
 		}
 		s.shards = append(s.shards, sh)
 	}
+	if cfg.Tracing || cfg.TraceFile != "" {
+		topts := obs.Options{MaxSpansPerWorkflow: cfg.TraceSpansPerWorkflow}
+		if cfg.TraceFile != "" {
+			f, err := os.Create(cfg.TraceFile)
+			if err != nil {
+				cancel()
+				return nil, fmt.Errorf("server: trace file: %w", err)
+			}
+			s.traceFile = f
+			topts.Sink = f
+		}
+		s.tracer = obs.New(topts)
+	}
+	if cfg.RecordDir != "" {
+		rec, err := openRecorder(cfg.RecordDir, cfg, s.metrics)
+		if err != nil {
+			cancel()
+			if s.traceFile != nil {
+				s.traceFile.Close()
+			}
+			return nil, err
+		}
+		s.recorder = rec
+	}
 	if cfg.DataDir != "" {
 		if err := s.recoverState(); err != nil {
 			cancel()
+			s.finalizeObs(false)
 			return nil, err
 		}
 	}
@@ -230,6 +281,7 @@ func Open(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/workflows/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/workflows/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/workflows/{id}/plan", s.handlePlan)
+	mux.HandleFunc("GET /v1/workflows/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/workflows/{id}/report", s.handleReport)
 	mux.HandleFunc("POST /v1/workflows/{id}/whatif", s.handleWhatIf)
 	mux.HandleFunc("PUT /v1/grids/{name}", s.handleGridPut)
@@ -271,7 +323,12 @@ func (s *Server) MetricsSnapshot() MetricsDoc {
 	}
 	d.Recovered = s.recoveredWfs
 	d.RecoveryMs = s.recoveryMs
-	return s.metrics.snapshot(depth, tenants, cells, grids, reservations, d)
+	var o ObsStats
+	if s.tracer != nil {
+		o.Spans, o.Dropped = s.tracer.Totals()
+		o.Stages = s.tracer.StageSummary()
+	}
+	return s.metrics.snapshot(depth, tenants, cells, grids, reservations, d, o)
 }
 
 // Shutdown drains the daemon: it stops intake (further submissions get
@@ -297,13 +354,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		s.cancelRun()
 		s.finalizeWAL()
+		s.finalizeObs(true)
 		return nil
 	case <-ctx.Done():
 		s.cancelRun()
 		<-done
 		s.finalizeWAL()
+		// Force-cancelled runs cut their record streams mid-decision; the
+		// trailer marks the recording unclean so replay refuses it with a
+		// diagnostic instead of diverging.
+		s.finalizeObs(false)
 		return ctx.Err()
 	}
+}
+
+// finalizeObs writes the record-stream trailers and flushes the trace
+// sink. Runs once, after every worker has exited (all worker-side
+// appends are done).
+func (s *Server) finalizeObs(clean bool) {
+	s.obsFinal.Do(func() {
+		if s.recorder != nil {
+			s.recorder.finalize(clean)
+		}
+		if s.tracer != nil {
+			s.tracer.Close()
+		}
+		if s.traceFile != nil {
+			s.traceFile.Close()
+		}
+	})
 }
 
 // finalizeWAL writes one last snapshot per shard and closes the stores.
@@ -380,8 +459,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The intake span covers body read, decode/validate and registration.
+	// It must end — and the queue span must open — strictly before the
+	// enqueue: the worker can pick the workflow up the instant the send
+	// lands, and it reads rootSpan/queueAct without synchronisation
+	// beyond the channel's happens-before.
+	intakeAct := s.tracer.Start(obs.StageIntake, id)
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
+		intakeAct.Fail(err)
 		m.rejectedInvalid.Add(1)
 		code := http.StatusBadRequest
 		var mbe *http.MaxBytesError
@@ -393,9 +479,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	wf, _, err := s.buildWorkflow(id, data)
 	if err != nil {
+		intakeAct.Fail(err)
 		m.rejectedInvalid.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
+	}
+	if s.recorder != nil {
+		// Retained until the shard worker records it in processing order
+		// (see record.go); data is not referenced after this function.
+		wf.recBody = data
 	}
 	// Register before enqueueing so the ID resolves the instant the
 	// client can know it; unregister if the shard refuses the workflow.
@@ -406,10 +498,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.submitMu.RLock()
 	if s.draining {
 		s.submitMu.RUnlock()
+		intakeAct.Fail(fmt.Errorf("server is draining"))
 		s.reject(wf, fmt.Errorf("server is draining"))
 		m.rejectedDrain.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server is draining"})
 		return
+	}
+	if intakeAct != nil {
+		intakeAct.Span.Shard = wf.shard
+		intakeAct.Span.Tenant = wf.tenant
+		if wf.gridRef != nil {
+			intakeAct.Span.Grid = wf.gridRef.name
+		}
+		wf.rootSpan = intakeAct.End()
+		wf.queueAct = s.tracer.Start(obs.StageQueue, id)
+		wf.queueAct.Span.Parent = wf.rootSpan
+		wf.queueAct.Span.Shard = wf.shard
 	}
 	// Reserve the in-flight slot *before* the enqueue: a fast worker may
 	// dequeue and even finish the workflow the instant it is queued, and
@@ -433,6 +537,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.submitMu.RUnlock()
 		m.inflightRelease()
 		s.shards[wf.shard].walLogReject(id)
+		wf.queueAct.Fail(fmt.Errorf("shard %d queue full", wf.shard))
 		s.reject(wf, fmt.Errorf("shard %d queue full", wf.shard))
 		m.rejectedFull.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -556,6 +661,9 @@ func (s *Server) retire(id string) {
 	s.mu.Lock()
 	s.retained = append(s.retained, id)
 	for len(s.retained) > limit {
+		// Trace memory has the same lifetime as status memory: an evicted
+		// workflow's spans go with its record.
+		s.tracer.Release(s.retained[0])
 		delete(s.wfs, s.retained[0])
 		s.retained = s.retained[1:]
 		s.metrics.evicted.Add(1)
@@ -651,5 +759,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	doc := s.MetricsSnapshot()
+	if wantsPrometheus(r) {
+		writePrometheus(w, doc)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
 }

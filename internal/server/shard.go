@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"hash/fnv"
 	"math"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"aheft/internal/cost"
 	"aheft/internal/feedback"
 	"aheft/internal/history"
+	"aheft/internal/obs"
 	"aheft/internal/planner"
 	"aheft/internal/policy"
 	"aheft/internal/wire"
@@ -57,6 +59,16 @@ type workflow struct {
 	// submission.
 	jobs      int
 	resources int
+
+	// Observability state, written on the submit path strictly before the
+	// enqueue publishes the record to the worker: rootSpan is the intake
+	// span's ID (the parent of the workflow's later spans), queueAct the
+	// in-flight queue-residency span the worker ends on pickup, recBody
+	// the raw submission body the worker's flight recorder appends in
+	// processing order (nil when recording is off).
+	rootSpan uint64
+	queueAct *obs.Active
+	recBody  json.RawMessage
 
 	submittedAt time.Time
 
@@ -220,6 +232,8 @@ func wireDecision(d planner.Decision) wire.Decision {
 		Cone:         d.ConeSize,
 		Fallback:     d.FallbackReason,
 		ElapsedMs:    d.ElapsedMs,
+		RankMs:       d.RankMs,
+		PlaceMs:      d.PlaceMs,
 	}
 	if math.IsInf(wd.OldMakespan, 1) {
 		// A departure made the old plan infeasible; JSON cannot carry
@@ -319,6 +333,14 @@ func (sh *shard) execute(wf *workflow) {
 	if sh.srv.execHook != nil {
 		sh.srv.execHook(wf)
 	}
+	wf.queueAct.End()
+	// The flight recorder taps the submission here — at the moment this
+	// worker starts processing it, not at HTTP accept time — so the
+	// per-shard record stream is in processing order (see record.go).
+	if rec := sh.srv.recorder; rec != nil && wf.recBody != nil {
+		rec.submission(sh.id, wf.id, wf.recBody)
+		wf.recBody = nil
+	}
 	if wf.live {
 		sh.startLive(wf)
 		return
@@ -328,6 +350,12 @@ func (sh *shard) execute(wf *workflow) {
 	wf.startedAt = time.Now()
 	wf.mu.Unlock()
 	wf.append(m, wire.Event{Kind: "started"})
+	planAct := sh.srv.tracer.Start(obs.StagePlan, wf.id)
+	if planAct != nil {
+		planAct.Span.Parent = wf.rootSpan
+		planAct.Span.Shard = sh.id
+		planAct.Span.Tenant = wf.tenant
+	}
 
 	// Decisions are tallied in the observer, not from the result: a run
 	// that fails mid-way still made (and streamed) its evaluations, and
@@ -340,6 +368,9 @@ func (sh *shard) execute(wf *workflow) {
 			if d.Adopted {
 				adoptions++
 			}
+			if rec := sh.srv.recorder; rec != nil {
+				rec.decision(sh.id, wf.id, d)
+			}
 			wd := wireDecision(d)
 			wf.append(m, wire.Event{
 				Kind: "decision", Time: d.Clock, Decision: &wd,
@@ -351,12 +382,20 @@ func (sh *shard) execute(wf *workflow) {
 	// before finish closes the subscription channels, so a follower sees
 	// "done"/"failed" and then the close.
 	if err != nil {
+		planAct.Fail(err)
+		if rec := sh.srv.recorder; rec != nil {
+			rec.done(sh.id, wf.id, StateFailed, 0, err.Error())
+		}
 		wf.append(m, wire.Event{Kind: "failed", Error: err.Error()})
 		wf.finish(res, err)
 		m.workflowDone(true, time.Since(wf.startedAt), decisions, adoptions)
 		sh.srv.retire(wf.id)
 		sh.walLogTerminal(wf)
 		return
+	}
+	planAct.End()
+	if rec := sh.srv.recorder; rec != nil {
+		rec.done(sh.id, wf.id, StateDone, res.Makespan, "")
 	}
 	wf.append(m, wire.Event{Kind: "done", Time: res.Makespan, Makespan: res.Makespan})
 	wf.finish(res, err)

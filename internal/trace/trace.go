@@ -4,6 +4,15 @@
 // tracing composes with the adaptive rescheduling loop. Traces serialise
 // to JSON Lines for offline analysis and render compact human-readable
 // summaries.
+//
+// Boundary with internal/obs: this package is the *offline*,
+// executor-side collector — its events carry the simulated scheduling
+// clock of one analytic run, and most of them (job finishes, arrivals)
+// are facts the daemon only ever sees folded into report batches. The
+// daemon's own causal span model lives in internal/obs on the wall
+// clock. The one fact both sides record first-hand is the rescheduling
+// evaluation, and Collector.Spans bridges exactly that shape so offline
+// runs and daemon traces can be analysed with the same tooling.
 package trace
 
 import (
@@ -12,10 +21,12 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"aheft/internal/dag"
 	"aheft/internal/executor"
 	"aheft/internal/grid"
+	"aheft/internal/obs"
 )
 
 // Kind classifies trace events.
@@ -167,6 +178,45 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		out = append(out, e)
 	}
 	return out, nil
+}
+
+// Spans bridges the collector's rescheduling evaluations into the
+// daemon's span model (obs.Span), the boundary contract between the
+// offline and online halves of observability:
+//
+//   - Only KindReschedule events map. Job finishes and arrivals stay
+//     executor-side — the daemon records them only as report-ingest
+//     spans over whole batches, so per-job spans here would fabricate
+//     a correspondence that does not exist.
+//   - The offline clock is the simulated scheduling clock, not the
+//     wall clock: Start and End carry the event time scaled to integer
+//     nanoseconds on a synthetic timeline starting at zero, and each
+//     span is instantaneous (Start == End) because a DES evaluation
+//     has no wall-clock duration worth reporting.
+//   - Span IDs are 1-based reschedule ordinals local to this
+//     collector; Parent and Link stay zero — an offline run has no
+//     intake or ingest spans to attach to.
+//
+// The workflow argument stamps every span, so bridged spans from
+// several runs can share one analysis stream.
+func (c *Collector) Spans(workflow string) []obs.Span {
+	var out []obs.Span
+	for _, e := range c.Events() {
+		if e.Kind != KindReschedule {
+			continue
+		}
+		ns := int64(e.Time * float64(time.Second))
+		out = append(out, obs.Span{
+			ID:       uint64(len(out) + 1),
+			Stage:    obs.StageEvaluate,
+			Workflow: workflow,
+			Start:    ns,
+			End:      ns,
+			Trigger:  e.Trigger,
+			Adopted:  e.Adopted,
+		})
+	}
+	return out
 }
 
 // Summary renders a one-line-per-event digest.

@@ -9,6 +9,7 @@ import (
 	"aheft/internal/executor"
 	"aheft/internal/grid"
 	"aheft/internal/heft"
+	"aheft/internal/obs"
 	"aheft/internal/sim"
 	"aheft/internal/workload"
 )
@@ -134,5 +135,40 @@ func TestCollectorWithoutGraphNamesJobs(t *testing.T) {
 	col.HandleEvent(executor.Event{Time: 1, Finished: 3, OnResource: grid.ID(0), ActualDuration: 5})
 	if !strings.Contains(col.Summary(), "job3") {
 		t.Fatalf("fallback name missing:\n%s", col.Summary())
+	}
+}
+
+// TestSpansBridgesRescheduleEvents pins the boundary contract with the
+// daemon's span model (internal/obs): only reschedule events map, the
+// simulated clock scales to nanoseconds on a zero-based timeline as
+// instantaneous spans, and IDs are local 1-based ordinals with no
+// parent/link structure.
+func TestSpansBridgesRescheduleEvents(t *testing.T) {
+	col := NewCollector(nil, nil)
+	col.HandleEvent(executor.Event{Time: 1, Finished: 3, OnResource: grid.ID(0), ActualDuration: 5})
+	col.Reschedule(12.5, 80, 76, true, "arrival", 2)
+	col.Note(13, "irrelevant")
+	col.Reschedule(20, 76, 77, false, "variance", 0)
+
+	spans := col.Spans("wf-offline")
+	if len(spans) != 2 {
+		t.Fatalf("bridged %d spans, want 2 (reschedules only): %+v", len(spans), spans)
+	}
+	first := spans[0]
+	if first.ID != 1 || first.Stage != obs.StageEvaluate || first.Workflow != "wf-offline" {
+		t.Fatalf("first span identity: %+v", first)
+	}
+	if first.Start != int64(12.5*1e9) || first.End != first.Start {
+		t.Fatalf("first span clock: %+v", first)
+	}
+	if first.Trigger != "arrival" || !first.Adopted {
+		t.Fatalf("first span decision attrs: %+v", first)
+	}
+	if first.Parent != 0 || first.Link != 0 {
+		t.Fatalf("offline spans must carry no structure: %+v", first)
+	}
+	second := spans[1]
+	if second.ID != 2 || second.Trigger != "variance" || second.Adopted {
+		t.Fatalf("second span: %+v", second)
 	}
 }

@@ -435,6 +435,10 @@ type Decision struct {
 	Cone      int     `json:"cone,omitempty"`
 	Fallback  string  `json:"fallback,omitempty"`
 	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	// RankMs/PlaceMs split ElapsedMs into the kernel's rank and
+	// placement phases (same telemetry caveat as the fields above).
+	RankMs  float64 `json:"rank_ms,omitempty"`
+	PlaceMs float64 `json:"place_ms,omitempty"`
 }
 
 // Event is one server-sent event of a workflow's execution: the envelope
