@@ -37,7 +37,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	shards := flag.Int("shards", 4, "session workers (one scheduling pipeline each)")
-	queue := flag.Int("queue", 256, "per-shard bounded submission queue depth")
+	queue := flag.Int("queue", 256, "per-shard bounded admission backlog (total accepted-but-unstarted submissions)")
+	tenantBacklog := flag.Int("tenant-backlog", 0, "per-tenant share of a shard's admission backlog (0 = unbounded; floods then bound only by -queue)")
+	fastPathDepth := flag.Int("fast-path-depth", 0, "backlog depth at which live submissions get a fast greedy plan upgraded asynchronously (0 = built-in 8, negative = off)")
+	gridShareCap := flag.Float64("grid-share-cap", 0, "per-tenant share cap on a shared grid's reservations, 0 < cap < 1 (0 = off)")
 	maxJobs := flag.Int("max-jobs", wire.DefaultLimits.MaxJobs, "per-submission job cap")
 	maxRes := flag.Int("max-resources", wire.DefaultLimits.MaxResources, "per-submission resource cap")
 	defaultPolicy := flag.String("policy", "aheft", "default scheduling policy for submissions that name none")
@@ -78,6 +81,9 @@ func main() {
 	srv, err := server.Open(server.Config{
 		Shards:                *shards,
 		QueueDepth:            *queue,
+		TenantBacklog:         *tenantBacklog,
+		FastPathDepth:         *fastPathDepth,
+		GridShareCap:          *gridShareCap,
 		Limits:                wire.Limits{MaxJobs: *maxJobs, MaxResources: *maxRes},
 		DefaultPolicy:         *defaultPolicy,
 		VarianceThreshold:     *varThr,

@@ -210,6 +210,7 @@ func chaosMain(p chaosParams) {
 	}
 	log.Printf("loadgen: chaos: PASS: %d workflows recovered in %.1fms (downtime %.0fms), %d duplicate replays acked, ledger drained",
 		rep.RecoveredWorkflows, rep.RecoveryMs, rep.DowntimeMs, rep.DuplicatesAcked)
+	printAdmission("chaos: server", m)
 	if p.out != "" {
 		data, _ := json.MarshalIndent(rep, "", "  ")
 		if err := os.WriteFile(p.out, append(data, '\n'), 0o644); err != nil {

@@ -205,6 +205,7 @@ func driveMain(g *generator, classes []class, total int, p driveParams) {
 		metrics.ReschedulesVariance, metrics.ReschedulesArrival, metrics.ReschedulesDeparture,
 		metrics.EventsDropped)
 	printReschedPath("drive: server", metrics)
+	printAdmission("drive: server", metrics)
 
 	if p.out != "" {
 		data, _ := json.MarshalIndent(rep, "", "  ")

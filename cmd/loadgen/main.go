@@ -82,6 +82,10 @@ func main() {
 	chaosDataDir := flag.String("chaos-data-dir", "", "-chaos: durability directory (empty = fresh temp dir, removed afterwards)")
 	chaosWALSync := flag.String("chaos-wal-sync", "interval", "-chaos: daemon WAL fsync policy")
 	chaosWorkflows := flag.Int("chaos-workflows", 120, "-chaos: live workflows resident at the kill")
+	overload := flag.Bool("overload", false, "overload-fairness mode: calibrate a high-class victim stream, then flood a greedy low-class tenant beside it and gate the victims' p99 degradation, the two-speed upgrade debt, and reservation leaks")
+	overloadBound := flag.Float64("overload-bound", 3.0, "-overload: max allowed victim p99 makespan degradation factor under the flood")
+	overloadFloods := flag.Int("overload-floods", 8, "-overload: concurrent greedy flooder goroutines")
+	overloadJobs := flag.Int("overload-jobs", 30, "-overload: victim random-DAG job count (grid-hog DAGs are double)")
 	record := flag.String("record", "", "spawn an in-process recording daemon and drive the run against it, leaving a cmd/replay-verifiable flight recording in this directory (overrides -addr)")
 	recordShards := flag.Int("record-shards", 4, "-record: daemon shard count")
 	flag.Parse()
@@ -101,6 +105,32 @@ func main() {
 		chaosMain(chaosParams{
 			daemon: *chaosDaemon, addr: *chaosAddr, dataDir: *chaosDataDir,
 			walSync: *chaosWALSync, workflows: *chaosWorkflows, out: *out,
+		})
+		return
+	}
+
+	if *overload {
+		// Victims and flooders share this client; the default transport's
+		// two idle conns per host would melt under the flood and charge
+		// the resulting handshake churn to the victims' latency.
+		g := &generator{
+			client: &http.Client{
+				Timeout: 2 * time.Minute,
+				Transport: &http.Transport{
+					MaxIdleConns:        *overloadFloods + 64,
+					MaxIdleConnsPerHost: *overloadFloods + 64,
+				},
+			},
+			base: strings.TrimRight(*addr, "/"),
+		}
+		if err := g.waitHealthy(10 * time.Second); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		overloadMain(g, overloadParams{
+			duration: *duration, jobs: *overloadJobs,
+			seed: *seed, policy: *policy, varThr: *varThr,
+			bound: *overloadBound, floods: *overloadFloods,
+			out: *out,
 		})
 		return
 	}
@@ -666,6 +696,7 @@ func printReport(r Report) {
 	fmt.Printf("loadgen: server: completed=%d failed=%d reschedules=%d events=%d dropped=%d inflight_peak=%d rejected(backpressure=%d)\n",
 		m.Completed, m.Failed, m.Reschedules, m.EventsEmitted, m.EventsDropped, m.InflightPeak, m.RejectedFull)
 	printReschedPath("server", m)
+	printAdmission("server", m)
 }
 
 // printReschedPath summarises the kernel's replan-path split (delta vs

@@ -1,0 +1,381 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"aheft/internal/drive"
+	"aheft/internal/rng"
+	"aheft/internal/server"
+	"aheft/internal/stats"
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+// The -overload mode is the admission layer's acceptance harness: it
+// answers "can one greedy tenant ruin everyone else's day?" with a
+// measured no. The run has two phases on one daemon and one shared grid:
+//
+//  1. Calibration: rounds of high-class "victim" workflows co-scheduled
+//     on the shared grid with no competition, establishing the victims'
+//     baseline p99 makespan.
+//  2. Overload: the identical victim rounds, now with a "greedy-grid"
+//     tenant packing several outsized workflows onto the same grid —
+//     its reservations squeezed by the daemon's per-tenant share cap —
+//     while a separate "greedy" tenant floods low-class analytic
+//     submissions as fast as the daemon will take them (honouring its
+//     429s and Retry-After), keeping the admission queue deep.
+//
+// The victims' metric is *makespan* — the simulated completion time the
+// scheduler actually produced — not wall-clock latency, which on a
+// saturated CI box measures the OS scheduler rather than admission
+// policy. The gates encode the fairness claims: the victims' overload
+// p99 makespan must stay within -overload-bound of their calibrated p99
+// (the reservation share cap keeps the grid plannable and weighted fair
+// queueing keeps their admissions flowing), at least one fast-path
+// admission must later be upgraded (two-speed planning closes its debt),
+// the fast path's initial-plan p99 must sit below the full path's (the
+// fast plan is actually fast), and the daemon must end with zero
+// reservations (nothing leaked).
+
+// overloadParams carries the -overload flags.
+type overloadParams struct {
+	duration time.Duration
+	jobs     int
+	seed     uint64
+	policy   string
+	varThr   float64
+	bound    float64
+	floods   int
+	out      string
+}
+
+// OverloadReport is the -overload run summary written to -out.
+type OverloadReport struct {
+	Versions      versionStamp      `json:"versions"`
+	DurationS     float64           `json:"duration_s"`
+	Bound         float64           `json:"bound"`
+	RoundsCalib   int               `json:"rounds_calibration"`
+	RoundsOver    int               `json:"rounds_overload"`
+	VictimsCalib  int               `json:"victims_calibration"`
+	VictimsOver   int               `json:"victims_overload"`
+	GreedyOffered int               `json:"greedy_offered"`
+	GreedyAdmit   int               `json:"greedy_admitted"`
+	Greedy429     int               `json:"greedy_429"`
+	CalibP50      float64           `json:"calibration_p50_makespan"`
+	CalibP99      float64           `json:"calibration_p99_makespan"`
+	OverP50       float64           `json:"overload_p50_makespan"`
+	OverP99       float64           `json:"overload_p99_makespan"`
+	DegradeFactor float64           `json:"degrade_factor"`
+	ServerMetrics server.MetricsDoc `json:"server_metrics"`
+}
+
+// floodLoop hammers greedy low-class analytic submissions until stop is
+// closed, retrying 429s after the advised delay (capped to keep the
+// flood a flood). Returns offered / admitted / rejected counts.
+func floodLoop(g *generator, bodies [][]byte, floods int, seed uint64, stop <-chan struct{}) (offered, admitted, rejected int) {
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for i := 0; i < floods; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rng.New(seed ^ uint64(0xf100d+i))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := bodies[r.IntN(len(bodies))]
+				resp, err := g.client.Post(g.base+"/v1/workflows", "application/json", bytes.NewReader(body))
+				if err != nil {
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				var sub wire.Submitted
+				code := resp.StatusCode
+				if code == http.StatusAccepted {
+					_ = json.NewDecoder(resp.Body).Decode(&sub)
+				}
+				resp.Body.Close()
+				mu.Lock()
+				offered++
+				switch code {
+				case http.StatusAccepted:
+					admitted++
+				case http.StatusTooManyRequests:
+					rejected++
+				}
+				mu.Unlock()
+				if code == http.StatusTooManyRequests {
+					delay := 20 * time.Millisecond
+					if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+						delay = time.Duration(ra) * time.Second / 8
+					}
+					if delay > 250*time.Millisecond {
+						delay = 250 * time.Millisecond
+					}
+					time.Sleep(delay)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return offered, admitted, rejected
+}
+
+// overloadMain is the -overload entry point.
+func overloadMain(g *generator, p overloadParams) {
+	r := rng.New(p.seed ^ 0x0e10ad)
+	// One GridParams for every scenario: the pool shape is a function of
+	// gp alone, so all tenants' cost tables cover the one shared grid.
+	gp := workload.GridParams{InitialResources: 8, ChangeInterval: 400, ChangePct: 0.25, MaxEvents: 2}
+	var victims []*workload.Scenario
+	for i := 0; i < 4; i++ {
+		sc, err := workload.RandomScenario(workload.RandomParams{Jobs: p.jobs, CCR: 1, OutDegree: 0.3, Beta: 0.5}, gp, r)
+		if err != nil {
+			log.Fatalf("loadgen: overload: victim scenario: %v", err)
+		}
+		victims = append(victims, sc)
+	}
+	// The grid hog's DAGs are double the victims' size, four to a round:
+	// without the share cap its reservations would blanket the grid's
+	// future and push every victim plan out past the bound.
+	var hogs []*workload.Scenario
+	for i := 0; i < 4; i++ {
+		sc, err := workload.RandomScenario(workload.RandomParams{Jobs: 2 * p.jobs, CCR: 1, OutDegree: 0.3, Beta: 0.5}, gp, r)
+		if err != nil {
+			log.Fatalf("loadgen: overload: greedy scenario: %v", err)
+		}
+		hogs = append(hogs, sc)
+	}
+	// The analytic flood runs on private pools: it exists to keep the
+	// admission queue deep (429s, fast-path admissions) without adding
+	// reservations of its own. Its DAGs are double victim size so each
+	// item costs enough planning that the drain falls behind the
+	// submission rate — a flood that drains as fast as it arrives never
+	// builds the backlog the fast path keys on — while staying short
+	// enough that a victim round trip waits behind at most one brief
+	// execution.
+	var floodBodies [][]byte
+	for i := 0; i < 4; i++ {
+		sc, err := workload.RandomScenario(workload.RandomParams{Jobs: 2 * p.jobs, CCR: 1, OutDegree: 0.3, Beta: 0.5}, gp, r)
+		if err != nil {
+			log.Fatalf("loadgen: overload: flood scenario: %v", err)
+		}
+		body, err := wire.EncodeSubmission(&wire.Submission{
+			Name:    fmt.Sprintf("greedy-%d", i),
+			Tenant:  "greedy",
+			Policy:  p.policy,
+			Options: wire.Options{Class: wire.ClassLow},
+			Graph:   sc.Graph, Comp: sc.Table, Pool: sc.Pool,
+		})
+		if err != nil {
+			log.Fatalf("loadgen: overload: encode flood: %v", err)
+		}
+		floodBodies = append(floodBodies, body)
+	}
+
+	gridName := fmt.Sprintf("overload-%d", p.seed)
+	leaked := 0
+	// runPhase drives rounds of two victims (cycling through all four
+	// scenarios every two rounds) plus, in the overload phase, the grid
+	// hog's four workflows. Per-round seeds match across phases and the
+	// victims' noise draws come first, so a victim round's runtimes are
+	// identical in both phases — the only difference is the competition.
+	// Calibration rounds finish in milliseconds while overload rounds
+	// fight the flood for the core, so an uncapped time budget would pit
+	// hundreds of calibration samples against a handful of overload ones;
+	// the cap keeps the two phases' round sets (and their paired seeds)
+	// comparable.
+	const maxRounds = 8
+	runPhase := func(phase string, withHogs bool) []float64 {
+		var makespans []float64
+		start, rounds := time.Now(), 0
+		for rounds < 2 || (rounds < maxRounds && time.Since(start) < p.duration) {
+			opts := wire.Options{Class: wire.ClassHigh, VarianceThreshold: p.varThr}
+			tenants := []drive.Tenant{
+				{Name: "victim", Scenario: victims[(2*rounds)%len(victims)], Policy: p.policy, Options: opts},
+				{Name: "victim", Scenario: victims[(2*rounds+1)%len(victims)], Policy: p.policy, Options: opts},
+			}
+			if withHogs {
+				for i, sc := range hogs {
+					tenants = append(tenants, drive.Tenant{
+						Name: "greedy-grid", Scenario: sc, Policy: p.policy,
+						Options: wire.Options{Class: wire.ClassLow, Weight: float64(1 + i%2)},
+					})
+				}
+			}
+			out, err := drive.RunShared(context.Background(), drive.SharedConfig{
+				BaseURL: g.base,
+				Client:  g.client,
+				Grid:    gridName,
+				Pool:    victims[0].Pool,
+				Noise:   0.1,
+				Seed:    p.seed*1_000_003 + uint64(rounds),
+			}, tenants)
+			if err != nil {
+				log.Fatalf("loadgen: overload: %s round %d: %v", phase, rounds, err)
+			}
+			if out.FinalReservations != 0 {
+				leaked++
+				log.Printf("loadgen: overload: %s round %d leaked %d reservations", phase, rounds, out.FinalReservations)
+			}
+			for _, to := range out.Tenants {
+				if to.Name == "victim" {
+					makespans = append(makespans, to.AdaptiveMakespan)
+				}
+			}
+			rounds++
+		}
+		return makespans
+	}
+
+	log.Printf("loadgen: overload: calibration phase (≥%.0fs, victims only)", p.duration.Seconds())
+	calib := runPhase("calib", false)
+	calibRounds := len(calib) / 2
+
+	log.Printf("loadgen: overload: overload phase (≥%.0fs, victims + grid hog + %d flooders)", p.duration.Seconds(), p.floods)
+	stop := make(chan struct{})
+	var offered, admitted, rejected int
+	floodDone := make(chan struct{})
+	go func() {
+		defer close(floodDone)
+		offered, admitted, rejected = floodLoop(g, floodBodies, p.floods, p.seed, stop)
+	}()
+	over := runPhase("over", true)
+	overRounds := len(over) / 2
+	close(stop)
+	<-floodDone
+
+	// Let the flood's backlog drain before the final metrics read, so the
+	// leak gate sees the daemon quiescent, not mid-flight.
+	waitQuiesce(g, 2*time.Minute)
+
+	var metrics server.MetricsDoc
+	if err := g.getJSON("/metrics", &metrics); err != nil {
+		log.Fatalf("loadgen: fetch metrics: %v", err)
+	}
+	cq := stats.Quantiles(calib, 0.50, 0.99)
+	oq := stats.Quantiles(over, 0.50, 0.99)
+	rep := OverloadReport{
+		Versions:    g.versions(),
+		DurationS:   2 * p.duration.Seconds(),
+		Bound:       p.bound,
+		RoundsCalib: calibRounds, RoundsOver: overRounds,
+		VictimsCalib: len(calib), VictimsOver: len(over),
+		GreedyOffered: offered, GreedyAdmit: admitted, Greedy429: rejected,
+		CalibP50: cq[0], CalibP99: cq[1],
+		OverP50: oq[0], OverP99: oq[1],
+		ServerMetrics: metrics,
+	}
+	if cq[1] > 0 {
+		rep.DegradeFactor = oq[1] / cq[1]
+	}
+
+	adm := metrics.Admission
+	fmt.Printf("loadgen: overload: victims calib=%d (%d rounds) over=%d (%d rounds); greedy offered=%d admitted=%d 429=%d\n",
+		rep.VictimsCalib, calibRounds, rep.VictimsOver, overRounds, offered, admitted, rejected)
+	fmt.Printf("loadgen: overload: victim p99 makespan %.1f calibrated → %.1f under flood (factor %.2f, bound %.1f)\n",
+		cq[1], oq[1], rep.DegradeFactor, p.bound)
+	printAdmission("overload", metrics)
+
+	if p.out != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(p.out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen: write report: %v", err)
+		}
+		log.Printf("loadgen: wrote %s", p.out)
+	}
+
+	fastAdmits, upgrades := uint64(0), uint64(0)
+	for _, n := range adm.FastPathByClass {
+		fastAdmits += n
+	}
+	for _, n := range adm.UpgradedByClass {
+		upgrades += n
+	}
+	switch {
+	case len(calib) == 0 || len(over) == 0:
+		log.Fatal("loadgen: overload: a phase completed no victims")
+	case cq[1] <= 0:
+		log.Fatal("loadgen: overload: calibration produced a zero p99 makespan")
+	case leaked > 0:
+		log.Fatalf("loadgen: overload: %d rounds leaked reservations", leaked)
+	case rep.DegradeFactor > p.bound:
+		log.Fatalf("loadgen: overload: victim p99 makespan degraded %.2f× under the flood, bound %.1f×", rep.DegradeFactor, p.bound)
+	case fastAdmits == 0:
+		log.Fatal("loadgen: overload: flood never tripped the fast path (raise -overload-floods or lower the daemon's -fast-path-depth)")
+	case upgrades == 0:
+		log.Fatal("loadgen: overload: no fast-path admission was upgraded to a full plan")
+	case adm.FastInitialMs.Count > 0 && adm.FullInitialMs.Count > 0 && adm.FastInitialMs.P99 >= adm.FullInitialMs.P99:
+		log.Fatalf("loadgen: overload: fast-path initial-plan p99 %.2fms not below full-path %.2fms",
+			adm.FastInitialMs.P99, adm.FullInitialMs.P99)
+	case metrics.Reservations != 0:
+		log.Fatalf("loadgen: overload: daemon still holds %d reservations", metrics.Reservations)
+	}
+}
+
+// waitQuiesce polls /metrics until the daemon reports no in-flight
+// workflows (the admitted greedy backlog has drained).
+func waitQuiesce(g *generator, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var m server.MetricsDoc
+		if err := g.getJSON("/metrics", &m); err == nil && m.Inflight == 0 {
+			return
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	log.Printf("loadgen: overload: daemon did not quiesce within %s", timeout)
+}
+
+// printAdmission summarises the daemon's admission state from a /metrics
+// snapshot: per-class admit/fast/upgrade/reject counters, queue wait and
+// per-path initial-plan quantiles, drain rate and per-tenant depths.
+// Quiet when the daemon predates the admission layer or saw no traffic.
+func printAdmission(prefix string, m server.MetricsDoc) {
+	adm := m.Admission
+	total := uint64(0)
+	for _, n := range adm.AdmittedByClass {
+		total += n
+	}
+	for _, n := range adm.RejectedByClass {
+		total += n
+	}
+	if total == 0 {
+		return
+	}
+	line := fmt.Sprintf("loadgen: %s: admission", prefix)
+	for _, class := range []string{"high", "normal", "low"} {
+		a := adm.AdmittedByClass[class]
+		rej := adm.RejectedByClass[class]
+		if a == 0 && rej == 0 {
+			continue
+		}
+		line += fmt.Sprintf(" %s(admit=%d fast=%d upgraded=%d 429=%d)",
+			class, a, adm.FastPathByClass[class], adm.UpgradedByClass[class], rej)
+	}
+	if adm.WaitMs.Count > 0 {
+		line += fmt.Sprintf(" wait(p50=%.2fms p99=%.2fms)", adm.WaitMs.P50, adm.WaitMs.P99)
+	}
+	if adm.FastInitialMs.Count > 0 || adm.FullInitialMs.Count > 0 {
+		line += fmt.Sprintf(" initial(fast p99=%.2fms n=%d, full p99=%.2fms n=%d)",
+			adm.FastInitialMs.P99, adm.FastInitialMs.Count, adm.FullInitialMs.P99, adm.FullInitialMs.Count)
+	}
+	if adm.DrainRatePerS > 0 {
+		line += fmt.Sprintf(" drain=%.1f/s", adm.DrainRatePerS)
+	}
+	fmt.Println(line)
+}

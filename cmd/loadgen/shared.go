@@ -162,6 +162,7 @@ func sharedMain(g *generator, p sharedParams) {
 		metrics.ReschedulesContention, metrics.ReschedulesVariance, metrics.ReschedulesArrival,
 		metrics.EventsDropped)
 	printReschedPath("shared: server", metrics)
+	printAdmission("shared: server", metrics)
 
 	if p.out != "" {
 		data, _ := json.MarshalIndent(rep, "", "  ")

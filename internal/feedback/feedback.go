@@ -69,6 +69,15 @@ type Config struct {
 	History *history.Repository
 	// Policy drives planning and replanning.
 	Policy policy.Policy
+	// FastPlan, when non-nil, supplies the *initial* plan instead of
+	// Policy — the fast half of the two-speed admission path: under
+	// overload the daemon plans with a cheap greedy placement so the
+	// workflow starts immediately, then asynchronously re-evaluates with
+	// Policy's full pass (Reevaluate with planner.TriggerUpgrade) and
+	// adopts the better schedule through the normal decision machinery.
+	// Replans always use Policy; FastPlan must produce a real enactable
+	// schedule (just-in-time policies are rejected).
+	FastPlan policy.Policy
 	// Opts tunes the policy.
 	Opts policy.Options
 	// VarianceThreshold gates finish-variance triggering; <= 0 means
@@ -176,7 +185,11 @@ func New(cfg Config) (*Tracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	s0, err := cfg.Policy.Plan(t.k, cfg.Pool, cfg.Opts)
+	pl := cfg.Policy
+	if cfg.FastPlan != nil {
+		pl = cfg.FastPlan
+	}
+	s0, err := pl.Plan(t.k, cfg.Pool, cfg.Opts)
 	if err != nil {
 		return nil, fmt.Errorf("feedback: initial plan: %w", err)
 	}
@@ -206,6 +219,8 @@ func build(cfg Config) (*Tracker, error) {
 		return nil, fmt.Errorf("feedback: nil policy")
 	case policy.IsJustInTime(cfg.Policy):
 		return nil, fmt.Errorf("feedback: policy %q is just-in-time and cannot plan for enactment", cfg.Policy.Name())
+	case cfg.FastPlan != nil && policy.IsJustInTime(cfg.FastPlan):
+		return nil, fmt.Errorf("feedback: fast-plan policy %q is just-in-time and cannot plan for enactment", cfg.FastPlan.Name())
 	}
 	n := cfg.Graph.Len()
 	t := &Tracker{
@@ -276,7 +291,7 @@ func (t *Tracker) publishReservations() {
 				fin = t.clock
 			}
 			rs = append(rs, occupancy.Reservation{
-				Job: j, Resource: t.startRes[j], Start: t.startAt[j], Finish: fin,
+				Job: j, Resource: t.startRes[j], Start: t.startAt[j], Finish: fin, Pinned: true,
 			})
 		default:
 			a := t.sched.MustGet(id)
@@ -608,9 +623,11 @@ func (t *Tracker) evaluate(trigger planner.Trigger, arrived int, out *Outcome) {
 	// Live evaluations default to the incremental path: the kernel falls
 	// back to a full replan whenever it cannot prove the event's dirty
 	// cone small (and bit-identity is parity-tested), so this is purely a
-	// latency lever.
+	// latency lever. An upgrade evaluation is the exception — its whole
+	// point is the full rank-and-insertion pass the fast admission plan
+	// skipped, so the delta shortcut is off.
 	opts := t.opts
-	opts.Incremental = true
+	opts.Incremental = trigger != planner.TriggerUpgrade
 	began := time.Now()
 	s1, err := t.pol.Replan(t.k, rs, t.ks, opts)
 	elapsed := time.Since(began)

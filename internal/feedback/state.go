@@ -358,6 +358,8 @@ func ParseTrigger(s string) (planner.Trigger, error) {
 		return planner.TriggerDeparture, nil
 	case "contention":
 		return planner.TriggerContention, nil
+	case "upgrade":
+		return planner.TriggerUpgrade, nil
 	default:
 		return 0, fmt.Errorf("feedback: unknown trigger %q", s)
 	}

@@ -27,6 +27,7 @@
 package occupancy
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -40,6 +41,9 @@ type Reservation struct {
 	Resource grid.ID
 	Start    float64
 	Finish   float64
+	// Pinned marks a running job's live claim: the work is physically on
+	// the resource, so the per-tenant share cap never truncates it.
+	Pinned bool
 }
 
 // entry is a stored reservation tagged with its owner.
@@ -47,6 +51,7 @@ type entry struct {
 	owner         string
 	job           int
 	start, finish float64
+	pinned        bool
 }
 
 // Ledger records the reservations of every workflow attached to one
@@ -55,6 +60,15 @@ type Ledger struct {
 	mu     sync.Mutex
 	byRes  [][]entry      // per resource, sorted by (start, owner, job)
 	owners map[string]int // owner -> live reservation count
+
+	// Per-tenant fairness: capFrac, when in (0, 1), bounds one tenant's
+	// share of the ledger's entries at whole-plan publish time (plan
+	// adoption) whenever other tenants hold reservations — a flooding
+	// tenant cannot blanket the grid's future and starve everyone else's
+	// slot search. tenantOf maps an owning workflow to its tenant; an
+	// unbound owner is its own tenant.
+	capFrac  float64
+	tenantOf map[string]string
 }
 
 // NewLedger returns an empty ledger sized for resHint resources (it grows
@@ -64,9 +78,100 @@ func NewLedger(resHint int) *Ledger {
 		resHint = 0
 	}
 	return &Ledger{
-		byRes:  make([][]entry, resHint),
-		owners: make(map[string]int),
+		byRes:    make([][]entry, resHint),
+		owners:   make(map[string]int),
+		tenantOf: make(map[string]string),
 	}
+}
+
+// SetShareCap bounds any one tenant's share of the ledger's reservations
+// at publish time to frac (0 or >= 1 disables the cap). Pinned entries
+// are always kept, and a tenant alone on the grid is never capped.
+func (l *Ledger) SetShareCap(frac float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.capFrac = frac
+}
+
+// BindTenant associates an owning workflow with its tenant for share-cap
+// accounting. Release drops the binding with the reservations.
+func (l *Ledger) BindTenant(owner, tenant string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if tenant != "" {
+		l.tenantOf[owner] = tenant
+	}
+}
+
+func (l *Ledger) tenantLocked(owner string) string {
+	if t := l.tenantOf[owner]; t != "" {
+		return t
+	}
+	return owner
+}
+
+// capLocked applies the per-tenant share cap to a whole-plan publish:
+// with foreign-tenant entries present, the owner may hold at most enough
+// reservations to keep its tenant's share of the ledger at capFrac —
+// n such that (own + n) <= capFrac * (foreign + own + n). Pinned claims
+// are always kept (running work is physical); among the rest the
+// earliest-starting survive, truncating the speculative far-future tail.
+func (l *Ledger) capLocked(owner string, rs []Reservation) []Reservation {
+	if l.capFrac <= 0 || l.capFrac >= 1 || len(rs) == 0 {
+		return rs
+	}
+	tenant := l.tenantLocked(owner)
+	own, foreign := 0, 0
+	for o, c := range l.owners {
+		if l.tenantLocked(o) == tenant {
+			own += c
+		} else {
+			foreign += c
+		}
+	}
+	if foreign == 0 {
+		return rs
+	}
+	allow := int(math.Floor(l.capFrac*float64(foreign)/(1-l.capFrac))) - own
+	if allow >= len(rs) {
+		return rs
+	}
+	if allow < 0 {
+		allow = 0
+	}
+	kept := make([]Reservation, 0, allow)
+	budget := allow
+	for _, r := range rs {
+		if r.Pinned {
+			kept = append(kept, r)
+			if budget > 0 {
+				budget--
+			}
+		}
+	}
+	// Earliest-start unpinned claims fill the remaining budget; ties
+	// break on job ID so truncation is deterministic.
+	idx := make([]int, 0, len(rs))
+	for i, r := range rs {
+		if !r.Pinned {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := rs[idx[a]], rs[idx[b]]
+		if ra.Start != rb.Start {
+			return ra.Start < rb.Start
+		}
+		return ra.Job < rb.Job
+	})
+	for _, i := range idx {
+		if budget == 0 {
+			break
+		}
+		kept = append(kept, rs[i])
+		budget--
+	}
+	return kept
 }
 
 func (l *Ledger) grow(r grid.ID) {
@@ -124,13 +229,16 @@ func (l *Ledger) removeWhere(owner string, match func(e entry) bool) int {
 }
 
 // SetOwner replaces every reservation of owner with rs — the whole-plan
-// publish on initial planning and on every adopted reschedule.
+// publish on initial planning and on every adopted reschedule. This is
+// where the per-tenant share cap bites: the publish is truncated (never
+// the pinned claims) so the owner's tenant cannot exceed its share while
+// other tenants hold reservations.
 func (l *Ledger) SetOwner(owner string, rs []Reservation) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.removeWhere(owner, nil)
-	for _, r := range rs {
-		l.insert(r.Resource, entry{owner: owner, job: r.Job, start: r.Start, finish: r.Finish})
+	for _, r := range l.capLocked(owner, rs) {
+		l.insert(r.Resource, entry{owner: owner, job: r.Job, start: r.Start, finish: r.Finish, pinned: r.Pinned})
 	}
 }
 
@@ -141,7 +249,7 @@ func (l *Ledger) Update(owner string, r Reservation) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.removeWhere(owner, func(e entry) bool { return e.job == r.Job })
-	l.insert(r.Resource, entry{owner: owner, job: r.Job, start: r.Start, finish: r.Finish})
+	l.insert(r.Resource, entry{owner: owner, job: r.Job, start: r.Start, finish: r.Finish, pinned: r.Pinned})
 }
 
 // ReleaseJob drops owner's reservation for job (a completed job's
@@ -157,6 +265,7 @@ func (l *Ledger) ReleaseJob(owner string, job int) bool {
 func (l *Ledger) Release(owner string) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	delete(l.tenantOf, owner)
 	return l.removeWhere(owner, nil)
 }
 
@@ -198,6 +307,7 @@ type Owned struct {
 	Resource grid.ID `json:"resource"`
 	Start    float64 `json:"start"`
 	Finish   float64 `json:"finish"`
+	Pinned   bool    `json:"pinned,omitempty"`
 }
 
 // Export snapshots every reservation in deterministic order (resource,
@@ -210,7 +320,7 @@ func (l *Ledger) Export() []Owned {
 	for r, row := range l.byRes {
 		for _, e := range row {
 			out = append(out, Owned{
-				Owner: e.owner, Job: e.job, Resource: grid.ID(r), Start: e.start, Finish: e.finish,
+				Owner: e.owner, Job: e.job, Resource: grid.ID(r), Start: e.start, Finish: e.finish, Pinned: e.pinned,
 			})
 		}
 	}
@@ -223,7 +333,7 @@ func (l *Ledger) Import(rs []Owned) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for _, r := range rs {
-		l.insert(r.Resource, entry{owner: r.Owner, job: r.Job, start: r.Start, finish: r.Finish})
+		l.insert(r.Resource, entry{owner: r.Owner, job: r.Job, start: r.Start, finish: r.Finish, pinned: r.Pinned})
 	}
 }
 
@@ -236,7 +346,7 @@ func (l *Ledger) ownedBy(owner string) []Reservation {
 	for r, row := range l.byRes {
 		for _, e := range row {
 			if e.owner == owner {
-				out = append(out, Reservation{Job: e.job, Resource: grid.ID(r), Start: e.start, Finish: e.finish})
+				out = append(out, Reservation{Job: e.job, Resource: grid.ID(r), Start: e.start, Finish: e.finish, Pinned: e.pinned})
 			}
 		}
 	}

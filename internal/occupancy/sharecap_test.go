@@ -1,0 +1,157 @@
+package occupancy
+
+import (
+	"testing"
+
+	"aheft/internal/grid"
+)
+
+func flood(n int, res grid.ID, pinned int) []Reservation {
+	rs := make([]Reservation, n)
+	for i := range rs {
+		rs[i] = Reservation{Job: i, Resource: res, Start: float64(i), Finish: float64(i) + 1, Pinned: i < pinned}
+	}
+	return rs
+}
+
+// TestShareCapTruncatesFlood: with a foreign tenant on the grid, a
+// publish that would blanket the ledger is truncated so the flooding
+// tenant's share stays at the cap; alone on the grid it is unbounded.
+func TestShareCapTruncatesFlood(t *testing.T) {
+	l := NewLedger(4)
+	l.SetShareCap(0.5)
+	l.BindTenant("wf-greedy", "greedy")
+	l.BindTenant("wf-victim", "victim")
+
+	// Alone: no cap.
+	l.SetOwner("wf-greedy", flood(100, 0, 0))
+	if n := l.Count("wf-greedy"); n != 100 {
+		t.Fatalf("lone tenant capped: %d of 100 kept", n)
+	}
+
+	// A victim appears with 10 reservations; the greedy tenant's next
+	// publish may keep at most cap*F/(1-cap) = 10 entries.
+	l.SetOwner("wf-victim", flood(10, 1, 0))
+	l.SetOwner("wf-greedy", flood(100, 0, 0))
+	if n := l.Count("wf-greedy"); n != 10 {
+		t.Fatalf("capped publish kept %d, want 10", n)
+	}
+	// Share accounting holds: 10 / (10+10) = 0.5.
+	if tot := l.Total(); tot != 20 {
+		t.Fatalf("total = %d", tot)
+	}
+
+	// The earliest-starting claims survive (the speculative tail goes).
+	for _, r := range l.View("wf-greedy").Own() {
+		if r.Start >= 10 {
+			t.Fatalf("truncation kept far-future claim at start %g", r.Start)
+		}
+	}
+}
+
+// TestShareCapKeepsPins: running work is physical — pinned claims
+// survive even when the cap would exclude them, and they consume the
+// budget first.
+func TestShareCapKeepsPins(t *testing.T) {
+	l := NewLedger(4)
+	l.SetShareCap(0.25)
+	l.BindTenant("a", "ta")
+	l.BindTenant("b", "tb")
+	l.SetOwner("b", flood(6, 1, 0))
+	// cap*F/(1-cap) = 0.25*6/0.75 = 2 allowed; publish 5 with 3 pinned at
+	// the *latest* starts: all 3 pins must survive, nothing else fits.
+	rs := []Reservation{
+		{Job: 0, Resource: 0, Start: 0, Finish: 1},
+		{Job: 1, Resource: 0, Start: 1, Finish: 2},
+		{Job: 2, Resource: 0, Start: 7, Finish: 8, Pinned: true},
+		{Job: 3, Resource: 0, Start: 8, Finish: 9, Pinned: true},
+		{Job: 4, Resource: 0, Start: 9, Finish: 10, Pinned: true},
+	}
+	l.SetOwner("a", rs)
+	own := l.View("a").Own()
+	if len(own) != 3 {
+		t.Fatalf("kept %d claims, want the 3 pins", len(own))
+	}
+	for _, r := range own {
+		if !r.Pinned {
+			t.Fatalf("unpinned claim %d survived while pins filled the budget", r.Job)
+		}
+	}
+}
+
+// TestShareCapCountsByTenant: two workflows of one tenant share one
+// budget; a second workflow of the same tenant cannot double the share.
+func TestShareCapCountsByTenant(t *testing.T) {
+	l := NewLedger(4)
+	l.SetShareCap(0.5)
+	l.BindTenant("wf-1", "greedy")
+	l.BindTenant("wf-2", "greedy")
+	l.BindTenant("wf-v", "victim")
+	l.SetOwner("wf-v", flood(10, 1, 0))
+	l.SetOwner("wf-1", flood(100, 0, 0))
+	l.SetOwner("wf-2", flood(100, 2, 0))
+	got := l.Count("wf-1") + l.Count("wf-2")
+	if got > 10 {
+		t.Fatalf("tenant holds %d claims across two workflows, cap allows 10", got)
+	}
+}
+
+// TestShareCapLeakFree: truncated publishes change nothing about
+// terminal cleanup — Release drains the owner to zero and drops the
+// tenant binding.
+func TestShareCapLeakFree(t *testing.T) {
+	l := NewLedger(4)
+	l.SetShareCap(0.5)
+	l.BindTenant("a", "ta")
+	l.BindTenant("b", "tb")
+	l.SetOwner("b", flood(10, 1, 0))
+	l.SetOwner("a", flood(100, 0, 20))
+	if n := l.Release("a"); n == 0 {
+		t.Fatal("nothing to release")
+	}
+	if l.Count("a") != 0 {
+		t.Fatalf("owner a leaked %d", l.Count("a"))
+	}
+	l.Release("b")
+	if l.Total() != 0 {
+		t.Fatalf("ledger leaked %d reservations", l.Total())
+	}
+	// ReleaseJob on a truncated (absent) claim is a clean no-op.
+	l.SetOwner("b", flood(10, 1, 0))
+	l.SetOwner("a", flood(100, 0, 0))
+	if l.ReleaseJob("a", 99) {
+		t.Fatal("released a claim the cap truncated away")
+	}
+}
+
+// TestShareCapDisabled: zero (or out-of-range) caps change nothing.
+func TestShareCapDisabled(t *testing.T) {
+	for _, frac := range []float64{0, 1, 1.5, -0.3} {
+		l := NewLedger(2)
+		l.SetShareCap(frac)
+		l.BindTenant("a", "ta")
+		l.BindTenant("b", "tb")
+		l.SetOwner("b", flood(5, 1, 0))
+		l.SetOwner("a", flood(50, 0, 0))
+		if n := l.Count("a"); n != 50 {
+			t.Fatalf("cap %g truncated to %d", frac, n)
+		}
+	}
+}
+
+// TestPinnedSurvivesExportImport: the pin flag is part of the durable
+// reservation state.
+func TestPinnedSurvivesExportImport(t *testing.T) {
+	l := NewLedger(2)
+	l.SetOwner("a", []Reservation{{Job: 0, Resource: 0, Start: 1, Finish: 2, Pinned: true}})
+	out := l.Export()
+	if len(out) != 1 || !out[0].Pinned {
+		t.Fatalf("export lost pin: %+v", out)
+	}
+	l2 := NewLedger(2)
+	l2.Import(out)
+	own := l2.View("a").Own()
+	if len(own) != 1 || !own[0].Pinned {
+		t.Fatalf("import lost pin: %+v", own)
+	}
+}

@@ -59,6 +59,14 @@ const (
 	// the arrival/departure analogue when the "resource" that changed is
 	// another tenant's claim on the grid.
 	TriggerContention
+	// TriggerUpgrade is the slow half of the two-speed admission path: a
+	// workflow admitted under overload with a cheap greedy placement is
+	// asynchronously re-evaluated with the full rank-and-insertion pass,
+	// and the better plan adopted through the normal decision machinery.
+	// Unlike the event triggers above it is not caused by anything the
+	// grid did — it is the daemon paying back the planning debt it took
+	// on to keep admission latency flat.
+	TriggerUpgrade
 )
 
 // String returns the trigger's name.
@@ -72,6 +80,8 @@ func (t Trigger) String() string {
 		return "departure"
 	case TriggerContention:
 		return "contention"
+	case TriggerUpgrade:
+		return "upgrade"
 	default:
 		return fmt.Sprintf("Trigger(%d)", int(t))
 	}

@@ -1,0 +1,82 @@
+package policy
+
+import (
+	"fmt"
+
+	"aheft/internal/grid"
+	"aheft/internal/kernel"
+	"aheft/internal/schedule"
+)
+
+// greedyPolicy is the fast half of the daemon's two-speed admission path:
+// a one-pass list scheduler that walks the jobs in topological order and
+// binds each to the resource with the earliest finish, appending at the
+// end of the resource's timeline. It skips both passes that make full
+// HEFT expensive — no upward-rank computation over the resource set, no
+// insertion-based slot search — so planning cost is O(V·R + E·R) with
+// trivial constants, and the plan it produces is a real enactable
+// schedule (exclusive resource intervals, precedence plus transfer delays
+// respected), unlike the just-in-time dispatch simulations. The plan is
+// deliberately mediocre: an admitted workflow starts immediately and the
+// daemon upgrades it to the full HEFT plan asynchronously
+// (planner.TriggerUpgrade) once the overload pressure allows.
+type greedyPolicy struct{}
+
+func (greedyPolicy) Name() string   { return "greedy" }
+func (greedyPolicy) Adaptive() bool { return false }
+
+func (greedyPolicy) Plan(k *kernel.Kernel, pool *grid.Pool, _ Options) (*schedule.Schedule, error) {
+	g := k.Graph()
+	if g == nil || g.Len() == 0 {
+		return nil, fmt.Errorf("greedy: empty workflow")
+	}
+	if pool == nil || len(pool.Initial()) == 0 {
+		return nil, fmt.Errorf("greedy: no resources at time 0")
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("greedy: %w", err)
+	}
+	est := k.Estimator()
+	rs := pool.Initial()
+	free := make(map[grid.ID]float64, len(rs)) // resource timeline tails
+	for _, r := range rs {
+		free[r.ID] = 0
+	}
+	resOf := make([]grid.ID, g.Len())
+	finish := make([]float64, g.Len())
+	s := schedule.New()
+	for _, j := range order {
+		best, bestStart, bestFin := grid.NoResource, 0.0, 0.0
+		for _, r := range rs {
+			// Data-ready time on r: every predecessor's finish plus its
+			// transfer when the file must cross resources.
+			ready := 0.0
+			for _, e := range g.Preds(j) {
+				t := finish[e.From]
+				if resOf[e.From] != r.ID {
+					t += est.Comm(e, resOf[e.From], r.ID)
+				}
+				if t > ready {
+					ready = t
+				}
+			}
+			start := ready
+			if tail := free[r.ID]; tail > start {
+				start = tail
+			}
+			fin := start + est.Comp(j, r.ID)
+			if best == grid.NoResource || fin < bestFin || (fin == bestFin && r.ID < best) {
+				best, bestStart, bestFin = r.ID, start, fin
+			}
+		}
+		resOf[j], finish[j] = best, bestFin
+		free[best] = bestFin
+		s.Assign(schedule.Assignment{Job: j, Resource: best, Start: bestStart, Finish: bestFin})
+	}
+	return s, nil
+}
+
+func (greedyPolicy) Replan(*kernel.Kernel, []grid.Resource, *kernel.State, Options) (*schedule.Schedule, error) {
+	return nil, nil // the upgrade path replans with the full policy
+}

@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"testing"
+
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/kernel"
+	"aheft/internal/workload"
+)
+
+// TestGreedyPlanIsEnactable: the fast-path plan is a real schedule —
+// every job assigned once, precedence plus cross-resource transfer
+// delays respected, and no two jobs overlapping on one resource. These
+// are exactly the properties the just-in-time simulations lack, and the
+// reason feedback accepts greedy as a FastPlan policy.
+func TestGreedyPlanIsEnactable(t *testing.T) {
+	sc := workload.SampleScenario()
+	k := kernel.New(sc.Graph, sc.Estimator())
+	s, err := MustGet("greedy").Plan(k, sc.Pool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sc.Graph.Len()
+	type iv struct{ start, finish float64 }
+	byRes := map[grid.ID][]iv{}
+	for j := 0; j < n; j++ {
+		a, ok := s.Get(dag.JobID(j))
+		if !ok {
+			t.Fatalf("job %d unassigned", j)
+		}
+		if a.Finish <= a.Start || a.Start < 0 {
+			t.Fatalf("job %d has degenerate interval [%g, %g]", j, a.Start, a.Finish)
+		}
+		byRes[a.Resource] = append(byRes[a.Resource], iv{a.Start, a.Finish})
+		for _, e := range sc.Graph.Preds(dag.JobID(j)) {
+			p := s.MustGet(e.From)
+			ready := p.Finish
+			if p.Resource != a.Resource {
+				ready += sc.Estimator().Comm(e, p.Resource, a.Resource)
+			}
+			if a.Start < ready-1e-9 {
+				t.Fatalf("job %d starts at %g before its input from %d is ready at %g", j, a.Start, e.From, ready)
+			}
+		}
+	}
+	for r, ivs := range byRes {
+		for i := range ivs {
+			for k := i + 1; k < len(ivs); k++ {
+				a, b := ivs[i], ivs[k]
+				if a.start < b.finish-1e-9 && b.start < a.finish-1e-9 {
+					t.Fatalf("resource %d double-booked: [%g,%g] overlaps [%g,%g]", r, a.start, a.finish, b.start, b.finish)
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyNotJustInTime: the fast-path policy must pass the feedback
+// engine's just-in-time gate, or the two-speed admission path could
+// never enact its plans.
+func TestGreedyNotJustInTime(t *testing.T) {
+	if IsJustInTime(MustGet("greedy")) {
+		t.Fatal("greedy declares just-in-time semantics")
+	}
+}
+
+// TestGreedyNoWorseThanUnplanned: sanity floor — the greedy makespan is
+// finite and at least the critical path is covered (all jobs scheduled).
+// Its quality target is "good enough to start", not HEFT parity; the
+// upgrade pass owns convergence.
+func TestGreedyReplanProposesNothing(t *testing.T) {
+	sc := workload.SampleScenario()
+	k := kernel.New(sc.Graph, sc.Estimator())
+	s, err := MustGet("greedy").Replan(k, sc.Pool.Initial(), k.NewState(sc.Pool.Size()), Options{})
+	if err != nil || s != nil {
+		t.Fatalf("greedy Replan = (%v, %v), want (nil, nil)", s, err)
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+// Two-speed planning at the server level: with the fast-path threshold
+// at 1, a live adaptive submission is admitted with the cheap greedy
+// placement, and the asynchronous upgrade to the full policy follows
+// without any report traffic. The workflow then executes and completes
+// normally — "every fast-path plan is upgraded or terminal".
+
+func admissionDoc(srv *Server) AdmissionDoc {
+	return srv.MetricsSnapshot().Admission
+}
+
+func waitUpgraded(t testing.TB, srv *Server, class string, want uint64) AdmissionDoc {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		doc := admissionDoc(srv)
+		if doc.UpgradedByClass[class] >= want {
+			return doc
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("class %q never reached %d upgrades: %+v", class, want, admissionDoc(srv))
+	return AdmissionDoc{}
+}
+
+func TestFastPathAdmitThenUpgrade(t *testing.T) {
+	sc := workload.SampleScenario()
+	srv, ts := newTestServer(t, Config{Shards: 1, FastPathDepth: 1})
+
+	body := encodeLive(t, sc, "aheft", "acme", wire.Options{TieWindow: 0.05, Class: wire.ClassHigh})
+	sub, resp := submit(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+
+	// The initial plan is the greedy fast-path placement; the upgrade is
+	// scheduled at attach time and needs no reports to land.
+	fetchPlan(t, ts, sub.ID)
+	doc := waitUpgraded(t, srv, wire.ClassHigh, 1)
+	if doc.FastPathByClass[wire.ClassHigh] != 1 {
+		t.Fatalf("fast-path count: %+v", doc.FastPathByClass)
+	}
+	if doc.AdmittedByClass[wire.ClassHigh] != 1 {
+		t.Fatalf("admitted count: %+v", doc.AdmittedByClass)
+	}
+	if doc.FastInitialMs.Count != 1 {
+		t.Fatalf("fast initial-plan latency window: %+v", doc.FastInitialMs)
+	}
+
+	// After the upgrade the resident plan is the full policy's; executing
+	// it faithfully completes the workflow.
+	plan := fetchPlan(t, ts, sub.ID)
+	reportPlanExecution(t, ts, sub.ID, &plan)
+	if st := waitDone(t, ts, sub.ID); st.State != StateDone {
+		t.Fatalf("fast-path workflow did not finish: %+v", st)
+	}
+}
+
+// Without backlog the fast path must stay cold: a lone submission under
+// the default threshold takes the full-policy plan synchronously.
+func TestNoFastPathWithoutBacklog(t *testing.T) {
+	sc := workload.SampleScenario()
+	srv, ts := newTestServer(t, Config{Shards: 1})
+
+	body := encodeLive(t, sc, "aheft", "acme", wire.Options{TieWindow: 0.05})
+	sub, resp := submit(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	plan := fetchPlan(t, ts, sub.ID)
+	reportPlanExecution(t, ts, sub.ID, &plan)
+	if st := waitDone(t, ts, sub.ID); st.State != StateDone {
+		t.Fatalf("workflow did not finish: %+v", st)
+	}
+	doc := admissionDoc(srv)
+	if n := doc.FastPathByClass[wire.ClassNormal]; n != 0 {
+		t.Fatalf("unexpected fast-path admissions: %d", n)
+	}
+	if doc.FullInitialMs.Count != 1 || doc.FastInitialMs.Count != 0 {
+		t.Fatalf("initial-plan latency windows: full %+v fast %+v", doc.FullInitialMs, doc.FastInitialMs)
+	}
+	if doc.AdmittedByClass[wire.ClassNormal] != 1 {
+		t.Fatalf("admitted count: %+v", doc.AdmittedByClass)
+	}
+}
+
+// Per-tenant backlog bound: with one wedged worker and TenantBacklog 2,
+// the flooding tenant is rejected at its bound with a Retry-After while
+// another tenant's submission is still admitted — the honest per-tenant
+// 429 of the fairness layer.
+func TestPerTenantBacklogRejects(t *testing.T) {
+	sc := workload.SampleScenario()
+	srv, ts := newTestServer(t, Config{Shards: 1, QueueDepth: 64, TenantBacklog: 2})
+	// Wedge the worker for the duration of the test body; the cleanup
+	// (LIFO, so it runs before newTestServer's Shutdown) unwedges it so
+	// the drain stays fast.
+	unwedge := make(chan struct{})
+	srv.execHook = func(*workflow) { <-unwedge }
+	t.Cleanup(func() { close(unwedge) })
+
+	submitTenant := func(tenant string) *http.Response {
+		data, err := wire.EncodeSubmission(&wire.Submission{
+			Policy: "aheft", Tenant: tenant,
+			Options: wire.Options{TieWindow: 0.05},
+			Graph:   sc.Graph, Comp: sc.Table, Pool: sc.Pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, resp := submit(t, ts, data)
+		return resp
+	}
+
+	// One submission is dequeued into the wedged hook; the next two fill
+	// tenant "greedy"'s backlog allowance.
+	var rejected *http.Response
+	for i := 0; i < 8; i++ {
+		resp := submitTenant("greedy")
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rejected = resp
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	if rejected == nil {
+		t.Fatal("flooding tenant never hit its backlog bound")
+	}
+	if rejected.Header.Get("Retry-After") == "" {
+		t.Fatal("per-tenant 429 without Retry-After")
+	}
+	if resp := submitTenant("victim"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("victim tenant rejected alongside the flood: HTTP %d", resp.StatusCode)
+	}
+	doc := admissionDoc(srv)
+	if doc.RejectedByClass[wire.ClassNormal] == 0 {
+		t.Fatalf("rejection not counted: %+v", doc.RejectedByClass)
+	}
+	if doc.QueueDepthByTenant["victim"] != 1 {
+		t.Fatalf("victim queue depth: %+v", doc.QueueDepthByTenant)
+	}
+}

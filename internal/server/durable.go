@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aheft/internal/admission"
 	"aheft/internal/buildinfo"
 	"aheft/internal/cost"
 	"aheft/internal/durable"
@@ -55,6 +56,19 @@ type walReject struct {
 	ID string `json:"id"`
 }
 
+// walAdmission journals the admission decision for an accepted
+// submission: the tenant, priority class and fair-queue weight it was
+// admitted under. It rides beside the raw-body submission record so a
+// crash restores queued-but-unplanned submissions into the fair queue
+// with the same credentials — recovery must not re-litigate admission
+// or let a tenant's flood re-enter ahead of its original position.
+type walAdmission struct {
+	ID     string  `json:"id"`
+	Tenant string  `json:"tenant,omitempty"`
+	Class  string  `json:"class,omitempty"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
 // walGrid registers a shared grid (raw wire.GridSpec body).
 type walGrid struct {
 	Name string          `json:"name"`
@@ -73,6 +87,8 @@ type walState struct {
 	AckedGen    int                     `json:"acked_gen"`
 	Reports     int                     `json:"reports"`
 	PlanTrigger string                  `json:"plan_trigger"`
+	FastPath    bool                    `json:"fast_path,omitempty"`
+	Upgraded    bool                    `json:"upgraded,omitempty"`
 	State       *feedback.TrackerState  `json:"state"`
 	Deltas      []feedback.HistoryDelta `json:"deltas,omitempty"`
 	Events      []wire.Event            `json:"events,omitempty"`
@@ -96,13 +112,14 @@ type tenantHistory struct {
 // shardSnapshot is the periodic full-state document that truncates the
 // shard's log.
 type shardSnapshot struct {
-	V        int             `json:"v"`
-	Seq      uint64          `json:"seq"`
-	Grids    []walGrid       `json:"grids,omitempty"`
-	Pending  []walSubmission `json:"pending,omitempty"`
-	Live     []walState      `json:"live,omitempty"`
-	Terminal []walTerminal   `json:"terminal,omitempty"`
-	Tenants  []tenantHistory `json:"tenants,omitempty"`
+	V          int             `json:"v"`
+	Seq        uint64          `json:"seq"`
+	Grids      []walGrid       `json:"grids,omitempty"`
+	Pending    []walSubmission `json:"pending,omitempty"`
+	Admissions []walAdmission  `json:"admissions,omitempty"`
+	Live       []walState      `json:"live,omitempty"`
+	Terminal   []walTerminal   `json:"terminal,omitempty"`
+	Tenants    []tenantHistory `json:"tenants,omitempty"`
 }
 
 // shardWAL is one shard's durability state: the append store plus the
@@ -117,6 +134,7 @@ type shardWAL struct {
 	mu        sync.Mutex
 	pend      map[string]json.RawMessage // accepted, not yet started
 	pendOrder []string                   // arrival order (lazily compacted)
+	admit     map[string]walAdmission    // admission credentials, mirrors pend
 	bodies    map[string]json.RawMessage // live residents' raw submissions
 }
 
@@ -124,6 +142,7 @@ func newShardWAL(store *durable.Shard) *shardWAL {
 	return &shardWAL{
 		store:  store,
 		pend:   make(map[string]json.RawMessage),
+		admit:  make(map[string]walAdmission),
 		bodies: make(map[string]json.RawMessage),
 	}
 }
@@ -161,16 +180,21 @@ func rawPair(key, name, bodyKey string, body json.RawMessage) json.RawMessage {
 
 // walLogSubmission mirrors and logs an accepted submission before its
 // enqueue, so a crash between accept and start replays it as pending.
-func (sh *shard) walLogSubmission(id string, body json.RawMessage) {
+// The admission record lands in the same locked section, so no crash
+// can observe a journalled body without its fair-queue credentials.
+func (sh *shard) walLogSubmission(id string, body json.RawMessage, tenant, class string, weight float64) {
 	w := sh.wal
 	if w == nil {
 		return
 	}
+	adm := walAdmission{ID: id, Tenant: tenant, Class: class, Weight: weight}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.pend[id] = body
 	w.pendOrder = append(w.pendOrder, id)
+	w.admit[id] = adm
 	w.append(sh.srv.metrics, wire.WALSubmission, rawPair("id", id, "body", body))
+	w.append(sh.srv.metrics, wire.WALAdmission, adm)
 }
 
 // walLogReject voids a logged submission whose enqueue was refused.
@@ -182,6 +206,7 @@ func (sh *shard) walLogReject(id string) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	delete(w.pend, id)
+	delete(w.admit, id)
 	w.append(sh.srv.metrics, wire.WALReject, walReject{ID: id})
 }
 
@@ -202,6 +227,8 @@ func (sh *shard) walStateDoc(wf *workflow, deltas []feedback.HistoryDelta) *walS
 		AckedGen:    wf.ackedGen,
 		Reports:     reports,
 		PlanTrigger: trigger,
+		FastPath:    wf.fastPath,
+		Upgraded:    wf.upgraded,
 		State:       wf.tracker.ExportState(),
 		Deltas:      deltas,
 		Events:      events,
@@ -221,6 +248,7 @@ func (sh *shard) walLogState(wf *workflow, deltas []feedback.HistoryDelta) {
 	defer w.mu.Unlock()
 	if b, ok := w.pend[wf.id]; ok {
 		delete(w.pend, wf.id)
+		delete(w.admit, wf.id)
 		w.bodies[wf.id] = b
 	}
 	w.append(sh.srv.metrics, wire.WALState, doc)
@@ -241,6 +269,7 @@ func (sh *shard) walLogTerminal(wf *workflow) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	delete(w.pend, wf.id)
+	delete(w.admit, wf.id)
 	delete(w.bodies, wf.id)
 	w.append(sh.srv.metrics, wire.WALTerminal, doc)
 }
@@ -323,6 +352,9 @@ func (sh *shard) snapshot() {
 		}
 		order = append(order, id)
 		doc.Pending = append(doc.Pending, walSubmission{ID: id, Body: b})
+		if adm, ok := w.admit[id]; ok {
+			doc.Admissions = append(doc.Admissions, adm)
+		}
 	}
 	w.pendOrder = order
 	for i := range doc.Live {
@@ -353,7 +385,10 @@ func (s *Server) Crash() {
 	if !s.draining {
 		s.draining = true
 		for _, sh := range s.shards {
-			close(sh.queue)
+			// Kill, not Close: queued submissions must NOT start — the
+			// kill instant froze them in the WAL as pending, and starting
+			// them now would race the teardown. They come back on reopen.
+			sh.adm.Kill()
 		}
 	}
 	s.submitMu.Unlock()
@@ -368,7 +403,8 @@ func (s *Server) Crash() {
 type recoveredWorkflow struct {
 	id       string
 	body     json.RawMessage
-	state    *walState // latest wins
+	adm      *walAdmission // fair-queue credentials, if journalled
+	state    *walState     // latest wins
 	terminal *walTerminal
 	rejected bool
 	order    int // arrival order for pending re-enqueue
@@ -487,6 +523,10 @@ func (s *Server) recoverState() error {
 				rw := wfFor(p.ID)
 				rw.body = p.Body
 			}
+			for i := range snap.Admissions {
+				a := snap.Admissions[i]
+				wfFor(a.ID).adm = &a
+			}
 			for i := range snap.Live {
 				st := snap.Live[i]
 				rw := wfFor(st.ID)
@@ -512,6 +552,11 @@ func (s *Server) recoverState() error {
 				var p walReject
 				if json.Unmarshal(r.Data, &p) == nil && p.ID != "" {
 					wfFor(p.ID).rejected = true
+				}
+			case wire.WALAdmission:
+				var p walAdmission
+				if json.Unmarshal(r.Data, &p) == nil && p.ID != "" {
+					wfFor(p.ID).adm = &p
 				}
 			case wire.WALGrid:
 				var p walGrid
@@ -583,7 +628,7 @@ func (s *Server) recoverState() error {
 			log.Printf("aheftd: recovery: grid %q spec: %v", name, err)
 			continue
 		}
-		s.grids[name] = newSharedGrid(name, gridSpecs[name], spec, len(s.shards))
+		s.grids[name] = newSharedGrid(name, gridSpecs[name], spec, len(s.shards), s.cfg.GridShareCap)
 	}
 
 	// Terminal records: frozen, queryable, retained under the cap. The
@@ -708,6 +753,8 @@ func (s *Server) restoreLive(rw *recoveredWorkflow) error {
 	}
 	wf.tracker = tr
 	wf.ackedGen = rw.state.AckedGen
+	wf.fastPath = rw.state.FastPath
+	wf.upgraded = rw.state.Upgraded
 	trigger := rw.state.PlanTrigger
 	if trigger == "" {
 		trigger = "initial"
@@ -736,14 +783,30 @@ func (s *Server) restoreLive(rw *recoveredWorkflow) error {
 	}
 	s.metrics.liveResident.Add(1)
 	s.metrics.inflightReserve()
+	// A fast-path plan that crashed before its upgrade still owes one:
+	// re-arm it so "every fast-path plan is upgraded or terminal" holds
+	// across restarts. The send parks until the shard worker starts.
+	if wf.fastPath && !wf.upgraded {
+		sh.scheduleUpgrade(wf)
+	}
 	return nil
 }
 
-// requeueRecovered re-enqueues an accepted-but-unstarted submission.
+// requeueRecovered re-enqueues an accepted-but-unstarted submission
+// into the fair queue under its journalled admission credentials (the
+// wire options serve as the fallback for logs written before the
+// admission record existed). Recovery runs before the shard workers
+// start, so the weighted fair order re-emerges as soon as the worker
+// begins draining — a tenant's pre-crash flood cannot jump the queue.
 func (s *Server) requeueRecovered(rw *recoveredWorkflow) error {
 	wf, _, err := s.buildWorkflow(rw.id, rw.body)
 	if err != nil {
 		return fmt.Errorf("rebuild submission: %w", err)
+	}
+	class, weight := wf.class, wf.weight
+	if rw.adm != nil {
+		class, weight = rw.adm.Class, rw.adm.Weight
+		wf.class, wf.weight = class, weight
 	}
 	sh := s.shards[wf.shard]
 	s.mu.Lock()
@@ -753,22 +816,22 @@ func (s *Server) requeueRecovered(rw *recoveredWorkflow) error {
 		w.mu.Lock()
 		w.pend[wf.id] = rw.body
 		w.pendOrder = append(w.pendOrder, wf.id)
+		w.admit[wf.id] = walAdmission{ID: wf.id, Tenant: wf.tenant, Class: class, Weight: weight}
 		w.mu.Unlock()
 	}
 	s.metrics.inflightReserve()
-	select {
-	case sh.queue <- wf:
-		return nil
-	default:
+	if err := sh.adm.Enqueue(admission.Item{ID: wf.id, Tenant: wf.tenant, Class: class, Weight: weight, Value: wf}); err != nil {
 		s.metrics.inflightRelease()
 		s.forget(wf.id)
 		if w := sh.wal; w != nil {
 			w.mu.Lock()
 			delete(w.pend, wf.id)
+			delete(w.admit, wf.id)
 			w.mu.Unlock()
 		}
-		return fmt.Errorf("shard %d queue full during recovery", wf.shard)
+		return fmt.Errorf("shard %d admission refused during recovery: %w", wf.shard, err)
 	}
+	return nil
 }
 
 // failRecovered registers a synthetic failed terminal for a journalled

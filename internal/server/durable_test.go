@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
+	"aheft/internal/admission"
 	"aheft/internal/wire"
 	"aheft/internal/workload"
 )
@@ -435,5 +437,114 @@ func TestGateRecoveringThenReady(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || doc.Status != "ready" {
 		t.Fatalf("gate after ready: HTTP %d %+v", resp.StatusCode, doc)
+	}
+}
+
+// TestAdmissionQueueSurvivesCrashInFairOrder crashes a daemon whose
+// single worker is wedged behind a mixed-tenant, mixed-class backlog.
+// The restarted daemon must not only finish every journalled submission
+// (the WALSubmission records guarantee that) but serve them in the
+// weighted fair order their WALAdmission credentials imply — a
+// flooding tenant's pre-crash backlog must not replay as FIFO and jump
+// the victims it was queued behind. The expected order is computed by
+// driving a fresh admission controller with the same sequence; the
+// served order is read back from the per-workflow start timestamps
+// (one shard, analytic runs: execution is serial, so start times are
+// strictly ordered).
+func TestAdmissionQueueSurvivesCrashInFairOrder(t *testing.T) {
+	dir := t.TempDir()
+	sc := workload.SampleScenario()
+	cfg := Config{Shards: 1, WALSync: "off", SnapshotInterval: time.Hour}
+
+	srvA, tsA := openDurable(t, dir, cfg)
+	srvA.execHook = func(*workflow) { <-srvA.runCtx.Done() }
+
+	// A low-class flood, then two high-class victims and a weighted
+	// normal bystander queued behind it.
+	seq := []struct {
+		tenant, class string
+		weight        float64
+	}{
+		{"greedy", wire.ClassLow, 1}, {"greedy", wire.ClassLow, 1},
+		{"greedy", wire.ClassLow, 1}, {"greedy", wire.ClassLow, 1},
+		{"victim", wire.ClassHigh, 1}, {"victim", wire.ClassHigh, 1},
+		{"bystander", wire.ClassNormal, 2},
+	}
+	var ids []string
+	for i, q := range seq {
+		data, err := wire.EncodeSubmission(&wire.Submission{
+			Policy:  "aheft",
+			Tenant:  q.tenant,
+			Options: wire.Options{TieWindow: 0.05, Class: q.class, Weight: q.weight},
+			Graph:   sc.Graph, Comp: sc.Table, Pool: sc.Pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, resp := submit(t, tsA, data)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		ids = append(ids, sub.ID)
+	}
+	srvA.Crash()
+	tsA.Close()
+
+	// Reference run: the same sequence through a fresh controller, fully
+	// enqueued before the first dequeue — exactly the shape recovery
+	// produces (requeue happens before the shard worker starts).
+	ref := admission.New(admission.Config{})
+	for i, q := range seq {
+		if err := ref.Enqueue(admission.Item{ID: ids[i], Tenant: q.tenant, Class: q.class, Weight: q.weight}); err != nil {
+			t.Fatalf("reference enqueue %d: %v", i, err)
+		}
+	}
+	var want []string
+	for {
+		d, ok := ref.TryDequeue()
+		if !ok {
+			break
+		}
+		want = append(want, d.Item.ID)
+	}
+	if len(want) != len(ids) {
+		t.Fatalf("reference drain: %d of %d", len(want), len(ids))
+	}
+
+	srvB, tsB := openDurable(t, dir, cfg)
+	defer func() {
+		tsB.Close()
+		srvB.Shutdown(context.Background())
+	}()
+	for _, id := range ids {
+		if st := waitDone(t, tsB, id); st.State != StateDone || st.Makespan != 76 {
+			t.Fatalf("recovered workflow %s: state %q makespan %v", id, st.State, st.Makespan)
+		}
+	}
+	type started struct {
+		id string
+		at time.Time
+	}
+	order := make([]started, 0, len(ids))
+	for _, id := range ids {
+		wf, ok := srvB.lookup(id)
+		if !ok {
+			t.Fatalf("recovered workflow %s not registered", id)
+		}
+		wf.mu.Lock()
+		at := wf.startedAt
+		wf.mu.Unlock()
+		if at.IsZero() {
+			t.Fatalf("recovered workflow %s has no start time", id)
+		}
+		order = append(order, started{id, at})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].at.Before(order[j].at) })
+	got := make([]string, len(order))
+	for i, s := range order {
+		got[i] = s.id
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("served order after crash:\n got %v\nwant %v", got, want)
 	}
 }

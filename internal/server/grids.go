@@ -46,12 +46,16 @@ type sharedGrid struct {
 
 // newSharedGrid builds a grid record for a decoded spec; the ledger
 // starts empty (recovery refills it through its restored residents).
-func newSharedGrid(name string, raw json.RawMessage, spec *wire.GridSpec, shards int) *sharedGrid {
+// shareCap is the per-tenant reservation share bound (Config
+// GridShareCap); zero disables it.
+func newSharedGrid(name string, raw json.RawMessage, spec *wire.GridSpec, shards int, shareCap float64) *sharedGrid {
+	ledger := occupancy.NewLedger(spec.Pool.Size())
+	ledger.SetShareCap(shareCap)
 	return &sharedGrid{
 		name:     name,
 		shard:    shardFor("grid:"+name, shards),
 		pool:     spec.Pool,
-		ledger:   occupancy.NewLedger(spec.Pool.Size()),
+		ledger:   ledger,
 		raw:      append(json.RawMessage(nil), raw...),
 		attached: make(map[string]*workflow),
 	}
@@ -143,7 +147,7 @@ func (s *Server) handleGridPut(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
 	}
-	g := newSharedGrid(name, data, spec, len(s.shards))
+	g := newSharedGrid(name, data, spec, len(s.shards), s.cfg.GridShareCap)
 	s.gridMu.Lock()
 	switch {
 	case s.grids[name] != nil:

@@ -8,11 +8,13 @@ import (
 	"sort"
 	"time"
 
+	"aheft/internal/admission"
 	"aheft/internal/cost"
 	"aheft/internal/feedback"
 	"aheft/internal/history"
 	"aheft/internal/obs"
 	"aheft/internal/planner"
+	"aheft/internal/policy"
 	"aheft/internal/wire"
 )
 
@@ -33,7 +35,11 @@ type shardCmd struct {
 	// order (see record.go).
 	raw    json.RawMessage
 	whatif *wire.WhatIfRequest
-	reply  chan cmdResult
+	// upgrade asks the worker to pay back a fast-path admission's
+	// planning debt: re-evaluate the live plan with the full policy
+	// (planner.TriggerUpgrade). Fire-and-forget — reply is nil.
+	upgrade bool
+	reply   chan cmdResult
 }
 
 // cmdResult is the worker's answer.
@@ -68,6 +74,7 @@ func (sh *shard) startLive(wf *workflow) {
 		}
 		return
 	}
+	planStart := time.Now()
 	planAct := sh.srv.tracer.Start(obs.StagePlan, wf.id)
 	if planAct != nil {
 		planAct.Span.Parent = wf.rootSpan
@@ -86,9 +93,17 @@ func (sh *shard) startLive(wf *workflow) {
 		Opts:              wf.opts,
 		VarianceThreshold: wf.varThr,
 	}
+	if wf.fastPath {
+		// Two-speed planning, fast half: under a deep admission backlog
+		// the initial plan is a cheap greedy placement so the enactor
+		// can start immediately; the full-policy plan follows through
+		// the upgrade command queued below.
+		cfg.FastPlan = policy.MustGet("greedy")
+	}
 	if wf.gridRef != nil {
 		// Shared-grid workflow: plan over the grid's resource universe,
 		// publishing reservations into (and planning around) its ledger.
+		wf.gridRef.ledger.BindTenant(wf.id, wf.tenant)
 		cfg.Pool = wf.gridRef.pool
 		cfg.Occupancy = wf.gridRef.ledger.View(wf.id)
 	}
@@ -136,15 +151,51 @@ func (sh *shard) startLive(wf *workflow) {
 	if wf.gridRef != nil {
 		wf.gridRef.attach(wf)
 	}
+	// Initial-plan latency — execution start to first enactable plan —
+	// keyed by path, so /metrics can prove the fast path's point: its
+	// p99 must sit below the full-plan p99. Queue residency is excluded
+	// (it sits in admission_wait_ms): the fast path only engages under
+	// deep backlog, so folding wait time in would bill the overload the
+	// fast path exists to absorb against the fast path itself.
+	lat := time.Since(planStart).Seconds() * 1e3
+	if wf.fastPath {
+		m.admInitialFastMs.record(lat)
+		sh.scheduleUpgrade(wf)
+	} else {
+		m.admInitialFullMs.record(lat)
+	}
 	// Journal the planned state; this also promotes the raw submission
 	// body from the WAL's pending mirror to its live mirror.
 	sh.walLogState(wf, nil)
 }
 
-// handleCmd serves one report or what-if on the worker goroutine.
+// scheduleUpgrade queues the slow half of a fast-path admission: an
+// asynchronous command that re-plans with the full policy. It goes
+// through the command channel from a helper goroutine — never a direct
+// call or a worker-side send — so upgrades interleave with reports and
+// new intake at the select loop's pace instead of blocking the worker
+// on its own (bounded) channel.
+func (sh *shard) scheduleUpgrade(wf *workflow) {
+	go func() {
+		select {
+		case sh.cmds <- shardCmd{wf: wf, upgrade: true}:
+		case <-sh.srv.runCtx.Done():
+		}
+	}()
+}
+
+// handleCmd serves one report, what-if or upgrade on the worker
+// goroutine.
 func (sh *shard) handleCmd(c shardCmd) {
 	wf := c.wf
 	m := sh.srv.metrics
+	if c.upgrade {
+		// Fire-and-forget: no reply channel. A workflow that reached a
+		// terminal state before its upgrade arrived satisfies the
+		// fast-path invariant (upgraded or terminal) by being terminal.
+		sh.applyUpgrade(wf)
+		return
+	}
 	if wf.tracker == nil || wf.tracker.Done() || sh.live[wf.id] == nil {
 		if c.report != nil {
 			m.reportsRejected.Add(1)
@@ -251,6 +302,8 @@ func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 			m.reschedArrival.Add(1)
 		case planner.TriggerDeparture:
 			m.reschedDeparture.Add(1)
+		case planner.TriggerUpgrade:
+			m.reschedUpgrade.Add(1)
 		}
 	}
 	ack := &wire.ReportAck{
@@ -331,6 +384,63 @@ func (sh *shard) applyReport(wf *workflow, c shardCmd) {
 	if gref != nil && released > 0 {
 		sh.notifyGrid(gref, wf.id, ingestID)
 	}
+}
+
+// applyUpgrade runs the slow half of a fast-path admission on the
+// worker goroutine: one full-policy re-evaluation (TriggerUpgrade — the
+// feedback layer forces the non-incremental path for it). Adoption
+// follows the ordinary plan-bump plumbing, so the enactor picks the
+// upgraded plan up exactly like a contention reschedule: from the
+// generation piggyback on its next report ack, or a plan re-fetch.
+// Counted as upgraded whether or not the evaluation adopts — the
+// planning debt is paid by the evaluation, and a greedy plan the full
+// policy cannot beat owes nothing further.
+func (sh *shard) applyUpgrade(wf *workflow) {
+	m := sh.srv.metrics
+	if wf.upgraded || wf.tracker == nil || wf.tracker.Done() || sh.live[wf.id] == nil {
+		return
+	}
+	wf.upgraded = true
+	if ci, ok := admission.ClassIndex(wf.class); ok {
+		m.admUpgraded[ci].Add(1)
+	}
+	out := wf.tracker.Reevaluate(planner.TriggerUpgrade)
+	m.decisions.Add(uint64(len(out.Decisions)))
+	for _, d := range out.Decisions {
+		m.recordDecision(d)
+		sh.emitDecisionSpans(wf, d, wf.rootSpan, 0, "")
+		if rec := sh.srv.recorder; rec != nil {
+			rec.decision(sh.id, wf.id, d)
+		}
+		wd := wireDecision(d)
+		wf.append(m, wire.Event{
+			Kind: "decision", Time: d.Clock, Decision: &wd,
+			Trigger: wd.Trigger, Arrived: wd.Arrived,
+		})
+	}
+	if !out.Rescheduled {
+		// The greedy plan survived (or the run drained past the point
+		// a replan helps); still journal the paid-debt flag.
+		sh.walLogState(wf, nil)
+		return
+	}
+	m.reschedules.Add(1)
+	m.reschedUpgrade.Add(1)
+	plan := livePlanDoc(wf, planner.TriggerUpgrade.String())
+	wf.mu.Lock()
+	wf.plan = plan
+	wf.generation = plan.Generation
+	wf.mu.Unlock()
+	if rec := sh.srv.recorder; rec != nil {
+		rec.plan(sh.id, plan)
+	}
+	wf.append(m, wire.Event{
+		Kind: "plan", Time: wf.tracker.Clock(), Trigger: plan.Trigger,
+		Generation: plan.Generation, Makespan: plan.Makespan,
+	})
+	// The upgrade changed the plan and reservations; a crash before the
+	// next report must restore the upgraded state.
+	sh.walLogState(wf, nil)
 }
 
 // emitDecisionSpans files the retroactive evaluate span for one

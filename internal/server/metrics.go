@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aheft/internal/admission"
 	"aheft/internal/obs"
 	"aheft/internal/planner"
 	"aheft/internal/stats"
@@ -45,8 +46,20 @@ type Metrics struct {
 	reschedArrival    atomic.Uint64
 	reschedDeparture  atomic.Uint64
 	reschedContention atomic.Uint64 // cross-workflow (shared-grid) reschedules
+	reschedUpgrade    atomic.Uint64 // fast-path plans upgraded to the full policy
 	liveResident      atomic.Int64  // live workflows parked on shards
 	historyEvicted    atomic.Uint64 // tenant repositories dropped by the LRU cap
+
+	// Admission path (internal/admission): per-class counters indexed by
+	// admission.ClassIndex, the queue-wait window, and the two-speed
+	// submit-to-initial-plan windows (fast greedy vs full policy).
+	admAdmitted      [3]atomic.Uint64
+	admFastPath      [3]atomic.Uint64
+	admUpgraded      [3]atomic.Uint64
+	admRejected      [3]atomic.Uint64
+	admWaitMs        latencyWindow // fair-queue residency per admitted submission
+	admInitialFastMs latencyWindow // submit → initial plan, fast path (greedy)
+	admInitialFullMs latencyWindow // submit → initial plan, full policy
 
 	// Incremental-rescheduling telemetry: every live evaluation asks the
 	// kernel for the delta path, which either proves a small dirty cone
@@ -54,7 +67,7 @@ type Metrics struct {
 	// reschedLat holds one replan-latency window per planner.Trigger.
 	reschedDelta        atomic.Uint64
 	reschedFullFallback atomic.Uint64
-	reschedLat          [4]latencyWindow
+	reschedLat          [5]latencyWindow
 	// fallbackReasons breaks reschedFullFallback down by the kernel's
 	// FallbackReason ("no-memo", "cone-overflow", "estimates-drifted", …)
 	// so an operator can see *why* the delta path is being abandoned, not
@@ -84,9 +97,12 @@ type Metrics struct {
 // NewMetrics returns a zeroed metrics set.
 func NewMetrics() *Metrics {
 	m := &Metrics{
-		start:           time.Now(),
-		compute:         latencyWindow{cap: 8192},
-		fallbackReasons: make(map[string]uint64),
+		start:            time.Now(),
+		compute:          latencyWindow{cap: 8192},
+		admWaitMs:        latencyWindow{cap: 8192},
+		admInitialFastMs: latencyWindow{cap: 4096},
+		admInitialFullMs: latencyWindow{cap: 4096},
+		fallbackReasons:  make(map[string]uint64),
 	}
 	for i := range m.reschedLat {
 		m.reschedLat[i].cap = 4096
@@ -228,6 +244,9 @@ type MetricsDoc struct {
 	// ReschedulesContention counts adopted cross-workflow reschedules:
 	// a shared-grid survivor taking capacity another workflow released.
 	ReschedulesContention uint64 `json:"reschedules_contention"`
+	// ReschedulesUpgrade counts adopted two-speed upgrades: a fast-path
+	// greedy initial plan replaced by the submission's full policy.
+	ReschedulesUpgrade uint64 `json:"reschedules_upgrade"`
 	// ReschedulesDelta / ReschedulesFullFallback split every live
 	// rescheduling evaluation by how the kernel computed the replan:
 	// the incremental delta path versus its fall-back to a full replan.
@@ -238,12 +257,16 @@ type MetricsDoc struct {
 	// the delta path) are not counted here.
 	ReschedulesFullFallbackByReason map[string]uint64 `json:"reschedules_full_fallback_by_reason,omitempty"`
 	// RescheduleMs summarises replan wall-clock latency per trigger
-	// ("variance", "arrival", "departure", "contention").
-	RescheduleMs   map[string]RescheduleMs `json:"reschedule_ms"`
-	LiveResident   int64                   `json:"live_resident"`
-	HistoryTenants int                     `json:"history_tenants"`
-	HistoryCells   int                     `json:"history_cells"`
-	HistoryEvicted uint64                  `json:"history_evicted"`
+	// ("variance", "arrival", "departure", "contention", "upgrade").
+	RescheduleMs map[string]RescheduleMs `json:"reschedule_ms"`
+	// Admission is the weighted-fair-queue intake state: per-class
+	// counters, per-tenant backlog, drain rate and the two-speed
+	// admission-latency windows.
+	Admission      AdmissionDoc `json:"admission"`
+	LiveResident   int64        `json:"live_resident"`
+	HistoryTenants int          `json:"history_tenants"`
+	HistoryCells   int          `json:"history_cells"`
+	HistoryEvicted uint64       `json:"history_evicted"`
 	// SharedGrids / Reservations are the shared-grid gauges: registered
 	// grids, and the aggregate live reservation count across them.
 	SharedGrids  int `json:"shared_grids"`
@@ -276,6 +299,38 @@ type MetricsDoc struct {
 	QueueDepth   []int `json:"queue_depth"`
 
 	ComputeMs ComputeMs `json:"compute_ms"`
+}
+
+// AdmissionDoc is the admission subsystem's /metrics section.
+type AdmissionDoc struct {
+	// AdmittedByClass / FastPathByClass / UpgradedByClass /
+	// RejectedByClass count submissions per priority class: admitted
+	// into a fair queue, served via the fast (greedy) path, upgraded to
+	// their full policy, and 429ed by the backlog bounds.
+	AdmittedByClass map[string]uint64 `json:"admitted_by_class"`
+	FastPathByClass map[string]uint64 `json:"fast_path_by_class"`
+	UpgradedByClass map[string]uint64 `json:"upgraded_by_class"`
+	RejectedByClass map[string]uint64 `json:"rejected_by_class"`
+	// QueueDepthByTenant is the live backlog per tenant, summed across
+	// shards (backlogged tenants only).
+	QueueDepthByTenant map[string]int `json:"queue_depth_by_tenant,omitempty"`
+	// DrainRatePerS is the EWMA dequeue rate summed across shards — the
+	// denominator behind every Retry-After the daemon hands out.
+	DrainRatePerS float64 `json:"drain_rate_per_s"`
+	// WaitMs is fair-queue residency per admitted submission;
+	// FastInitialMs / FullInitialMs are submit-to-initial-plan latency
+	// for fast-path and full-policy live admissions — under overload the
+	// fast window's p99 must undercut the full window's.
+	WaitMs        ComputeMs `json:"wait_ms"`
+	FastInitialMs ComputeMs `json:"fast_initial_ms"`
+	FullInitialMs ComputeMs `json:"full_initial_ms"`
+}
+
+// AdmissionGauges carries the aggregated controller gauges into
+// Metrics.snapshot.
+type AdmissionGauges struct {
+	PerTenant map[string]int
+	DrainRate float64
 }
 
 // ObsStats carries the tracer's aggregated gauges into Metrics.snapshot.
@@ -314,8 +369,19 @@ type RescheduleMs struct {
 // snapshot assembles the document; queueDepth supplies the current
 // per-shard queue lengths, historyTenants/historyCells the aggregated
 // tenant-repository gauges.
-func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, sharedGrids, reservations int, d DurabilityStats, o ObsStats) MetricsDoc {
+func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, sharedGrids, reservations int, adm AdmissionGauges, d DurabilityStats, o ObsStats) MetricsDoc {
 	q := m.compute.quantiles(0.50, 0.90, 0.99)
+	byClass := func(c *[3]atomic.Uint64) map[string]uint64 {
+		out := make(map[string]uint64, len(admission.ClassNames))
+		for i, name := range admission.ClassNames {
+			out[name] = c[i].Load()
+		}
+		return out
+	}
+	winDoc := func(w *latencyWindow) ComputeMs {
+		lq := w.quantiles(0.50, 0.90, 0.99)
+		return ComputeMs{Count: w.count(), P50: lq[0], P90: lq[1], P99: lq[2]}
+	}
 	resched := make(map[string]RescheduleMs, len(m.reschedLat))
 	for i := range m.reschedLat {
 		w := &m.reschedLat[i]
@@ -356,32 +422,44 @@ func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, share
 		ReschedulesArrival:              m.reschedArrival.Load(),
 		ReschedulesDeparture:            m.reschedDeparture.Load(),
 		ReschedulesContention:           m.reschedContention.Load(),
+		ReschedulesUpgrade:              m.reschedUpgrade.Load(),
 		ReschedulesDelta:                m.reschedDelta.Load(),
 		ReschedulesFullFallback:         m.reschedFullFallback.Load(),
 		ReschedulesFullFallbackByReason: byReason,
 		RescheduleMs:                    resched,
-		LiveResident:                    m.liveResident.Load(),
-		HistoryTenants:                  historyTenants,
-		HistoryCells:                    historyCells,
-		HistoryEvicted:                  m.historyEvicted.Load(),
-		SharedGrids:                     sharedGrids,
-		Reservations:                    reservations,
-		EventsEmitted:                   m.eventsEmitted.Load(),
-		EventsDropped:                   m.eventsDropped.Load(),
-		WALAppends:                      d.WALAppends,
-		WALBytes:                        d.WALBytes,
-		Snapshots:                       d.Snapshots,
-		WALErrors:                       m.walErrors.Load(),
-		RecoveredWorkflows:              d.Recovered,
-		RecoveryMs:                      d.RecoveryMs,
-		TraceSpans:                      o.Spans,
-		TraceSpansDropped:               o.Dropped,
-		TraceStageMs:                    o.Stages,
-		RecorderRecords:                 m.recorderRecords.Load(),
-		RecorderErrors:                  m.recorderErrors.Load(),
-		Inflight:                        m.inflight.Load(),
-		InflightPeak:                    m.inflightPeak.Load(),
-		QueueDepth:                      queueDepth,
+		Admission: AdmissionDoc{
+			AdmittedByClass:    byClass(&m.admAdmitted),
+			FastPathByClass:    byClass(&m.admFastPath),
+			UpgradedByClass:    byClass(&m.admUpgraded),
+			RejectedByClass:    byClass(&m.admRejected),
+			QueueDepthByTenant: adm.PerTenant,
+			DrainRatePerS:      adm.DrainRate,
+			WaitMs:             winDoc(&m.admWaitMs),
+			FastInitialMs:      winDoc(&m.admInitialFastMs),
+			FullInitialMs:      winDoc(&m.admInitialFullMs),
+		},
+		LiveResident:       m.liveResident.Load(),
+		HistoryTenants:     historyTenants,
+		HistoryCells:       historyCells,
+		HistoryEvicted:     m.historyEvicted.Load(),
+		SharedGrids:        sharedGrids,
+		Reservations:       reservations,
+		EventsEmitted:      m.eventsEmitted.Load(),
+		EventsDropped:      m.eventsDropped.Load(),
+		WALAppends:         d.WALAppends,
+		WALBytes:           d.WALBytes,
+		Snapshots:          d.Snapshots,
+		WALErrors:          m.walErrors.Load(),
+		RecoveredWorkflows: d.Recovered,
+		RecoveryMs:         d.RecoveryMs,
+		TraceSpans:         o.Spans,
+		TraceSpansDropped:  o.Dropped,
+		TraceStageMs:       o.Stages,
+		RecorderRecords:    m.recorderRecords.Load(),
+		RecorderErrors:     m.recorderErrors.Load(),
+		Inflight:           m.inflight.Load(),
+		InflightPeak:       m.inflightPeak.Load(),
+		QueueDepth:         queueDepth,
 		ComputeMs: ComputeMs{
 			Count: m.compute.count(),
 			P50:   q[0], P90: q[1], P99: q[2],

@@ -101,15 +101,34 @@ func writePrometheus(w http.ResponseWriter, doc MetricsDoc) {
 		"arrival":    doc.ReschedulesArrival,
 		"departure":  doc.ReschedulesDeparture,
 		"contention": doc.ReschedulesContention,
+		"upgrade":    doc.ReschedulesUpgrade,
 	})
 	p.counter("reschedules_delta_total", "Evaluations served by the incremental delta path.", doc.ReschedulesDelta)
 	p.counter("reschedules_full_fallback_total", "Evaluations that fell back to a full replan.", doc.ReschedulesFullFallback)
 	p.labeled("reschedules_full_fallback_by_reason_total", "Full-replan fallbacks by kernel reason.", "reason", doc.ReschedulesFullFallbackByReason)
-	for _, trig := range []string{"arrival", "variance", "departure", "contention"} {
+	for _, trig := range []string{"arrival", "variance", "departure", "contention", "upgrade"} {
 		if s, ok := doc.RescheduleMs[trig]; ok {
 			p.summary("reschedule_ms", "Replan wall-clock latency by trigger (ms).", "trigger", trig, s.Count, s.P50, s.P90, s.P99)
 		}
 	}
+
+	p.labeled("admission_admitted_total", "Submissions admitted into the fair queue by class.", "class", doc.Admission.AdmittedByClass)
+	p.labeled("admission_fast_path_total", "Fast-path (greedy initial plan) admissions by class.", "class", doc.Admission.FastPathByClass)
+	p.labeled("admission_upgraded_total", "Fast-path plans upgraded to the full policy by class.", "class", doc.Admission.UpgradedByClass)
+	p.labeled("admission_rejected_total", "Submissions rejected by the backlog bounds by class.", "class", doc.Admission.RejectedByClass)
+	p.gauge("admission_drain_rate_per_s", "EWMA admission dequeue rate across shards.", doc.Admission.DrainRatePerS)
+	fmt.Fprintf(&p.b, "# HELP aheft_admission_queue_depth Queued submissions per tenant.\n# TYPE aheft_admission_queue_depth gauge\n")
+	tenants := make([]string, 0, len(doc.Admission.QueueDepthByTenant))
+	for tenant := range doc.Admission.QueueDepthByTenant {
+		tenants = append(tenants, tenant)
+	}
+	sort.Strings(tenants)
+	for _, tenant := range tenants {
+		fmt.Fprintf(&p.b, "aheft_admission_queue_depth{tenant=%q} %d\n", tenant, doc.Admission.QueueDepthByTenant[tenant])
+	}
+	p.summary("admission_wait_ms", "Fair-queue residency per admitted submission (ms).", "", "", doc.Admission.WaitMs.Count, doc.Admission.WaitMs.P50, doc.Admission.WaitMs.P90, doc.Admission.WaitMs.P99)
+	p.summary("admission_initial_ms", "Submit-to-initial-plan latency by path (ms).", "path", "fast", doc.Admission.FastInitialMs.Count, doc.Admission.FastInitialMs.P50, doc.Admission.FastInitialMs.P90, doc.Admission.FastInitialMs.P99)
+	p.summary("admission_initial_ms", "Submit-to-initial-plan latency by path (ms).", "path", "full", doc.Admission.FullInitialMs.Count, doc.Admission.FullInitialMs.P50, doc.Admission.FullInitialMs.P90, doc.Admission.FullInitialMs.P99)
 
 	p.gauge("live_resident", "Live workflows parked on shards.", float64(doc.LiveResident))
 	p.gauge("history_tenants", "Tenant performance-history repositories.", float64(doc.HistoryTenants))

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"aheft/internal/admission"
 	"aheft/internal/durable"
 	"aheft/internal/obs"
 	"aheft/internal/planner"
@@ -185,17 +186,18 @@ func (s *Server) InjectRecorded(id string, body []byte) (int, error) {
 		return 0, fmt.Errorf("server is draining")
 	}
 	m.inflightReserve()
-	s.shards[wf.shard].walLogSubmission(id, body)
-	select {
-	case s.shards[wf.shard].queue <- wf:
-		m.accepted.Add(1)
-		m.eventsEmitted.Add(1)
-	default:
+	s.shards[wf.shard].walLogSubmission(id, body, wf.tenant, wf.class, wf.weight)
+	err = s.shards[wf.shard].adm.Enqueue(admission.Item{
+		ID: id, Tenant: wf.tenant, Class: wf.class, Weight: wf.weight, Value: wf,
+	})
+	if err != nil {
 		m.inflightRelease()
 		s.shards[wf.shard].walLogReject(id)
-		s.reject(wf, fmt.Errorf("shard %d queue full", wf.shard))
-		return 0, fmt.Errorf("shard %d queue full", wf.shard)
+		s.reject(wf, fmt.Errorf("shard %d admission refused: %w", wf.shard, err))
+		return 0, fmt.Errorf("shard %d admission refused: %w", wf.shard, err)
 	}
+	m.accepted.Add(1)
+	m.eventsEmitted.Add(1)
 	return wf.shard, nil
 }
 

@@ -25,9 +25,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
+	"aheft/internal/admission"
 	"aheft/internal/feedback"
 	"aheft/internal/obs"
 	"aheft/internal/policy"
@@ -38,8 +40,30 @@ import (
 type Config struct {
 	// Shards is the number of session workers; 0 means 4.
 	Shards int
-	// QueueDepth is each shard's bounded intake queue; 0 means 256.
+	// QueueDepth bounds each shard's admission backlog: the total
+	// accepted-but-unstarted submissions a shard holds, across all
+	// tenants, before rejecting with 429 + a drain-derived Retry-After.
+	// 0 means 256; negative disables the bound.
 	QueueDepth int
+	// TenantBacklog bounds one tenant's share of a shard's admission
+	// backlog, so a single flooding tenant is told 429 long before it
+	// can exhaust the shared backlog for everyone else. 0 or negative
+	// disables the per-tenant bound (single-tenant deployments are
+	// bounded by QueueDepth alone).
+	TenantBacklog int
+	// FastPathDepth is the two-speed planning threshold: when a shard's
+	// admission backlog is at or past this depth, live adaptive-policy
+	// submissions are admitted with a cheap greedy placement and the
+	// full-policy plan is computed asynchronously afterwards (the
+	// "upgrade" trigger). 0 means 8; negative disables the fast path.
+	FastPathDepth int
+	// GridShareCap bounds one tenant's share of a shared grid's
+	// reservation ledger (0 < cap < 1): at plan adoption, speculative
+	// claims past the cap are dropped while other tenants hold
+	// reservations, so a greedy tenant cannot blanket a grid's future.
+	// 0 (or out of range) disables the cap. Running (pinned) claims are
+	// never dropped.
+	GridShareCap float64
 	// Limits bounds accepted submissions (zero value = wire.DefaultLimits).
 	Limits wire.Limits
 	// MaxBodyBytes caps the request body; 0 means 64 MiB.
@@ -119,8 +143,11 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = 4
 	}
-	if c.QueueDepth <= 0 {
+	if c.QueueDepth == 0 {
 		c.QueueDepth = 256
+	}
+	if c.FastPathDepth == 0 {
+		c.FastPathDepth = 8
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
@@ -231,13 +258,21 @@ func Open(cfg Config) (*Server, error) {
 		grids:     make(map[string]*sharedGrid),
 		wfs:       make(map[string]*workflow),
 	}
+	tenantBacklog := cfg.TenantBacklog
+	if tenantBacklog <= 0 {
+		tenantBacklog = -1 // server semantics: unset means unbounded
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
-			id:    i,
-			srv:   s,
-			queue: make(chan *workflow, cfg.QueueDepth),
-			cmds:  make(chan shardCmd, 16),
-			live:  make(map[string]*workflow),
+			id:  i,
+			srv: s,
+			adm: admission.New(admission.Config{
+				TotalBacklog:     cfg.QueueDepth,
+				PerTenantBacklog: tenantBacklog,
+				FastPathDepth:    cfg.FastPathDepth,
+			}),
+			cmds: make(chan shardCmd, 16),
+			live: make(map[string]*workflow),
 		}
 		s.shards = append(s.shards, sh)
 	}
@@ -305,8 +340,14 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) MetricsSnapshot() MetricsDoc {
 	depth := make([]int, len(s.shards))
 	tenants, cells := 0, 0
+	adm := AdmissionGauges{PerTenant: make(map[string]int)}
 	for i, sh := range s.shards {
-		depth[i] = len(sh.queue)
+		st := sh.adm.Stats()
+		depth[i] = st.Total
+		for tenant, d := range st.PerTenant {
+			adm.PerTenant[tenant] += d
+		}
+		adm.DrainRate += st.DrainRate
 		t, c := sh.historyTotals()
 		tenants += t
 		cells += c
@@ -328,7 +369,7 @@ func (s *Server) MetricsSnapshot() MetricsDoc {
 		o.Spans, o.Dropped = s.tracer.Totals()
 		o.Stages = s.tracer.StageSummary()
 	}
-	return s.metrics.snapshot(depth, tenants, cells, grids, reservations, d, o)
+	return s.metrics.snapshot(depth, tenants, cells, grids, reservations, adm, d, o)
 }
 
 // Shutdown drains the daemon: it stops intake (further submissions get
@@ -340,7 +381,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		for _, sh := range s.shards {
-			close(sh.queue)
+			sh.adm.Close()
 		}
 	}
 	s.submitMu.Unlock()
@@ -429,19 +470,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	shardID := shardFor(id, len(s.shards))
 	// The id-hashed shard is only a guess until the body is decoded (a
 	// shared-grid submission re-routes to its grid's shard), so the
-	// pre-decode fast reject fires only when *every* queue is full —
-	// then no routing could succeed and reading the body is futile.
+	// pre-decode fast reject fires only when *every* admission queue is
+	// saturated — then no routing could succeed and reading the body is
+	// futile. Tenant and class are unknown pre-decode, so the advice is
+	// the guessed shard's aggregate drain estimate.
 	allFull := true
 	for _, sh := range s.shards {
-		if len(sh.queue) < cap(sh.queue) {
+		if !sh.adm.Saturated() {
 			allFull = false
 			break
 		}
 	}
 	if allFull {
 		m.rejectedFull.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: fmt.Sprintf("shard %d queue full", shardID)})
+		w.Header().Set("Retry-After", strconv.Itoa(s.shards[shardID].adm.RetryAfter("", "")))
+		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: fmt.Sprintf("shard %d admission queue full", shardID)})
 		return
 	}
 	// The intake semaphore caps how many request bodies are buffered and
@@ -521,27 +564,49 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// and the peak undercount real concurrency. A rejected enqueue rolls
 	// the reservation back.
 	m.inflightReserve()
-	// Journal the accepted submission before the enqueue, so a crash in
-	// the window between accept and start replays it as pending. A
-	// refused enqueue voids it with a reject record below.
-	s.shards[wf.shard].walLogSubmission(id, data)
-	select {
-	case s.shards[wf.shard].queue <- wf:
+	// Journal the accepted submission (and its admission credentials)
+	// before the enqueue, so a crash in the window between accept and
+	// start replays it into the fair queue as pending. A refused enqueue
+	// voids it with a reject record below.
+	s.shards[wf.shard].walLogSubmission(id, data, wf.tenant, wf.class, wf.weight)
+	ci, _ := admission.ClassIndex(wf.class)
+	err = s.shards[wf.shard].adm.Enqueue(admission.Item{
+		ID: id, Tenant: wf.tenant, Class: wf.class, Weight: wf.weight, Value: wf,
+	})
+	var backlog *admission.BacklogError
+	switch {
+	case err == nil:
 		m.accepted.Add(1)
+		m.admAdmitted[ci].Add(1)
 		m.eventsEmitted.Add(1) // the seeded "submitted" event
 		s.submitMu.RUnlock()
-	default:
-		// Bounded queue full: backpressure, not buffering. The client
-		// owns the retry; Retry-After names a delay proportional to one
-		// queue's worth of work.
+	case errors.As(err, &backlog):
+		// Bounded backlog: backpressure, not buffering. The rejection is
+		// honest per-tenant — a flooding tenant hits its own bound while
+		// others keep landing — and Retry-After names the time for this
+		// tenant's backlog to drain at its weighted share of the
+		// measured drain rate.
 		s.submitMu.RUnlock()
 		m.inflightRelease()
 		s.shards[wf.shard].walLogReject(id)
-		wf.queueAct.Fail(fmt.Errorf("shard %d queue full", wf.shard))
-		s.reject(wf, fmt.Errorf("shard %d queue full", wf.shard))
+		wf.queueAct.Fail(err)
+		s.reject(wf, err)
 		m.rejectedFull.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: fmt.Sprintf("shard %d queue full", wf.shard)})
+		m.admRejected[ci].Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(backlog.RetryAfter))
+		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: err.Error()})
+		return
+	default:
+		// The controller refused for a non-backlog reason: closed by a
+		// drain that raced past the check above, or an invalid class
+		// that slipped validation.
+		s.submitMu.RUnlock()
+		m.inflightRelease()
+		s.shards[wf.shard].walLogReject(id)
+		wf.queueAct.Fail(err)
+		s.reject(wf, err)
+		m.rejectedDrain.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusAccepted, wire.Submitted{ID: id, Shard: wf.shard, State: StateQueued})
@@ -610,6 +675,8 @@ func (s *Server) buildWorkflow(id string, data []byte) (*workflow, *sharedGrid, 
 		live:      live,
 		tenant:    tenant,
 		varThr:    varThr,
+		class:     sub.Options.Class,
+		weight:    sub.Options.Weight,
 		gridRef:   gref,
 		jobs:      sub.Graph.Len(),
 		resources: poolSize,

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"aheft/internal/admission"
 	"aheft/internal/cost"
 	"aheft/internal/feedback"
 	"aheft/internal/history"
@@ -39,6 +40,19 @@ type workflow struct {
 	live   bool
 	tenant string
 	varThr float64
+
+	// Admission identity (immutable after submit): the fair-queue class
+	// and weight the submission was admitted under.
+	class  string
+	weight float64
+
+	// Two-speed planning state, owned by the shard goroutine. fastPath
+	// is set at dequeue when the backlog was deep enough that the
+	// workflow was admitted with the cheap greedy plan; upgraded is set
+	// once the asynchronous full-policy upgrade evaluation has run
+	// (whether or not it adopted — the planning debt is paid either way).
+	fastPath bool
+	upgraded bool
 
 	// tracker is the live run's feedback state machine. It is owned by
 	// the shard's worker goroutine exclusively (kernel discipline); HTTP
@@ -259,11 +273,16 @@ func wireDecision(d planner.Decision) wire.Decision {
 // readers aggregate them concurrently), but their lifecycle (creation,
 // LRU eviction) is the shard's.
 type shard struct {
-	id    int
-	srv   *Server
-	queue chan *workflow
-	cmds  chan shardCmd
-	live  map[string]*workflow // live workflows resident on this shard
+	id  int
+	srv *Server
+	// adm is the shard's admission controller: the bounded, weighted
+	// fair queue between HTTP intake and this worker. The submit path
+	// enqueues; the worker serves one item per select wakeup through
+	// Ready/TryDequeue, so tenants drain in two-level DRR order and
+	// intake interleaves fairly with the report/what-if command stream.
+	adm  *admission.Controller
+	cmds chan shardCmd
+	live map[string]*workflow // live workflows resident on this shard
 
 	// wal is the shard's durability state (nil when Config.DataDir is
 	// empty; see durable.go).
@@ -274,18 +293,20 @@ type shard struct {
 	histOrder []string                       // LRU order, oldest first
 }
 
-// run is the worker loop. It exits when the queue is closed (drain) after
-// finishing everything already queued *and* every resident live workflow
-// has finished — live runs drain at their clients' pace, so a shard keeps
-// serving reports after intake closes until the drain deadline
-// force-cancels (runCtx). Intake is deliberately one-at-a-time: execution
-// is sequential per shard either way, and pre-draining a batch into a
-// local slice would only free queue slots early — letting a shard hold
-// more accepted-but-unstarted workflows than Config.QueueDepth promises
-// before 429ing.
+// run is the worker loop. It exits when the admission controller is
+// closed (drain) after serving everything still queued *and* every
+// resident live workflow has finished — live runs drain at their
+// clients' pace, so a shard keeps serving reports after intake closes
+// until the drain deadline force-cancels (runCtx). Intake is
+// deliberately one item per wakeup: execution is sequential per shard
+// either way, items left in the controller keep counting against the
+// admission bounds (so a shard never holds more accepted-but-unstarted
+// work than it promised before 429ing), and the controller re-arms its
+// signal while work remains, so a deep backlog cannot starve the
+// report/what-if command stream out of the select.
 func (sh *shard) run() {
 	defer sh.srv.workers.Done()
-	queue := sh.queue
+	intake := sh.adm.Ready()
 	// Periodic snapshots run on this goroutine so they can read live
 	// trackers; disabled (nil channel) when the daemon is not durable.
 	var snapC <-chan time.Time
@@ -295,33 +316,64 @@ func (sh *shard) run() {
 		snapC = t.C
 	}
 	for {
-		if queue == nil && len(sh.live) == 0 {
+		if intake == nil && len(sh.live) == 0 {
 			return
 		}
+		// Commands first: report/upgrade traffic from resident live
+		// workflows is latency-sensitive, while intake is throughput
+		// work. Draining pending commands before taking the next
+		// admission keeps a flood of queued submissions from wedging
+		// itself between an enactor's consecutive round trips.
 		select {
-		case wf, ok := <-queue:
-			if !ok {
-				queue = nil
-				continue
+		case c := <-sh.cmds:
+			sh.handleCmd(c)
+			continue
+		default:
+		}
+		select {
+		case <-intake:
+			if d, ok := sh.adm.TryDequeue(); ok {
+				sh.executeAdmitted(d)
 			}
-			sh.execute(wf)
+			if sh.adm.Drained() {
+				intake = nil
+			}
 		case c := <-sh.cmds:
 			sh.handleCmd(c)
 		case <-snapC:
 			sh.snapshot()
 		case <-sh.srv.runCtx.Done():
-			// Force-cancel: fail-fast the rest of the (already closed)
-			// queue — a queued live workflow parks itself and is swept up
-			// by the cancel below — then fail the resident live runs.
-			if queue != nil {
-				for wf := range queue {
-					sh.execute(wf)
+			// Force-cancel: fail-fast whatever is still queued — a
+			// queued live workflow parks itself and is swept up by the
+			// cancel below — then fail the resident live runs.
+			for {
+				d, ok := sh.adm.TryDequeue()
+				if !ok {
+					break
 				}
+				sh.executeAdmitted(d)
 			}
 			sh.cancelLive(sh.srv.runCtx.Err())
 			return
 		}
 	}
+}
+
+// executeAdmitted unwraps one admission decision and runs the workflow.
+// The fast path binds here — at dequeue, when the backlog depth is
+// known — and only for live adaptive-policy workflows: an analytic run
+// has no tracker to upgrade, and a non-adaptive policy would never pay
+// the planning debt back.
+func (sh *shard) executeAdmitted(d admission.Dequeued) {
+	wf := d.Item.Value.(*workflow)
+	if d.FastPath && wf.live && wf.pol.Adaptive() {
+		wf.fastPath = true
+		if ci, ok := admission.ClassIndex(wf.class); ok {
+			sh.srv.metrics.admFastPath[ci].Add(1)
+		}
+	}
+	sh.srv.metrics.admWaitMs.record(d.Queued.Seconds() * 1e3)
+	sh.execute(wf)
 }
 
 // execute runs one workflow: live submissions are planned and parked for

@@ -25,6 +25,11 @@ const (
 	// WALReject: a previously logged submission whose enqueue was
 	// refused; replay drops the pending record.
 	WALReject = "reject"
+	// WALAdmission: the admission decision for an accepted submission —
+	// tenant, class and fair-queue weight — journalled beside the raw
+	// body so a crash restores queued-but-unplanned submissions into the
+	// fair queue with the credentials they were admitted under.
+	WALAdmission = "admission"
 	// WALGrid: a registered shared grid (raw GridSpec body).
 	WALGrid = "grid"
 	// WALState: a live workflow's full post-apply feedback state.

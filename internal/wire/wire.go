@@ -71,7 +71,29 @@ type Options struct {
 	// evaluates a reschedule (the paper's "significant variance" event).
 	// Zero means the daemon's configured default.
 	VarianceThreshold float64 `json:"variance_threshold,omitempty"`
+	// Class is the admission priority class: one of ClassHigh,
+	// ClassNormal (also the empty string) or ClassLow. Classes share the
+	// daemon's intake by weighted fair queueing — a higher class gets a
+	// larger service share under backlog, never an absolute priority, so
+	// low-class submissions cannot starve.
+	Class string `json:"class,omitempty"`
+	// Weight is the tenant's fair-queueing weight within its class
+	// (0 means 1). Under backlog a tenant's admission share is
+	// proportional to its weight relative to the other backlogged
+	// tenants of the same class. Capped at MaxWeight.
+	Weight float64 `json:"weight,omitempty"`
 }
+
+// Admission priority classes carried in Options.Class.
+const (
+	ClassHigh   = "high"
+	ClassNormal = "normal"
+	ClassLow    = "low"
+)
+
+// MaxWeight bounds Options.Weight so one tenant cannot claim an
+// effectively absolute share of its class.
+const MaxWeight = 1000
 
 func (o Options) validate() error {
 	if math.IsNaN(o.TieWindow) || math.IsInf(o.TieWindow, 0) || o.TieWindow < 0 {
@@ -82,6 +104,14 @@ func (o Options) validate() error {
 	}
 	if math.IsNaN(o.VarianceThreshold) || math.IsInf(o.VarianceThreshold, 0) || o.VarianceThreshold < 0 {
 		return fmt.Errorf("wire: invalid variance_threshold %g", o.VarianceThreshold)
+	}
+	switch o.Class {
+	case "", ClassHigh, ClassNormal, ClassLow:
+	default:
+		return fmt.Errorf("wire: unknown admission class %q", o.Class)
+	}
+	if math.IsNaN(o.Weight) || math.IsInf(o.Weight, 0) || o.Weight < 0 || o.Weight > MaxWeight {
+		return fmt.Errorf("wire: invalid weight %g (want 0 <= w <= %d)", o.Weight, MaxWeight)
 	}
 	return nil
 }

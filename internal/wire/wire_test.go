@@ -16,7 +16,7 @@ func sampleSubmission() *Submission {
 	return &Submission{
 		Name:    "fig4",
 		Policy:  "aheft",
-		Options: Options{TieWindow: 0.05, Eps: 1e-6},
+		Options: Options{TieWindow: 0.05, Eps: 1e-6, Class: ClassHigh, Weight: 2},
 		Graph:   sc.Graph,
 		Comp:    sc.Table,
 		Pool:    sc.Pool,
@@ -154,6 +154,15 @@ func TestDecodeRejects(t *testing.T) {
 		{"bad tie window", mutate(func(m map[string]any) {
 			m["options"] = map[string]any{"tie_window": -0.5}
 		}), Limits{}, "invalid tie_window"},
+		{"unknown admission class", mutate(func(m map[string]any) {
+			m["options"] = map[string]any{"class": "urgent"}
+		}), Limits{}, "unknown admission class"},
+		{"negative weight", mutate(func(m map[string]any) {
+			m["options"] = map[string]any{"weight": -1.0}
+		}), Limits{}, "invalid weight"},
+		{"oversized weight", mutate(func(m map[string]any) {
+			m["options"] = map[string]any{"weight": float64(MaxWeight + 1)}
+		}), Limits{}, "invalid weight"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
