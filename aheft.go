@@ -42,6 +42,7 @@ import (
 
 	"aheft/internal/cost"
 	"aheft/internal/dag"
+	"aheft/internal/data"
 	"aheft/internal/executor"
 	"aheft/internal/grid"
 	"aheft/internal/heft"
@@ -87,6 +88,10 @@ type (
 	// Runtime supplies actual job durations to the event-driven executor
 	// when they deviate from the estimates.
 	Runtime = executor.Runtime
+	// FileSet is a workflow's data-file catalog (see WithFileReuse).
+	FileSet = data.Set
+	// File is one named data product of a FileSet.
+	File = data.File
 )
 
 // NewGraph returns an empty workflow graph.
@@ -103,6 +108,11 @@ func Exact(t *CostTable) Estimator { return cost.Exact(t) }
 // sample DAG, its cost matrix, and a pool in which r4 joins at t = 15.
 func SampleScenario() *Scenario { return workload.SampleScenario() }
 
+// DataScenario returns the data-heavy two-site scenario (pre-staged
+// database, fan-out searches, link-constrained grid) that exercises the
+// data-aware scheduling path; its Files catalog plugs into WithFileReuse.
+func DataScenario() *Scenario { return workload.DataScenario(workload.DataParams{}) }
+
 // NewHistory returns an empty performance-history repository (default
 // EWMA smoothing).
 func NewHistory() *History { return history.New(0) }
@@ -118,6 +128,11 @@ func Policies() []string { return policy.Names() }
 type config struct {
 	policyName string
 	popts      policy.Options
+
+	// Data-aware scheduling inputs, resolved against the concrete pool
+	// inside run (WithLinks/WithFileReuse).
+	links map[string]float64
+	files *FileSet
 
 	// Event-driven extras; any of these switches Run onto the
 	// discrete-event executor path.
@@ -189,6 +204,27 @@ func WithRuntime(rt Runtime) Option { return func(c *config) { c.runtime = rt } 
 // that actually deviate.
 func WithVarianceThreshold(v float64) Option { return func(c *config) { c.varianceThr = v } }
 
+// WithLinks declares (or overrides) named shared-link bandwidths on the
+// run's pool: resources referencing a link by name (Resource.Link) share
+// its capacity, and data-aware transfers crossing it serialize against
+// each other. Typically combined with WithFileReuse; without a file
+// catalog the links are carried but no edge derives a cost from them.
+func WithLinks(links map[string]float64) Option {
+	return func(c *config) { c.links = links }
+}
+
+// WithFileReuse turns on data-aware scheduling: edges that name a file of
+// the catalog cost file size ÷ effective path bandwidth instead of their
+// raw numeric weight, transfers occupy the pool's declared uplink/
+// downlink/link capacities and serialize in the slot search, and an input
+// already materialized on a resource — produced there, pre-staged on one
+// of the file's Hosts, or staged by an earlier transfer — costs nothing.
+// A nil catalog (or not using this option) keeps every schedule
+// bit-identical to the classic point-to-point model.
+func WithFileReuse(fs *FileSet) Option {
+	return func(c *config) { c.files = fs }
+}
+
 // WithEventDriven forces the discrete-event Planner/Executor path even
 // when no event-driven extra is configured (the analytic engine is the
 // default because it is faster and provably equivalent under accurate
@@ -216,6 +252,20 @@ func run(ctx context.Context, g *Graph, est Estimator, pool *Pool, cfg config, o
 	pol, err := policy.Get(cfg.policyName)
 	if err != nil {
 		return nil, fmt.Errorf("aheft: %w", err)
+	}
+	if cfg.links != nil {
+		merged, err := pool.WithLinks(cfg.links)
+		if err != nil {
+			return nil, fmt.Errorf("aheft: %w", err)
+		}
+		pool = merged
+	}
+	if cfg.files != nil {
+		m, err := data.NewModel(cfg.files, pool, g, 0)
+		if err != nil {
+			return nil, fmt.Errorf("aheft: %w", err)
+		}
+		cfg.popts.Data = m
 	}
 	if !cfg.wantsEngine() {
 		return planner.RunPolicyObserved(ctx, g, est, pool, pol, cfg.popts, observe)

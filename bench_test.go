@@ -25,6 +25,7 @@ import (
 
 	"aheft"
 	"aheft/internal/core"
+	"aheft/internal/data"
 	"aheft/internal/drive"
 	"aheft/internal/durable"
 	"aheft/internal/experiment"
@@ -470,6 +471,40 @@ func BenchmarkKernelAdaptiveRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := aheft.Run(ctx, sc.Graph, est, sc.Pool); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelDataAware times one full static placement pass with a
+// data model bound — derived file costs, capacity-channel slot search,
+// file-reuse lookups — on the data-heavy two-site scenario, beside the
+// identical graph's classic pass (no model, raw edge weights) so the
+// data path's overhead stays attributable. The classic variant also pins
+// the no-files contract: edge-cost derivation is gated on the bound
+// model, so its trajectory must track BenchmarkKernelPlacement's.
+func BenchmarkKernelDataAware(b *testing.B) {
+	for _, searches := range []int{64, 512} {
+		sc := workload.DataScenario(workload.DataParams{Searches: searches})
+		for _, mode := range []string{"classic", "data"} {
+			mode := mode
+			b.Run(fmt.Sprintf("v=%d/mode=%s", sc.Graph.Len(), mode), func(b *testing.B) {
+				k := kernel.New(sc.Graph, sc.Estimator())
+				if mode == "data" {
+					m, err := data.NewModel(sc.Files, sc.Pool, sc.Graph, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					k.SetData(m)
+				}
+				rs := sc.Pool.Initial()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := k.Static(rs, kernel.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"aheft/internal/drive"
+	"aheft/internal/rng"
+	"aheft/internal/server"
+	"aheft/internal/workload"
+)
+
+// dataParams carries the -data flags.
+type dataParams struct {
+	duration    time.Duration
+	seed        uint64
+	policy      string
+	out         string
+	requireBeat bool
+}
+
+// DataReport is the -data run summary written to -out.
+type DataReport struct {
+	Versions  versionStamp `json:"versions"`
+	DurationS float64      `json:"duration_s"`
+	Rounds    int          `json:"rounds"`
+	// LeakedRounds counts rounds whose grid held reservations (compute
+	// or transfer) after the workflow finished; ZeroClaimRounds counts
+	// rounds where the pending plan staged no link claims at all — a
+	// round that never exercised the data path.
+	LeakedRounds    int `json:"leaked_rounds"`
+	ZeroClaimRounds int `json:"zero_claim_rounds"`
+	// AwareMeanMakespan and ObliviousMeanMakespan are both scored by
+	// data.Retime under the true data semantics; MeanDeltaPct is
+	// 100·(oblivious−aware)/oblivious.
+	AwareMeanMakespan     float64           `json:"aware_mean_makespan"`
+	ObliviousMeanMakespan float64           `json:"oblivious_mean_makespan"`
+	MeanDeltaPct          float64           `json:"mean_delta_pct"`
+	TransferClaims        int               `json:"transfer_claims_observed"`
+	ServerMetrics         server.MetricsDoc `json:"server_metrics"`
+}
+
+// dataMain is the -data entry point: rounds of the data-heavy two-site
+// scenario (parameters drawn per round) submitted with their file
+// catalogs against one link-constrained shared grid, each round's
+// data-aware plan measured against the data-oblivious plan of the
+// identical scenario — both retimed under the true data semantics — and
+// the grid checked for leaked compute and transfer reservations.
+func dataMain(g *generator, p dataParams) {
+	r := rng.New(p.seed ^ 0xda7aab1ade)
+	gridName := fmt.Sprintf("data-%d", p.seed)
+	rep := DataReport{}
+	start := time.Now()
+	for time.Since(start) < p.duration {
+		sc := workload.DataScenario(workload.DataParams{
+			Searches: 4 + int(r.IntN(5)),
+			DBSize:   150 + float64(r.IntN(101)),
+			HitSize:  4 + float64(r.IntN(9)),
+			// LinkBW stays at the default so the pool — and therefore the
+			// grid registration — is identical across rounds.
+		})
+		out, err := drive.RunData(context.Background(), drive.DataConfig{
+			BaseURL:  g.base,
+			Client:   g.client,
+			Grid:     gridName,
+			Scenario: sc,
+			Policy:   p.policy,
+			Name:     fmt.Sprintf("data-%d", rep.Rounds),
+		})
+		if err != nil {
+			log.Fatalf("loadgen: data round %d: %v", rep.Rounds, err)
+		}
+		if out.FinalReservations != 0 || out.FinalTransferReservations != 0 {
+			rep.LeakedRounds++
+			log.Printf("loadgen: data round %d leaked %d compute + %d transfer reservations",
+				rep.Rounds, out.FinalReservations, out.FinalTransferReservations)
+		}
+		if out.PlannedTransferClaims == 0 {
+			rep.ZeroClaimRounds++
+		}
+		rep.TransferClaims += out.PlannedTransferClaims
+		rep.AwareMeanMakespan += out.AwareMakespan
+		rep.ObliviousMeanMakespan += out.ObliviousMakespan
+		rep.Rounds++
+	}
+	if rep.Rounds == 0 {
+		log.Fatal("loadgen: data: no rounds completed within -duration")
+	}
+	rep.AwareMeanMakespan /= float64(rep.Rounds)
+	rep.ObliviousMeanMakespan /= float64(rep.Rounds)
+	if rep.ObliviousMeanMakespan > 0 {
+		rep.MeanDeltaPct = 100 * (rep.ObliviousMeanMakespan - rep.AwareMeanMakespan) / rep.ObliviousMeanMakespan
+	}
+	rep.Versions = g.versions()
+	rep.DurationS = time.Since(start).Seconds()
+	if err := g.getJSON("/metrics", &rep.ServerMetrics); err != nil {
+		log.Fatalf("loadgen: fetch metrics: %v", err)
+	}
+
+	fmt.Printf("loadgen: data: %d rounds in %.1fs, %d link claims observed\n",
+		rep.Rounds, rep.DurationS, rep.TransferClaims)
+	fmt.Printf("loadgen: data: aware mean %.1f vs oblivious mean %.1f (delta %+.1f%%)\n",
+		rep.AwareMeanMakespan, rep.ObliviousMeanMakespan, rep.MeanDeltaPct)
+	m := rep.ServerMetrics
+	fmt.Printf("loadgen: data: server: grids=%d reservations=%d transfer_reservations=%d completed=%d failed=%d dropped=%d\n",
+		m.SharedGrids, m.Reservations, m.TransferReservations, m.Completed, m.Failed, m.EventsDropped)
+
+	if p.out != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(p.out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen: write report: %v", err)
+		}
+		log.Printf("loadgen: wrote %s", p.out)
+	}
+
+	switch {
+	case rep.LeakedRounds > 0:
+		log.Fatalf("loadgen: data: %d rounds leaked reservations", rep.LeakedRounds)
+	case m.Reservations != 0 || m.TransferReservations != 0:
+		log.Fatalf("loadgen: data: daemon still holds %d compute + %d transfer reservations after all rounds",
+			m.Reservations, m.TransferReservations)
+	case m.Failed != 0:
+		log.Fatalf("loadgen: data: %d workflows failed", m.Failed)
+	case rep.ZeroClaimRounds == rep.Rounds:
+		log.Fatal("loadgen: data: no round staged a single transfer claim — the data path was never exercised")
+	case p.requireBeat && rep.AwareMeanMakespan >= rep.ObliviousMeanMakespan:
+		log.Fatalf("loadgen: data: aware mean %.1f does not beat oblivious mean %.1f",
+			rep.AwareMeanMakespan, rep.ObliviousMeanMakespan)
+	}
+}

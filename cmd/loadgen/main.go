@@ -75,7 +75,8 @@ func main() {
 	requireBeatStatic := flag.Bool("require-beat-static", false, "-drive: fail unless every class's mean adaptive makespan beats the never-reschedule baseline")
 	sharedGrid := flag.Bool("shared-grid", false, "shared-grid closed-loop mode: rounds of a two-tenant BLAST/WIEN2K mix co-scheduled on one named grid, measured against the isolated-planning baseline")
 	requireContention := flag.Int("require-contention-reschedules", 0, "-shared-grid: fail unless every tenant class saw at least this many cross-workflow (contention) reschedules")
-	requireBeatOblivious := flag.Bool("require-beat-oblivious", false, "-shared-grid: fail unless every class's mean contention-aware makespan beats the isolated-planning baseline")
+	requireBeatOblivious := flag.Bool("require-beat-oblivious", false, "-shared-grid/-data: fail unless the mean aware makespan beats the oblivious baseline (per class for -shared-grid, overall for -data)")
+	dataMode := flag.Bool("data", false, "data-aware smoke mode: rounds of the data-heavy two-site scenario submitted with file catalogs against a link-constrained shared grid, measured against the data-oblivious plan retimed under the true data semantics, gating on leaked transfer reservations")
 	chaos := flag.Bool("chaos", false, "crash-recovery mode: spawn a durable daemon, SIGKILL it mid-load, restart it, and gate on the recovery invariants")
 	chaosDaemon := flag.String("chaos-daemon", "", "-chaos: path to the aheftd binary to spawn")
 	chaosAddr := flag.String("chaos-addr", "127.0.0.1:7177", "-chaos: listen address for the spawned daemon")
@@ -131,6 +132,21 @@ func main() {
 			seed: *seed, policy: *policy, varThr: *varThr,
 			bound: *overloadBound, floods: *overloadFloods,
 			out: *out,
+		})
+		return
+	}
+
+	if *dataMode {
+		g := &generator{
+			client: &http.Client{Timeout: 2 * time.Minute},
+			base:   strings.TrimRight(*addr, "/"),
+		}
+		if err := g.waitHealthy(10 * time.Second); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		dataMain(g, dataParams{
+			duration: *duration, seed: *seed, policy: *policy, out: *out,
+			requireBeat: *requireBeatOblivious,
 		})
 		return
 	}

@@ -42,6 +42,13 @@ type Job struct {
 type Edge struct {
 	From, To JobID
 	Data     float64
+	// File optionally names the data file shipped along the edge. When set
+	// (and a file catalog is bound to the schedule; see internal/data), the
+	// edge's communication cost is derived from the file's size and the
+	// effective bandwidth between the resources instead of Data, and edges
+	// sharing a File are satisfied by a single staged copy — the file-reuse
+	// semantics. Empty means the edge is a plain weighted dependence.
+	File string
 }
 
 // Graph is a mutable workflow DAG. Construct with New, add jobs and edges,
@@ -90,6 +97,13 @@ func (g *Graph) AddJob(name, op string) JobID {
 // It returns an error for unknown endpoints, self-loops, negative data, or
 // duplicate edges. Cycle detection is deferred to Validate.
 func (g *Graph) AddEdge(from, to JobID, data float64) error {
+	return g.AddFileEdge(from, to, data, "")
+}
+
+// AddFileEdge is AddEdge for an edge that ships the named data file; the
+// edge's Data weight remains the legacy fallback cost used when no file
+// catalog is bound (see Edge.File).
+func (g *Graph) AddFileEdge(from, to JobID, data float64, file string) error {
 	if g.frozen {
 		return fmt.Errorf("dag: AddEdge on frozen graph %q", g.name)
 	}
@@ -107,8 +121,9 @@ func (g *Graph) AddEdge(from, to JobID, data float64) error {
 			return fmt.Errorf("dag: duplicate edge (%s,%s)", g.jobs[from].Name, g.jobs[to].Name)
 		}
 	}
-	g.succ[from] = append(g.succ[from], Edge{From: from, To: to, Data: data})
-	g.pred[to] = append(g.pred[to], Edge{From: from, To: to, Data: data})
+	e := Edge{From: from, To: to, Data: data, File: file}
+	g.succ[from] = append(g.succ[from], e)
+	g.pred[to] = append(g.pred[to], e)
 	return nil
 }
 
@@ -116,6 +131,13 @@ func (g *Graph) AddEdge(from, to JobID, data float64) error {
 // whose construction logic guarantees well-formed edges.
 func (g *Graph) MustEdge(from, to JobID, data float64) {
 	if err := g.AddEdge(from, to, data); err != nil {
+		panic(err)
+	}
+}
+
+// MustFileEdge is AddFileEdge that panics on error.
+func (g *Graph) MustFileEdge(from, to JobID, data float64, file string) {
+	if err := g.AddFileEdge(from, to, data, file); err != nil {
 		panic(err)
 	}
 }
@@ -356,7 +378,7 @@ func (g *Graph) Clone() *Graph {
 	}
 	for i := range g.succ {
 		for _, e := range g.succ[i] {
-			c.MustEdge(e.From, e.To, e.Data)
+			c.MustFileEdge(e.From, e.To, e.Data, e.File)
 		}
 	}
 	return c

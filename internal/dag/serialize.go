@@ -35,6 +35,7 @@ type edgeJSON struct {
 	From string  `json:"from"`
 	To   string  `json:"to"`
 	Data float64 `json:"data"`
+	File string  `json:"file,omitempty"`
 }
 
 // MarshalJSON encodes the graph as a portable JSON document keyed by job
@@ -50,6 +51,7 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 				From: g.jobs[e.From].Name,
 				To:   g.jobs[e.To].Name,
 				Data: e.Data,
+				File: e.File,
 			})
 		}
 	}
@@ -84,7 +86,7 @@ func FromJSON(data []byte) (*Graph, error) {
 		if from == NoJob || to == NoJob {
 			return nil, fmt.Errorf("dag: decode: edge (%s,%s) references unknown job", e.From, e.To)
 		}
-		if err := g.AddEdge(from, to, e.Data); err != nil {
+		if err := g.AddFileEdge(from, to, e.Data, e.File); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,270 @@
+package data
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/grid"
+	"aheft/internal/schedule"
+)
+
+// testPool builds the channel-shape fixture: r0 (uplink 10, link L),
+// r1 (downlink 5, link L), r2 (link M only), r3 and r4 unconstrained.
+func testPool(t *testing.T) *grid.Pool {
+	t.Helper()
+	return grid.MustPoolLinks([]grid.Arrival{
+		{Time: 0, Resource: grid.Resource{ID: 0, Name: "r0", Up: 10, Link: "L"}},
+		{Time: 0, Resource: grid.Resource{ID: 1, Name: "r1", Down: 5, Link: "L"}},
+		{Time: 0, Resource: grid.Resource{ID: 2, Name: "r2", Link: "M"}},
+		{Time: 0, Resource: grid.Resource{ID: 3, Name: "r3"}},
+		{Time: 0, Resource: grid.Resource{ID: 4, Name: "r4"}},
+	}, map[string]float64{"L": 4, "M": 8})
+}
+
+func TestValidateRejections(t *testing.T) {
+	g := dag.New("t")
+	a := g.AddJob("a", "op")
+	b := g.AddJob("b", "op")
+	g.MustFileEdge(a, b, 1, "known")
+	graph := g.MustValidate()
+
+	cases := []struct {
+		name string
+		set  Set
+		g    *dag.Graph
+		pool int
+		max  int
+		want string
+	}{
+		{"empty ID", Set{Files: []File{{ID: "", Size: 1}}}, nil, 0, 0, "empty ID"},
+		{"long ID", Set{Files: []File{{ID: strings.Repeat("x", MaxIDLen+1), Size: 1}}}, nil, 0, 0, "longer"},
+		{"duplicate ID", Set{Files: []File{{ID: "f", Size: 1}, {ID: "f", Size: 2}}}, nil, 0, 0, "duplicate"},
+		{"zero size", Set{Files: []File{{ID: "f", Size: 0}}}, nil, 0, 0, "invalid size"},
+		{"negative size", Set{Files: []File{{ID: "f", Size: -3}}}, nil, 0, 0, "invalid size"},
+		{"inf size", Set{Files: []File{{ID: "f", Size: math.Inf(1)}}}, nil, 0, 0, "invalid size"},
+		{"nan size", Set{Files: []File{{ID: "f", Size: math.NaN()}}}, nil, 0, 0, "invalid size"},
+		{"negative host", Set{Files: []File{{ID: "f", Size: 1, Hosts: []grid.ID{-1}}}}, nil, 0, 0, "unknown resource"},
+		{"host out of range", Set{Files: []File{{ID: "f", Size: 1, Hosts: []grid.ID{2}}}}, nil, 2, 0, "unknown resource"},
+		{"duplicate host", Set{Files: []File{{ID: "f", Size: 1, Hosts: []grid.ID{0, 0}}}}, nil, 2, 0, "twice"},
+		{"over limit", Set{Files: []File{{ID: "f", Size: 1}, {ID: "g", Size: 1}}}, nil, 0, 1, "exceed limit"},
+		{"negative default bw", Set{DefaultBW: -1, Files: []File{{ID: "f", Size: 1}}}, nil, 0, 0, "invalid default bandwidth"},
+		{"nan default bw", Set{DefaultBW: math.NaN(), Files: []File{{ID: "f", Size: 1}}}, nil, 0, 0, "invalid default bandwidth"},
+		{"undeclared edge file", Set{Files: []File{{ID: "other", Size: 1}}}, graph, 0, 0, "undeclared file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.set.Validate(tc.g, tc.pool, tc.max)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+
+	// The happy path: declared file referenced by the edge, hosts in range,
+	// out-of-range host check skipped at poolSize 0.
+	ok := Set{Files: []File{{ID: "known", Size: 2, Hosts: []grid.ID{99}}}}
+	if err := ok.Validate(graph, 0, 0); err != nil {
+		t.Fatalf("valid catalog rejected: %v", err)
+	}
+}
+
+func TestModelChannels(t *testing.T) {
+	pool := testPool(t)
+	m, err := NewModel(&Set{Files: []File{{ID: "f", Size: 8, Hosts: []grid.ID{1}}}}, pool, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Channel layout: links first in name order, then per-arrival declared
+	// uplinks and downlinks — stable names the ledger and GridStatus key on.
+	wantNames := []string{"link:L", "link:M", "up:0", "down:1"}
+	wantBW := []float64{4, 8, 10, 5}
+	if m.NumChannels() != len(wantNames) {
+		t.Fatalf("NumChannels = %d, want %d", m.NumChannels(), len(wantNames))
+	}
+	for c, want := range wantNames {
+		if m.ChannelName(c) != want || m.ChannelBW(c) != wantBW[c] {
+			t.Fatalf("channel %d = %s@%g, want %s@%g", c, m.ChannelName(c), m.ChannelBW(c), want, wantBW[c])
+		}
+	}
+
+	chNames := func(src, dst grid.ID) []string {
+		idx := m.AppendChannels(src, dst, nil)
+		out := make([]string, len(idx))
+		for i, c := range idx {
+			out[i] = m.ChannelName(c)
+		}
+		return out
+	}
+	cases := []struct {
+		src, dst grid.ID
+		want     []string
+	}{
+		{0, 0, nil}, // co-located: no channels
+		{0, 1, []string{"up:0", "down:1", "link:L"}}, // shared link counted once
+		{0, 2, []string{"up:0", "link:L", "link:M"}}, // distinct links both counted
+		{3, 0, []string{"link:L"}},                   // entering site L crosses its link
+		{3, 1, []string{"down:1", "link:L"}},
+		{0, 3, []string{"up:0", "link:L"}},
+		{3, 4, nil}, // fully unmodelled path
+	}
+	for _, tc := range cases {
+		got := chNames(tc.src, tc.dst)
+		if len(got) != len(tc.want) {
+			t.Fatalf("AppendChannels(%d,%d) = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("AppendChannels(%d,%d) = %v, want %v", tc.src, tc.dst, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestEffBWAndCosts(t *testing.T) {
+	pool := testPool(t)
+	set := &Set{Files: []File{{ID: "f", Size: 8, Hosts: []grid.ID{1}}}}
+	m, err := NewModel(set, pool, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// EffBW is the min over every declared constraint on the path.
+	if bw := m.EffBW(0, 1); bw != 4 { // min(up 10, down 5, link L 4)
+		t.Fatalf("EffBW(0,1) = %g, want 4", bw)
+	}
+	if bw := m.EffBW(0, 2); bw != 4 { // min(up 10, L 4, M 8)
+		t.Fatalf("EffBW(0,2) = %g, want 4", bw)
+	}
+	if bw := m.EffBW(2, 3); bw != 8 { // only link M constrains
+		t.Fatalf("EffBW(2,3) = %g, want 8", bw)
+	}
+	// Unmodelled path: +Inf bandwidth, zero duration.
+	if bw := m.EffBW(3, 4); !math.IsInf(bw, 1) {
+		t.Fatalf("EffBW(3,4) = %g, want +Inf", bw)
+	}
+	if d := m.Duration(0, 3, 4); d != 0 {
+		t.Fatalf("Duration over unmodelled path = %g, want 0", d)
+	}
+	if d := m.Duration(0, 0, 0); d != 0 {
+		t.Fatalf("co-located Duration = %g, want 0", d)
+	}
+	if d := m.Duration(0, 0, 2); d != 2 { // 8 / min(10, 4, 8)
+		t.Fatalf("Duration(f, 0, 2) = %g, want 2", d)
+	}
+
+	// StaticComm zeroes pre-staged destinations; NominalComm averages the
+	// declared channel capacities when no default is set.
+	if c := m.StaticComm(0, 0, 1); c != 0 {
+		t.Fatalf("StaticComm to pre-staged host = %g, want 0", c)
+	}
+	if c := m.StaticComm(0, 2, 2); c != 0 {
+		t.Fatalf("co-located StaticComm = %g, want 0", c)
+	}
+	if c := m.StaticComm(0, 0, 2); c != 2 {
+		t.Fatalf("StaticComm(f, 0, 2) = %g, want 2", c)
+	}
+	if c := m.NominalComm(0); c != 8/6.75 { // mean(4, 8, 10, 5) = 6.75
+		t.Fatalf("NominalComm = %g, want %g", c, 8/6.75)
+	}
+
+	// DefaultBW becomes both the unconstrained baseline and the nominal
+	// reference.
+	m2, err := NewModel(&Set{DefaultBW: 2, Files: set.Files}, pool, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := m2.EffBW(3, 4); bw != 2 {
+		t.Fatalf("EffBW with DefaultBW = %g, want 2", bw)
+	}
+	if c := m2.NominalComm(0); c != 4 {
+		t.Fatalf("NominalComm with DefaultBW = %g, want 4", c)
+	}
+
+	// A pool with no declared capacity at all falls back to reference
+	// bandwidth 1.
+	bare := grid.MustPool([]grid.Arrival{
+		{Time: 0, Resource: grid.Resource{ID: 0, Name: "a"}},
+		{Time: 0, Resource: grid.Resource{ID: 1, Name: "b"}},
+	})
+	m3, err := NewModel(&Set{Files: set.Files}, bare, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := m3.NominalComm(0); c != 8 {
+		t.Fatalf("NominalComm on bare pool = %g, want 8", c)
+	}
+
+	// PreStaged and Store tolerate out-of-range resources.
+	if m.PreStaged(0, grid.ID(99)) || m.Store(grid.ID(99)) != 0 {
+		t.Fatal("out-of-range resource not treated as absent")
+	}
+}
+
+// TestRetimeSerializesAndReuses hand-checks the referee: transfers over
+// one shared link serialize append-only in topo order, a staged replica
+// is reused by later consumers on the same resource, and non-file edges
+// keep the base estimator's cost.
+func TestRetimeSerializesAndReuses(t *testing.T) {
+	g := dag.New("retime")
+	j0 := g.AddJob("prep", "prep")
+	j1 := g.AddJob("c1", "c")
+	j2 := g.AddJob("c2", "c")
+	j3 := g.AddJob("c3", "c")
+	j4 := g.AddJob("c4", "c")
+	g.MustFileEdge(j0, j1, 1, "db")
+	g.MustFileEdge(j0, j2, 1, "db")
+	g.MustFileEdge(j0, j3, 1, "x")
+	g.MustEdge(j0, j4, 7)
+	graph := g.MustValidate()
+
+	pool := grid.MustPoolLinks([]grid.Arrival{
+		{Time: 0, Resource: grid.Resource{ID: 0, Name: "src"}},
+		{Time: 0, Resource: grid.Resource{ID: 1, Name: "dst", Link: "l"}},
+	}, map[string]float64{"l": 2})
+	set := &Set{Files: []File{{ID: "db", Size: 4}, {ID: "x", Size: 2}}}
+	m, err := NewModel(set, pool, graph, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := cost.MustTable([][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}})
+
+	s := schedule.New()
+	s.Assign(schedule.Assignment{Job: j0, Resource: 0, Start: 0, Finish: 1})
+	for _, j := range []dag.JobID{j1, j2, j3, j4} {
+		s.Assign(schedule.Assignment{Job: j, Resource: 1, Start: 0, Finish: 1})
+	}
+
+	// Topo order is ascending job ID. j1: db ships at t=1 for 2 → staged
+	// at 3, finishes 4. j2 reuses the staged replica (ready 3) but waits
+	// for the resource: 4→5. j3: x serializes on link:l behind db (3→4),
+	// runs 5→6. j4's plain edge costs base.Comm = 7: runs 8→9.
+	if mk := Retime(graph, s, m, cost.Exact(table)); mk != 9 {
+		t.Fatalf("Retime = %g, want 9", mk)
+	}
+
+	// Pre-staging db on the destination removes its transfer: j1 runs at
+	// its precedence floor, and x's transfer no longer queues behind db.
+	staged := &Set{Files: []File{{ID: "db", Size: 4, Hosts: []grid.ID{1}}, {ID: "x", Size: 2}}}
+	ms, err := NewModel(staged, pool, graph, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j1 1→2, j2 2→3, j3: x ships 1→2, runs 3→4; j4 8→9 still dominates.
+	if mk := Retime(graph, s, ms, cost.Exact(table)); mk != 9 {
+		t.Fatalf("Retime pre-staged = %g, want 9", mk)
+	}
+
+	// Everything on one resource: no transfers, pure compute serialization
+	// behind the precedence floor.
+	mono := schedule.New()
+	for i, j := range []dag.JobID{j0, j1, j2, j3, j4} {
+		mono.Assign(schedule.Assignment{Job: j, Resource: 0, Start: float64(i), Finish: float64(i) + 1})
+	}
+	if mk := Retime(graph, mono, m, cost.Exact(table)); mk != 5 {
+		t.Fatalf("Retime co-located = %g, want 5", mk)
+	}
+}

@@ -412,6 +412,7 @@ func (d *driver) submitShared(ctx context.Context, gridName string, tn Tenant) (
 		Options:    tn.Options,
 		Graph:      tn.Scenario.Graph,
 		Comp:       tn.Scenario.Table,
+		Files:      tn.Scenario.Files,
 		SharedGrid: gridName,
 	})
 	if err != nil {

@@ -162,8 +162,10 @@ type Tracker struct {
 
 	// Shared-grid state: the ledger view this workflow publishes its
 	// reservations through (nil for private-pool workflows).
-	occ    *occupancy.View
-	resBuf []occupancy.Reservation
+	occ     *occupancy.View
+	resBuf  []occupancy.Reservation
+	xferBuf []occupancy.Transfer
+	chBuf   []int
 
 	decisions []planner.Decision
 	adoptions int
@@ -257,6 +259,11 @@ func build(cfg Config) (*Tracker, error) {
 		t.nAvail++
 	}
 	t.k = kernel.New(cfg.Graph, t.est)
+	if cfg.Opts.Data != nil {
+		// Bind before NewState so the dense snapshot's file ledger is
+		// shaped for the model.
+		t.k.SetData(cfg.Opts.Data)
+	}
 	t.ks = t.k.NewState(cfg.Pool.Size())
 	if cfg.Occupancy != nil {
 		// Attach before planning: the initial plan already routes around
@@ -302,6 +309,35 @@ func (t *Tracker) publishReservations() {
 	}
 	t.resBuf = rs
 	t.occ.Publish(rs)
+	t.publishTransfers()
+}
+
+// publishTransfers replaces this workflow's transfer reservations with
+// the current plan's stagings for jobs that have not started yet: each
+// schedule.Transfer claims every capacity channel on its src→dst path
+// (one ledger entry per channel, as data.Model names them). Once a job
+// starts its inputs are materialized and the claims are released — the
+// per-job narrowing that mirrors the compute side.
+func (t *Tracker) publishTransfers() {
+	m := t.k.Data()
+	if m == nil {
+		return
+	}
+	ts := t.xferBuf[:0]
+	for _, tr := range t.sched.Transfers() {
+		if t.phase[tr.Job] != phasePending {
+			continue
+		}
+		t.chBuf = m.AppendChannels(tr.From, tr.To, t.chBuf[:0])
+		for _, c := range t.chBuf {
+			ts = append(ts, occupancy.Transfer{
+				Job: int(tr.Job), File: tr.File, Channel: m.ChannelName(c),
+				Start: tr.Start, Finish: tr.Finish,
+			})
+		}
+	}
+	t.xferBuf = ts
+	t.occ.PublishTransfers(ts)
 }
 
 // Plan returns the schedule the daemon currently wants enacted.
@@ -370,6 +406,9 @@ func (t *Tracker) Apply(events []wire.ReportEvent) (*Outcome, error) {
 					Job: ev.Job, Resource: grid.ID(ev.Resource),
 					Start: ev.Time, Finish: ev.Time + t.est.Comp(j, grid.ID(ev.Resource)),
 				})
+				// A started job has its inputs in hand; its staging claims
+				// on the links are spent, not pending.
+				t.occ.ReleaseJobTransfers(ev.Job)
 			}
 		case wire.ReportJobFinished:
 			t.applyFinish(ev, out)
@@ -558,7 +597,7 @@ func (t *Tracker) applyFinish(ev wire.ReportEvent, out *Outcome) {
 	for _, e := range t.g.Succs(j) {
 		t.ks.SetTransfer(j, e.To, r, ev.Time)
 		if sa, ok := t.sched.Get(e.To); ok {
-			t.ks.SetTransfer(j, e.To, sa.Resource, ev.Time+t.est.Comm(e, r, sa.Resource))
+			t.ks.SetTransfer(j, e.To, sa.Resource, ev.Time+t.k.CommEst(e, r, sa.Resource))
 		}
 	}
 	if t.nFinished == t.g.Len() {
@@ -695,7 +734,7 @@ func (t *Tracker) adopt(s1 *schedule.Schedule) {
 				continue
 			}
 			pr := t.startRes[e.From]
-			t.ks.SetTransfer(e.From, jb.ID, a1.Resource, t.clock+t.est.Comm(e, pr, a1.Resource))
+			t.ks.SetTransfer(e.From, jb.ID, a1.Resource, t.clock+t.k.CommEst(e, pr, a1.Resource))
 		}
 	}
 }
@@ -764,17 +803,17 @@ func (t *Tracker) Project() float64 {
 				if tt, ok := t.ks.TransferAt(m, j, a.Resource); ok {
 					at = tt
 				} else {
-					at = t.clock + t.est.Comm(e, t.startRes[m], a.Resource)
+					at = t.clock + t.k.CommEst(e, t.startRes[m], a.Resource)
 				}
 			case phaseStarted:
 				at = t.projFin[m]
 				if t.startRes[m] != a.Resource {
-					at += t.est.Comm(e, t.startRes[m], a.Resource)
+					at += t.k.CommEst(e, t.startRes[m], a.Resource)
 				}
 			default:
 				at = t.projFin[m]
 				if pr := t.sched.MustGet(m).Resource; pr != a.Resource {
-					at += t.est.Comm(e, pr, a.Resource)
+					at += t.k.CommEst(e, pr, a.Resource)
 				}
 			}
 			if at > ready {

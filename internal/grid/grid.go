@@ -26,10 +26,30 @@ type ID int
 const NoResource ID = -1
 
 // Resource is a computation unit (one host/cluster slot in the paper's
-// model; each resource executes one job at a time).
+// model; each resource executes one job at a time). Beyond its compute
+// slot a resource may declare data-plane capacity: per-resource uplink
+// and downlink bandwidth, membership in a named shared link, and attached
+// storage. All data-plane fields are optional — zero means "unmodelled"
+// (infinite capacity), which keeps every pre-existing scenario
+// bit-identical.
 type Resource struct {
 	ID   ID
 	Name string
+
+	// Up and Down are the resource's uplink/downlink bandwidths in data
+	// units per time unit (MB/s in the paper's workloads). Zero means
+	// unconstrained: transfers touching this side of the resource are
+	// bounded only by the other constraints on the path.
+	Up, Down float64
+	// Link optionally names a shared link (declared on the Pool) this
+	// resource sits behind; every transfer in or out of the resource also
+	// occupies that link's capacity, so resources behind one link contend
+	// with each other for it.
+	Link string
+	// Store is the attached storage capacity in data units; zero means
+	// unbounded. The planner treats it as a soft bound on how much data it
+	// stages onto the resource within one plan.
+	Store float64
 }
 
 // Arrival records one resource joining the grid at a point in simulated
@@ -44,14 +64,34 @@ type Arrival struct {
 // clock value, and the event-driven executors iterate its arrival events.
 type Pool struct {
 	arrivals []Arrival // sorted by Time, then Resource.ID
+	// links maps a shared-link name to its bandwidth (data units per time
+	// unit). Resources reference links by name (Resource.Link); nil when
+	// the scenario declares no shared links.
+	links map[string]float64
 }
 
 // NewPool builds a pool from a set of arrivals. Resource IDs must be dense
 // (0..n-1) and unique; arrival times must be non-negative.
 func NewPool(arrivals []Arrival) (*Pool, error) {
+	return NewPoolLinks(arrivals, nil)
+}
+
+// NewPoolLinks is NewPool with named shared links: every Resource.Link
+// reference must name an entry of links, and every declared bandwidth or
+// storage capacity must be non-negative and finite (zero means
+// unconstrained).
+func NewPoolLinks(arrivals []Arrival, links map[string]float64) (*Pool, error) {
 	n := len(arrivals)
 	if n == 0 {
 		return nil, fmt.Errorf("grid: empty pool")
+	}
+	for name, bw := range links {
+		if name == "" {
+			return nil, fmt.Errorf("grid: shared link with empty name")
+		}
+		if !(bw > 0) || math.IsInf(bw, 0) {
+			return nil, fmt.Errorf("grid: shared link %q has invalid bandwidth %g", name, bw)
+		}
 	}
 	seen := make([]bool, n)
 	for _, a := range arrivals {
@@ -66,6 +106,19 @@ func NewPool(arrivals []Arrival) (*Pool, error) {
 			return nil, fmt.Errorf("grid: duplicate resource ID %d", id)
 		}
 		seen[id] = true
+		for _, f := range [...]struct {
+			name string
+			v    float64
+		}{{"uplink", a.Resource.Up}, {"downlink", a.Resource.Down}, {"storage", a.Resource.Store}} {
+			if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+				return nil, fmt.Errorf("grid: resource %q has invalid %s %g", a.Resource.Name, f.name, f.v)
+			}
+		}
+		if a.Resource.Link != "" {
+			if _, ok := links[a.Resource.Link]; !ok {
+				return nil, fmt.Errorf("grid: resource %q references unknown link %q", a.Resource.Name, a.Resource.Link)
+			}
+		}
 	}
 	sorted := make([]Arrival, n)
 	copy(sorted, arrivals)
@@ -78,13 +131,30 @@ func NewPool(arrivals []Arrival) (*Pool, error) {
 	if sorted[0].Time != 0 {
 		return nil, fmt.Errorf("grid: no resource available at time 0 (first arrival at %g)", sorted[0].Time)
 	}
-	return &Pool{arrivals: sorted}, nil
+	var lk map[string]float64
+	if len(links) > 0 {
+		lk = make(map[string]float64, len(links))
+		for name, bw := range links {
+			lk[name] = bw
+		}
+	}
+	return &Pool{arrivals: sorted, links: lk}, nil
 }
 
 // MustPool is NewPool that panics on error, for generator code paths whose
 // construction guarantees validity.
 func MustPool(arrivals []Arrival) *Pool {
 	p, err := NewPool(arrivals)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustPoolLinks is NewPoolLinks that panics on error, for generator code
+// paths whose construction guarantees validity.
+func MustPoolLinks(arrivals []Arrival, links map[string]float64) *Pool {
+	p, err := NewPoolLinks(arrivals, links)
 	if err != nil {
 		panic(err)
 	}
@@ -103,6 +173,37 @@ func StaticPool(n int) *Pool {
 
 // Size returns the total number of resources that ever join the pool.
 func (p *Pool) Size() int { return len(p.arrivals) }
+
+// Links returns the pool's named shared links as a name → bandwidth
+// snapshot (nil when none are declared).
+func (p *Pool) Links() map[string]float64 {
+	if len(p.links) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(p.links))
+	for name, bw := range p.links {
+		out[name] = bw
+	}
+	return out
+}
+
+// LinkBW returns the bandwidth of the named shared link (0 if unknown).
+func (p *Pool) LinkBW(name string) float64 { return p.links[name] }
+
+// WithLinks returns a copy of the pool with the given named-link
+// bandwidths merged over the existing ones. Resources keep their Link
+// references; new names become available for them to reference (the copy
+// is re-validated, so an invalid bandwidth is rejected).
+func (p *Pool) WithLinks(links map[string]float64) (*Pool, error) {
+	merged := make(map[string]float64, len(p.links)+len(links))
+	for name, bw := range p.links {
+		merged[name] = bw
+	}
+	for name, bw := range links {
+		merged[name] = bw
+	}
+	return NewPoolLinks(p.arrivals, merged)
+}
 
 // Arrivals returns all arrival events in time order. Shared slice; callers
 // must not mutate.

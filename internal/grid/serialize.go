@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 )
@@ -8,36 +9,75 @@ import (
 // arrivalJSON is the wire form of one pool arrival. Resource IDs are not
 // carried explicitly: arrivals are listed in ID order and decoding assigns
 // dense IDs 0..n-1 by position, so a document can never describe the
-// non-dense or duplicate IDs NewPool rejects.
+// non-dense or duplicate IDs NewPool rejects. Data-plane fields are
+// omitempty so pools that never declare them encode exactly as before the
+// data-aware extension.
 type arrivalJSON struct {
-	Time float64 `json:"t"`
-	Name string  `json:"name"`
+	Time  float64 `json:"t"`
+	Name  string  `json:"name"`
+	Up    float64 `json:"up,omitempty"`
+	Down  float64 `json:"down,omitempty"`
+	Link  string  `json:"link,omitempty"`
+	Store float64 `json:"store,omitempty"`
+}
+
+// poolJSON is the extended wire form used only when the pool declares
+// named shared links: the legacy bare-array form has nowhere to carry the
+// link table, so such pools encode as an object instead.
+type poolJSON struct {
+	Links     map[string]float64 `json:"links"`
+	Resources []arrivalJSON      `json:"resources"`
+}
+
+func (p *Pool) arrivalsByID() []arrivalJSON {
+	byID := make([]arrivalJSON, len(p.arrivals))
+	for _, a := range p.arrivals {
+		r := a.Resource
+		byID[r.ID] = arrivalJSON{
+			Time: a.Time, Name: r.Name,
+			Up: r.Up, Down: r.Down, Link: r.Link, Store: r.Store,
+		}
+	}
+	return byID
 }
 
 // MarshalJSON encodes the pool as the list of its arrivals in resource-ID
 // order (not arrival-time order): position in the list is the resource ID,
-// which keeps cost-table columns aligned across a round trip.
+// which keeps cost-table columns aligned across a round trip. Pools with
+// named shared links encode as {"links":{...},"resources":[...]} instead —
+// link-free pools keep the legacy bare-array bytes.
 func (p *Pool) MarshalJSON() ([]byte, error) {
-	byID := make([]arrivalJSON, len(p.arrivals))
-	for _, a := range p.arrivals {
-		byID[a.Resource.ID] = arrivalJSON{Time: a.Time, Name: a.Resource.Name}
+	if len(p.links) == 0 {
+		return json.Marshal(p.arrivalsByID())
 	}
-	return json.Marshal(byID)
+	return json.Marshal(poolJSON{Links: p.Links(), Resources: p.arrivalsByID()})
 }
 
-// UnmarshalJSON decodes a pool written by MarshalJSON. The result is
-// validated by NewPool (non-negative times, at least one time-0 resource);
-// on error the receiver is left untouched.
+// UnmarshalJSON decodes a pool written by MarshalJSON, accepting both the
+// bare-array and the links-object form. The result is validated by
+// NewPoolLinks (non-negative times, at least one time-0 resource, sane
+// bandwidths, resolvable link references); on error the receiver is left
+// untouched.
 func (p *Pool) UnmarshalJSON(data []byte) error {
 	var doc []arrivalJSON
-	if err := json.Unmarshal(data, &doc); err != nil {
+	var links map[string]float64
+	if trimmed := bytes.TrimLeft(data, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '{' {
+		var obj poolJSON
+		if err := json.Unmarshal(data, &obj); err != nil {
+			return fmt.Errorf("grid: decode: %w", err)
+		}
+		doc, links = obj.Resources, obj.Links
+	} else if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("grid: decode: %w", err)
 	}
 	arr := make([]Arrival, len(doc))
 	for i, a := range doc {
-		arr[i] = Arrival{Time: a.Time, Resource: Resource{ID: ID(i), Name: a.Name}}
+		arr[i] = Arrival{Time: a.Time, Resource: Resource{
+			ID: ID(i), Name: a.Name,
+			Up: a.Up, Down: a.Down, Link: a.Link, Store: a.Store,
+		}}
 	}
-	np, err := NewPool(arr)
+	np, err := NewPoolLinks(arr, links)
 	if err != nil {
 		return fmt.Errorf("grid: decode: %w", err)
 	}

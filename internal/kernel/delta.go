@@ -192,6 +192,11 @@ func (k *Kernel) memoRecordable(opts Options) bool {
 	if opts.TieWindow != 0 || opts.NoInsertion {
 		return false
 	}
+	if k.dataM != nil {
+		// The memo's probe bounds don't model channel timelines or staged
+		// files; data-aware passes always replan in full.
+		return false
+	}
 	_, ok := k.est.(VersionedEstimator)
 	return ok
 }
@@ -293,6 +298,8 @@ func (k *Kernel) rescheduleDelta(rs []grid.Resource, st *State, base []dag.JobID
 		return nil
 	}
 	switch {
+	case k.dataM != nil:
+		return fail("data-aware")
 	case mm == nil || !mm.valid || mm.sched == nil:
 		return fail("no-memo")
 	case opts.TieWindow != 0:

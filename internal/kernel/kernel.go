@@ -37,6 +37,7 @@ import (
 
 	"aheft/internal/cost"
 	"aheft/internal/dag"
+	"aheft/internal/data"
 	"aheft/internal/grid"
 	"aheft/internal/schedule"
 )
@@ -133,6 +134,23 @@ type Kernel struct {
 	// search as busy intervals (see SetOccupancy).
 	occ     Occupancy
 	busyBuf []Busy
+
+	// Data-aware scheduling (data.go): nil dataM selects the classic
+	// point-to-point model; every data branch is nil-guarded so the
+	// no-files path stays bit-identical to the pre-data kernel.
+	dataM      *data.Model
+	fileOfEdge []int    // dense edge index → file index, -1 for plain edges
+	chBase     [][]span // per channel: foreign transfer reservations
+	chWork     [][]span // per channel: working timeline of the current pass
+	chIdxBuf   []int
+	xferBuf    []probeXfer // per-(job,resource) probe scratch
+	workXfers  []schedule.Transfer
+	bestXfers  []schedule.Transfer
+	storeUsed  []float64 // per resource: data staged by the current pass
+	fAvail     []float64 // [file*fStride+res]: pass-local staged availability
+	fAvailEp   []uint32
+	fEpoch     uint32
+	fStride    int
 
 	// Incremental rescheduling (delta.go): the memo of the last recorded
 	// full pass, the per-pass delta scratch, and the last pass's report.
@@ -255,7 +273,7 @@ func (k *Kernel) Ranks(rs []grid.Resource) ([]float64, []dag.JobID, error) {
 		w := cost.MeanComp(k.est, j, rs)
 		best := 0.0
 		for _, e := range k.g.Succs(j) {
-			if v := cost.MeanComm(e) + k.ranks[e.To]; v > best {
+			if v := k.meanComm(e) + k.ranks[e.To]; v > best {
 				best = v
 			}
 		}
@@ -401,6 +419,9 @@ func (k *Kernel) Reschedule(rs []grid.Resource, st *State, opts Options) (*sched
 		return nil, err
 	}
 	copy(k.bestPlaced, k.placed)
+	if k.dataM != nil {
+		k.bestXfers = append(k.bestXfers[:0], k.workXfers...)
+	}
 	if rec != nil {
 		k.finishMemo(rec, rs, st, base, opts)
 	}
@@ -429,6 +450,9 @@ func (k *Kernel) Reschedule(rs []grid.Resource, st *State, opts Options) (*sched
 			if mk < bestMk {
 				bestMk = mk
 				copy(k.bestPlaced, k.placed)
+				if k.dataM != nil {
+					k.bestXfers = append(k.bestXfers[:0], k.workXfers...)
+				}
 			}
 		}
 	}
@@ -533,6 +557,9 @@ func (k *Kernel) prepHistory(rs []grid.Resource, st *State) {
 			k.baseTL[r.ID] = coalesce(k.baseTL[r.ID])
 		}
 	}
+	if k.dataM != nil {
+		k.prepChannels()
+	}
 }
 
 // placeCandidate runs one full EFT-minimising placement pass over the
@@ -549,28 +576,42 @@ func (k *Kernel) placeCandidate(rs []grid.Resource, st *State, order []dag.JobID
 		k.workTL[r.ID] = append(k.workTL[r.ID][:0], k.baseTL[r.ID]...)
 	}
 	insertion := !opts.NoInsertion
+	if k.dataM != nil {
+		k.beginDataPass(rs)
+	}
 	mk := k.histMax
 	nRS := len(rs)
 	for _, job := range order {
 		bestRes := grid.NoResource
 		bestStart, bestFinish := 0.0, 0.0
+		// overRes is the storage-overflow fallback (data path only): the
+		// best placement among resources whose storage bound the job's
+		// staging would exceed, used only when every resource overflows.
+		overRes := grid.NoResource
+		overStart, overFinish := 0.0, 0.0
 		preds := k.g.Preds(job)
 		eBase := k.predBase[job]
 		readyMin := 0.0
 		case2 := false
 		for ri, r := range rs {
-			// Inner max of Eq. 2: input availability via FEA (Eq. 1).
-			ready := st.Clock
-			for i := range preds {
-				if rec != nil {
-					if fr := st.finRes[preds[i].From]; fr != grid.NoResource {
-						if _, ok := st.transfer(eBase+i, r.ID); !ok {
-							case2 = true // Eq. 1 Case 2: clock-sensitive
+			var ready float64
+			fits := true
+			if k.dataM != nil {
+				ready, fits = k.probeInputs(st, preds, eBase, r.ID, insertion)
+			} else {
+				// Inner max of Eq. 2: input availability via FEA (Eq. 1).
+				ready = st.Clock
+				for i := range preds {
+					if rec != nil {
+						if fr := st.finRes[preds[i].From]; fr != grid.NoResource {
+							if _, ok := st.transfer(eBase+i, r.ID); !ok {
+								case2 = true // Eq. 1 Case 2: clock-sensitive
+							}
 						}
 					}
-				}
-				if t := st.fea(preds[i], eBase+i, r.ID); t > ready {
-					ready = t
+					if t := st.fea(preds[i], eBase+i, r.ID); t > ready {
+						ready = t
+					}
 				}
 			}
 			w := k.est.Comp(job, r.ID)
@@ -583,9 +624,21 @@ func (k *Kernel) placeCandidate(rs []grid.Resource, st *State, order []dag.JobID
 					readyMin = ready
 				}
 			}
-			if bestRes == grid.NoResource || finish < bestFinish {
-				bestRes, bestStart, bestFinish = r.ID, start, finish
+			switch {
+			case fits:
+				if bestRes == grid.NoResource || finish < bestFinish {
+					bestRes, bestStart, bestFinish = r.ID, start, finish
+				}
+			case bestRes == grid.NoResource:
+				if overRes == grid.NoResource || finish < overFinish {
+					overRes, overStart, overFinish = r.ID, start, finish
+				}
 			}
+		}
+		if bestRes == grid.NoResource && overRes != grid.NoResource {
+			// Storage is a soft bound: when every resource would overflow,
+			// the least-bad placement proceeds anyway.
+			bestRes, bestStart, bestFinish = overRes, overStart, overFinish
 		}
 		if bestRes == grid.NoResource {
 			return 0, fmt.Errorf("kernel: no resource available for job %d", job)
@@ -593,6 +646,9 @@ func (k *Kernel) placeCandidate(rs []grid.Resource, st *State, order []dag.JobID
 		if rec != nil {
 			rec.readyMin[job] = readyMin
 			rec.case2[job] = case2
+		}
+		if k.dataM != nil {
+			k.commitInputs(st, job, preds, eBase, bestRes, insertion)
 		}
 		k.placed[job] = schedule.Assignment{Job: job, Resource: bestRes, Start: bestStart, Finish: bestFinish}
 		insertSpan(&k.workTL[bestRes], span{start: bestStart, finish: bestFinish, job: job})
@@ -670,7 +726,13 @@ func (k *Kernel) buildSchedule(base []dag.JobID) *schedule.Schedule {
 		out = append(out, k.bestPlaced[job])
 	}
 	k.out = out
-	return schedule.FromAssignments(out)
+	s := schedule.FromAssignments(out)
+	if k.dataM != nil {
+		ts := make([]schedule.Transfer, len(k.bestXfers))
+		copy(ts, k.bestXfers)
+		s.SetTransfers(ts)
+	}
+	return s
 }
 
 // --- Just-in-time dispatch evaluation ---------------------------------

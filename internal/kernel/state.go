@@ -70,6 +70,13 @@ type State struct {
 	epoch  uint32
 	stride int // resources per ledger row
 
+	// File-keyed ledger (data-aware mode only): earliest availability of
+	// each catalog file on each resource, fed by the same SetTransfer
+	// writes as the edge ledger. This is what lets an input staged for one
+	// consumer satisfy every other edge naming the same file.
+	fled   []float64 // fled[file*stride+res]
+	fledEp []uint32
+
 	// inputGen[j] counts effective ledger writes on j's incoming edges.
 	// The delta path compares it against its memo to detect jobs whose
 	// Eq. 1 inputs changed between reschedules without replaying the
@@ -118,6 +125,9 @@ func (st *State) Reset() {
 	if st.epoch == 0 { // uint32 wrap: actually clear, then restart epochs
 		for i := range st.ledEp {
 			st.ledEp[i] = 0
+		}
+		for i := range st.fledEp {
+			st.fledEp[i] = 0
 		}
 		st.epoch = 1
 	}
@@ -192,6 +202,16 @@ func (st *State) growLedger(nRes int) {
 		copy(led[e*nRes:e*nRes+st.stride], st.led[e*st.stride:(e+1)*st.stride])
 		copy(ep[e*nRes:e*nRes+st.stride], st.ledEp[e*st.stride:(e+1)*st.stride])
 	}
+	if st.k.dataM != nil {
+		nf := st.k.dataM.NumFiles()
+		fled := make([]float64, nf*nRes)
+		fep := make([]uint32, nf*nRes)
+		for f := 0; f < nf && st.stride > 0; f++ {
+			copy(fled[f*nRes:f*nRes+st.stride], st.fled[f*st.stride:(f+1)*st.stride])
+			copy(fep[f*nRes:f*nRes+st.stride], st.fledEp[f*st.stride:(f+1)*st.stride])
+		}
+		st.fled, st.fledEp = fled, fep
+	}
 	st.led, st.ledEp, st.stride = led, ep, nRes
 }
 
@@ -208,12 +228,33 @@ func (st *State) SetTransfer(m, j dag.JobID, r grid.ID, t float64) {
 		st.growLedger(int(r) + 1)
 	}
 	i := e*st.stride + int(r)
-	if st.ledEp[i] == st.epoch && st.led[i] <= t {
-		return
+	if st.ledEp[i] != st.epoch || st.led[i] > t {
+		st.led[i] = t
+		st.ledEp[i] = st.epoch
+		st.inputGen[j]++
 	}
-	st.led[i] = t
-	st.ledEp[i] = st.epoch
-	st.inputGen[j]++
+	if st.k.fileOfEdge != nil {
+		if f := st.k.fileOfEdge[e]; f >= 0 {
+			fi := f*st.stride + int(r)
+			if st.fledEp[fi] != st.epoch || st.fled[fi] > t {
+				st.fled[fi] = t
+				st.fledEp[fi] = st.epoch
+			}
+		}
+	}
+}
+
+// fileAt returns the recorded availability of catalog file f on r
+// (data-aware mode only).
+func (st *State) fileAt(f int, r grid.ID) (float64, bool) {
+	if int(r) >= st.stride {
+		return 0, false
+	}
+	i := f*st.stride + int(r)
+	if st.fledEp[i] != st.epoch {
+		return 0, false
+	}
+	return st.fled[i], true
 }
 
 // HasTransfer reports whether a transfer of the (m → j) file toward r has
@@ -312,7 +353,7 @@ func (st *State) Snapshot(s0 *schedule.Schedule, clock float64, opts SnapshotOpt
 	if s0 == nil {
 		return
 	}
-	g, est := st.k.g, st.k.est
+	g := st.k.g
 	for _, j := range g.Jobs() {
 		a, ok := s0.Get(j.ID)
 		if !ok {
@@ -328,8 +369,10 @@ func (st *State) Snapshot(s0 *schedule.Schedule, clock float64, opts SnapshotOpt
 					continue
 				}
 				// Transfer initiated at AFT toward the successor's
-				// scheduled resource; it may still be in flight.
-				eta := a.Finish + est.Comm(e, a.Resource, sa.Resource)
+				// scheduled resource; it may still be in flight. commEst
+				// applies the derived file cost when a data model is
+				// bound, the estimator's Comm otherwise.
+				eta := a.Finish + st.k.commEst(e, a.Resource, sa.Resource)
 				if opts.Credit == CreditDelivered && eta > clock {
 					continue
 				}

@@ -69,6 +69,12 @@ type Ledger struct {
 	// unbound owner is its own tenant.
 	capFrac  float64
 	tenantOf map[string]string
+
+	// Transfer reservations (transfers.go): per capacity channel, the
+	// planned file stagings of every attached workflow, lazily allocated
+	// so data-oblivious grids never pay for them.
+	byCh    map[string][]tentry // per channel, sorted by (start, owner, job, file)
+	towners map[string]int      // owner -> live transfer-reservation count
 }
 
 // NewLedger returns an empty ledger sized for resHint resources (it grows
@@ -260,12 +266,14 @@ func (l *Ledger) ReleaseJob(owner string, job int) bool {
 	return l.removeWhere(owner, func(e entry) bool { return e.job == job }) > 0
 }
 
-// Release drops every reservation of owner (workflow reached a terminal
-// state) and returns how many were removed.
+// Release drops every reservation of owner — compute and transfer alike
+// (workflow reached a terminal state) — and returns how many compute
+// reservations were removed.
 func (l *Ledger) Release(owner string) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.tenantOf, owner)
+	l.removeTWhere(owner, nil)
 	return l.removeWhere(owner, nil)
 }
 

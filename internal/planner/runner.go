@@ -197,6 +197,9 @@ func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid
 		return nil, err
 	}
 	k := kernel.New(g, est)
+	if opts.Data != nil {
+		k.SetData(opts.Data)
+	}
 	initial, err := pol.Plan(k, pool, opts)
 	if err != nil {
 		return nil, err
@@ -234,7 +237,7 @@ func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid
 		rs := pool.AvailableAt(t)
 		// Ship the outputs of every job that finished in (prev, t] under
 		// the schedule that was current during that window.
-		shipWindow(g, est, s0, st, prev, t)
+		shipWindow(g, k, s0, st, prev, t)
 		// Classify jobs at clock t.
 		st.Clock = t
 		st.ClearPinned()
@@ -304,7 +307,7 @@ func runPolicy(ctx context.Context, g *dag.Graph, est cost.Estimator, pool *grid
 // in (prev, t]: each output file becomes available on the producer's own
 // resource at its finish and on the consumer's currently scheduled
 // resource one transfer later.
-func shipWindow(g *dag.Graph, est cost.Estimator, s0 *schedule.Schedule, st *kernel.State, prev, t float64) {
+func shipWindow(g *dag.Graph, k *kernel.Kernel, s0 *schedule.Schedule, st *kernel.State, prev, t float64) {
 	for _, j := range g.Jobs() {
 		a := s0.MustGet(j.ID)
 		if a.Finish <= prev || a.Finish > t {
@@ -313,7 +316,7 @@ func shipWindow(g *dag.Graph, est cost.Estimator, s0 *schedule.Schedule, st *ker
 		for _, e := range g.Succs(j.ID) {
 			st.SetTransfer(j.ID, e.To, a.Resource, a.Finish)
 			sa := s0.MustGet(e.To)
-			st.SetTransfer(j.ID, e.To, sa.Resource, a.Finish+est.Comm(e, a.Resource, sa.Resource))
+			st.SetTransfer(j.ID, e.To, sa.Resource, a.Finish+k.CommEst(e, a.Resource, sa.Resource))
 		}
 	}
 }

@@ -79,6 +79,9 @@ func NewService(g *dag.Graph, est cost.Estimator, pool *grid.Pool, opts ServiceO
 	}
 	s := &Service{g: g, est: est, pool: pool, pol: pol, opts: opts}
 	s.k = kernel.New(g, est)
+	if opts.RunOptions.Data != nil {
+		s.k.SetData(opts.RunOptions.Data)
+	}
 	s.ks = s.k.NewState(pool.Size())
 	initial, err := pol.Plan(s.k, pool, opts.RunOptions)
 	if err != nil {

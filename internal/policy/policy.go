@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	"aheft/internal/data"
 	"aheft/internal/grid"
 	"aheft/internal/kernel"
 	"aheft/internal/schedule"
@@ -58,6 +59,12 @@ type Options struct {
 	// jobs before the delta path falls back to a full replan. Zero means
 	// kernel.DefaultMaxConeFrac.
 	MaxConeFrac float64
+	// Data, when non-nil, turns on data-aware scheduling: file-carrying
+	// edges cost size ÷ effective bandwidth, transfers serialize over the
+	// model's capacity channels, and staged replicas are reused. Engines
+	// bind it to their kernels (kernel.SetData); nil keeps every schedule
+	// bit-identical to the classic point-to-point model.
+	Data *data.Model
 }
 
 // Kernel converts the options into the scheduling-kernel options.

@@ -31,6 +31,19 @@ type Assignment struct {
 // Duration returns the assignment's length.
 func (a Assignment) Duration() float64 { return a.Finish - a.Start }
 
+// Transfer is one planned data-file movement: file File is staged from
+// resource From to resource To over [Start, Finish) so that job Job's
+// input is materialized before it runs. Transfers are produced only by
+// data-aware planning passes (see internal/data); classic point-to-point
+// schedules carry none.
+type Transfer struct {
+	Job      dag.JobID
+	File     string
+	From, To grid.ID
+	Start    float64
+	Finish   float64
+}
+
 // Schedule is a mutable mapping from jobs to assignments. The zero value is
 // not usable; call New.
 //
@@ -42,6 +55,10 @@ type Schedule struct {
 	byJob []Assignment // indexed by JobID; Resource == grid.NoResource ⇒ unassigned
 	n     int
 	byRes map[grid.ID][]Assignment // each slice sorted by Start
+
+	// transfers are the planned file stagings backing the assignments
+	// (data-aware passes only); ordered by (Start, Job, File).
+	transfers []Transfer
 }
 
 // New returns an empty schedule.
@@ -235,6 +252,25 @@ func (s *Schedule) Makespan() float64 {
 	return m
 }
 
+// SetTransfers replaces the schedule's planned file stagings; the slice is
+// sorted by (Start, Job, File) so the plan view is deterministic.
+func (s *Schedule) SetTransfers(ts []Transfer) {
+	s.transfers = ts
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Start != ts[j].Start {
+			return ts[i].Start < ts[j].Start
+		}
+		if ts[i].Job != ts[j].Job {
+			return ts[i].Job < ts[j].Job
+		}
+		return ts[i].File < ts[j].File
+	})
+}
+
+// Transfers returns the planned file stagings (nil for classic schedules).
+// Shared slice; callers must not mutate.
+func (s *Schedule) Transfers() []Transfer { return s.transfers }
+
 // Clone returns a deep copy.
 func (s *Schedule) Clone() *Schedule {
 	c := New()
@@ -242,6 +278,9 @@ func (s *Schedule) Clone() *Schedule {
 	c.n = s.n
 	for r, tl := range s.byRes {
 		c.byRes[r] = append([]Assignment(nil), tl...)
+	}
+	if s.transfers != nil {
+		c.transfers = append([]Transfer(nil), s.transfers...)
 	}
 	return c
 }

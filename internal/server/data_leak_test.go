@@ -1,0 +1,217 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"aheft/internal/wire"
+	"aheft/internal/workload"
+)
+
+// Transfer-reservation leak tests: a data-aware workflow's staging claims
+// on the grid's capacity channels must follow the compute-reservation
+// release discipline exactly — dropped per job the moment its start is
+// reported (its inputs are in hand), and drained wholesale on every
+// terminal path: finish, force-cancel, and retention eviction.
+
+// submitSharedData is submitShared plus the submission's file catalog —
+// the daemon binds it into a data model at buildWorkflow, so the live
+// tracker plans transfers and publishes their link claims to the ledger.
+func submitSharedData(t *testing.T, ts *httptest.Server, gridName, tenant string, sc *workload.Scenario) string {
+	t.Helper()
+	body, err := wire.EncodeSubmission(&wire.Submission{
+		Name: tenant, Mode: wire.ModeLive, Tenant: tenant, Policy: "aheft",
+		Graph: sc.Graph, Comp: sc.Table, Files: sc.Files, SharedGrid: gridName,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub wire.Submitted
+	if code := httpJSON(t, ts.Client(), http.MethodPost, ts.URL+"/v1/workflows", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit shared data: HTTP %d", code)
+	}
+	return sub.ID
+}
+
+// planEvents renders a plan as its faithful chronological report stream
+// (the event list reportPlanExecution posts as one batch).
+func planEvents(plan *wire.Plan) []wire.ReportEvent {
+	events := make([]wire.ReportEvent, 0, 2*len(plan.Assignments))
+	for _, a := range plan.Assignments {
+		events = append(events,
+			wire.ReportEvent{Kind: wire.ReportJobStarted, Time: a.Start, Job: a.Job, Resource: a.Resource},
+			wire.ReportEvent{Kind: wire.ReportJobFinished, Time: a.Finish, Job: a.Job, Resource: a.Resource, Duration: a.Finish - a.Start},
+		)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Kind == wire.ReportJobStarted && events[j].Kind == wire.ReportJobFinished
+	})
+	return events
+}
+
+// reportEvents posts one report batch and returns the ack.
+func reportEvents(t *testing.T, ts *httptest.Server, id string, events []wire.ReportEvent) *wire.ReportAck {
+	t.Helper()
+	body, err := wire.EncodeReport(&wire.Report{Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack wire.ReportAck
+	if code := httpJSON(t, ts.Client(), http.MethodPost, ts.URL+"/v1/workflows/"+id+"/report", body, &ack); code != http.StatusOK {
+		t.Fatalf("report: HTTP %d", code)
+	}
+	return &ack
+}
+
+// checkTransferStatus asserts the grid's link occupancy is internally
+// consistent: channel names carry the link: prefix (the scenario's pool
+// declares no per-resource up/down constraints) and the per-channel
+// counts sum to the aggregate gauge.
+func checkTransferStatus(t *testing.T, st wire.GridStatus) {
+	t.Helper()
+	sum := 0
+	for _, l := range st.Links {
+		if !strings.HasPrefix(l.Channel, "link:") {
+			t.Fatalf("unexpected capacity channel %q in %+v", l.Channel, st.Links)
+		}
+		sum += l.Reservations
+	}
+	if sum != st.TransferReservations {
+		t.Fatalf("link counts sum to %d, aggregate says %d: %+v", sum, st.TransferReservations, st.Links)
+	}
+}
+
+// TestSharedTransferReservationsDrain walks the full lifecycle on the
+// data-heavy scenario: planning publishes link claims, a job's claims
+// are spent the moment its start is reported, a finished workflow drains
+// to zero, and the retention cap's eviction leaves nothing behind.
+func TestSharedTransferReservationsDrain(t *testing.T) {
+	srv := New(Config{Shards: 2, MaxRetained: 1})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	sc := workload.DataScenario(workload.DataParams{})
+	registerGrid(t, ts, "g", sc)
+
+	idA := submitSharedData(t, ts, "g", "alpha", sc)
+	planA := waitPlan(t, ts, idA)
+
+	st := gridStatus(t, ts, "g")
+	if st.TransferReservations == 0 || len(st.Links) == 0 {
+		t.Fatalf("planned data workflow published no transfer claims: %+v", st)
+	}
+	checkTransferStatus(t, st)
+	if m := srv.MetricsSnapshot(); m.TransferReservations != st.TransferReservations {
+		t.Fatalf("metrics gauge %d, grid shows %d", m.TransferReservations, st.TransferReservations)
+	}
+
+	// A second tenant plans around A's link claims and adds its own.
+	idB := submitSharedData(t, ts, "g", "beta", sc)
+	waitPlan(t, ts, idB)
+
+	// A finishes: its claims drain with it; the survivor's remain (its
+	// merge job is still pending, and with six searches spread over the
+	// pool at least one hit file must cross a link to reach it).
+	if ack := reportPlanExecution(t, ts, idA, planA); !ack.Done {
+		t.Fatalf("A not done")
+	}
+	st = gridStatus(t, ts, "g")
+	if st.Attached != 1 {
+		t.Fatalf("grid after A finished: %+v", st)
+	}
+	if st.TransferReservations == 0 {
+		t.Fatalf("survivor's transfer claims drained with A: %+v", st)
+	}
+	checkTransferStatus(t, st)
+
+	// Replay B in three batches split around its merge job (the sink,
+	// added last) to watch the per-job release: claims survive every
+	// predecessor finish, then vanish when merge's start reports — while
+	// the workflow is still live, so this is the start-release path, not
+	// a terminal drain.
+	planB := waitPlan(t, ts, idB) // refetch: A's release may have triggered an adoption
+	mergeID := sc.Graph.Len() - 1
+	var pre, start, post []wire.ReportEvent
+	for _, e := range planEvents(planB) {
+		switch {
+		case e.Job != mergeID:
+			pre = append(pre, e)
+		case e.Kind == wire.ReportJobStarted:
+			start = append(start, e)
+		default:
+			post = append(post, e)
+		}
+	}
+	if ack := reportEvents(t, ts, idB, pre); ack.Done {
+		t.Fatalf("B done before its merge job ran")
+	}
+	if st = gridStatus(t, ts, "g"); st.TransferReservations == 0 {
+		t.Fatalf("merge's staging claims dropped before it started: %+v", st)
+	}
+	if ack := reportEvents(t, ts, idB, start); ack.Done {
+		t.Fatalf("B done on merge's start")
+	}
+	st = gridStatus(t, ts, "g")
+	if st.Attached != 1 {
+		t.Fatalf("B not live after merge started: %+v", st)
+	}
+	if st.TransferReservations != 0 || len(st.Links) != 0 {
+		t.Fatalf("started job's transfer claims not spent: %+v", st)
+	}
+	if ack := reportEvents(t, ts, idB, post); !ack.Done {
+		t.Fatalf("B not done after merge finished")
+	}
+	st = gridStatus(t, ts, "g")
+	if st.Attached != 0 || st.Reservations != 0 || st.TransferReservations != 0 || len(st.Links) != 0 {
+		t.Fatalf("leaked claims after both finished: %+v", st)
+	}
+
+	// MaxRetained=1: B's completion evicted A's terminal record; the
+	// eviction must not resurrect or leak transfer state.
+	if code := httpJSON(t, ts.Client(), http.MethodGet, ts.URL+"/v1/workflows/"+idA, nil, &errorDoc{}); code != http.StatusNotFound {
+		t.Fatalf("A should be evicted: HTTP %d", code)
+	}
+	m := srv.MetricsSnapshot()
+	if m.TransferReservations != 0 || m.Reservations != 0 || m.Evicted == 0 {
+		t.Fatalf("metrics after eviction: %+v", m)
+	}
+}
+
+// TestSharedTransferReleaseOnForceCancel: the drain deadline
+// force-cancels resident data-aware workflows; their link claims must
+// not outlive them.
+func TestSharedTransferReleaseOnForceCancel(t *testing.T) {
+	srv := New(Config{Shards: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	sc := workload.DataScenario(workload.DataParams{})
+	registerGrid(t, ts, "g", sc)
+	idA := submitSharedData(t, ts, "g", "alpha", sc)
+	waitPlan(t, ts, idA)
+	idB := submitSharedData(t, ts, "g", "beta", sc)
+	waitPlan(t, ts, idB)
+	if st := gridStatus(t, ts, "g"); st.TransferReservations == 0 {
+		t.Fatalf("pre-drain grid published no transfer claims: %+v", st)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Fatal("expired drain returned nil")
+	}
+	st := gridStatus(t, ts, "g")
+	if st.Attached != 0 || st.Reservations != 0 || st.TransferReservations != 0 || len(st.Links) != 0 {
+		t.Fatalf("force-cancel leaked transfer claims: %+v", st)
+	}
+	if m := srv.MetricsSnapshot(); m.TransferReservations != 0 || m.Reservations != 0 || m.LiveResident != 0 {
+		t.Fatalf("post-drain metrics: transfers=%d reservations=%d resident=%d",
+			m.TransferReservations, m.Reservations, m.LiveResident)
+	}
+}

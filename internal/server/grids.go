@@ -110,6 +110,11 @@ func (g *sharedGrid) status() wire.GridStatus {
 		st.Reservations += owners[id]
 		st.Owners = append(st.Owners, wire.GridOwner{Workflow: id, Reservations: owners[id]})
 	}
+	chNames, chCounts := g.ledger.Channels()
+	for i, ch := range chNames {
+		st.TransferReservations += chCounts[i]
+		st.Links = append(st.Links, wire.LinkStatus{Channel: ch, Reservations: chCounts[i]})
+	}
 	return st
 }
 
@@ -122,13 +127,14 @@ func (s *Server) gridLookup(name string) (*sharedGrid, bool) {
 }
 
 // gridTotals aggregates the grid gauges for /metrics.
-func (s *Server) gridTotals() (grids, reservations int) {
+func (s *Server) gridTotals() (grids, reservations, transfers int) {
 	s.gridMu.RLock()
 	defer s.gridMu.RUnlock()
 	for _, g := range s.grids {
 		reservations += g.ledger.Total()
+		transfers += g.ledger.TransferTotal()
 	}
-	return len(s.grids), reservations
+	return len(s.grids), reservations, transfers
 }
 
 func (s *Server) handleGridPut(w http.ResponseWriter, r *http.Request) {

@@ -271,6 +271,10 @@ type MetricsDoc struct {
 	// grids, and the aggregate live reservation count across them.
 	SharedGrids  int `json:"shared_grids"`
 	Reservations int `json:"reservations"`
+	// TransferReservations is the aggregate live transfer-reservation
+	// count across every grid's capacity channels (data-aware workflows);
+	// like Reservations it must drain to zero with the last workflow.
+	TransferReservations int `json:"transfer_reservations"`
 
 	EventsEmitted uint64 `json:"events_emitted"`
 	EventsDropped uint64 `json:"events_dropped"`
@@ -369,7 +373,7 @@ type RescheduleMs struct {
 // snapshot assembles the document; queueDepth supplies the current
 // per-shard queue lengths, historyTenants/historyCells the aggregated
 // tenant-repository gauges.
-func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, sharedGrids, reservations int, adm AdmissionGauges, d DurabilityStats, o ObsStats) MetricsDoc {
+func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, sharedGrids, reservations, transferReservations int, adm AdmissionGauges, d DurabilityStats, o ObsStats) MetricsDoc {
 	q := m.compute.quantiles(0.50, 0.90, 0.99)
 	byClass := func(c *[3]atomic.Uint64) map[string]uint64 {
 		out := make(map[string]uint64, len(admission.ClassNames))
@@ -438,28 +442,29 @@ func (m *Metrics) snapshot(queueDepth []int, historyTenants, historyCells, share
 			FastInitialMs:      winDoc(&m.admInitialFastMs),
 			FullInitialMs:      winDoc(&m.admInitialFullMs),
 		},
-		LiveResident:       m.liveResident.Load(),
-		HistoryTenants:     historyTenants,
-		HistoryCells:       historyCells,
-		HistoryEvicted:     m.historyEvicted.Load(),
-		SharedGrids:        sharedGrids,
-		Reservations:       reservations,
-		EventsEmitted:      m.eventsEmitted.Load(),
-		EventsDropped:      m.eventsDropped.Load(),
-		WALAppends:         d.WALAppends,
-		WALBytes:           d.WALBytes,
-		Snapshots:          d.Snapshots,
-		WALErrors:          m.walErrors.Load(),
-		RecoveredWorkflows: d.Recovered,
-		RecoveryMs:         d.RecoveryMs,
-		TraceSpans:         o.Spans,
-		TraceSpansDropped:  o.Dropped,
-		TraceStageMs:       o.Stages,
-		RecorderRecords:    m.recorderRecords.Load(),
-		RecorderErrors:     m.recorderErrors.Load(),
-		Inflight:           m.inflight.Load(),
-		InflightPeak:       m.inflightPeak.Load(),
-		QueueDepth:         queueDepth,
+		LiveResident:         m.liveResident.Load(),
+		HistoryTenants:       historyTenants,
+		HistoryCells:         historyCells,
+		HistoryEvicted:       m.historyEvicted.Load(),
+		SharedGrids:          sharedGrids,
+		Reservations:         reservations,
+		TransferReservations: transferReservations,
+		EventsEmitted:        m.eventsEmitted.Load(),
+		EventsDropped:        m.eventsDropped.Load(),
+		WALAppends:           d.WALAppends,
+		WALBytes:             d.WALBytes,
+		Snapshots:            d.Snapshots,
+		WALErrors:            m.walErrors.Load(),
+		RecoveredWorkflows:   d.Recovered,
+		RecoveryMs:           d.RecoveryMs,
+		TraceSpans:           o.Spans,
+		TraceSpansDropped:    o.Dropped,
+		TraceStageMs:         o.Stages,
+		RecorderRecords:      m.recorderRecords.Load(),
+		RecorderErrors:       m.recorderErrors.Load(),
+		Inflight:             m.inflight.Load(),
+		InflightPeak:         m.inflightPeak.Load(),
+		QueueDepth:           queueDepth,
 		ComputeMs: ComputeMs{
 			Count: m.compute.count(),
 			P50:   q[0], P90: q[1], P99: q[2],

@@ -216,7 +216,7 @@ func TestFallbackReasonBreakdown(t *testing.T) {
 	m.recordDecision(planner.Decision{Path: "full", FallbackReason: "cone-overflow", Trigger: planner.TriggerArrival})
 	m.recordDecision(planner.Decision{Path: "full", FallbackReason: "pool-changed", Trigger: planner.TriggerArrival})
 
-	doc := m.snapshot(nil, 0, 0, 0, 0, AdmissionGauges{}, DurabilityStats{}, ObsStats{})
+	doc := m.snapshot(nil, 0, 0, 0, 0, 0, AdmissionGauges{}, DurabilityStats{}, ObsStats{})
 	if doc.ReschedulesDelta != 1 || doc.ReschedulesFullFallback != 3 {
 		t.Fatalf("path split: delta=%d full=%d", doc.ReschedulesDelta, doc.ReschedulesFullFallback)
 	}

@@ -136,6 +136,7 @@ func writePrometheus(w http.ResponseWriter, doc MetricsDoc) {
 	p.counter("history_evicted_total", "Tenant repositories dropped by the LRU cap.", doc.HistoryEvicted)
 	p.gauge("shared_grids", "Registered shared grids.", float64(doc.SharedGrids))
 	p.gauge("reservations", "Live reservations across shared grids.", float64(doc.Reservations))
+	p.gauge("transfer_reservations", "Live transfer reservations across shared-grid capacity channels.", float64(doc.TransferReservations))
 
 	p.counter("events_emitted_total", "Scheduling events appended to workflow logs.", doc.EventsEmitted)
 	p.counter("events_dropped_total", "Events lost to slow SSE subscribers.", doc.EventsDropped)

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"aheft/internal/admission"
+	datamodel "aheft/internal/data"
 	"aheft/internal/feedback"
 	"aheft/internal/obs"
 	"aheft/internal/policy"
@@ -352,7 +353,7 @@ func (s *Server) MetricsSnapshot() MetricsDoc {
 		tenants += t
 		cells += c
 	}
-	grids, reservations := s.gridTotals()
+	grids, reservations, transfers := s.gridTotals()
 	var d DurabilityStats
 	for _, sh := range s.shards {
 		if sh.wal != nil {
@@ -369,7 +370,7 @@ func (s *Server) MetricsSnapshot() MetricsDoc {
 		o.Spans, o.Dropped = s.tracer.Totals()
 		o.Stages = s.tracer.StageSummary()
 	}
-	return s.metrics.snapshot(depth, tenants, cells, grids, reservations, adm, d, o)
+	return s.metrics.snapshot(depth, tenants, cells, grids, reservations, transfers, adm, d, o)
 }
 
 // Shutdown drains the daemon: it stops intake (further submissions get
@@ -667,6 +668,23 @@ func (s *Server) buildWorkflow(id string, data []byte) (*workflow, *sharedGrid, 
 		poolSize = sub.Pool.Size()
 	}
 
+	// Data-aware submission: bind the file catalog to the concrete pool
+	// here, once, so the live tracker, the restore path, and the analytic
+	// engine all plan under the same model. For shared-grid workflows this
+	// is also where host references are range-checked against the grid's
+	// universe (decode could not — it never sees the grid).
+	var dm *datamodel.Model
+	if sub.Files != nil {
+		pool := sub.Pool
+		if gref != nil {
+			pool = gref.pool
+		}
+		dm, err = datamodel.NewModel(sub.Files, pool, sub.Graph, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bind file catalog: %w", err)
+		}
+	}
+
 	wf := &workflow{
 		id:        id,
 		name:      sub.Name,
@@ -687,6 +705,7 @@ func (s *Server) buildWorkflow(id string, data []byte) (*workflow, *sharedGrid, 
 			RestartRunning: sub.Options.RestartRunning,
 			Eps:            sub.Options.Eps,
 			MaxConeFrac:    s.cfg.MaxConeFrac,
+			Data:           dm,
 		},
 		state:       StateQueued,
 		submittedAt: time.Now(),

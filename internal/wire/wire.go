@@ -12,6 +12,16 @@
 // every embedded graph document carries its own "v" (dag.WireVersion).
 // Decoders accept versions up to their own and reject newer ones, so old
 // daemons fail closed on future documents.
+//
+// Edge-cost precedence (v2): a submission may declare a file catalog
+// ("files") and edges may name files. For an edge that names a declared
+// file, the communication cost is *derived* — file size ÷ the effective
+// bandwidth of the path, as declared by the pool's uplink/downlink/link
+// capacities — and the edge's raw numeric "data" weight is superseded
+// (it remains legal on the wire and still drives edges that name no
+// file). A submission that names files on edges without declaring a
+// catalog is rejected; a v1 document (no "files", no capacities) decodes
+// and re-encodes exactly as before and schedules bit-identically.
 package wire
 
 import (
@@ -22,12 +32,16 @@ import (
 
 	"aheft/internal/cost"
 	"aheft/internal/dag"
+	"aheft/internal/data"
 	"aheft/internal/grid"
 )
 
 // Version is the current envelope version. DecodeSubmission accepts 0
 // (legacy, unversioned) through Version and rejects anything newer.
-const Version = 1
+// History: v1 — original envelope; v2 — data-aware scheduling (the
+// submission "files" catalog, pool link/storage capacities, grid-status
+// link occupancy).
+const Version = 2
 
 // Limits bounds the size of an accepted submission. The zero value means
 // DefaultLimits; a negative field disables that bound.
@@ -36,12 +50,14 @@ type Limits struct {
 	MaxJobs int
 	// MaxResources caps the pool size (resources that ever join).
 	MaxResources int
+	// MaxFiles caps the submission's declared file catalog.
+	MaxFiles int
 }
 
 // DefaultLimits is the daemon's default submission bound: generous enough
 // for the 20k-job layered stress workflows, small enough that one
 // submission cannot exhaust the process.
-var DefaultLimits = Limits{MaxJobs: 100_000, MaxResources: 10_000}
+var DefaultLimits = Limits{MaxJobs: 100_000, MaxResources: 10_000, MaxFiles: 10_000}
 
 func (l Limits) withDefaults() Limits {
 	if l.MaxJobs == 0 {
@@ -49,6 +65,9 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.MaxResources == 0 {
 		l.MaxResources = DefaultLimits.MaxResources
+	}
+	if l.MaxFiles == 0 {
+		l.MaxFiles = DefaultLimits.MaxFiles
 	}
 	return l
 }
@@ -180,6 +199,13 @@ type Submission struct {
 	// Comp is the estimator table: the jobs × resources computation
 	// matrix over every resource that ever joins the pool.
 	Comp *cost.Table `json:"comp"`
+	// Files optionally declares the workflow's data-file catalog (v2).
+	// When present, every graph edge naming a file must resolve to an
+	// entry here, and those edges' communication cost is derived from
+	// size ÷ effective bandwidth instead of their raw "data" weight —
+	// the precedence rule in the package doc. A pointer so a nil catalog
+	// is omitted and v1 documents re-encode byte-identically.
+	Files *data.Set `json:"files,omitempty"`
 	// Pool is the dynamic resource pool: arrivals in resource-ID order.
 	// Exactly one of Pool and SharedGrid is set; on the wire both travel
 	// in the "pool" field (an inline pool document, or the string
@@ -207,6 +233,7 @@ type submissionWire struct {
 	Options Options         `json:"options,omitempty"`
 	Graph   *dag.Graph      `json:"graph"`
 	Comp    *cost.Table     `json:"comp"`
+	Files   *data.Set       `json:"files,omitempty"`
 	Pool    json.RawMessage `json:"pool"`
 }
 
@@ -216,6 +243,7 @@ func (s Submission) MarshalJSON() ([]byte, error) {
 	w := submissionWire{
 		V: s.V, Name: s.Name, Mode: s.Mode, Tenant: s.Tenant,
 		Policy: s.Policy, Options: s.Options, Graph: s.Graph, Comp: s.Comp,
+		Files: s.Files,
 	}
 	switch {
 	case s.SharedGrid != "" && s.Pool != nil:
@@ -246,6 +274,7 @@ func (s *Submission) UnmarshalJSON(data []byte) error {
 	*s = Submission{
 		V: w.V, Name: w.Name, Mode: w.Mode, Tenant: w.Tenant,
 		Policy: w.Policy, Options: w.Options, Graph: w.Graph, Comp: w.Comp,
+		Files: w.Files,
 	}
 	if len(w.Pool) == 0 || string(w.Pool) == "null" {
 		return nil
@@ -304,6 +333,19 @@ func (s *Submission) Validate(lim Limits) error {
 	if s.Comp.Jobs() != s.Graph.Len() {
 		return fmt.Errorf("wire: estimator table covers %d jobs, graph has %d", s.Comp.Jobs(), s.Graph.Len())
 	}
+	if s.Files == nil {
+		// An edge naming a file without a catalog has no size to derive a
+		// cost from; fail closed rather than silently falling back to the
+		// raw weight.
+		for _, j := range s.Graph.Jobs() {
+			for _, e := range s.Graph.Preds(j.ID) {
+				if e.File != "" {
+					return fmt.Errorf("wire: edge (%s,%s) names file %q but the submission declares no file catalog",
+						s.Graph.Job(e.From).Name, s.Graph.Job(e.To).Name, e.File)
+				}
+			}
+		}
+	}
 	if s.SharedGrid != "" {
 		// Shared-grid submission: the pool lives on the daemon, which
 		// cross-checks the estimator table against the grid's resource
@@ -317,6 +359,13 @@ func (s *Submission) Validate(lim Limits) error {
 		if s.Mode != ModeLive {
 			return fmt.Errorf("wire: shared grid %q requires mode %q", s.SharedGrid, ModeLive)
 		}
+		if s.Files != nil {
+			// Pool size 0: host references are range-checked against the
+			// grid's universe at submit time, when the daemon resolves it.
+			if err := s.Files.Validate(s.Graph, 0, lim.MaxFiles); err != nil {
+				return fmt.Errorf("wire: %w", err)
+			}
+		}
 		return nil
 	}
 	if s.Pool == nil || s.Pool.Size() == 0 {
@@ -327,6 +376,11 @@ func (s *Submission) Validate(lim Limits) error {
 	}
 	if s.Comp.Resources() != s.Pool.Size() {
 		return fmt.Errorf("wire: estimator table covers %d resources, pool has %d", s.Comp.Resources(), s.Pool.Size())
+	}
+	if s.Files != nil {
+		if err := s.Files.Validate(s.Graph, s.Pool.Size(), lim.MaxFiles); err != nil {
+			return fmt.Errorf("wire: %w", err)
+		}
 	}
 	return nil
 }
@@ -420,6 +474,14 @@ type GridOwner struct {
 	Reservations int    `json:"reservations"`
 }
 
+// LinkStatus is one capacity channel's live transfer-reservation count
+// (channel names are the data model's: "up:<res>", "down:<res>",
+// "link:<name>").
+type LinkStatus struct {
+	Channel      string `json:"channel"`
+	Reservations int    `json:"reservations"`
+}
+
 // GridStatus is the GET /v1/grids/{name} response (and each element of
 // GET /v1/grids).
 type GridStatus struct {
@@ -437,6 +499,13 @@ type GridStatus struct {
 	Reservations int `json:"reservations"`
 	// Owners breaks Reservations down per attached workflow.
 	Owners []GridOwner `json:"owners,omitempty"`
+	// TransferReservations is the aggregate link occupancy: the total live
+	// transfer-reservation count across every capacity channel. Like
+	// Reservations it must drain to zero when the last workflow finishes.
+	TransferReservations int `json:"transfer_reservations,omitempty"`
+	// Links breaks TransferReservations down per capacity channel, in
+	// channel-name order.
+	Links []LinkStatus `json:"links,omitempty"`
 }
 
 // --- Response-side wire types (shared by the daemon and loadgen). ---

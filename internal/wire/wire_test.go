@@ -3,9 +3,13 @@ package wire
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"aheft/internal/data"
+	"aheft/internal/grid"
 	"aheft/internal/rng"
 	"aheft/internal/workload"
 )
@@ -174,6 +178,133 @@ func TestDecodeRejects(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// dataSubmission is a v2 submission with a file catalog, file-carrying
+// edges, and a pool declaring link/storage capacities.
+func dataSubmission(t *testing.T) *Submission {
+	t.Helper()
+	sc := workload.DataScenario(workload.DataParams{})
+	return &Submission{
+		Name:  "data",
+		Mode:  ModeLive,
+		Graph: sc.Graph,
+		Comp:  sc.Table,
+		Files: sc.Files,
+		Pool:  sc.Pool,
+	}
+}
+
+func TestDataSubmissionRoundTrip(t *testing.T) {
+	s := dataSubmission(t)
+	enc, err := EncodeSubmission(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(enc, []byte(`"files":`)) || !bytes.Contains(enc, []byte(`"links":`)) {
+		t.Fatalf("catalog or links not encoded:\n%s", enc)
+	}
+	got, err := DecodeSubmission(enc, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Files == nil || len(got.Files.Files) != len(s.Files.Files) {
+		t.Fatalf("file catalog lost: %+v", got.Files)
+	}
+	if got.Pool.LinkBW("wan") != s.Pool.LinkBW("wan") {
+		t.Fatalf("link bandwidth lost: %g != %g", got.Pool.LinkBW("wan"), s.Pool.LinkBW("wan"))
+	}
+	fileEdges := 0
+	for _, j := range got.Graph.Jobs() {
+		for _, e := range got.Graph.Preds(j.ID) {
+			if e.File != "" {
+				fileEdges++
+			}
+		}
+	}
+	if fileEdges == 0 {
+		t.Fatal("edge file references lost in round trip")
+	}
+	again, err := EncodeSubmission(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, again) {
+		t.Fatalf("re-encoding not canonical:\n%s\nvs\n%s", enc, again)
+	}
+}
+
+// TestLegacyV1Parity pins byte compatibility with the v1 wire format: the
+// committed v1 document still decodes, and its canonical re-encode —
+// identical except for the version stamp — matches the committed golden
+// byte for byte. Any drift in field order, omission rules, or the
+// embedded codecs breaks this test before it breaks a client.
+func TestLegacyV1Parity(t *testing.T) {
+	legacy, err := os.ReadFile(filepath.Join("testdata", "legacy_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "legacy_v1_reencoded.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSubmission(legacy, Limits{})
+	if err != nil {
+		t.Fatalf("legacy v1 document rejected: %v", err)
+	}
+	if s.V != 1 || s.Files != nil {
+		t.Fatalf("legacy decode drifted: v=%d files=%v", s.V, s.Files)
+	}
+	enc, err := EncodeSubmission(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, golden) {
+		t.Fatalf("legacy re-encode drifted from golden:\n%s\nvs\n%s", enc, golden)
+	}
+}
+
+func TestDataSubmissionRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(s *Submission)
+		want   string
+	}{
+		{"undeclared file ref", func(s *Submission) {
+			s.Files = &data.Set{Files: []data.File{{ID: "other", Size: 1}}}
+		}, "undeclared file"},
+		{"file edge without catalog", func(s *Submission) { s.Files = nil }, "no file catalog"},
+		{"negative size", func(s *Submission) {
+			s.Files.Files[0].Size = -1
+		}, "invalid size"},
+		{"duplicate file", func(s *Submission) {
+			s.Files.Files = append(s.Files.Files, s.Files.Files[0])
+		}, "duplicate file"},
+		{"host out of range", func(s *Submission) {
+			s.Files.Files[0].Hosts = []grid.ID{grid.ID(s.Pool.Size())}
+		}, "unknown resource"},
+		{"oversized file ID", func(s *Submission) {
+			s.Files.Files[0].ID = strings.Repeat("x", data.MaxIDLen+1)
+		}, "longer than"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := dataSubmission(t)
+			tc.mutate(s)
+			err := s.Validate(Limits{})
+			if err == nil {
+				t.Fatal("validate accepted the mutation")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// The file-count limit is enforced.
+	s := dataSubmission(t)
+	if err := s.Validate(Limits{MaxFiles: 1}); err == nil || !strings.Contains(err.Error(), "exceed limit") {
+		t.Fatalf("over-limit catalog accepted: %v", err)
 	}
 }
 

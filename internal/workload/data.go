@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"aheft/internal/cost"
+	"aheft/internal/dag"
+	"aheft/internal/data"
+	"aheft/internal/grid"
+)
+
+// DataParams tunes the data-heavy scenario. The zero value selects the
+// defaults noted per field.
+type DataParams struct {
+	// Searches is the fan-out width N (default 6).
+	Searches int
+	// DBSize is the shared database file's size (default 200).
+	DBSize float64
+	// HitSize is each search's result file size (default 8).
+	HitSize float64
+	// LinkBW is the bandwidth of each site's shared link (default 4).
+	LinkBW float64
+}
+
+func (p DataParams) withDefaults() DataParams {
+	if p.Searches <= 0 {
+		p.Searches = 6
+	}
+	if p.DBSize <= 0 {
+		p.DBSize = 200
+	}
+	if p.HitSize <= 0 {
+		p.HitSize = 8
+	}
+	if p.LinkBW <= 0 {
+		p.LinkBW = 4
+	}
+	return p
+}
+
+// DataScenario builds the data-heavy BLAST-like case the data-aware path
+// is evaluated on: a prep job fans out to N search jobs that all read one
+// large pre-staged database file, and a merge job collects each search's
+// hit file. The grid has two sites behind named links — site A (r0, r1)
+// hosts the database replicas but computes slowly, site B (r2, r3)
+// computes fast but every database byte must cross both site links to
+// reach it. A data-oblivious scheduler sees only the small raw edge
+// weights, packs the searches onto site B, and pays N serialized
+// database transfers at run time; a data-aware scheduler sees the derived
+// size ÷ bandwidth costs and the link contention, keeps the searches next
+// to the data, and wins on makespan. The raw edge weights are kept small
+// deliberately — they are the bait.
+func DataScenario(p DataParams) *Scenario {
+	p = p.withDefaults()
+	g := dag.New("data-blast")
+	prep := g.AddJob("prep", "prep")
+	searches := make([]dag.JobID, p.Searches)
+	for i := range searches {
+		searches[i] = g.AddJob("search"+itoa(i+1), "search")
+	}
+	merge := g.AddJob("merge", "merge")
+	files := []data.File{{ID: "db", Size: p.DBSize, Hosts: []grid.ID{0, 1}}}
+	for i, s := range searches {
+		hit := "hits" + itoa(i+1)
+		g.MustFileEdge(prep, s, 5, "db")
+		g.MustFileEdge(s, merge, 2, hit)
+		files = append(files, data.File{ID: hit, Size: p.HitSize})
+	}
+	graph := g.MustValidate()
+
+	// Site A hosts the data, site B is ~2.5x faster on the searches.
+	rows := make([][]float64, 0, graph.Len())
+	rows = append(rows, []float64{4, 4, 3, 3}) // prep
+	for range searches {                       //
+		rows = append(rows, []float64{30, 30, 12, 12}) // search
+	}
+	rows = append(rows, []float64{6, 6, 5, 5}) // merge
+	table := cost.MustTable(rows)
+
+	links := map[string]float64{"siteA": p.LinkBW, "siteB": p.LinkBW}
+	pool := grid.MustPoolLinks([]grid.Arrival{
+		{Time: 0, Resource: grid.Resource{ID: 0, Name: "a1", Link: "siteA"}},
+		{Time: 0, Resource: grid.Resource{ID: 1, Name: "a2", Link: "siteA"}},
+		{Time: 0, Resource: grid.Resource{ID: 2, Name: "b1", Link: "siteB"}},
+		{Time: 0, Resource: grid.Resource{ID: 3, Name: "b2", Link: "siteB"}},
+	}, links)
+
+	return &Scenario{
+		Graph: graph,
+		Table: table,
+		Pool:  pool,
+		Files: &data.Set{Files: files},
+	}
+}

@@ -9,16 +9,19 @@ package workload
 import (
 	"aheft/internal/cost"
 	"aheft/internal/dag"
+	"aheft/internal/data"
 	"aheft/internal/grid"
 )
 
 // Scenario bundles everything one simulation case needs: the workflow, the
 // ground-truth cost table covering every resource that will ever join, and
-// the dynamic resource pool.
+// the dynamic resource pool. Files is the data-file catalog of data-aware
+// scenarios; nil for the classic point-to-point ones.
 type Scenario struct {
 	Graph *dag.Graph
 	Table *cost.Table
 	Pool  *grid.Pool
+	Files *data.Set
 }
 
 // Estimator returns the accurate estimator over the scenario's cost table
